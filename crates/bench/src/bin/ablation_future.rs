@@ -1,0 +1,121 @@
+//! The paper's stated future work (§1.2, §5.3): explicitly limited PEs and
+//! non-unit instruction latencies.
+//!
+//! §5.3 leaves open: "It is not yet clear what the net effect of assuming
+//! non-unit latencies on the DEE-CD-MF model will be. On one hand, in
+//! other studies ... the performance of the models decreased significantly.
+//! On the other hand, concurrent instructions in the DEE-CD-MF model may
+//! exhibit much more overlap." This binary measures both effects on our
+//! traces:
+//!
+//! 1. latency sweep (unit vs a classic 4-cycle-mul / 2-cycle-mem pipeline)
+//!    for SP, SP-CD-MF, and DEE-CD-MF at E_T = 100 — reporting both IPC
+//!    and speedup over the (equally slowed) sequential machine;
+//! 2. explicit PE limits (issue-width caps) for DEE-CD-MF, showing where
+//!    the implicit-PE assumption stops mattering.
+//!
+//! Additionally compares Levo's per-row predictor options (2-bit counter
+//! vs speculative PAp, §4.3).
+//!
+//! Usage: `ablation_future [tiny|small|medium|large]`.
+
+use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
+use dee_levo::{Levo, LevoConfig, PredictorKind};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("loading suite at {scale:?}...");
+    let suite = Suite::load(scale);
+    let p = suite.characteristic_accuracy();
+    let et = 100;
+
+    println!("Non-unit latencies (mul/div 4, mem 2; E_T = {et}, p = {}):\n", f2(p));
+    let mut lat = TextTable::new(&[
+        "model",
+        "speedup unit",
+        "speedup classic",
+        "ipc unit",
+        "ipc classic",
+    ]);
+    for model in [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle] {
+        let mut s_unit = Vec::new();
+        let mut s_classic = Vec::new();
+        let mut i_unit = Vec::new();
+        let mut i_classic = Vec::new();
+        for entry in &suite.entries {
+            let prepared = entry.prepare();
+            let unit = simulate(&prepared, &SimConfig::new(model, et).with_p(p));
+            let classic = simulate(
+                &prepared,
+                &SimConfig::new(model, et)
+                    .with_p(p)
+                    .with_latency(LatencyModel::CLASSIC),
+            );
+            s_unit.push(unit.speedup());
+            s_classic.push(classic.speedup());
+            i_unit.push(unit.ipc());
+            i_classic.push(classic.ipc());
+        }
+        lat.row(vec![
+            model.name().into(),
+            f2(harmonic_mean(&s_unit)),
+            f2(harmonic_mean(&s_classic)),
+            f2(harmonic_mean(&i_unit)),
+            f2(harmonic_mean(&i_classic)),
+        ]);
+    }
+    println!("{}", lat.render());
+
+    println!("Explicit PE limits (DEE-CD-MF, unit latency, E_T = {et}):\n");
+    let mut pes = TextTable::new(&["max PEs/cycle", "HM speedup"]);
+    for cap in [2u32, 4, 8, 16, 32, 64] {
+        let values: Vec<f64> = suite
+            .entries
+            .iter()
+            .map(|e| {
+                let prepared = e.prepare();
+                simulate(
+                    &prepared,
+                    &SimConfig::new(Model::DeeCdMf, et).with_p(p).with_max_pe(cap),
+                )
+                .speedup()
+            })
+            .collect();
+        pes.row(vec![cap.to_string(), f2(harmonic_mean(&values))]);
+    }
+    let unlimited: Vec<f64> = suite
+        .entries
+        .iter()
+        .map(|e| {
+            let prepared = e.prepare();
+            simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p)).speedup()
+        })
+        .collect();
+    pes.row(vec!["unlimited".into(), f2(harmonic_mean(&unlimited))]);
+    println!("{}", pes.render());
+
+    println!("Levo per-row predictor (§4.3), 3 x 1-col DEE paths:\n");
+    let mut pred = TextTable::new(&["benchmark", "ipc 2bc", "ipc pap-spec"]);
+    for entry in &suite.entries {
+        let w = &entry.workload;
+        let two_bit = Levo::new(LevoConfig::default())
+            .run(&w.program, &w.initial_memory)
+            .expect("levo 2bc runs");
+        let pap = Levo::new(LevoConfig {
+            predictor: PredictorKind::PapSpeculative,
+            ..LevoConfig::default()
+        })
+        .run(&w.program, &w.initial_memory)
+        .expect("levo pap runs");
+        assert_eq!(two_bit.output, w.expected_output);
+        assert_eq!(pap.output, w.expected_output);
+        pred.row(vec![w.name.into(), f2(two_bit.ipc()), f2(pap.ipc())]);
+    }
+    println!("{}", pred.render());
+
+    let path = lat
+        .write_csv(&format!("ablation_future_{scale:?}.csv").to_lowercase())
+        .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,83 @@
+//! Memory-system ablation — the third item of the paper's future work
+//! (§1.2): evaluate the DEE models above a finite data cache instead of
+//! the single-cycle ideal memory.
+//!
+//! Sweeps data-cache configurations (perfect 1-cycle, a classic 8 KiB
+//! 2-way cache, and a small 1 KiB cache, with a 10-cycle miss penalty) and
+//! reports per-benchmark hit rates plus harmonic-mean speedups of SP,
+//! SP-CD-MF and DEE-CD-MF at E_T = 100. Speedups remain relative to the
+//! *equally slowed* sequential machine, so they isolate the models'
+//! latency tolerance.
+//!
+//! Usage: `ablation_memory [tiny|small|medium|large]`.
+
+use dee_bench::{f2, pct, scale_from_args, Suite, TextTable};
+use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
+use dee_mem::{annotate_latencies, CacheConfig, MemoryHierarchy};
+
+const MISS_PENALTY: u32 = 10;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("loading suite at {scale:?}...");
+    let suite = Suite::load(scale);
+    let p = suite.characteristic_accuracy();
+    let et = 100;
+
+    let configs: [(&str, Option<CacheConfig>); 3] = [
+        ("perfect (1 cycle)", None),
+        (
+            "8KiB 2-way x8w",
+            Some(CacheConfig { sets: 128, ways: 2, line_words: 8 }),
+        ),
+        (
+            "1KiB 1-way x4w",
+            Some(CacheConfig { sets: 64, ways: 1, line_words: 4 }),
+        ),
+    ];
+
+    println!("Data-cache hit rates (miss penalty {MISS_PENALTY} cycles):\n");
+    let mut rates = TextTable::new(&["benchmark", "8KiB 2-way", "1KiB 1-way", "mem refs"]);
+    for entry in &suite.entries {
+        let mut cells = vec![entry.workload.name.to_string()];
+        let mut refs = 0;
+        for (_, config) in configs.iter().skip(1) {
+            let mut hierarchy =
+                MemoryHierarchy::new(config.expect("cache config"), 1, MISS_PENALTY);
+            let _ = annotate_latencies(&entry.trace, &mut hierarchy);
+            cells.push(pct(hierarchy.stats().hit_rate()));
+            refs = hierarchy.stats().accesses;
+        }
+        cells.push(refs.to_string());
+        rates.row(cells);
+    }
+    println!("{}", rates.render());
+
+    println!("Harmonic-mean speedups at E_T = {et} (p = {}):\n", f2(p));
+    let mut t = TextTable::new(&["memory system", "SP", "SP-CD-MF", "DEE-CD-MF", "Oracle"]);
+    for (name, cache) in configs {
+        let mut cells = vec![name.to_string()];
+        for model in [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle] {
+            let values: Vec<f64> = suite
+                .entries
+                .iter()
+                .map(|entry| {
+                    let mut prepared = entry.prepare();
+                    if let Some(config) = cache {
+                        let mut hierarchy = MemoryHierarchy::new(config, 1, MISS_PENALTY);
+                        let lats = annotate_latencies(&entry.trace, &mut hierarchy);
+                        prepared = prepared.with_mem_latencies(lats);
+                    }
+                    simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
+                })
+                .collect();
+            cells.push(f2(harmonic_mean(&values)));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    let path = t
+        .write_csv(&format!("ablation_memory_{scale:?}.csv").to_lowercase())
+        .expect("csv");
+    println!("wrote {}", path.display());
+}

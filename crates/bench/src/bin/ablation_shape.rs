@@ -1,0 +1,83 @@
+//! Tree-shape ablation: is the §3.1 static heuristic's `(l, h_DEE)` split
+//! actually the right one?
+//!
+//! §5.3 hints the heuristic is imperfect: "performance would be improved
+//! if these branches were DEE'd earlier, at lower levels of E_T branch
+//! path resources. This implies that DEE paths could be usefully employed
+//! with many fewer than 32 branch path resources." This experiment fixes
+//! E_T = 100 and sweeps `h_DEE` directly (with `l = E_T − h(h+1)/2`),
+//! comparing each shape's DEE-CD-MF speedup against the heuristic's pick.
+//!
+//! Usage: `ablation_shape [tiny|small|medium|large]`.
+
+use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use dee_core::{StaticTree, TreeParams};
+use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("loading suite at {scale:?}...");
+    let suite = Suite::load(scale);
+    let p = suite.characteristic_accuracy();
+    let et = 100u32;
+    let heuristic = StaticTree::build(TreeParams { p: p.clamp(0.5, 0.9999), et });
+
+    println!(
+        "DEE-CD-MF tree-shape sweep at E_T = {et} (measured p = {}; heuristic picks l = {}, h = {})\n",
+        f2(p),
+        heuristic.mainline_len(),
+        heuristic.h_dee()
+    );
+    let mut t = TextTable::new(&["h_DEE", "l", "HM speedup", "note"]);
+    let mut best = (0u32, 0.0f64);
+    for h in [0u32, 2, 4, 6, 8, 10, 11, 12, 13].into_iter().filter(|h| h * (h + 1) / 2 < et) {
+        let l = et - h * (h + 1) / 2;
+        let values: Vec<f64> = suite
+            .entries
+            .iter()
+            .map(|e| {
+                let prepared = e.prepare();
+                simulate(
+                    &prepared,
+                    &SimConfig::new(Model::DeeCdMf, et)
+                        .with_p(p)
+                        .with_dee_shape(l, h),
+                )
+                .speedup()
+            })
+            .collect();
+        let hm = harmonic_mean(&values);
+        if hm > best.1 {
+            best = (h, hm);
+        }
+        let note = if h == heuristic.h_dee() { "<- heuristic" } else { "" };
+        t.row(vec![h.to_string(), l.to_string(), f2(hm), note.into()]);
+    }
+    println!("{}", t.render());
+    println!(
+        "best swept shape: h = {} at {}x; heuristic is within {:.1}% of it",
+        best.0,
+        f2(best.1),
+        100.0 * (1.0 - hm_of(&suite, p, et, heuristic.mainline_len(), heuristic.h_dee()) / best.1)
+    );
+    let path = t
+        .write_csv(&format!("ablation_shape_{scale:?}.csv").to_lowercase())
+        .expect("csv");
+    println!("wrote {}", path.display());
+}
+
+fn hm_of(suite: &Suite, p: f64, et: u32, l: u32, h: u32) -> f64 {
+    let values: Vec<f64> = suite
+        .entries
+        .iter()
+        .map(|e| {
+            let prepared = e.prepare();
+            simulate(
+                &prepared,
+                &SimConfig::new(Model::DeeCdMf, et).with_p(p).with_dee_shape(l, h),
+            )
+            .speedup()
+        })
+        .collect();
+    harmonic_mean(&values)
+}

@@ -1,0 +1,157 @@
+//! Figure 5: speedups of the seven resource-constrained models over the
+//! five benchmarks, plus the harmonic mean and per-benchmark oracle
+//! speedups.
+//!
+//! Usage: `fig5 [tiny|small|medium|large]` (default small; the paper-grade
+//! run is `medium`). Writes `results/fig5_<scale>.csv`.
+//!
+//! The DEE tree shape uses the suite's measured characteristic accuracy,
+//! following §3.1 step 1 (the paper measured 90.53% on SPECint92 with the
+//! same 2-bit counter scheme).
+
+use dee_bench::plot::{render_panels, write_svg, Panel, Series};
+use dee_bench::{f2, scale_from_args, Suite, TextTable, FIG5_RESOURCES};
+use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("loading suite at {scale:?}...");
+    let suite = Suite::load(scale);
+    let p = suite.characteristic_accuracy();
+    println!("Figure 5 — speedup vs branch-path resources ({scale:?} scale)");
+    println!("characteristic accuracy p = {} (paper: 90.53%)\n", f2(p * 100.0));
+
+    let models = Model::all_constrained();
+    let mut csv = TextTable::new(&["benchmark", "model", "et", "speedup"]);
+    // speedups[benchmark][model][et]
+    let mut speedups: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut oracles: Vec<f64> = Vec::new();
+
+    for entry in &suite.entries {
+        let name = entry.workload.name;
+        eprintln!("simulating {name} ({} instrs)...", entry.trace.len());
+        let prepared = entry.prepare();
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        oracles.push(oracle.speedup());
+
+        let mut header: Vec<&str> = vec!["model"];
+        let et_labels: Vec<String> = FIG5_RESOURCES.iter().map(u32::to_string).collect();
+        header.extend(et_labels.iter().map(String::as_str));
+        let mut table = TextTable::new(&header);
+
+        let mut per_model = Vec::new();
+        for model in models {
+            let mut row_cells = vec![model.name().to_string()];
+            let mut row = Vec::new();
+            for &et in &FIG5_RESOURCES {
+                let out = simulate(&prepared, &SimConfig::new(model, et).with_p(p));
+                row.push(out.speedup());
+                row_cells.push(f2(out.speedup()));
+                csv.row(vec![
+                    name.into(),
+                    model.name().into(),
+                    et.to_string(),
+                    format!("{:.4}", out.speedup()),
+                ]);
+            }
+            table.row(row_cells);
+            per_model.push(row);
+        }
+        speedups.push(per_model);
+
+        println!("{name}  (oracle speedup: {})", f2(oracle.speedup()));
+        println!("{}", table.render());
+    }
+
+    // Harmonic-mean panel.
+    let mut header: Vec<&str> = vec!["model"];
+    let et_labels: Vec<String> = FIG5_RESOURCES.iter().map(u32::to_string).collect();
+    header.extend(et_labels.iter().map(String::as_str));
+    let mut hm_table = TextTable::new(&header);
+    for (mi, model) in models.iter().enumerate() {
+        let mut cells = vec![model.name().to_string()];
+        for ei in 0..FIG5_RESOURCES.len() {
+            let values: Vec<f64> = speedups.iter().map(|b| b[mi][ei]).collect();
+            let hm = harmonic_mean(&values);
+            cells.push(f2(hm));
+            csv.row(vec![
+                "harmonic-mean".into(),
+                model.name().into(),
+                FIG5_RESOURCES[ei].to_string(),
+                format!("{hm:.4}"),
+            ]);
+        }
+        hm_table.row(cells);
+    }
+    let hm_oracle = harmonic_mean(&oracles);
+    println!("Harmonic Mean  (oracle speedup: {})", f2(hm_oracle));
+    println!("{}", hm_table.render());
+
+    let mut oracle_table =
+        TextTable::new(&["benchmark", "oracle (measured)", "oracle (paper)"]);
+    let paper_oracle = ["23.22", "25.86", "2810.48", "815.62", "104.35"];
+    for (entry, (oracle, paper)) in suite
+        .entries
+        .iter()
+        .zip(oracles.iter().zip(paper_oracle.iter()))
+    {
+        oracle_table.row(vec![entry.workload.name.into(), f2(*oracle), (*paper).into()]);
+        csv.row(vec![
+            entry.workload.name.into(),
+            "Oracle".into(),
+            "0".into(),
+            format!("{oracle:.4}"),
+        ]);
+    }
+    oracle_table.row(vec!["harmonic-mean".into(), f2(hm_oracle), "53.82".into()]);
+    println!("Oracle speedups (paper values from Figure 5 captions):");
+    println!("{}", oracle_table.render());
+
+    let path = csv
+        .write_csv(&format!("fig5_{scale:?}.csv").to_lowercase())
+        .expect("csv");
+    println!("wrote {}", path.display());
+
+    // Regenerate the figure itself: six panels, as in the paper.
+    let mut panels: Vec<Panel> = Vec::new();
+    for (bench_idx, entry) in suite.entries.iter().enumerate() {
+        panels.push(Panel {
+            title: entry.workload.name.to_string(),
+            oracle: Some(oracles[bench_idx]),
+            series: models
+                .iter()
+                .enumerate()
+                .map(|(mi, model)| Series {
+                    name: model.name().to_string(),
+                    points: FIG5_RESOURCES
+                        .iter()
+                        .enumerate()
+                        .map(|(ei, &et)| (f64::from(et), speedups[bench_idx][mi][ei]))
+                        .collect(),
+                })
+                .collect(),
+        });
+    }
+    panels.push(Panel {
+        title: "Harmonic Mean".to_string(),
+        oracle: Some(hm_oracle),
+        series: models
+            .iter()
+            .enumerate()
+            .map(|(mi, model)| Series {
+                name: model.name().to_string(),
+                points: FIG5_RESOURCES
+                    .iter()
+                    .enumerate()
+                    .map(|(ei, &et)| {
+                        let values: Vec<f64> = speedups.iter().map(|b| b[mi][ei]).collect();
+                        (f64::from(et), harmonic_mean(&values))
+                    })
+                    .collect(),
+            })
+            .collect(),
+    });
+    let svg = render_panels(&panels, &FIG5_RESOURCES);
+    let svg_path = write_svg(&format!("fig5_{scale:?}.svg").to_lowercase(), &svg).expect("svg");
+    println!("wrote {}", svg_path.display());
+}

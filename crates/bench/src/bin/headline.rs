@@ -1,0 +1,64 @@
+//! §5.3 headline numbers at the Levo operating point, E_T = 100:
+//!
+//! * DEE-CD-MF over SP — paper: 5.8×;
+//! * DEE-CD-MF over EE — paper: 4.0×;
+//! * DEE-CD-MF over sequential — paper: 31.9×;
+//! * DEE-CD-MF as a fraction of oracle — paper: ≈59%;
+//! * DEE-CD-MF @ 8 paths vs EE @ 256 paths — paper: equal;
+//! * SP stops improving at 16 paths;
+//! * DEE-CD-MF @ 32 stays high (paper: 26×, the "Levo could be built with
+//!   only 32 branch paths" observation).
+//!
+//! Usage: `headline [tiny|small|medium|large]`.
+
+use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
+
+fn hm_at(suite: &Suite, model: Model, et: u32, p: f64) -> f64 {
+    let values: Vec<f64> = suite
+        .entries
+        .iter()
+        .map(|e| {
+            let prepared = e.prepare();
+            simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
+        })
+        .collect();
+    harmonic_mean(&values)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("loading suite at {scale:?}...");
+    let suite = Suite::load(scale);
+    let p = suite.characteristic_accuracy();
+
+    eprintln!("simulating...");
+    let dee100 = hm_at(&suite, Model::DeeCdMf, 100, p);
+    let sp100 = hm_at(&suite, Model::Sp, 100, p);
+    let ee100 = hm_at(&suite, Model::Ee, 100, p);
+    let dee32 = hm_at(&suite, Model::DeeCdMf, 32, p);
+    let dee8 = hm_at(&suite, Model::DeeCdMf, 8, p);
+    let ee256 = hm_at(&suite, Model::Ee, 256, p);
+    let sp16 = hm_at(&suite, Model::Sp, 16, p);
+    let sp256 = hm_at(&suite, Model::Sp, 256, p);
+    let oracle = harmonic_mean(
+        &suite
+            .entries
+            .iter()
+            .map(|e| simulate(&e.prepare(), &SimConfig::new(Model::Oracle, 0)).speedup())
+            .collect::<Vec<f64>>(),
+    );
+
+    println!("§5.3 headline statistics (harmonic means, {scale:?} scale, p = {})\n", f2(p));
+    let mut t = TextTable::new(&["statistic", "measured", "paper"]);
+    t.row(vec!["DEE-CD-MF @100 / SP @100".into(), f2(dee100 / sp100), "5.8".into()]);
+    t.row(vec!["DEE-CD-MF @100 / EE @100".into(), f2(dee100 / ee100), "4.0".into()]);
+    t.row(vec!["DEE-CD-MF @100 x sequential".into(), f2(dee100), "31.9".into()]);
+    t.row(vec!["DEE-CD-MF @100 / oracle".into(), f2(dee100 / oracle), "0.59".into()]);
+    t.row(vec!["DEE-CD-MF @32 x sequential".into(), f2(dee32), "26".into()]);
+    t.row(vec!["DEE-CD-MF @8 vs EE @256".into(), format!("{} vs {}", f2(dee8), f2(ee256)), "equal".into()]);
+    t.row(vec!["SP @256 / SP @16 (plateau)".into(), f2(sp256 / sp16), "~1.0".into()]);
+    println!("{}", t.render());
+    let path = t.write_csv(&format!("headline_{scale:?}.csv").to_lowercase()).expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,105 @@
+//! §4 Levo machine evaluation: IPC with and without DEE paths, DEE
+//! recovery statistics, loop capture, and IQ geometry sweeps.
+//!
+//! Reproduces the §4.2 loop-capture observation ("more than 70% of the
+//! conditional-backwards-branch-formed dynamic loops' executions fit in an
+//! IQ of length 32") and quantifies what the DEE columns buy the machine
+//! model — every configuration is validated to produce bit-identical
+//! program output.
+//!
+//! Usage: `levo_eval [tiny|small|medium|large]` (default small; Levo is a
+//! detailed model, so large scales take a while).
+
+use dee_bench::{f2, pct, scale_from_args, TextTable};
+use dee_levo::{Levo, LevoConfig};
+use dee_workloads::{all_workloads, Scale};
+
+fn main() {
+    let scale = scale_from_args();
+    let workloads = all_workloads(scale);
+
+    println!("Levo machine model ({scale:?} scale)\n");
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "ipc condel2",
+        "ipc 3x1",
+        "ipc 11x2",
+        "dee-covered",
+        "injected",
+        "loop capture",
+    ]);
+    for w in &workloads {
+        eprintln!("running {} on three configurations...", w.name);
+        let base = Levo::new(LevoConfig::condel2())
+            .run(&w.program, &w.initial_memory)
+            .expect("condel2 runs");
+        let small = Levo::new(LevoConfig::default())
+            .run(&w.program, &w.initial_memory)
+            .expect("3x1 runs");
+        let large = Levo::new(LevoConfig::levo_100())
+            .run(&w.program, &w.initial_memory)
+            .expect("11x2 runs");
+        assert_eq!(base.output, w.expected_output, "{}: condel2 output", w.name);
+        assert_eq!(small.output, w.expected_output, "{}: 3x1 output", w.name);
+        assert_eq!(large.output, w.expected_output, "{}: 11x2 output", w.name);
+        let covered = if large.mispredicts == 0 {
+            "-".to_string()
+        } else {
+            pct(large.dee_covered as f64 / large.mispredicts as f64)
+        };
+        t.row(vec![
+            w.name.into(),
+            f2(base.ipc()),
+            f2(small.ipc()),
+            f2(large.ipc()),
+            covered,
+            large.dee_injected.to_string(),
+            large
+                .loop_capture_rate()
+                .map_or("-".into(), pct),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper §4.2: >70% of backward-branch loops fit an IQ of 32 rows)\n");
+
+    println!("IQ geometry sweep (xlisp, DEE 3x1):");
+    let mut g = TextTable::new(&["n x m", "ipc", "window shifts", "squashed"]);
+    let w = workloads.iter().find(|w| w.name == "xlisp").expect("xlisp present");
+    for (n, m) in [(16, 4), (16, 8), (32, 4), (32, 8), (64, 8), (64, 16)] {
+        let config = LevoConfig { n, m, ..LevoConfig::default() };
+        let report = Levo::new(config)
+            .run(&w.program, &w.initial_memory)
+            .expect("geometry runs");
+        assert_eq!(report.output, w.expected_output);
+        g.row(vec![
+            format!("{n}x{m}"),
+            f2(report.ipc()),
+            report.window_shifts.to_string(),
+            report.squashed.to_string(),
+        ]);
+    }
+    println!("{}", g.render());
+
+    println!("DEE path count sweep (xlisp, 1-column paths):");
+    let mut d = TextTable::new(&["dee paths", "ipc", "covered mispredicts", "injected"]);
+    for paths in [0usize, 1, 2, 3, 5, 8, 11] {
+        let config = LevoConfig { dee_paths: paths, ..LevoConfig::default() };
+        let report = Levo::new(config)
+            .run(&w.program, &w.initial_memory)
+            .expect("dee sweep runs");
+        assert_eq!(report.output, w.expected_output);
+        d.row(vec![
+            paths.to_string(),
+            f2(report.ipc()),
+            report.dee_covered.to_string(),
+            report.dee_injected.to_string(),
+        ]);
+    }
+    println!("{}", d.render());
+
+    let path = t
+        .write_csv(&format!("levo_eval_{scale:?}.csv").to_lowercase())
+        .expect("csv");
+    println!("wrote {}", path.display());
+    let _ = Scale::all(); // keep Scale in scope for docs
+}

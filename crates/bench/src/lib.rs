@@ -1,0 +1,235 @@
+//! Experiment harness shared by the figure/table-regeneration binaries and
+//! the Criterion benches.
+//!
+//! Every evaluation artifact of the paper has a binary here (see DESIGN.md
+//! §3 for the index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1` | Figure 1 — SP/EE/DEE trees at p=0.7, E_T=6 |
+//! | `fig2` | Figure 2 — static DEE tree at p=0.90, E_T=34 |
+//! | `fig5` | Figure 5 — speedup vs resources, 7 models × 5 benchmarks + HM |
+//! | `headline` | §5.3 headline numbers at E_T=100 |
+//! | `resolve_location` | §5.3 — where mispredicted branches resolve |
+//! | `predictor_accuracy` | §3.1/§5.1 characteristic accuracy; §4.3 PAp claim |
+//! | `cost_model` | §4.3 hardware cost shares |
+//! | `ablation_p` | DEE→SP / DEE→EE convergence; tree-shape sensitivity |
+//! | `ablation_shape` | h_DEE sweep vs the §3.1 heuristic's pick |
+//! | `ablation_predictor` | §5.1 predictor/DEE tradeoff |
+//! | `ablation_future` | §1.2/§5.3 future work: latencies, PE limits, PAp |
+//! | `ablation_memory` | §1.2 future work: a finite data cache |
+//! | `riseman_foster` | the 1972 baseline cited in §1.2 |
+//! | `levo_eval` | §4 Levo machine: IPC, DEE paths, loop capture |
+//! | `workload_stats` | workload character (lengths, branch stats) |
+//!
+//! Binaries print paper-vs-measured tables and write CSVs under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dee_ilpsim::{harmonic_mean, PreparedTrace};
+use dee_predict::{measure_accuracy, TwoBitCounter};
+use dee_vm::Trace;
+use dee_workloads::{all_workloads, Scale, Workload};
+
+/// A validated workload with its captured trace.
+pub struct BenchEntry {
+    /// The workload (program + inputs + expected output).
+    pub workload: Workload,
+    /// Its dynamic trace (validated against the reference output).
+    pub trace: Trace,
+}
+
+impl BenchEntry {
+    /// Prepares the trace for simulation (predictor replay + CFG
+    /// analysis).
+    #[must_use]
+    pub fn prepare(&self) -> PreparedTrace<'_> {
+        PreparedTrace::new(&self.workload.program, &self.trace)
+    }
+}
+
+/// The five-benchmark suite at a given scale, traced and validated.
+pub struct Suite {
+    /// Entries in the paper's benchmark order.
+    pub entries: Vec<BenchEntry>,
+    /// The scale the suite was built at.
+    pub scale: Scale,
+}
+
+impl Suite {
+    /// Builds, runs, and validates all five workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any workload fails validation — that is a build error,
+    /// not an experiment outcome.
+    #[must_use]
+    pub fn load(scale: Scale) -> Self {
+        let entries = all_workloads(scale)
+            .into_iter()
+            .map(|workload| {
+                let trace = workload
+                    .validate()
+                    .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
+                BenchEntry { workload, trace }
+            })
+            .collect();
+        Suite { entries, scale }
+    }
+
+    /// The characteristic prediction accuracy: harmonic mean of the 2-bit
+    /// counter's accuracy over the suite (the paper's §3.1 step 1; it
+    /// measured 90.53% on SPECint92).
+    #[must_use]
+    pub fn characteristic_accuracy(&self) -> f64 {
+        let accs: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|e| measure_accuracy(&mut TwoBitCounter::new(), &e.trace).accuracy())
+            .collect();
+        harmonic_mean(&accs)
+    }
+}
+
+/// Parses the scale argument shared by the experiment binaries
+/// (`tiny|small|medium|large`, default `small`).
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("medium") => Scale::Medium,
+        Some("large") => Scale::Large,
+        _ => Scale::Small,
+    }
+}
+
+/// A simple fixed-width text table builder for experiment output.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for c in 0..cols {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[c], width = widths[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `results/` (creating the directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with two decimals for table cells.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// The resource sweep used throughout Figure 5.
+pub const FIG5_RESOURCES: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_loads_and_validates_tiny() {
+        let suite = Suite::load(Scale::Tiny);
+        assert_eq!(suite.entries.len(), 5);
+        let p = suite.characteristic_accuracy();
+        assert!((0.5..1.0).contains(&p), "accuracy {p}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["longer".into(), "2.50".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.905), "90.5%");
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal SVG line-chart emitter for regenerating the paper's Figure 5
+//! panels (speedup vs branch-path resources, log-2 x axis) without any
+//! plotting dependency.
+
+use std::fmt::Write as _;
+
+/// One curve in a panel.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (the model name).
+    pub name: String,
+    /// `(resources, speedup)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One plot panel (one benchmark, or the harmonic mean).
+#[derive(Clone, Debug)]
+pub struct Panel {
+    /// Panel title (benchmark name).
+    pub title: String,
+    /// Curves, drawn in order.
+    pub series: Vec<Series>,
+    /// Oracle speedup shown in the caption, as in the paper.
+    pub oracle: Option<f64>,
+}
+
+const PANEL_W: f64 = 420.0;
+const PANEL_H: f64 = 300.0;
+const MARGIN_L: f64 = 52.0;
+const MARGIN_R: f64 = 14.0;
+const MARGIN_T: f64 = 34.0;
+const MARGIN_B: f64 = 40.0;
+const COLORS: [&str; 8] = [
+    "#888888", "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#000000", "#8c564b",
+];
+
+fn nice_ceiling(value: f64) -> f64 {
+    if value <= 0.0 {
+        return 1.0;
+    }
+    let magnitude = 10f64.powf(value.log10().floor());
+    for mult in [1.0, 2.0, 2.5, 5.0, 10.0] {
+        if magnitude * mult >= value {
+            return magnitude * mult;
+        }
+    }
+    magnitude * 10.0
+}
+
+/// Renders a grid of panels (2 columns) as a standalone SVG document.
+///
+/// The x axis is log-2 over `x_ticks` (the paper's 8..256 sweep); each
+/// panel gets its own y scale, like Figure 5.
+#[must_use]
+pub fn render_panels(panels: &[Panel], x_ticks: &[u32]) -> String {
+    assert!(!panels.is_empty() && !x_ticks.is_empty(), "nothing to plot");
+    let cols = 2usize;
+    let rows = panels.len().div_ceil(cols);
+    let width = PANEL_W * cols as f64;
+    let height = PANEL_H * rows as f64 + 30.0;
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    let x_min = f64::from(*x_ticks.first().expect("ticks")).log2();
+    let x_max = f64::from(*x_ticks.last().expect("ticks")).log2();
+
+    for (idx, panel) in panels.iter().enumerate() {
+        let ox = PANEL_W * (idx % cols) as f64;
+        let oy = PANEL_H * (idx / cols) as f64;
+        let plot_w = PANEL_W - MARGIN_L - MARGIN_R;
+        let plot_h = PANEL_H - MARGIN_T - MARGIN_B;
+        let y_peak = panel
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(1.0f64, f64::max);
+        let y_max = nice_ceiling(y_peak);
+
+        let map_x = |x: f64| ox + MARGIN_L + (x.log2() - x_min) / (x_max - x_min) * plot_w;
+        let map_y = |y: f64| oy + MARGIN_T + (1.0 - y / y_max) * plot_h;
+
+        // Frame and title.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##,
+            ox + MARGIN_L,
+            oy + MARGIN_T
+        );
+        let caption = match panel.oracle {
+            Some(oracle) => format!("{}  (oracle: {:.2}x)", panel.title, oracle),
+            None => panel.title.clone(),
+        };
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-weight="bold">{}</text>"#,
+            ox + MARGIN_L,
+            oy + MARGIN_T - 10.0,
+            caption
+        );
+
+        // X ticks.
+        for &tick in x_ticks {
+            let x = map_x(f64::from(tick));
+            let y0 = oy + MARGIN_T + plot_h;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{y0:.1}" x2="{x:.1}" y2="{:.1}" stroke="#333"/>"##,
+                y0 + 4.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{tick}</text>"#,
+                y0 + 16.0
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">resources (branch paths)</text>"#,
+            ox + MARGIN_L + plot_w / 2.0,
+            oy + PANEL_H - 8.0
+        );
+
+        // Y ticks: 0, 1/4, 1/2, 3/4, max.
+        for k in 0..=4 {
+            let value = y_max * f64::from(k) / 4.0;
+            let y = map_y(value);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#333"/>"##,
+                ox + MARGIN_L - 4.0,
+                ox + MARGIN_L
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{value:.1}</text>"#,
+                ox + MARGIN_L - 7.0,
+                y + 3.5
+            );
+        }
+
+        // Curves.
+        for (series_idx, series) in panel.series.iter().enumerate() {
+            let color = COLORS[series_idx % COLORS.len()];
+            let points: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", map_x(x), map_y(y.min(y_max))))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.7"/>"#,
+                points.join(" ")
+            );
+            // Legend (top-left inside the frame).
+            let lx = ox + MARGIN_L + 8.0;
+            let ly = oy + MARGIN_T + 14.0 + 13.0 * series_idx as f64;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="2"/>"#,
+                ly - 3.5,
+                lx + 16.0,
+                ly - 3.5
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{ly:.1}">{}</text>"#,
+                lx + 20.0,
+                series.name
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Writes an SVG document under `results/`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_svg(name: &str, svg: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, svg)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_panel() -> Panel {
+        Panel {
+            title: "sample".into(),
+            series: vec![
+                Series { name: "SP".into(), points: vec![(8.0, 2.0), (256.0, 2.1)] },
+                Series { name: "DEE-CD-MF".into(), points: vec![(8.0, 3.0), (256.0, 9.0)] },
+            ],
+            oracle: Some(42.0),
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_panels(&[sample_panel()], &[8, 16, 256]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("oracle: 42.00x"));
+        assert!(svg.contains("DEE-CD-MF"));
+    }
+
+    #[test]
+    fn panels_tile_in_two_columns() {
+        let panels = vec![sample_panel(); 6];
+        let svg = render_panels(&panels, &[8, 256]);
+        assert_eq!(svg.matches("font-weight=\"bold\"").count(), 6);
+    }
+
+    #[test]
+    fn nice_ceiling_rounds_up() {
+        assert_eq!(nice_ceiling(3.4), 5.0);
+        assert_eq!(nice_ceiling(9.7), 10.0);
+        assert_eq!(nice_ceiling(17.0), 20.0);
+        assert_eq!(nice_ceiling(0.0), 1.0);
+        assert_eq!(nice_ceiling(100.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_rejected() {
+        let _ = render_panels(&[], &[8]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Optimal resource assignment (Theorem 1, Corollary 1).
+//!
+//! The paper models overall expected performance as
+//! `P_tot = Σ_i cp_i · e_i`, where `cp_i` is branch path *i*'s cumulative
+//! probability of being executed and `e_i` the execution resources assigned
+//! to it. Theorem 1: with no saturation, putting **all** resources on the
+//! path with the largest `cp` maximizes `P_tot`. Corollary 1: if a path
+//! saturates (can productively use only so many resources), give it its
+//! saturation amount and assign the remainder to the next-most-likely path,
+//! recursively. The resulting **rule of greatest marginal benefit** is the
+//! constructive definition of Disjoint Eager Execution.
+
+/// A branch path competing for execution resources.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PathCandidate {
+    /// Cumulative probability of the path being executed (product of local
+    /// probabilities up the tree). Must be in `[0, 1]`.
+    pub cp: f64,
+    /// Maximum resources the path can productively use, or `None` for an
+    /// unsaturable path (Theorem 1's premise).
+    pub saturation: Option<u32>,
+}
+
+impl PathCandidate {
+    /// An unsaturable path with cumulative probability `cp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not a probability.
+    #[must_use]
+    pub fn unsaturated(cp: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cp), "cp must be a probability");
+        PathCandidate { cp, saturation: None }
+    }
+
+    /// A path that saturates at `max` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not a probability.
+    #[must_use]
+    pub fn saturating(cp: f64, max: u32) -> Self {
+        assert!((0.0..=1.0).contains(&cp), "cp must be a probability");
+        PathCandidate { cp, saturation: Some(max) }
+    }
+}
+
+/// Assigns `total` resources to `paths` by the rule of greatest marginal
+/// benefit: all remaining resources go to the most likely idle path until it
+/// saturates; repeat.
+///
+/// Returns the per-path assignment (same order as `paths`). By Theorem 1 and
+/// Corollary 1 this maximizes [`expected_performance`]. Ties on `cp` are
+/// broken by path order, which does not affect optimality.
+///
+/// # Example
+///
+/// ```
+/// use dee_core::assign::{assign_resources, PathCandidate};
+///
+/// let paths = [
+///     PathCandidate::saturating(0.7, 4),
+///     PathCandidate::saturating(0.3, 4),
+///     PathCandidate::unsaturated(0.21),
+/// ];
+/// // 4 to the 0.7 path (saturates), 4 to the 0.3 path, remainder to 0.21.
+/// assert_eq!(assign_resources(&paths, 10), vec![4, 4, 2]);
+/// ```
+#[must_use]
+pub fn assign_resources(paths: &[PathCandidate], total: u32) -> Vec<u32> {
+    let mut alloc = vec![0u32; paths.len()];
+    let mut order: Vec<usize> = (0..paths.len()).collect();
+    // Stable sort: descending cp, ties by original order.
+    order.sort_by(|&a, &b| {
+        paths[b]
+            .cp
+            .partial_cmp(&paths[a].cp)
+            .expect("cp values are comparable")
+    });
+    let mut remaining = total;
+    for idx in order {
+        if remaining == 0 {
+            break;
+        }
+        let take = match paths[idx].saturation {
+            Some(max) => remaining.min(max),
+            None => remaining,
+        };
+        alloc[idx] = take;
+        remaining -= take;
+    }
+    alloc
+}
+
+/// The paper's expected-performance objective `P_tot = Σ cp_i · e_i`, with
+/// resources beyond a path's saturation contributing nothing (Corollary 1:
+/// "effectively `cp_j → 0` for resources placed beyond saturation").
+///
+/// # Panics
+///
+/// Panics if `alloc.len() != paths.len()`.
+#[must_use]
+pub fn expected_performance(paths: &[PathCandidate], alloc: &[u32]) -> f64 {
+    assert_eq!(paths.len(), alloc.len(), "allocation length mismatch");
+    paths
+        .iter()
+        .zip(alloc)
+        .map(|(path, &e)| {
+            let useful = match path.saturation {
+                Some(max) => e.min(max),
+                None => e,
+            };
+            path.cp * f64::from(useful)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively enumerates all allocations of `total` resources over
+    /// `paths` and returns the best `P_tot`.
+    fn brute_force_best(paths: &[PathCandidate], total: u32) -> f64 {
+        fn recurse(paths: &[PathCandidate], total: u32, idx: usize, alloc: &mut Vec<u32>, best: &mut f64) {
+            if idx == paths.len() {
+                let mut padded = alloc.clone();
+                padded.resize(paths.len(), 0);
+                let p = expected_performance(paths, &padded);
+                if p > *best {
+                    *best = p;
+                }
+                return;
+            }
+            for e in 0..=total {
+                alloc.push(e);
+                recurse(paths, total - e, idx + 1, alloc, best);
+                alloc.pop();
+            }
+        }
+        let mut best = f64::MIN;
+        recurse(paths, total, 0, &mut Vec::new(), &mut best);
+        best
+    }
+
+    #[test]
+    fn theorem_1_all_resources_to_max_cp() {
+        let paths = [
+            PathCandidate::unsaturated(0.3),
+            PathCandidate::unsaturated(0.7),
+            PathCandidate::unsaturated(0.21),
+        ];
+        assert_eq!(assign_resources(&paths, 6), vec![0, 6, 0]);
+    }
+
+    #[test]
+    fn corollary_1_spillover_on_saturation() {
+        let paths = [
+            PathCandidate::saturating(0.7, 2),
+            PathCandidate::unsaturated(0.3),
+        ];
+        assert_eq!(assign_resources(&paths, 6), vec![2, 4]);
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_small_cases() {
+        let cases: Vec<(Vec<PathCandidate>, u32)> = vec![
+            (
+                vec![
+                    PathCandidate::saturating(0.7, 3),
+                    PathCandidate::saturating(0.49, 2),
+                    PathCandidate::saturating(0.3, 3),
+                    PathCandidate::unsaturated(0.21),
+                ],
+                6,
+            ),
+            (
+                vec![
+                    PathCandidate::saturating(0.5, 1),
+                    PathCandidate::saturating(0.5, 1),
+                    PathCandidate::saturating(0.25, 4),
+                ],
+                5,
+            ),
+            (
+                vec![
+                    PathCandidate::unsaturated(0.9),
+                    PathCandidate::saturating(0.81, 2),
+                ],
+                4,
+            ),
+        ];
+        for (paths, total) in cases {
+            let greedy = assign_resources(&paths, total);
+            let greedy_perf = expected_performance(&paths, &greedy);
+            let best = brute_force_best(&paths, total);
+            assert!(
+                (greedy_perf - best).abs() < 1e-12,
+                "greedy {greedy_perf} != optimal {best} for {paths:?} total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_1_dee_order() {
+        // Figure 1, DEE: p = 0.7, six single-resource path slots. Candidate
+        // paths with their cumulative probabilities; each path "saturates"
+        // at one resource slot (one path = one slot in the figure).
+        let cps = [0.7, 0.49, 0.34, 0.3, 0.24, 0.21, 0.17, 0.15, 0.12];
+        let paths: Vec<PathCandidate> =
+            cps.iter().map(|&cp| PathCandidate::saturating(cp, 1)).collect();
+        let alloc = assign_resources(&paths, 6);
+        // The six most likely paths get the resources: the 0.3 path (the
+        // not-predicted path at the root) is taken *before* the deeper
+        // main-line paths at 0.24 — the disjoint choice of Figure 1.
+        assert_eq!(alloc, vec![1, 1, 1, 1, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_total_assigns_nothing() {
+        let paths = [PathCandidate::unsaturated(0.5)];
+        assert_eq!(assign_resources(&paths, 0), vec![0]);
+    }
+
+    #[test]
+    fn empty_paths_ok() {
+        assert!(assign_resources(&[], 10).is_empty());
+        assert_eq!(expected_performance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn insufficient_saturation_leaves_remainder_unused() {
+        let paths = [
+            PathCandidate::saturating(0.9, 1),
+            PathCandidate::saturating(0.5, 1),
+        ];
+        assert_eq!(assign_resources(&paths, 10), vec![1, 1]);
+    }
+
+    #[test]
+    fn performance_clamps_over_saturation() {
+        let paths = [PathCandidate::saturating(0.5, 2)];
+        assert_eq!(expected_performance(&paths, &[8]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cp must be a probability")]
+    fn rejects_invalid_probability() {
+        let _ = PathCandidate::unsaturated(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation length mismatch")]
+    fn rejects_mismatched_alloc() {
+        let paths = [PathCandidate::unsaturated(0.5)];
+        let _ = expected_performance(&paths, &[1, 2]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Speculation trees: which branch paths the SP, EE and DEE strategies
+//! execute for a given prediction accuracy `p` and resource budget `E_T`
+//! (Figure 1 of the paper).
+//!
+//! Every node of the (conceptually infinite) binary tree below a pending
+//! branch is a *branch path*. The left/predicted child of a node has local
+//! probability `p`, the right/not-predicted child `1 - p`; a path's
+//! cumulative probability `cp` is the product of local probabilities up to
+//! the root. A strategy selects `E_T` paths:
+//!
+//! * **Single Path** follows predictions only: a chain of depth `E_T`;
+//! * **Eager Execution** takes both children breadth-first: a complete
+//!   binary tree of depth ~`log2(E_T)`;
+//! * **Disjoint Eager Execution** repeatedly takes the highest-`cp`
+//!   unchosen path whose parent is chosen — the rule of greatest marginal
+//!   benefit from [`assign`](crate::assign).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The speculative execution strategy (Figure 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Strategy {
+    /// Branch prediction only: follow the single most likely path.
+    SinglePath,
+    /// Execute both paths of every branch, breadth-first.
+    Eager,
+    /// Execute the most likely paths overall (the paper's contribution).
+    Disjoint,
+}
+
+/// One branch path selected by a strategy.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChosenPath {
+    /// Index of the parent path within the tree, or `None` for the two
+    /// root-level paths.
+    pub parent: Option<u32>,
+    /// Whether this path follows the *predicted* direction of its branch.
+    pub predicted: bool,
+    /// Depth in branch paths (root-level paths have depth 1).
+    pub depth: u32,
+    /// Cumulative probability of execution.
+    pub cp: f64,
+    /// Resource-assignment order (0 = first path assigned), as circled in
+    /// Figure 1.
+    pub order: u32,
+}
+
+/// A finite speculation tree: the set of branch paths a strategy executes.
+///
+/// # Example
+///
+/// Figure 1's DEE tree (p = 0.7, 6 branch-path resources): after the three
+/// main-line paths, the *not-predicted* root path (cp 0.3) is chosen before
+/// the fourth main-line path (cp 0.24):
+///
+/// ```
+/// use dee_core::{SpecTree, Strategy};
+///
+/// let tree = SpecTree::build(Strategy::Disjoint, 0.7, 6);
+/// let fourth = tree.paths().iter().find(|p| p.order == 3).unwrap();
+/// assert!(!fourth.predicted);
+/// assert!((fourth.cp - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpecTree {
+    strategy: Strategy,
+    p: f64,
+    paths: Vec<ChosenPath>,
+}
+
+/// Heap candidate ordered by (cp, shallower, predicted-first).
+struct Candidate {
+    cp: f64,
+    depth: u32,
+    predicted: bool,
+    parent: Option<u32>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cp
+            .partial_cmp(&other.cp)
+            .expect("cp is finite")
+            // Prefer shallower paths on ties (yields the EE shape at p=0.5).
+            .then_with(|| other.depth.cmp(&self.depth))
+            // Then prefer the predicted direction.
+            .then_with(|| self.predicted.cmp(&other.predicted))
+    }
+}
+
+impl SpecTree {
+    /// Builds the tree a strategy executes with accuracy `p` and `et`
+    /// branch-path resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.5 <= p < 1.0` (a predictor below 0.5 would simply
+    /// be inverted) and `et >= 1`.
+    #[must_use]
+    pub fn build(strategy: Strategy, p: f64, et: u32) -> Self {
+        assert!((0.5..1.0).contains(&p), "p must be in [0.5, 1)");
+        assert!(et >= 1, "at least one branch path resource required");
+        let paths = match strategy {
+            Strategy::SinglePath => Self::build_single_path(p, et),
+            Strategy::Eager | Strategy::Disjoint => {
+                // Eager execution is greedy selection with all-equal local
+                // probabilities; implemented directly for clarity.
+                if strategy == Strategy::Eager {
+                    Self::build_eager(p, et)
+                } else {
+                    Self::build_greedy(p, et)
+                }
+            }
+        };
+        SpecTree { strategy, p, paths }
+    }
+
+    fn build_single_path(p: f64, et: u32) -> Vec<ChosenPath> {
+        let mut paths = Vec::with_capacity(et as usize);
+        let mut cp = 1.0;
+        for depth in 1..=et {
+            cp *= p;
+            paths.push(ChosenPath {
+                parent: if depth == 1 { None } else { Some(depth - 2) },
+                predicted: true,
+                depth,
+                cp,
+                order: depth - 1,
+            });
+        }
+        paths
+    }
+
+    fn build_eager(p: f64, et: u32) -> Vec<ChosenPath> {
+        // Breadth-first levels; a partial last level is filled in
+        // descending-cp order (predicted children first).
+        let mut paths: Vec<ChosenPath> = Vec::with_capacity(et as usize);
+        let mut level: Vec<u32> = Vec::new(); // indices of previous level
+        let mut depth = 0;
+        while (paths.len() as u32) < et {
+            depth += 1;
+            let parents: Vec<Option<u32>> = if depth == 1 {
+                vec![None]
+            } else {
+                level.iter().map(|&i| Some(i)).collect()
+            };
+            // Candidates of this level, predicted children first so that a
+            // partial level takes the most likely paths.
+            let mut cands: Vec<Candidate> = Vec::new();
+            for &parent in &parents {
+                let parent_cp = parent.map_or(1.0, |i| paths[i as usize].cp);
+                cands.push(Candidate { cp: parent_cp * p, depth, predicted: true, parent });
+                cands.push(Candidate { cp: parent_cp * (1.0 - p), depth, predicted: false, parent });
+            }
+            cands.sort_by(|a, b| b.cmp(a));
+            level.clear();
+            for cand in cands {
+                if paths.len() as u32 >= et {
+                    break;
+                }
+                let order = paths.len() as u32;
+                level.push(order);
+                paths.push(ChosenPath {
+                    parent: cand.parent,
+                    predicted: cand.predicted,
+                    depth,
+                    cp: cand.cp,
+                    order,
+                });
+            }
+        }
+        paths
+    }
+
+    fn build_greedy(p: f64, et: u32) -> Vec<ChosenPath> {
+        let mut paths: Vec<ChosenPath> = Vec::with_capacity(et as usize);
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate { cp: p, depth: 1, predicted: true, parent: None });
+        heap.push(Candidate { cp: 1.0 - p, depth: 1, predicted: false, parent: None });
+        while (paths.len() as u32) < et {
+            let cand = heap.pop().expect("frontier never empties");
+            let order = paths.len() as u32;
+            paths.push(ChosenPath {
+                parent: cand.parent,
+                predicted: cand.predicted,
+                depth: cand.depth,
+                cp: cand.cp,
+                order,
+            });
+            heap.push(Candidate {
+                cp: cand.cp * p,
+                depth: cand.depth + 1,
+                predicted: true,
+                parent: Some(order),
+            });
+            heap.push(Candidate {
+                cp: cand.cp * (1.0 - p),
+                depth: cand.depth + 1,
+                predicted: false,
+                parent: Some(order),
+            });
+        }
+        paths
+    }
+
+    /// The strategy that produced this tree.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The per-branch prediction accuracy used.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The chosen paths, in assignment order.
+    #[must_use]
+    pub fn paths(&self) -> &[ChosenPath] {
+        &self.paths
+    }
+
+    /// The depth of speculation `l`: the maximum height of the tree in
+    /// branch paths (`l_SP = E_T`, `l_EE ≈ log2(E_T)`).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.paths.iter().map(|p| p.depth).max().unwrap_or(0)
+    }
+
+    /// Length of the main-line (all-predicted) chain.
+    #[must_use]
+    pub fn mainline_len(&self) -> u32 {
+        // Follow predicted children from the root.
+        let mut len = 0;
+        let mut current: Option<u32> = None;
+        loop {
+            let next = self
+                .paths
+                .iter()
+                .find(|path| path.parent == current && path.predicted);
+            match next {
+                Some(path) => {
+                    len += 1;
+                    current = Some(path.order);
+                }
+                None => return len,
+            }
+        }
+    }
+
+    /// Sum of chosen-path cumulative probabilities — the expected
+    /// performance `P_tot` with one resource slot per path.
+    #[must_use]
+    pub fn total_cp(&self) -> f64 {
+        self.paths.iter().map(|p| p.cp).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1_P: f64 = 0.7;
+    const FIG1_ET: u32 = 6;
+
+    fn sorted_cps(tree: &SpecTree) -> Vec<f64> {
+        let mut cps: Vec<f64> = tree.paths().iter().map(|p| p.cp).collect();
+        cps.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        cps
+    }
+
+    fn assert_close(actual: &[f64], expected: &[f64]) {
+        assert_eq!(actual.len(), expected.len());
+        for (a, e) in actual.iter().zip(expected) {
+            assert!((a - e).abs() < 1e-9, "{actual:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn figure_1_single_path() {
+        let tree = SpecTree::build(Strategy::SinglePath, FIG1_P, FIG1_ET);
+        assert_eq!(tree.depth(), 6); // l_SP = 6
+        assert_close(
+            &sorted_cps(&tree),
+            &[0.7, 0.49, 0.343, 0.2401, 0.16807, 0.117649],
+        );
+        assert!(tree.paths().iter().all(|p| p.predicted));
+    }
+
+    #[test]
+    fn figure_1_eager() {
+        let tree = SpecTree::build(Strategy::Eager, FIG1_P, FIG1_ET);
+        assert_eq!(tree.depth(), 2); // l_EE = 2
+        assert_close(&sorted_cps(&tree), &[0.7, 0.49, 0.3, 0.21, 0.21, 0.09]);
+    }
+
+    #[test]
+    fn figure_1_disjoint() {
+        let tree = SpecTree::build(Strategy::Disjoint, FIG1_P, FIG1_ET);
+        assert_eq!(tree.depth(), 4); // l_DEE = 4
+        assert_close(
+            &sorted_cps(&tree),
+            &[0.7, 0.49, 0.343, 0.3, 0.2401, 0.21],
+        );
+        // Paths 1..3 are main-line; path 4 (order 3) is the not-predicted
+        // root path with cp 0.3 — chosen before main-line cp 0.2401.
+        let orders: Vec<(u32, bool)> = tree
+            .paths()
+            .iter()
+            .map(|p| (p.order, p.predicted))
+            .collect();
+        assert_eq!(
+            orders,
+            vec![(0, true), (1, true), (2, true), (3, false), (4, true), (5, true)]
+        );
+        assert_eq!(tree.mainline_len(), 4);
+    }
+
+    #[test]
+    fn dee_beats_sp_and_ee_on_expected_performance() {
+        for &(p, et) in &[(0.7, 6), (0.9, 34), (0.8, 20), (0.6, 12)] {
+            let dee = SpecTree::build(Strategy::Disjoint, p, et).total_cp();
+            let sp = SpecTree::build(Strategy::SinglePath, p, et).total_cp();
+            let ee = SpecTree::build(Strategy::Eager, p, et).total_cp();
+            assert!(dee >= sp - 1e-12, "p={p} et={et}: dee {dee} < sp {sp}");
+            assert!(dee >= ee - 1e-12, "p={p} et={et}: dee {dee} < ee {ee}");
+        }
+    }
+
+    #[test]
+    fn dee_equals_sp_at_high_accuracy() {
+        // p^et > 1-p for p=0.95, et=6 (0.735 > 0.05): greedy never leaves
+        // the main line.
+        let dee = SpecTree::build(Strategy::Disjoint, 0.95, 6);
+        let sp = SpecTree::build(Strategy::SinglePath, 0.95, 6);
+        assert_close(&sorted_cps(&dee), &sorted_cps(&sp));
+        assert_eq!(dee.depth(), 6);
+    }
+
+    #[test]
+    fn dee_equals_ee_at_coin_flip_accuracy() {
+        // At p = 0.5 every same-depth path has equal cp; greedy (with the
+        // shallow-first tie break) fills levels breadth-first: the EE shape.
+        let dee = SpecTree::build(Strategy::Disjoint, 0.5, 6);
+        let ee = SpecTree::build(Strategy::Eager, 0.5, 6);
+        assert_close(&sorted_cps(&dee), &sorted_cps(&ee));
+        assert_eq!(dee.depth(), 2);
+    }
+
+    #[test]
+    fn parents_precede_children() {
+        for strategy in [Strategy::SinglePath, Strategy::Eager, Strategy::Disjoint] {
+            let tree = SpecTree::build(strategy, 0.75, 17);
+            for path in tree.paths() {
+                if let Some(parent) = path.parent {
+                    assert!(parent < path.order, "{strategy:?}: child before parent");
+                    let pp = &tree.paths()[parent as usize];
+                    assert_eq!(pp.depth + 1, path.depth);
+                    let local = if path.predicted { 0.75 } else { 0.25 };
+                    assert!((pp.cp * local - path.cp).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requested_resource_count_is_honored() {
+        for strategy in [Strategy::SinglePath, Strategy::Eager, Strategy::Disjoint] {
+            for et in [1, 2, 7, 64] {
+                let tree = SpecTree::build(strategy, 0.85, et);
+                assert_eq!(tree.paths().len() as u32, et, "{strategy:?} et={et}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0.5, 1)")]
+    fn rejects_bad_probability() {
+        let _ = SpecTree::build(Strategy::Disjoint, 1.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch path resource")]
+    fn rejects_zero_resources() {
+        let _ = SpecTree::build(Strategy::Disjoint, 0.7, 0);
+    }
+}

@@ -1,0 +1,799 @@
+//! The single-forward-pass scheduling engine.
+//!
+//! Every constraint on a dynamic instruction references only dynamically
+//! earlier instructions (producers, earlier branches, earlier path
+//! retirements), so each model's execution times are computable in one
+//! in-order pass over the trace — the same structure as the original Lam &
+//! Wilson simulator. See the crate docs for the model semantics.
+
+use std::collections::BTreeMap;
+
+use dee_core::{ee_depth, StaticTree, TreeParams};
+use dee_vm::TraceRecord;
+
+use crate::model::{LatencyModel, Model, SimConfig};
+use crate::prepare::{InstrClass, PreparedTrace};
+use crate::stats::SimOutcome;
+
+/// Maximum tree level tracked in the resolve-location histogram.
+const LEVEL_HISTOGRAM_CAP: usize = 64;
+
+/// One pending misprediction penalty.
+struct Barrier {
+    /// Branch path of the mispredicted branch.
+    path: u32,
+    /// Earliest cycle affected instructions may execute (resolve + 1).
+    time: u32,
+    /// First dynamic position no longer affected (`u32::MAX` = all later).
+    end_pos: u32,
+    /// DEE coverage: instructions within this many paths after the branch
+    /// are exempt (they executed down the DEE path).
+    cov_paths: u32,
+}
+
+/// Runs one model over a prepared trace.
+///
+/// # Example
+///
+/// ```
+/// use dee_ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+/// use dee_workloads::{compress, Scale};
+///
+/// let w = compress::build(Scale::Tiny);
+/// let trace = w.capture_trace().expect("runs");
+/// let prepared = PreparedTrace::new(&w.program, &trace);
+/// let outcome = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, 64));
+/// assert!(outcome.speedup() >= 1.0);
+/// ```
+#[must_use]
+pub fn simulate(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
+    if config.model == Model::Oracle {
+        simulate_oracle(prepared, config)
+    } else {
+        simulate_constrained(prepared, config)
+    }
+}
+
+fn latency_of(latency: &LatencyModel, class: InstrClass) -> u32 {
+    match class {
+        InstrClass::Alu => latency.alu,
+        InstrClass::MulDiv => latency.mul_div,
+        InstrClass::Mem => latency.mem,
+        InstrClass::Branch => latency.branch,
+    }
+}
+
+/// Latency of dynamic record `i`: the attached memory-system latency when
+/// present (for memory records), else the configured class latency.
+fn record_latency(prepared: &PreparedTrace, latency: &LatencyModel, i: usize) -> u32 {
+    let class = prepared.class_of[prepared.trace.records()[i].pc as usize];
+    if class == InstrClass::Mem {
+        if let Some(mem) = &prepared.mem_latency {
+            return mem[i].max(1);
+        }
+    }
+    latency_of(latency, class)
+}
+
+/// Ideal sequential machine time: one instruction at a time, each taking
+/// its full latency.
+fn sequential_cycles(prepared: &PreparedTrace, latency: &LatencyModel) -> u64 {
+    (0..prepared.trace.len())
+        .map(|i| u64::from(record_latency(prepared, latency, i)))
+        .sum()
+}
+
+/// Greedy in-order issue under an explicit PE limit: the earliest cycle at
+/// or after `earliest` with a free issue slot.
+struct PeSchedule {
+    cap: u32,
+    issued: BTreeMap<u32, u32>,
+    floor: u32,
+}
+
+impl PeSchedule {
+    fn new(cap: u32) -> Self {
+        PeSchedule { cap, issued: BTreeMap::new(), floor: 0 }
+    }
+
+    fn issue_at(&mut self, earliest: u32) -> u32 {
+        let mut t = earliest.max(self.floor);
+        loop {
+            let count = self.issued.entry(t).or_insert(0);
+            if *count < self.cap {
+                *count += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Drops bookkeeping for cycles no future instruction can use.
+    fn prune_below(&mut self, floor: u32) {
+        if floor > self.floor {
+            self.floor = floor;
+            self.issued = self.issued.split_off(&floor);
+        }
+    }
+}
+
+/// The Riseman–Foster experiment (cited in §1.2 as "the classic study"):
+/// unlimited resources, minimal data dependences, but only `bypassed`
+/// conditional branches may be outstanding — an instruction cannot issue
+/// until all but the last `bypassed` preceding branches have resolved.
+///
+/// `bypassed = 0` serializes on every branch; as `bypassed → ∞` this
+/// converges to the oracle (Riseman & Foster's famous 25.65× harmonic-mean
+/// result for infinitely many bypassed jumps).
+#[must_use]
+pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
+    let records = prepared.trace.records();
+    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
+    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    // Resolve times of all conditional branches seen so far.
+    let mut branch_resolves: Vec<u32> = Vec::new();
+    let mut total = 0u32;
+    for rec in records {
+        let mut ready = 0u32;
+        for src in rec.srcs.into_iter().flatten() {
+            ready = ready.max(reg_time[src.index()]);
+        }
+        if let Some(addr) = rec.mem_read {
+            ready = ready.max(mem_time[addr as usize]);
+        }
+        // All but the last `bypassed` earlier branches must have resolved.
+        let k = branch_resolves.len();
+        if k > bypassed as usize {
+            ready = ready.max(branch_resolves[k - 1 - bypassed as usize]);
+        }
+        let exec = ready + 1;
+        if let Some(dst) = rec.dst {
+            reg_time[dst.index()] = exec;
+        }
+        if let Some(addr) = rec.mem_write {
+            mem_time[addr as usize] = exec;
+        }
+        if rec.is_cond_branch() {
+            branch_resolves.push(exec);
+        }
+        total = total.max(exec);
+    }
+    SimOutcome::new(
+        Model::Oracle,
+        bypassed,
+        records.len() as u64,
+        records.len() as u64,
+        u64::from(total),
+        prepared.trace.num_cond_branches() as u64,
+        prepared.num_mispredicts(),
+        vec![0; LEVEL_HISTOGRAM_CAP],
+    )
+}
+
+fn max_mem_addr(records: &[TraceRecord]) -> usize {
+    records
+        .iter()
+        .flat_map(|r| [r.mem_read, r.mem_write])
+        .flatten()
+        .max()
+        .map_or(0, |a| a as usize + 1)
+}
+
+/// Data-flow limit: unit latency, register renaming, memory flow deps,
+/// branches impose nothing (EE with unlimited resources).
+fn simulate_oracle(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
+    let records = prepared.trace.records();
+    // Availability times: the last cycle the producer occupies; consumers
+    // issue the cycle after.
+    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
+    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    let mut total = 0u32;
+    for (i, rec) in records.iter().enumerate() {
+        let lat = record_latency(prepared, &config.latency, i);
+        let mut ready = 0u32;
+        for src in rec.srcs.into_iter().flatten() {
+            ready = ready.max(reg_time[src.index()]);
+        }
+        if let Some(addr) = rec.mem_read {
+            ready = ready.max(mem_time[addr as usize]);
+        }
+        let exec = ready + 1;
+        let done = exec + lat - 1;
+        if let Some(dst) = rec.dst {
+            reg_time[dst.index()] = done;
+        }
+        if let Some(addr) = rec.mem_write {
+            mem_time[addr as usize] = done;
+        }
+        total = total.max(done);
+    }
+    SimOutcome::new(
+        Model::Oracle,
+        0,
+        records.len() as u64,
+        sequential_cycles(prepared, &config.latency),
+        u64::from(total),
+        prepared.trace.num_cond_branches() as u64,
+        prepared.num_mispredicts(),
+        vec![0; LEVEL_HISTOGRAM_CAP],
+    )
+}
+
+fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
+    let records = prepared.trace.records();
+    let model = config.model;
+
+    // Window depth in real branch paths, and the DEE coverage shape
+    // (l, h): from the §3.1 heuristic, or an explicit ablation override.
+    let dee_shape: Option<(u32, u32)> = model.is_dee().then(|| match config.dee_shape {
+        Some(shape) => shape,
+        None => {
+            let tree =
+                StaticTree::build(TreeParams { p: config.p.clamp(0.5, 0.9999), et: config.et });
+            (tree.mainline_len(), tree.h_dee())
+        }
+    });
+    let window: u32 = match model {
+        Model::Ee => ee_depth(config.et).max(1),
+        Model::Dee | Model::DeeCd | Model::DeeCdMf => dee_shape.expect("built above").0,
+        _ => config.et,
+    };
+    let serialized = !model.is_mf();
+    let penalties = model != Model::Ee; // EE covers both sides of every branch
+    let mut pe = config.max_pe.map(PeSchedule::new);
+
+    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
+    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    let mut retire: Vec<u32> = Vec::with_capacity(prepared.num_paths as usize);
+    let mut barriers: Vec<Barrier> = Vec::new();
+    let mut global_floor = 0u32;
+    let mut prev_branch_exec = 0u32;
+    let mut path_max_exec = 0u32;
+    let mut total = 0u32;
+    let mut histogram = vec![0u64; LEVEL_HISTOGRAM_CAP];
+    // Resolve times of the branches still potentially unresolved: only
+    // branches within the window can be pending (anything older retired
+    // before the current path entered, hence resolved earlier).
+    let mut recent_branch_exec: std::collections::VecDeque<u32> =
+        std::collections::VecDeque::with_capacity(window as usize + 1);
+
+    for (i, rec) in records.iter().enumerate() {
+        let path = prepared.path_of[i];
+
+        // Window entry: the tree covers `window` consecutive real paths.
+        let entry = if path < window {
+            1
+        } else {
+            retire[(path - window) as usize] + 1
+        };
+
+        // Minimal data dependences.
+        let mut ready = 0u32;
+        for src in rec.srcs.into_iter().flatten() {
+            ready = ready.max(reg_time[src.index()]);
+        }
+        if let Some(addr) = rec.mem_read {
+            ready = ready.max(mem_time[addr as usize]);
+        }
+        let lat = record_latency(prepared, &config.latency, i);
+        let mut exec = (ready + 1).max(entry).max(global_floor);
+
+        // Active misprediction barriers.
+        if !barriers.is_empty() {
+            let mut k = 0;
+            while k < barriers.len() {
+                let b = &barriers[k];
+                if (i as u32) >= b.end_pos {
+                    barriers.swap_remove(k);
+                    continue;
+                }
+                if b.end_pos == u32::MAX && path > b.path + b.cov_paths {
+                    // Restrictive barrier past its coverage window applies
+                    // to everything from here on: fold into the floor.
+                    global_floor = global_floor.max(b.time);
+                    exec = exec.max(b.time);
+                    barriers.swap_remove(k);
+                    continue;
+                }
+                if path > b.path + b.cov_paths {
+                    exec = exec.max(b.time);
+                }
+                k += 1;
+            }
+        }
+
+        let is_branch = rec.is_cond_branch();
+        if is_branch && serialized {
+            exec = exec.max(prev_branch_exec + 1);
+        }
+
+        // Explicit PE limit: greedy in-order issue into the first free
+        // slot at or after the earliest feasible cycle.
+        if let Some(pe) = pe.as_mut() {
+            exec = pe.issue_at(exec);
+            if i % 4096 == 0 {
+                pe.prune_below(entry);
+            }
+        }
+
+        // The instruction occupies its unit through `done`; consumers and
+        // retirement see the completion time.
+        let done = exec + lat - 1;
+        if let Some(dst) = rec.dst {
+            reg_time[dst.index()] = done;
+        }
+        if let Some(addr) = rec.mem_write {
+            mem_time[addr as usize] = done;
+        }
+        path_max_exec = path_max_exec.max(done);
+        total = total.max(done);
+
+        if is_branch {
+            let resolve = done;
+            prev_branch_exec = resolve;
+            // This path retires once fully executed, in order.
+            let retire_time = retire.last().copied().unwrap_or(0).max(path_max_exec);
+            retire.push(retire_time);
+            path_max_exec = 0;
+            recent_branch_exec.push_back(resolve);
+            if recent_branch_exec.len() > window as usize {
+                recent_branch_exec.pop_front();
+            }
+
+            if penalties && prepared.mispredict[i] {
+                // Tree level at resolution: one plus the number of older
+                // branches still unresolved when this one resolves — "as
+                // branches resolve at the top of the tree, the tree moves
+                // down" (§3.1); the DEE paths hang off the first h pending
+                // branches.
+                let older_unresolved =
+                    recent_branch_exec.iter().filter(|&&e| e > resolve).count() as u32;
+                let level = older_unresolved + 1;
+                let idx = (level as usize - 1).min(LEVEL_HISTOGRAM_CAP - 1);
+                histogram[idx] += 1;
+
+                let cov = dee_shape.map_or(0, |(_, h)| {
+                    if level == 0 || level > h {
+                        0
+                    } else {
+                        h - level + 1
+                    }
+                });
+
+                let end_pos = if model.is_cd() {
+                    cd_region_end(prepared, config, i, rec)
+                } else {
+                    u32::MAX
+                };
+                barriers.push(Barrier {
+                    path,
+                    time: resolve + 1,
+                    end_pos,
+                    cov_paths: cov,
+                });
+            }
+        }
+    }
+
+    SimOutcome::new(
+        model,
+        config.et,
+        records.len() as u64,
+        sequential_cycles(prepared, &config.latency),
+        u64::from(total),
+        prepared.trace.num_cond_branches() as u64,
+        prepared.num_mispredicts(),
+        histogram,
+    )
+}
+
+/// First dynamic position no longer control-dependent on the mispredicted
+/// branch at `i`, under reduced control dependences.
+///
+/// If the *predicted* (wrong) direction can re-reach the branch before its
+/// reconvergence point, the wrong path crosses an iteration boundary and the
+/// operand context of everything younger is invalid: the penalty is
+/// restrictive (`u32::MAX`). Otherwise the penalty ends at the first dynamic
+/// occurrence of the branch's reconvergence point at the same call depth
+/// (scan capped at `max_cd_scan`).
+fn cd_region_end(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    i: usize,
+    rec: &TraceRecord,
+) -> u32 {
+    let outcome = rec.branch.expect("mispredicted record is a branch");
+    // Mispredicted: the predicted direction is the opposite of the actual.
+    let predicted_taken = !outcome.taken;
+    let loops_back = if predicted_taken {
+        prepared.loops_back_taken[rec.pc as usize]
+    } else {
+        prepared.loops_back_fall[rec.pc as usize]
+    };
+    if loops_back {
+        return u32::MAX;
+    }
+    let Some(join_pc) = prepared.reconv[rec.pc as usize] else {
+        return u32::MAX; // reconverges only at program exit
+    };
+    let records = prepared.trace.records();
+    let limit = records.len().min(i + 1 + config.max_cd_scan as usize);
+    for (j, other) in records.iter().enumerate().take(limit).skip(i + 1) {
+        if other.pc == join_pc && other.depth == rec.depth {
+            return j as u32;
+        }
+    }
+    (i + 1 + config.max_cd_scan as usize).min(u32::MAX as usize) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dee_isa::{Assembler, Program, Reg};
+    use dee_vm::{trace_program, Trace};
+
+    fn prep(program: &Program, trace: &Trace) -> PreparedTrace<'static> {
+        // Leak for test convenience (tiny traces).
+        let trace: &'static Trace = Box::leak(Box::new(trace.clone()));
+        let prepared = PreparedTrace::new(program, trace);
+        prepared
+    }
+
+    /// A dependence chain: every instruction depends on the previous one.
+    fn serial_chain(n: usize) -> (Program, Trace) {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 0);
+        for _ in 0..n {
+            asm.addi(r1, r1, 1);
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100_000).unwrap();
+        (p, t)
+    }
+
+    /// Fully independent instructions.
+    fn parallel_block(n: usize) -> (Program, Trace) {
+        let mut asm = Assembler::new();
+        for k in 0..n {
+            asm.li(Reg::new(1 + (k % 8) as u8), k as i32);
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100_000).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn oracle_on_serial_chain_is_sequential() {
+        let (p, t) = serial_chain(50);
+        let prepared = prep(&p, &t);
+        let out = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        // li + 50 dependent addis -> critical path 51; halt parallel.
+        assert_eq!(out.cycles, 51);
+        assert!(out.speedup() < 1.1);
+    }
+
+    #[test]
+    fn oracle_on_parallel_block_is_one_cycle() {
+        let (p, t) = parallel_block(64);
+        let prepared = prep(&p, &t);
+        let out = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        assert_eq!(out.cycles, 1, "no dependences: all in cycle 1");
+        assert!(out.speedup() > 60.0);
+    }
+
+    #[test]
+    fn oracle_respects_memory_flow_dependences() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 7); // cycle 1
+        asm.sw(r1, Reg::ZERO, 100); // cycle 2
+        asm.lw(r2, Reg::ZERO, 100); // cycle 3 (flow through memory)
+        asm.out(r2); // cycle 4
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100).unwrap();
+        let prepared = prep(&p, &t);
+        let out = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        assert_eq!(out.cycles, 4);
+    }
+
+    #[test]
+    fn constrained_models_never_beat_oracle() {
+        let w = dee_workloads::compress::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        for model in Model::all_constrained() {
+            for et in [8, 32, 256] {
+                let out = simulate(&prepared, &SimConfig::new(model, et));
+                assert!(
+                    out.cycles >= oracle.cycles,
+                    "{model} at {et}: {} < oracle {}",
+                    out.cycles,
+                    oracle.cycles
+                );
+                assert!(out.speedup() >= 0.9, "{model}: no slowdown vs sequential");
+            }
+        }
+    }
+
+    #[test]
+    fn speedups_monotone_in_resources() {
+        let w = dee_workloads::xlisp::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        for model in Model::all_constrained() {
+            let mut last = 0.0;
+            for et in [8, 16, 32, 64, 128, 256] {
+                let s = simulate(&prepared, &SimConfig::new(model, et)).speedup();
+                assert!(
+                    s >= last - 1e-9,
+                    "{model}: speedup not monotone at et={et}: {s} < {last}"
+                );
+                last = s;
+            }
+        }
+    }
+
+    #[test]
+    fn dee_equals_sp_when_tree_degenerates() {
+        // p = 0.9053, et <= 16: the DEE static tree is a pure SP chain
+        // (paper §5.3), so the models must coincide exactly.
+        let w = dee_workloads::espresso::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        for et in [8, 16] {
+            let sp = simulate(&prepared, &SimConfig::new(Model::Sp, et));
+            let dee = simulate(&prepared, &SimConfig::new(Model::Dee, et));
+            assert_eq!(sp.cycles, dee.cycles, "et={et}");
+        }
+    }
+
+    #[test]
+    fn dee_beats_sp_with_enough_resources() {
+        let w = dee_workloads::xlisp::build(dee_workloads::Scale::Small);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let p = prepared.accuracy();
+        let sp = simulate(&prepared, &SimConfig::new(Model::Sp, 128).with_p(p));
+        let dee = simulate(&prepared, &SimConfig::new(Model::Dee, 128).with_p(p));
+        assert!(
+            dee.cycles < sp.cycles,
+            "DEE {} should beat SP {}",
+            dee.cycles,
+            sp.cycles
+        );
+    }
+
+    #[test]
+    fn cd_mf_ordering_holds() {
+        // SP <= SP-CD <= SP-CD-MF (cycles non-increasing), likewise DEE.
+        let w = dee_workloads::cc1::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let cycles = |m: Model| simulate(&prepared, &SimConfig::new(m, 64)).cycles;
+        assert!(cycles(Model::SpCd) <= cycles(Model::Sp));
+        assert!(cycles(Model::SpCdMf) <= cycles(Model::SpCd));
+        assert!(cycles(Model::DeeCd) <= cycles(Model::Dee));
+        assert!(cycles(Model::DeeCdMf) <= cycles(Model::DeeCd));
+    }
+
+    #[test]
+    fn perfect_prediction_removes_all_barriers() {
+        // With no mispredicts, SP == SP-CD == SP-CD-MF except for branch
+        // serialization (identical across the three), so cycles match.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        // An always-taken-until-exit loop is almost perfectly predicted by
+        // the weakly-taken-initialized counter: only the final exit misses.
+        asm.li(r1, 40);
+        asm.label("top");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 10_000).unwrap();
+        let prepared = prep(&p, &t);
+        assert_eq!(prepared.num_mispredicts(), 1, "only the loop exit misses");
+        let sp = simulate(&prepared, &SimConfig::new(Model::Sp, 64));
+        let spcd = simulate(&prepared, &SimConfig::new(Model::SpCd, 64));
+        // The final-exit mispredict penalizes at most the trailing halt.
+        assert!(sp.cycles >= spcd.cycles);
+        assert!(sp.cycles - spcd.cycles <= 2);
+    }
+
+    #[test]
+    fn ee_is_insensitive_to_prediction_but_window_limited() {
+        let w = dee_workloads::cc1::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let ee8 = simulate(&prepared, &SimConfig::new(Model::Ee, 8));
+        let ee256 = simulate(&prepared, &SimConfig::new(Model::Ee, 256));
+        // Depth 2 at 8 paths vs depth 7 at 256.
+        assert!(ee256.speedup() > ee8.speedup());
+        // EE's histogram records nothing (no penalties).
+        assert!(ee8.resolve_level_histogram.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn resolve_levels_concentrate_near_tree_top() {
+        // §5.3: "most of the resolving is done at the root of the tree" —
+        // in our traces MF-model resolutions concentrate in the first few
+        // levels (within DEE coverage), and serialized models resolve
+        // exactly at the root by construction.
+        let w = dee_workloads::eqntott::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let out = simulate(
+            &prepared,
+            &SimConfig::new(Model::DeeCdMf, 100).with_p(prepared.accuracy()),
+        );
+        let total: u64 = out.resolve_level_histogram.iter().sum();
+        assert!(total > 0);
+        let top5: u64 = out.resolve_level_histogram.iter().take(5).sum();
+        assert!(
+            top5 as f64 / total as f64 > 0.6,
+            "resolutions should concentrate near the top: {top5}/{total}"
+        );
+
+        let serial = simulate(&prepared, &SimConfig::new(Model::Dee, 100));
+        assert_eq!(
+            serial.root_resolve_fraction(),
+            Some(1.0),
+            "serialized branches always resolve in order, i.e. at the root"
+        );
+    }
+
+    #[test]
+    fn riseman_foster_interpolates_to_oracle() {
+        let w = dee_workloads::espresso::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        let mut last = 0.0;
+        for bypassed in [0u32, 1, 2, 4, 8, 32, 128, 100_000] {
+            let out = riseman_foster(&prepared, bypassed);
+            assert!(
+                out.speedup() >= last - 1e-9,
+                "bypassed={bypassed}: {} < {last}",
+                out.speedup()
+            );
+            assert!(out.cycles >= oracle.cycles);
+            last = out.speedup();
+        }
+        // With effectively infinite bypassing the branch constraint is gone.
+        let unlimited = riseman_foster(&prepared, u32::MAX);
+        assert_eq!(unlimited.cycles, oracle.cycles);
+        // With zero bypassing, speedup collapses toward the branch density
+        // bound (instructions per branch path).
+        let zero = riseman_foster(&prepared, 0);
+        assert!(zero.speedup() < t.mean_path_len() + 1.0);
+    }
+
+    #[test]
+    fn non_unit_latency_stretches_serial_chains() {
+        // A chain of dependent multiplies: with 4-cycle multiply the
+        // oracle's critical path is ~4x the unit-latency one, and so is
+        // the sequential baseline, so the speedup stays ~1.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 1);
+        for _ in 0..20 {
+            asm.muli(r1, r1, 3);
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 1000).unwrap();
+        let prepared = prep(&p, &t);
+        let unit = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        let classic = simulate(
+            &prepared,
+            &SimConfig::new(Model::Oracle, 0).with_latency(LatencyModel::CLASSIC),
+        );
+        assert!(classic.cycles >= unit.cycles + 3 * 20, "{} vs {}", classic.cycles, unit.cycles);
+        assert_eq!(classic.sequential_cycles, unit.sequential_cycles + 3 * 20);
+        assert!((classic.speedup() - unit.speedup()).abs() < 0.3);
+    }
+
+    #[test]
+    fn latency_answers_the_papers_open_question() {
+        // §5.3: "It is not yet clear what the net effect of assuming
+        // non-unit latencies on the DEE-CD-MF model will be." Measure it:
+        // IPC must drop, while speedup-vs-sequential is cushioned by the
+        // overlap the model exposes.
+        let w = dee_workloads::espresso::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let unit = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, 100));
+        let classic = simulate(
+            &prepared,
+            &SimConfig::new(Model::DeeCdMf, 100).with_latency(LatencyModel::CLASSIC),
+        );
+        assert!(classic.ipc() < unit.ipc());
+        assert!(classic.speedup() > 1.0);
+    }
+
+    #[test]
+    fn attached_mem_latencies_override_class_latency() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 7); // record 0
+        asm.sw(r1, Reg::ZERO, 10); // record 1: store, latency 5
+        asm.lw(r2, Reg::ZERO, 10); // record 2: load, latency 9
+        asm.out(r2); // record 3
+        asm.halt(); // record 4
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100).unwrap();
+        let prepared = prep(&p, &t).with_mem_latencies(vec![0, 5, 9, 0, 0]);
+        let out = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        // li done at 1; store issues 2, done 6; load issues 7, done 15;
+        // out issues 16.
+        assert_eq!(out.cycles, 16);
+        assert_eq!(out.sequential_cycles, 1 + 5 + 9 + 1 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one latency per record")]
+    fn mem_latencies_length_checked() {
+        let (p, t) = serial_chain(3);
+        let _ = prep(&p, &t).with_mem_latencies(vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_mem_latency_rejected_for_memory_records() {
+        let mut asm = Assembler::new();
+        asm.sw(Reg::new(1), Reg::ZERO, 0);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 10).unwrap();
+        let _ = prep(&p, &t).with_mem_latencies(vec![0, 0]);
+    }
+
+    #[test]
+    fn pe_cap_bounds_issue_rate() {
+        let (p, t) = parallel_block(64);
+        let prepared = prep(&p, &t);
+        let capped = simulate(
+            &prepared,
+            &SimConfig::new(Model::SpCdMf, 256).with_max_pe(4),
+        );
+        // 65 instructions at <= 4 per cycle need >= 17 cycles.
+        assert!(capped.cycles >= 17, "cycles = {}", capped.cycles);
+        assert!(capped.speedup() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn pe_cap_is_monotone() {
+        let w = dee_workloads::eqntott::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let prepared = prep(&w.program, &t);
+        let mut last = u64::MAX;
+        for cap in [1u32, 2, 4, 16, 64] {
+            let out = simulate(
+                &prepared,
+                &SimConfig::new(Model::DeeCdMf, 100).with_max_pe(cap),
+            );
+            assert!(out.cycles <= last, "cap {cap}: {} > {last}", out.cycles);
+            assert!(out.speedup() <= f64::from(cap) + 1e-9);
+            last = out.cycles;
+        }
+        let unlimited = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, 100));
+        assert!(unlimited.cycles <= last);
+    }
+
+    #[test]
+    fn cycles_bounded_by_trace_length() {
+        let w = dee_workloads::compress::build(dee_workloads::Scale::Tiny);
+        let t = w.capture_trace().unwrap();
+        let n = t.len() as u64;
+        let prepared = prep(&w.program, &t);
+        for model in Model::all_constrained() {
+            let out = simulate(&prepared, &SimConfig::new(model, 16));
+            assert!(out.cycles <= n + 2, "{model}: {} > {n}", out.cycles);
+        }
+    }
+}

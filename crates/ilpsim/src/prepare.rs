@@ -1,0 +1,330 @@
+use dee_isa::cfg::Cfg;
+use dee_isa::{AluOp, Instr, Program};
+use dee_predict::{mispredict_flags, BranchPredictor, TwoBitCounter};
+use dee_vm::Trace;
+
+/// A trace annotated with everything the models need: per-record
+/// misprediction flags (from a predictor replay), per-static-branch
+/// reconvergence points (immediate post-dominators), and branch-path
+/// indices.
+///
+/// Preparing once and simulating many configurations amortizes the
+/// predictor replay and CFG analysis across the whole parameter sweep.
+#[derive(Clone, Debug)]
+pub struct PreparedTrace<'a> {
+    pub(crate) trace: &'a Trace,
+    /// Per record: true iff it is a mispredicted conditional branch.
+    pub(crate) mispredict: Vec<bool>,
+    /// Per static pc: the branch's reconvergence point, if any.
+    pub(crate) reconv: Vec<Option<u32>>,
+    /// Per record: its branch-path index (paths end at conditional
+    /// branches).
+    pub(crate) path_of: Vec<u32>,
+    /// Number of branch paths.
+    pub(crate) num_paths: u32,
+    /// Per static pc: starting down the branch's *taken* side, can control
+    /// re-reach the branch without passing its reconvergence point? (True
+    /// for loop-closing directions: a wrong path that crosses an iteration
+    /// boundary invalidates the operand context of everything younger, so
+    /// `-CD` models treat such mispredicts restrictively.)
+    pub(crate) loops_back_taken: Vec<bool>,
+    /// Same, for the fall-through side.
+    pub(crate) loops_back_fall: Vec<bool>,
+    /// Per static pc: the latency class of the instruction.
+    pub(crate) class_of: Vec<InstrClass>,
+    /// Optional per-record memory-access latencies (e.g. from a cache
+    /// model); overrides the configured `mem` latency per access.
+    pub(crate) mem_latency: Option<Vec<u32>>,
+    /// Measured accuracy of the predictor used for the flags.
+    accuracy: f64,
+}
+
+impl<'a> PreparedTrace<'a> {
+    /// Prepares `trace` with the paper's default predictor: the 2-bit
+    /// saturating counter, one per static instruction, initialized weakly
+    /// taken.
+    #[must_use]
+    pub fn new(program: &Program, trace: &'a Trace) -> Self {
+        Self::with_predictor(program, trace, &mut TwoBitCounter::new())
+    }
+
+    /// Prepares `trace` with a caller-supplied predictor.
+    #[must_use]
+    pub fn with_predictor(
+        program: &Program,
+        trace: &'a Trace,
+        predictor: &mut dyn BranchPredictor,
+    ) -> Self {
+        let mispredict = mispredict_flags(predictor, trace);
+
+        let cfg = Cfg::new(program);
+        let postdoms = cfg.postdominators();
+        let mut reconv = vec![None; program.len()];
+        let mut loops_back_taken = vec![false; program.len()];
+        let mut loops_back_fall = vec![false; program.len()];
+        for pc in program.cond_branch_pcs() {
+            reconv[pc as usize] = postdoms.reconvergence(pc);
+            let (target, fall) = match program[pc] {
+                dee_isa::Instr::Branch { target, .. } => (target, pc + 1),
+                _ => unreachable!("cond_branch_pcs returns branches"),
+            };
+            let stop = reconv[pc as usize];
+            loops_back_taken[pc as usize] = reaches_without(&cfg, target, pc, stop);
+            loops_back_fall[pc as usize] = reaches_without(&cfg, fall, pc, stop);
+        }
+
+        let mut path_of = Vec::with_capacity(trace.len());
+        let mut path = 0u32;
+        for record in trace.records() {
+            path_of.push(path);
+            if record.is_cond_branch() {
+                path += 1;
+            }
+        }
+        // A trailing partial path (records after the last branch) is
+        // already numbered `path`; count it if present.
+        let num_paths = match path_of.last() {
+            Some(&last) => last + 1,
+            None => 0,
+        };
+
+        let branches = mispredict.iter().zip(trace.records()).filter(|(_, r)| r.is_cond_branch());
+        let (mut total, mut wrong) = (0u64, 0u64);
+        for (&miss, _) in branches {
+            total += 1;
+            if miss {
+                wrong += 1;
+            }
+        }
+        let accuracy = if total == 0 {
+            1.0
+        } else {
+            1.0 - wrong as f64 / total as f64
+        };
+
+        let class_of = program
+            .instrs()
+            .iter()
+            .map(|instr| match instr {
+                Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
+                    AluOp::Mul | AluOp::Div | AluOp::Rem => InstrClass::MulDiv,
+                    _ => InstrClass::Alu,
+                },
+                Instr::Lw { .. } | Instr::Sw { .. } => InstrClass::Mem,
+                Instr::Branch { .. } | Instr::Jr { .. } => InstrClass::Branch,
+                _ => InstrClass::Alu,
+            })
+            .collect();
+
+        PreparedTrace {
+            trace,
+            mispredict,
+            reconv,
+            path_of,
+            num_paths,
+            loops_back_taken,
+            loops_back_fall,
+            class_of,
+            mem_latency: None,
+            accuracy,
+        }
+    }
+
+    /// Attaches per-record memory-access latencies (one entry per dynamic
+    /// record; non-memory records are ignored), typically produced by
+    /// `dee_mem::annotate_latencies`. Entries for memory records must be
+    /// at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length does not match the trace or a memory
+    /// record's latency is zero.
+    #[must_use]
+    pub fn with_mem_latencies(mut self, latencies: Vec<u32>) -> Self {
+        assert_eq!(latencies.len(), self.trace.len(), "one latency per record");
+        for (lat, rec) in latencies.iter().zip(self.trace.records()) {
+            if rec.mem_read.is_some() || rec.mem_write.is_some() {
+                assert!(*lat >= 1, "memory access latency must be at least 1");
+            }
+        }
+        self.mem_latency = Some(latencies);
+        self
+    }
+
+    /// The underlying trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        self.trace
+    }
+
+    /// Measured accuracy of the predictor that produced the flags — the
+    /// natural choice for [`SimConfig::with_p`](crate::SimConfig::with_p).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Number of dynamic branch paths in the trace.
+    #[must_use]
+    pub fn num_paths(&self) -> u32 {
+        self.num_paths
+    }
+
+    /// Number of mispredicted dynamic branches.
+    #[must_use]
+    pub fn num_mispredicts(&self) -> u64 {
+        self.mispredict.iter().filter(|&&m| m).count() as u64
+    }
+}
+
+/// Latency class of a static instruction (see
+/// [`LatencyModel`](crate::LatencyModel)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum InstrClass {
+    /// Simple ALU / move / immediate.
+    Alu,
+    /// Multiply, divide, remainder.
+    MulDiv,
+    /// Load or store.
+    Mem,
+    /// Conditional branch or indirect jump.
+    Branch,
+}
+
+/// Whether control starting at `from` can reach `goal` without passing
+/// through `avoid` (the branch's reconvergence point). BFS over the CFG.
+fn reaches_without(cfg: &Cfg, from: u32, goal: u32, avoid: Option<u32>) -> bool {
+    if Some(from) == avoid {
+        return false;
+    }
+    let mut visited = vec![false; (cfg.exit() + 1) as usize];
+    let mut queue = vec![from];
+    visited[from as usize] = true;
+    while let Some(node) = queue.pop() {
+        if node == goal {
+            return true;
+        }
+        if node == cfg.exit() {
+            continue;
+        }
+        for &s in cfg.successors(node) {
+            if Some(s) == avoid || visited[s as usize] {
+                continue;
+            }
+            visited[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dee_isa::{Assembler, Reg};
+    use dee_vm::trace_program;
+
+    fn countdown(n: i32) -> (Program, Trace) {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, n);
+        asm.label("top");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100_000).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn path_indices_advance_at_branches() {
+        let (p, t) = countdown(3);
+        let prepared = PreparedTrace::new(&p, &t);
+        // records: li, addi, bgt, addi, bgt, addi, bgt, halt
+        assert_eq!(prepared.path_of, vec![0, 0, 0, 1, 1, 2, 2, 3]);
+        assert_eq!(prepared.num_paths(), 4);
+    }
+
+    #[test]
+    fn accuracy_matches_flag_count() {
+        let (p, t) = countdown(50);
+        let prepared = PreparedTrace::new(&p, &t);
+        let branches = t.num_cond_branches() as u64;
+        let wrong = prepared.num_mispredicts();
+        assert!((prepared.accuracy() - (1.0 - wrong as f64 / branches as f64)).abs() < 1e-12);
+        // Counter inits taken; the loop mispredicts only near the exit.
+        assert!(wrong <= 2, "wrong = {wrong}");
+    }
+
+    #[test]
+    fn reconvergence_computed_for_branches_only() {
+        let (p, t) = countdown(2);
+        let prepared = PreparedTrace::new(&p, &t);
+        // Static pc 2 is the loop branch, reconverging at halt (pc 3).
+        assert_eq!(prepared.reconv[2], Some(3));
+        assert_eq!(prepared.reconv[0], None);
+        assert_eq!(prepared.reconv[1], None);
+        let _ = t;
+    }
+
+    #[test]
+    fn loop_back_edges_classified() {
+        let (p, t) = countdown(2);
+        let prepared = PreparedTrace::new(&p, &t);
+        // pc 2: bgt -> pc 1 (backward). Taken side loops back to the
+        // branch; fall-through exits.
+        assert!(prepared.loops_back_taken[2]);
+        assert!(!prepared.loops_back_fall[2]);
+        let _ = t;
+    }
+
+    #[test]
+    fn if_arms_do_not_loop_back() {
+        // 0: beq -> 3 ; 1: nop ; 2: j 4 ; 3: nop ; 4: halt
+        let mut asm = Assembler::new();
+        asm.beq_label(Reg::new(1), Reg::ZERO, "arm");
+        asm.nop();
+        asm.j_label("join");
+        asm.label("arm");
+        asm.nop();
+        asm.label("join");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        assert!(!prepared.loops_back_taken[0]);
+        assert!(!prepared.loops_back_fall[0]);
+    }
+
+    #[test]
+    fn forward_exit_test_loop_classified() {
+        // Test-at-top loop: branch forward to exit; fall-through body jumps
+        // back above the branch. The *fall-through* side loops back.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 3); // 0
+        asm.label("top");
+        asm.ble_label(r1, Reg::ZERO, "exit"); // 1
+        asm.addi(r1, r1, -1); // 2
+        asm.j_label("top"); // 3
+        asm.label("exit");
+        asm.halt(); // 4
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        assert!(!prepared.loops_back_taken[1], "taken side exits");
+        assert!(prepared.loops_back_fall[1], "fall-through re-reaches the test");
+    }
+
+    #[test]
+    fn empty_like_trace_tolerated() {
+        let mut asm = Assembler::new();
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 10).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        assert_eq!(prepared.num_paths(), 1);
+        assert_eq!(prepared.accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+use crate::model::Model;
+
+/// The result of one simulation run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimOutcome {
+    /// The model simulated.
+    pub model: Model,
+    /// Branch-path resources (0 for the oracle).
+    pub et: u32,
+    /// Dynamic instructions in the trace.
+    pub instructions: u64,
+    /// Cycles the ideal sequential machine needs (equal to
+    /// `instructions` under unit latency; the sum of latencies otherwise).
+    pub sequential_cycles: u64,
+    /// Total execution cycles under the model.
+    pub cycles: u64,
+    /// Dynamic conditional branches.
+    pub branches: u64,
+    /// Mispredicted dynamic branches (under the preparing predictor).
+    pub mispredicts: u64,
+    /// `resolve_level_histogram[k]` counts mispredicted branches that
+    /// resolved at tree level `k + 1` (level 1 = the tree root). The last
+    /// bucket accumulates deeper levels.
+    pub resolve_level_histogram: Vec<u64>,
+}
+
+impl SimOutcome {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        model: Model,
+        et: u32,
+        instructions: u64,
+        sequential_cycles: u64,
+        cycles: u64,
+        branches: u64,
+        mispredicts: u64,
+        resolve_level_histogram: Vec<u64>,
+    ) -> Self {
+        SimOutcome {
+            model,
+            et,
+            instructions,
+            sequential_cycles: sequential_cycles.max(1),
+            cycles: cycles.max(1),
+            branches,
+            mispredicts,
+            resolve_level_histogram,
+        }
+    }
+
+    /// Speedup over the ideal sequential machine — exactly the paper's
+    /// vertical axis. With unit latency this is `instructions / cycles`;
+    /// with a non-unit [`LatencyModel`](crate::LatencyModel) the sequential
+    /// machine pays the same latencies serially.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential_cycles as f64 / self.cycles as f64
+    }
+
+    /// Instructions per cycle (independent of the latency model).
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Fraction of resolved mispredictions at the tree root, the §5.3
+    /// statistic ("around 70–80%"). `None` when there were no penalties.
+    #[must_use]
+    pub fn root_resolve_fraction(&self) -> Option<f64> {
+        let total: u64 = self.resolve_level_histogram.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(self.resolve_level_histogram[0] as f64 / total as f64)
+    }
+
+    /// Misprediction rate of the preparing predictor on this trace.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+impl fmt::Display for SimOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} paths: {:.2}x ({} instrs / {} cycles)",
+            self.model,
+            self.et,
+            self.speedup(),
+            self.instructions,
+            self.cycles
+        )
+    }
+}
+
+/// Harmonic mean of positive values — the paper's cross-benchmark summary
+/// statistic.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is not positive.
+#[must_use]
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "harmonic mean of no values");
+    let mut sum = 0.0;
+    for &v in values {
+        assert!(v > 0.0, "harmonic mean needs positive values");
+        sum += 1.0 / v;
+    }
+    values.len() as f64 / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(instrs: u64, cycles: u64) -> SimOutcome {
+        SimOutcome::new(Model::Sp, 8, instrs, instrs, cycles, 10, 2, vec![3, 1, 0])
+    }
+
+    #[test]
+    fn speedup_is_instructions_per_cycle() {
+        let o = outcome(100, 25);
+        assert!((o.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_clamped() {
+        let o = outcome(10, 0);
+        assert_eq!(o.cycles, 1);
+    }
+
+    #[test]
+    fn root_fraction() {
+        let o = outcome(100, 25);
+        assert!((o.root_resolve_fraction().unwrap() - 0.75).abs() < 1e-12);
+        let empty = SimOutcome::new(Model::Ee, 8, 10, 10, 5, 4, 0, vec![0, 0]);
+        assert_eq!(empty.root_resolve_fraction(), None);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let o = outcome(100, 25);
+        assert!((o.mispredict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_model_and_speedup() {
+        let s = outcome(100, 25).to_string();
+        assert!(s.contains("SP"));
+        assert!(s.contains("4.00x"));
+    }
+
+    #[test]
+    fn harmonic_mean_reference() {
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 6.0]) - 3.0).abs() < 1e-12);
+        // HM <= arithmetic mean.
+        assert!(harmonic_mean(&[3.0, 5.0, 9.0]) < (3.0 + 5.0 + 9.0) / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "harmonic mean of no values")]
+    fn harmonic_mean_rejects_empty() {
+        let _ = harmonic_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn harmonic_mean_rejects_nonpositive() {
+        let _ = harmonic_mean(&[1.0, 0.0]);
+    }
+}

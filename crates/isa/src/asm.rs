@@ -1,0 +1,431 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AluOp, BranchCond, Instr, Program, ProgramError, Reg};
+
+/// A two-pass assembler: emit instructions with symbolic labels, then
+/// [`assemble`](Assembler::assemble) resolves all references and validates
+/// the result into a [`Program`].
+///
+/// The assembler is the construction API for the hand-written SPECint92-like
+/// workloads; it provides one method per instruction plus the usual
+/// conveniences (`mv`, `push`/`pop`, `call_label`/`ret`).
+///
+/// # Example
+///
+/// ```
+/// use dee_isa::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new();
+/// let r1 = Reg::new(1);
+/// asm.li(r1, 3);
+/// asm.label("top");
+/// asm.addi(r1, r1, -1);
+/// asm.bgt_label(r1, Reg::ZERO, "top");
+/// asm.halt();
+/// let p = asm.assemble()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), dee_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+}
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// The resolved instruction stream failed [`Program`] validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Invalid(e)
+    }
+}
+
+/// A placeholder target patched during assembly.
+const PENDING: u32 = u32::MAX;
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The address the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Defines `name` at the current address.
+    ///
+    /// Duplicate definitions are reported by [`assemble`](Self::assemble).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        // Record duplicates by inserting a sentinel fixup checked at assembly.
+        if self.labels.insert(name.to_string(), self.here()).is_some() {
+            self.fixups.push((usize::MAX, name.to_string()));
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    fn emit_labeled(&mut self, instr: Instr, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on undefined or duplicate labels, or when the
+    /// resolved stream fails [`Program`] validation.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        let mut instrs = self.instrs.clone();
+        for (idx, label) in &self.fixups {
+            if *idx == usize::MAX {
+                return Err(AsmError::DuplicateLabel(label.clone()));
+            }
+            let &target = self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            match &mut instrs[*idx] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } | Instr::Jal { target: t } => {
+                    debug_assert_eq!(*t, PENDING);
+                    *t = target;
+                }
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Ok(Program::new(instrs)?)
+    }
+
+    // --- ALU, register form ---------------------------------------------
+
+    /// `rd = rs + rt`
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Add, rd, rs, rt })
+    }
+    /// `rd = rs - rt`
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Sub, rd, rs, rt })
+    }
+    /// `rd = rs * rt`
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Mul, rd, rs, rt })
+    }
+    /// `rd = rs / rt` (0 when `rt` is 0)
+    pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Div, rd, rs, rt })
+    }
+    /// `rd = rs % rt` (0 when `rt` is 0)
+    pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Rem, rd, rs, rt })
+    }
+    /// `rd = rs & rt`
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::And, rd, rs, rt })
+    }
+    /// `rd = rs | rt`
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Or, rd, rs, rt })
+    }
+    /// `rd = rs ^ rt`
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs, rt })
+    }
+    /// `rd = rs << rt`
+    pub fn sll(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Sll, rd, rs, rt })
+    }
+    /// `rd = (rs as u32) >> rt`
+    pub fn srl(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Srl, rd, rs, rt })
+    }
+    /// `rd = rs >> rt` (arithmetic)
+    pub fn sra(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Sra, rd, rs, rt })
+    }
+    /// `rd = (rs < rt) as i32`
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Slt, rd, rs, rt })
+    }
+    /// `rd = (rs == rt) as i32`
+    pub fn seq(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op: AluOp::Seq, rd, rs, rt })
+    }
+
+    // --- ALU, immediate form ---------------------------------------------
+
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Add, rd, rs, imm })
+    }
+    /// `rd = rs & imm`
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::And, rd, rs, imm })
+    }
+    /// `rd = rs | imm`
+    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Or, rd, rs, imm })
+    }
+    /// `rd = rs ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Xor, rd, rs, imm })
+    }
+    /// `rd = rs * imm`
+    pub fn muli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Mul, rd, rs, imm })
+    }
+    /// `rd = rs % imm`
+    pub fn remi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Rem, rd, rs, imm })
+    }
+    /// `rd = (rs < imm) as i32`
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Slt, rd, rs, imm })
+    }
+    /// `rd = rs << imm`
+    pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Sll, rd, rs, imm })
+    }
+    /// `rd = (rs as u32) >> imm`
+    pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Srl, rd, rs, imm })
+    }
+    /// `rd = rs >> imm` (arithmetic)
+    pub fn srai(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::AluImm { op: AluOp::Sra, rd, rs, imm })
+    }
+
+    // --- moves, loads, stores ---------------------------------------------
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::Li { rd, imm })
+    }
+    /// `rd = rs` (pseudo-op: `addi rd, rs, 0`)
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+    /// `rd = mem[base + offset]`
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Lw { rd, base, offset })
+    }
+    /// `mem[base + offset] = rs`
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Sw { rs, base, offset })
+    }
+    /// Pushes `rs` on the stack: `sp -= 1; mem[sp] = rs`.
+    pub fn push(&mut self, rs: Reg) -> &mut Self {
+        self.addi(Reg::SP, Reg::SP, -1);
+        self.sw(rs, Reg::SP, 0)
+    }
+    /// Pops into `rd`: `rd = mem[sp]; sp += 1`.
+    pub fn pop(&mut self, rd: Reg) -> &mut Self {
+        self.lw(rd, Reg::SP, 0);
+        self.addi(Reg::SP, Reg::SP, 1)
+    }
+
+    // --- control flow ------------------------------------------------------
+
+    /// Conditional branch to a label.
+    pub fn branch_label(&mut self, cond: BranchCond, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.emit_labeled(Instr::Branch { cond, rs, rt, target: PENDING }, label)
+    }
+    /// `beq rs, rt, label`
+    pub fn beq_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Eq, rs, rt, label)
+    }
+    /// `bne rs, rt, label`
+    pub fn bne_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Ne, rs, rt, label)
+    }
+    /// `blt rs, rt, label`
+    pub fn blt_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Lt, rs, rt, label)
+    }
+    /// `bge rs, rt, label`
+    pub fn bge_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Ge, rs, rt, label)
+    }
+    /// `ble rs, rt, label`
+    pub fn ble_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Le, rs, rt, label)
+    }
+    /// `bgt rs, rt, label`
+    pub fn bgt_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.branch_label(BranchCond::Gt, rs, rt, label)
+    }
+    /// Unconditional jump to a label.
+    pub fn j_label(&mut self, label: &str) -> &mut Self {
+        self.emit_labeled(Instr::Jump { target: PENDING }, label)
+    }
+    /// Call (jump-and-link) to a label.
+    pub fn call_label(&mut self, label: &str) -> &mut Self {
+        self.emit_labeled(Instr::Jal { target: PENDING }, label)
+    }
+    /// Indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::Jr { rs })
+    }
+    /// Return: `jr ra`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jr(Reg::RA)
+    }
+    /// Emit the value of `rs` to the output stream.
+    pub fn out(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Instr::Out { rs })
+    }
+    /// Stop execution.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 2);
+        asm.label("back");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "back");
+        asm.beq_label(r1, Reg::ZERO, "fwd");
+        asm.nop();
+        asm.label("fwd");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p[2].static_target(), Some(1));
+        assert_eq!(p[3].static_target(), Some(5));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut asm = Assembler::new();
+        asm.j_label("nowhere");
+        asm.halt();
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut asm = Assembler::new();
+        asm.label("x");
+        asm.nop();
+        asm.label("x");
+        asm.halt();
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
+    }
+
+    #[test]
+    fn missing_halt_propagates_program_error() {
+        let mut asm = Assembler::new();
+        asm.nop();
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AsmError::Invalid(ProgramError::NoHalt)
+        );
+    }
+
+    #[test]
+    fn push_pop_emit_expected_sequences() {
+        let mut asm = Assembler::new();
+        asm.push(Reg::new(3));
+        asm.pop(Reg::new(4));
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(
+            p[0],
+            Instr::AluImm { op: AluOp::Add, rd: Reg::SP, rs: Reg::SP, imm: -1 }
+        );
+        assert_eq!(p[1], Instr::Sw { rs: Reg::new(3), base: Reg::SP, offset: 0 });
+        assert_eq!(p[2], Instr::Lw { rd: Reg::new(4), base: Reg::SP, offset: 0 });
+    }
+
+    #[test]
+    fn call_and_ret_shapes() {
+        let mut asm = Assembler::new();
+        asm.call_label("f");
+        asm.halt();
+        asm.label("f");
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p[0], Instr::Jal { target: 2 });
+        assert_eq!(p[2], Instr::Jr { rs: Reg::RA });
+    }
+
+    #[test]
+    fn assemble_is_repeatable() {
+        let mut asm = Assembler::new();
+        asm.beq_label(Reg::new(1), Reg::ZERO, "end");
+        asm.nop();
+        asm.label("end");
+        asm.halt();
+        let p1 = asm.assemble().unwrap();
+        let p2 = asm.assemble().unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn here_tracks_emission() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.here(), 0);
+        asm.nop();
+        assert_eq!(asm.here(), 1);
+        asm.push(Reg::new(1));
+        assert_eq!(asm.here(), 3);
+    }
+}

@@ -1,0 +1,403 @@
+//! Static control-flow analysis: CFG construction, post-dominators, and
+//! per-branch reconvergence points.
+//!
+//! The reduced control-dependence (`-CD`) execution models of the paper
+//! (after Lam & Wilson, and Ferrante et al.'s program dependence graph)
+//! need to know, for every conditional branch, where control *reconverges*:
+//! the first instruction that executes regardless of the branch direction.
+//! That is the branch's immediate post-dominator. Instructions between a
+//! branch and its reconvergence point are control-dependent on it; a
+//! misprediction delays only those, not the code past the join.
+//!
+//! Calls are treated intraprocedurally: a `jal` is a straight-line
+//! instruction (the callee is opaque and control returns to `pc + 1`), and a
+//! `jr` is an edge to the virtual exit. Transitive control dependence of
+//! callee code on a caller-side branch is handled *dynamically* by the
+//! simulators, which scan the trace for the reconvergence point at the same
+//! call depth as the branch.
+
+use crate::{Instr, Program};
+
+/// Control-flow graph of a [`Program`], with a virtual exit node.
+///
+/// Node `program.len()` is the virtual exit; `jr`, `halt`, and any
+/// fall-through off the end of the program lead to it.
+///
+/// # Example
+///
+/// ```
+/// use dee_isa::{Assembler, Reg};
+/// use dee_isa::cfg::Cfg;
+///
+/// let mut asm = Assembler::new();
+/// asm.beq_label(Reg::new(1), Reg::ZERO, "skip"); // 0
+/// asm.nop();                                     // 1
+/// asm.label("skip");
+/// asm.halt();                                    // 2
+/// let p = asm.assemble()?;
+/// let cfg = Cfg::new(&p);
+/// assert_eq!(cfg.successors(0), &[2, 1]);
+/// let pd = cfg.postdominators();
+/// assert_eq!(pd.reconvergence(0), Some(2));
+/// # Ok::<(), dee_isa::AsmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    exit: u32,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let n = program.len();
+        let exit = n as u32;
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (pc, instr) in program.iter() {
+            let fall = if (pc as usize) + 1 < n { pc + 1 } else { exit };
+            let ss: Vec<u32> = match *instr {
+                Instr::Branch { target, .. } => {
+                    if target == fall {
+                        vec![fall]
+                    } else {
+                        vec![target, fall]
+                    }
+                }
+                Instr::Jump { target } => vec![target],
+                // Calls fall through (intraprocedural view).
+                Instr::Jal { .. } => vec![fall],
+                Instr::Jr { .. } | Instr::Halt => vec![exit],
+                _ => vec![fall],
+            };
+            for &s in &ss {
+                preds[s as usize].push(pc);
+            }
+            succs[pc as usize] = ss;
+        }
+        Cfg { succs, preds, exit }
+    }
+
+    /// The virtual exit node (equal to the program length).
+    #[must_use]
+    pub fn exit(&self) -> u32 {
+        self.exit
+    }
+
+    /// Successors of `pc` (taken target first for two-way branches).
+    #[must_use]
+    pub fn successors(&self, pc: u32) -> &[u32] {
+        &self.succs[pc as usize]
+    }
+
+    /// Predecessors of `pc`.
+    #[must_use]
+    pub fn predecessors(&self, pc: u32) -> &[u32] {
+        &self.preds[pc as usize]
+    }
+
+    /// Computes the post-dominator tree (Cooper–Harvey–Kennedy iterative
+    /// algorithm on the reverse CFG).
+    #[must_use]
+    pub fn postdominators(&self) -> PostDoms {
+        let n = self.succs.len(); // includes exit
+        let exit = self.exit as usize;
+
+        // Postorder of the *reverse* CFG from exit (edges = predecessors).
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative DFS.
+        let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+        visited[exit] = true;
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            let ps = &self.preds[node];
+            if *i < ps.len() {
+                let next = ps[*i] as usize;
+                *i += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        // Map node -> postorder index (higher = earlier in reverse postorder).
+        let mut po_idx = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            po_idx[node] = i;
+        }
+
+        const UNDEF: usize = usize::MAX;
+        let mut idom = vec![UNDEF; n];
+        idom[exit] = exit;
+
+        let intersect = |idom: &[usize], po_idx: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while po_idx[a] < po_idx[b] {
+                    a = idom[a];
+                }
+                while po_idx[b] < po_idx[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse postorder of the reverse graph, skipping exit.
+            for &node in order.iter().rev() {
+                if node == exit {
+                    continue;
+                }
+                // "Predecessors" in the reverse graph are CFG successors.
+                let mut new_idom = UNDEF;
+                for &s in &self.succs[node] {
+                    let s = s as usize;
+                    if idom[s] == UNDEF {
+                        continue;
+                    }
+                    new_idom = if new_idom == UNDEF {
+                        s
+                    } else {
+                        intersect(&idom, &po_idx, new_idom, s)
+                    };
+                }
+                if new_idom != UNDEF && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        PostDoms {
+            ipdom: idom
+                .into_iter()
+                .map(|d| if d == UNDEF { None } else { Some(d as u32) })
+                .collect(),
+            exit: self.exit,
+        }
+    }
+}
+
+/// The post-dominator tree of a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct PostDoms {
+    ipdom: Vec<Option<u32>>,
+    exit: u32,
+}
+
+impl PostDoms {
+    /// The immediate post-dominator of `pc`, or `None` when `pc` cannot
+    /// reach the exit (e.g. inside a provably infinite loop).
+    ///
+    /// The exit node's immediate post-dominator is itself.
+    #[must_use]
+    pub fn ipdom(&self, pc: u32) -> Option<u32> {
+        self.ipdom.get(pc as usize).copied().flatten()
+    }
+
+    /// The virtual exit node.
+    #[must_use]
+    pub fn exit(&self) -> u32 {
+        self.exit
+    }
+
+    /// The reconvergence point of the branch at `branch_pc`: the first
+    /// instruction executed regardless of the branch direction.
+    ///
+    /// Returns `None` when the branch's paths only rejoin at program exit.
+    #[must_use]
+    pub fn reconvergence(&self, branch_pc: u32) -> Option<u32> {
+        match self.ipdom(branch_pc) {
+            Some(p) if p != self.exit => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` post-dominates `b` (every path from `b` to exit passes
+    /// through `a`). Reflexive.
+    #[must_use]
+    pub fn postdominates(&self, a: u32, b: u32) -> bool {
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            match self.ipdom(x) {
+                Some(p) if p != x => x = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The static instructions control-dependent on the branch at
+    /// `branch_pc` (Ferrante et al.): for each CFG successor `s` of the
+    /// branch, the nodes from `s` up the post-dominator tree to — but
+    /// excluding — the branch's own immediate post-dominator.
+    #[must_use]
+    pub fn control_dependents(&self, cfg: &Cfg, branch_pc: u32) -> Vec<u32> {
+        let stop = self.ipdom(branch_pc);
+        let mut result = Vec::new();
+        for &s in cfg.successors(branch_pc) {
+            let mut x = Some(s);
+            while let Some(node) = x {
+                if Some(node) == stop || node == self.exit {
+                    break;
+                }
+                if !result.contains(&node) {
+                    result.push(node);
+                }
+                let next = self.ipdom(node);
+                if next == Some(node) {
+                    break;
+                }
+                x = next;
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Reg};
+
+    fn diamond() -> Program {
+        // 0: beq r1, r0, @3
+        // 1: nop            (then side... actually fall-through side)
+        // 2: j @4
+        // 3: nop            (taken side)
+        // 4: halt           (join)
+        let mut asm = Assembler::new();
+        asm.beq_label(Reg::new(1), Reg::ZERO, "taken");
+        asm.nop();
+        asm.j_label("join");
+        asm.label("taken");
+        asm.nop();
+        asm.label("join");
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        let pd = cfg.postdominators();
+        assert_eq!(pd.reconvergence(0), Some(4));
+        let cd = pd.control_dependents(&cfg, 0);
+        assert_eq!(cd, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn loop_branch_controls_body() {
+        // 0: li r1, 3
+        // 1: addi r1, r1, -1   <- loop body
+        // 2: bgt r1, r0, @1    <- back edge
+        // 3: halt
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 3);
+        asm.label("top");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::new(&p);
+        let pd = cfg.postdominators();
+        // The back-edge branch reconverges at the loop exit (3).
+        assert_eq!(pd.reconvergence(2), Some(3));
+        // Body and branch itself are control-dependent on the back edge.
+        let cd = pd.control_dependents(&cfg, 2);
+        assert_eq!(cd, vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_if_control_dependence() {
+        // outer: 0 beq -> 6 ; inner: 1 beq -> 4
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.beq_label(r1, Reg::ZERO, "outer_join"); // 0
+        asm.beq_label(r1, Reg::ZERO, "inner_join"); // 1
+        asm.nop(); // 2
+        asm.nop(); // 3
+        asm.label("inner_join");
+        asm.nop(); // 4
+        asm.nop(); // 5
+        asm.label("outer_join");
+        asm.halt(); // 6
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::new(&p);
+        let pd = cfg.postdominators();
+        assert_eq!(pd.reconvergence(0), Some(6));
+        assert_eq!(pd.reconvergence(1), Some(4));
+        // Direct (non-transitive) control dependence: 2 and 3 depend on the
+        // inner branch, not directly on the outer one.
+        assert_eq!(pd.control_dependents(&cfg, 0), vec![1, 4, 5]);
+        assert_eq!(pd.control_dependents(&cfg, 1), vec![2, 3]);
+        assert!(pd.postdominates(6, 0));
+        assert!(pd.postdominates(4, 1));
+        assert!(!pd.postdominates(2, 1));
+    }
+
+    #[test]
+    fn jal_treated_as_fall_through() {
+        let mut asm = Assembler::new();
+        asm.call_label("f"); // 0
+        asm.halt(); // 1
+        asm.label("f");
+        asm.nop(); // 2
+        asm.ret(); // 3
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.successors(0), &[1]);
+        // jr goes to exit
+        assert_eq!(cfg.successors(3), &[4]);
+        let pd = cfg.postdominators();
+        assert_eq!(pd.ipdom(0), Some(1));
+        // Callee body post-dominated by its return's exit edge.
+        assert_eq!(pd.ipdom(2), Some(3));
+    }
+
+    #[test]
+    fn branch_to_fall_through_collapses_edge() {
+        let mut asm = Assembler::new();
+        asm.beq_label(Reg::new(1), Reg::ZERO, "next");
+        asm.label("next");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.successors(0), &[1]);
+    }
+
+    #[test]
+    fn exit_is_own_ipdom_and_postdominates_everything_reachable() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        let pd = cfg.postdominators();
+        let exit = cfg.exit();
+        assert_eq!(pd.ipdom(exit), Some(exit));
+        for pc in 0..p.len() as u32 {
+            assert!(pd.postdominates(exit, pc), "exit postdoms {pc}");
+        }
+    }
+
+    #[test]
+    fn predecessors_are_inverse_of_successors() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        for pc in 0..=cfg.exit() {
+            for &s in cfg.successors(pc) {
+                assert!(cfg.predecessors(s).contains(&pc));
+            }
+        }
+    }
+}

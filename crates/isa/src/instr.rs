@@ -1,0 +1,523 @@
+use std::fmt;
+
+use crate::Reg;
+
+/// An arithmetic/logic operation, used by both register and immediate forms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Signed division; division by zero yields 0 (the VM does not trap).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Logical shift left (shift amount taken modulo 32).
+    Sll,
+    /// Logical shift right (shift amount taken modulo 32).
+    Srl,
+    /// Arithmetic shift right (shift amount taken modulo 32).
+    Sra,
+    /// Set if less than (signed): `rd = (rs < rt) as i32`.
+    Slt,
+    /// Set if less than (unsigned comparison of the bit patterns).
+    Sltu,
+    /// Set if equal: `rd = (rs == rt) as i32`.
+    Seq,
+}
+
+impl AluOp {
+    /// Applies the operation to two `i32` operands with MIPS-like semantics.
+    ///
+    /// Division and remainder by zero produce 0 rather than trapping, so that
+    /// every instruction has unit latency and no exceptional control flow, as
+    /// assumed by the paper's evaluation.
+    #[must_use]
+    pub fn apply(self, a: i32, b: i32) -> i32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Sll => ((a as u32) << (b as u32 & 31)) as i32,
+            AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+            AluOp::Sra => a >> (b as u32 & 31),
+            AluOp::Slt => i32::from(a < b),
+            AluOp::Sltu => i32::from((a as u32) < (b as u32)),
+            AluOp::Seq => i32::from(a == b),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The comparison performed by a conditional branch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less than.
+    Lt,
+    /// Branch if signed greater than or equal.
+    Ge,
+    /// Branch if signed less than or equal.
+    Le,
+    /// Branch if signed greater than.
+    Gt,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two signed operands.
+    #[must_use]
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+        }
+    }
+
+    /// The condition with operands swapped having the same truth value.
+    #[must_use]
+    pub fn swapped(self) -> Self {
+        match self {
+            BranchCond::Eq => BranchCond::Eq,
+            BranchCond::Ne => BranchCond::Ne,
+            BranchCond::Lt => BranchCond::Gt,
+            BranchCond::Ge => BranchCond::Le,
+            BranchCond::Le => BranchCond::Ge,
+            BranchCond::Gt => BranchCond::Lt,
+        }
+    }
+
+    /// The negated condition.
+    #[must_use]
+    pub fn negated(self) -> Self {
+        match self {
+            BranchCond::Eq => BranchCond::Ne,
+            BranchCond::Ne => BranchCond::Eq,
+            BranchCond::Lt => BranchCond::Ge,
+            BranchCond::Ge => BranchCond::Lt,
+            BranchCond::Le => BranchCond::Gt,
+            BranchCond::Gt => BranchCond::Le,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Le => "ble",
+            BranchCond::Gt => "bgt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single machine instruction with resolved (absolute) branch targets.
+///
+/// Instruction addresses are indices into the program's instruction array;
+/// data memory is word-addressed and disjoint from instruction memory
+/// (a Harvard arrangement, which is all the trace-driven evaluation needs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// Three-register ALU operation: `rd = op(rs, rt)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs: Reg,
+        /// Second source register.
+        rt: Reg,
+    },
+    /// Register-immediate ALU operation: `rd = op(rs, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// Load immediate: `rd = imm`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// Load word: `rd = mem[rs(base) + offset]` (word addressing).
+    Lw {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Store word: `mem[base + offset] = rs`.
+    Sw {
+        /// Source (value) register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Conditional branch: if `cond(rs, rt)` then `pc = target` else fall
+    /// through. The only speculated (predicted) instruction kind.
+    Branch {
+        /// Comparison.
+        cond: BranchCond,
+        /// First compared register.
+        rs: Reg,
+        /// Second compared register.
+        rt: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Call: `ra = pc + 1; pc = target`.
+    Jal {
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Indirect jump (conventionally a return): `pc = rs`.
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Emits the value of `rs` to the program's output stream.
+    Out {
+        /// Register whose value is emitted.
+        rs: Reg,
+    },
+    /// Stops execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The register written by this instruction, if any.
+    ///
+    /// Writes to the hardwired-zero register are reported as `None` since
+    /// they are architecturally discarded.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        let d = match *self {
+            Instr::Alu { rd, .. } | Instr::AluImm { rd, .. } | Instr::Li { rd, .. } => Some(rd),
+            Instr::Lw { rd, .. } => Some(rd),
+            Instr::Jal { .. } => Some(Reg::RA),
+            _ => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// The registers read by this instruction (at most two).
+    ///
+    /// Reads of the hardwired-zero register are omitted: they can never be
+    /// flow-dependent on anything.
+    #[must_use]
+    pub fn uses(&self) -> [Option<Reg>; 2] {
+        let raw = match *self {
+            Instr::Alu { rs, rt, .. } => [Some(rs), Some(rt)],
+            Instr::AluImm { rs, .. } => [Some(rs), None],
+            Instr::Li { .. } => [None, None],
+            Instr::Lw { base, .. } => [Some(base), None],
+            Instr::Sw { rs, base, .. } => [Some(rs), Some(base)],
+            Instr::Branch { rs, rt, .. } => [Some(rs), Some(rt)],
+            Instr::Jump { .. } | Instr::Jal { .. } => [None, None],
+            Instr::Jr { rs } => [Some(rs), None],
+            Instr::Out { rs } => [Some(rs), None],
+            Instr::Halt | Instr::Nop => [None, None],
+        };
+        [
+            raw[0].filter(|r| !r.is_zero()),
+            raw[1].filter(|r| !r.is_zero()),
+        ]
+    }
+
+    /// Whether this is a conditional branch (the only predicted kind).
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether this instruction can change control flow at all.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// Whether this instruction accesses data memory.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Lw { .. } | Instr::Sw { .. })
+    }
+
+    /// The static branch/jump target, when one exists.
+    #[must_use]
+    pub fn static_target(&self) -> Option<u32> {
+        match *self {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is a backward conditional branch at address `pc`
+    /// (the classic loop-closing shape).
+    #[must_use]
+    pub fn is_backward_branch(&self, pc: u32) -> bool {
+        matches!(*self, Instr::Branch { target, .. } if target <= pc)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instr::AluImm { op, rd, rs, imm } => write!(f, "{op}i {rd}, {rs}, {imm}"),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Lw { rd, base, offset } => write!(f, "lw {rd}, {offset}({base})"),
+            Instr::Sw { rs, base, offset } => write!(f, "sw {rs}, {offset}({base})"),
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "{cond} {rs}, {rt}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Jal { target } => write!(f, "jal @{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Out { rs } => write!(f, "out {rs}"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_op_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Add.apply(i32::MAX, 1), i32::MIN);
+        assert_eq!(AluOp::Sub.apply(2, 3), -1);
+        assert_eq!(AluOp::Mul.apply(-4, 3), -12);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Rem.apply(7, 3), 1);
+        assert_eq!(AluOp::Rem.apply(7, 0), 0);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Nor.apply(0, 0), -1);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(-1, 28), 0xF);
+        assert_eq!(AluOp::Sra.apply(-16, 2), -4);
+        assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(-1, 0), 0);
+        assert_eq!(AluOp::Seq.apply(3, 3), 1);
+    }
+
+    #[test]
+    fn shift_amount_masked_to_five_bits() {
+        assert_eq!(AluOp::Sll.apply(1, 33), 2);
+        assert_eq!(AluOp::Srl.apply(4, 34), 1);
+    }
+
+    #[test]
+    fn div_overflow_does_not_panic() {
+        assert_eq!(AluOp::Div.apply(i32::MIN, -1), i32::MIN);
+        assert_eq!(AluOp::Rem.apply(i32::MIN, -1), 0);
+    }
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(1, 1));
+        assert!(BranchCond::Ne.eval(1, 2));
+        assert!(BranchCond::Lt.eval(-5, 0));
+        assert!(BranchCond::Ge.eval(0, 0));
+        assert!(BranchCond::Le.eval(-1, -1));
+        assert!(BranchCond::Gt.eval(2, 1));
+        assert!(!BranchCond::Gt.eval(1, 1));
+    }
+
+    #[test]
+    fn branch_cond_negation_is_involutive_and_exact() {
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Le,
+            BranchCond::Gt,
+        ] {
+            assert_eq!(cond.negated().negated(), cond);
+            for a in [-2, -1, 0, 1, 2] {
+                for b in [-2, -1, 0, 1, 2] {
+                    assert_eq!(cond.eval(a, b), !cond.negated().eval(a, b));
+                    assert_eq!(cond.eval(a, b), cond.swapped().eval(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let r1 = Reg::new(1);
+        let r2 = Reg::new(2);
+        let r3 = Reg::new(3);
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: r1,
+            rs: r2,
+            rt: r3,
+        };
+        assert_eq!(add.def(), Some(r1));
+        assert_eq!(add.uses(), [Some(r2), Some(r3)]);
+
+        let sw = Instr::Sw {
+            rs: r1,
+            base: r2,
+            offset: 4,
+        };
+        assert_eq!(sw.def(), None);
+        assert_eq!(sw.uses(), [Some(r1), Some(r2)]);
+
+        let jal = Instr::Jal { target: 10 };
+        assert_eq!(jal.def(), Some(Reg::RA));
+        assert_eq!(jal.uses(), [None, None]);
+    }
+
+    #[test]
+    fn zero_register_filtered_from_def_use() {
+        let wr0 = Instr::Li {
+            rd: Reg::ZERO,
+            imm: 7,
+        };
+        assert_eq!(wr0.def(), None);
+        let use0 = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs: Reg::ZERO,
+            rt: Reg::new(2),
+        };
+        assert_eq!(use0.uses(), [None, Some(Reg::new(2))]);
+    }
+
+    #[test]
+    fn classification() {
+        let b = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::new(1),
+            rt: Reg::ZERO,
+            target: 3,
+        };
+        assert!(b.is_cond_branch());
+        assert!(b.is_control());
+        assert!(!b.is_mem());
+        assert_eq!(b.static_target(), Some(3));
+        assert!(b.is_backward_branch(5));
+        assert!(!b.is_backward_branch(2));
+
+        assert!(Instr::Halt.is_control());
+        assert!(!Instr::Nop.is_control());
+        assert!(Instr::Lw {
+            rd: Reg::new(1),
+            base: Reg::SP,
+            offset: 0
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn display_round_trippable_shapes() {
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs: Reg::new(2),
+            imm: -3,
+        };
+        assert_eq!(i.to_string(), "addi r1, r2, -3");
+        assert_eq!(Instr::Jump { target: 7 }.to_string(), "j @7");
+    }
+}

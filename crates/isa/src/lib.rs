@@ -1,0 +1,55 @@
+//! A toy MIPS-R3000-like instruction set used by the Disjoint Eager Execution
+//! (DEE) reproduction.
+//!
+//! The DEE paper (Uht & Sindagi, MICRO-28, 1995) assumes "the MIPS R3000
+//! instruction set ... but with single cycle (unit latency) instruction
+//! execution", and stresses that its microarchitecture is instruction-set
+//! independent. This crate provides a compact RISC ISA with the same
+//! structural properties the evaluation depends on:
+//!
+//! * 32 general-purpose registers ([`Reg`]), with `r0` hardwired to zero;
+//! * three-operand ALU instructions and compare-and-branch conditional
+//!   branches ([`Instr`]);
+//! * word-addressed memory with base+offset loads and stores;
+//! * `jal`/`jr` call/return, and an `out` instruction so programs can emit a
+//!   checkable output stream.
+//!
+//! The crate also contains the static program analyses the reduced/minimal
+//! control-dependence (`-CD`) execution models need: a control-flow graph,
+//! a post-dominator computation, and per-branch reconvergence points
+//! (the `cfg` module).
+//!
+//! # Example
+//!
+//! ```
+//! use dee_isa::{Assembler, Reg};
+//!
+//! let mut asm = Assembler::new();
+//! let (r1, r2) = (Reg::new(1), Reg::new(2));
+//! asm.li(r1, 5);
+//! asm.li(r2, 0);
+//! asm.label("loop");
+//! asm.add(r2, r2, r1);
+//! asm.addi(r1, r1, -1);
+//! asm.bne_label(r1, Reg::ZERO, "loop");
+//! asm.out(r2);
+//! asm.halt();
+//! let program = asm.assemble().expect("label resolution succeeds");
+//! assert_eq!(program.len(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+pub mod cfg;
+mod instr;
+pub mod parse;
+mod program;
+mod reg;
+pub mod transform;
+
+pub use asm::{AsmError, Assembler};
+pub use instr::{AluOp, BranchCond, Instr};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;

@@ -1,0 +1,420 @@
+//! A text-format assembler: parse `.s`-style source into a [`Program`].
+//!
+//! The syntax round-trips with the [`Display`](std::fmt::Display) forms of
+//! [`Instr`](crate::Instr) plus labels and comments, so programs can be
+//! written, dumped (`Program::to_listing`), edited, and re-assembled:
+//!
+//! ```text
+//! # sum the numbers 1..=n (r4 = n)
+//!         li   r2, 0
+//! loop:   add  r2, r2, r4
+//!         addi r4, r4, -1
+//!         bgt  r4, r0, loop
+//!         out  r2
+//!         halt
+//! ```
+//!
+//! Targets may be written as labels (`loop`) or absolute addresses (`@7`).
+//! Comments start with `#` or `;`. Register aliases `zero`, `sp`, `fp`,
+//! `ra`, `rv` are accepted alongside `r0`..`r31`.
+
+use std::fmt;
+
+use crate::{AsmError, Assembler, BranchCond, Program, Reg};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    match token {
+        "zero" => return Ok(Reg::ZERO),
+        "sp" => return Ok(Reg::SP),
+        "fp" => return Ok(Reg::FP),
+        "ra" => return Ok(Reg::RA),
+        "rv" => return Ok(Reg::RV),
+        _ => {}
+    }
+    let digits = token
+        .strip_prefix('r')
+        .ok_or_else(|| err(format!("expected register, got `{token}`")))?;
+    let index: u8 = digits
+        .parse()
+        .map_err(|_| err(format!("bad register `{token}`")))?;
+    Reg::try_new(index).ok_or_else(|| err(format!("register `{token}` out of range")))
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<i32, ParseError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = token.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        token.parse::<i64>().ok()
+    };
+    match parsed {
+        Some(v) if i32::try_from(v).is_ok() => Ok(v as i32),
+        _ => Err(ParseError {
+            line,
+            message: format!("bad immediate `{token}`"),
+        }),
+    }
+}
+
+/// `offset(base)` for loads/stores, e.g. `-2(sp)`.
+fn parse_mem_operand(token: &str, line: usize) -> Result<(Reg, i32), ParseError> {
+    let err = || ParseError {
+        line,
+        message: format!("expected offset(base), got `{token}`"),
+    };
+    let open = token.find('(').ok_or_else(err)?;
+    let close = token.strip_suffix(')').ok_or_else(err)?;
+    let offset = parse_imm(&token[..open], line)?;
+    let base = parse_reg(&close[open + 1..], line)?;
+    Ok((base, offset))
+}
+
+/// Parses assembly source into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors, unknown mnemonics, or any
+/// label/validation failure reported by the [`Assembler`].
+///
+/// # Example
+///
+/// ```
+/// use dee_isa::parse::parse_program;
+///
+/// let program = parse_program(
+///     "        li   r1, 3\n\
+///      top:    addi r1, r1, -1\n\
+///      bgt  r1, r0, top\n\
+///      halt\n",
+/// )?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), dee_isa::parse::ParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let mut asm = Assembler::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw_line;
+        if let Some(cut) = text.find(['#', ';']) {
+            text = &text[..cut];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(ParseError {
+                    line,
+                    message: format!("bad label `{label}`"),
+                });
+            }
+            asm.label(label);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        emit(&mut asm, mnemonic, &operands, line)?;
+    }
+    asm.assemble().map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+fn emit(
+    asm: &mut Assembler,
+    mnemonic: &str,
+    operands: &[&str],
+    line: usize,
+) -> Result<(), ParseError> {
+    let arity_err = |want: usize| ParseError {
+        line,
+        message: format!("`{mnemonic}` expects {want} operand(s), got {}", operands.len()),
+    };
+    let need = |n: usize| -> Result<(), ParseError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(arity_err(n))
+        }
+    };
+    let reg = |i: usize| parse_reg(operands[i], line);
+    let imm = |i: usize| parse_imm(operands[i], line);
+
+    match mnemonic {
+        // Register-register ALU.
+        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
+        | "sra" | "slt" | "seq" => {
+            need(3)?;
+            let (d, a, b) = (reg(0)?, reg(1)?, reg(2)?);
+            match mnemonic {
+                "add" => asm.add(d, a, b),
+                "sub" => asm.sub(d, a, b),
+                "mul" => asm.mul(d, a, b),
+                "div" => asm.div(d, a, b),
+                "rem" => asm.rem(d, a, b),
+                "and" => asm.and(d, a, b),
+                "or" => asm.or(d, a, b),
+                "xor" => asm.xor(d, a, b),
+                "sll" => asm.sll(d, a, b),
+                "srl" => asm.srl(d, a, b),
+                "sra" => asm.sra(d, a, b),
+                "slt" => asm.slt(d, a, b),
+                _ => asm.seq(d, a, b),
+            };
+        }
+        // Register-immediate ALU.
+        "addi" | "andi" | "ori" | "xori" | "muli" | "remi" | "slti" | "slli" | "srli"
+        | "srai" => {
+            need(3)?;
+            let (d, a, b) = (reg(0)?, reg(1)?, imm(2)?);
+            match mnemonic {
+                "addi" => asm.addi(d, a, b),
+                "andi" => asm.andi(d, a, b),
+                "ori" => asm.ori(d, a, b),
+                "xori" => asm.xori(d, a, b),
+                "muli" => asm.muli(d, a, b),
+                "remi" => asm.remi(d, a, b),
+                "slti" => asm.slti(d, a, b),
+                "slli" => asm.slli(d, a, b),
+                "srli" => asm.srli(d, a, b),
+                _ => asm.srai(d, a, b),
+            };
+        }
+        "li" => {
+            need(2)?;
+            let (d, v) = (reg(0)?, imm(1)?);
+            asm.li(d, v);
+        }
+        "mv" => {
+            need(2)?;
+            let (d, a) = (reg(0)?, reg(1)?);
+            asm.mv(d, a);
+        }
+        "lw" => {
+            need(2)?;
+            let d = reg(0)?;
+            let (base, offset) = parse_mem_operand(operands[1], line)?;
+            asm.lw(d, base, offset);
+        }
+        "sw" => {
+            need(2)?;
+            let v = reg(0)?;
+            let (base, offset) = parse_mem_operand(operands[1], line)?;
+            asm.sw(v, base, offset);
+        }
+        "beq" | "bne" | "blt" | "bge" | "ble" | "bgt" => {
+            need(3)?;
+            let (a, b) = (reg(0)?, reg(1)?);
+            let cond = match mnemonic {
+                "beq" => BranchCond::Eq,
+                "bne" => BranchCond::Ne,
+                "blt" => BranchCond::Lt,
+                "bge" => BranchCond::Ge,
+                "ble" => BranchCond::Le,
+                _ => BranchCond::Gt,
+            };
+            asm.branch_label(cond, a, b, operands[2]);
+        }
+        "j" => {
+            need(1)?;
+            asm.j_label(operands[0]);
+        }
+        "jal" | "call" => {
+            need(1)?;
+            asm.call_label(operands[0]);
+        }
+        "jr" => {
+            need(1)?;
+            let r = reg(0)?;
+            asm.jr(r);
+        }
+        "ret" => {
+            need(0)?;
+            asm.ret();
+        }
+        "push" => {
+            need(1)?;
+            let r = reg(0)?;
+            asm.push(r);
+        }
+        "pop" => {
+            need(1)?;
+            let r = reg(0)?;
+            asm.pop(r);
+        }
+        "out" => {
+            need(1)?;
+            let r = reg(0)?;
+            asm.out(r);
+        }
+        "halt" => {
+            need(0)?;
+            asm.halt();
+        }
+        "nop" => {
+            need(0)?;
+            asm.nop();
+        }
+        other => {
+            return Err(ParseError {
+                line,
+                message: format!("unknown mnemonic `{other}`"),
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instr;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let p = parse_program(
+            "# sum 1..=n\n\
+             \tli   r2, 0\n\
+             \tli   r4, 5\n\
+             loop:\tadd  r2, r2, r4\n\
+             \taddi r4, r4, -1\n\
+             \tbgt  r4, r0, loop\n\
+             \tout  r2\n\
+             \thalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p[4].static_target(), Some(2));
+    }
+
+    #[test]
+    fn register_aliases_and_hex_immediates() {
+        let p = parse_program("li sp, 0x40\nsw ra, -2(sp)\nlw rv, 0x10(zero)\nhalt\n").unwrap();
+        assert_eq!(
+            p[0],
+            Instr::Li { rd: Reg::SP, imm: 0x40 }
+        );
+        assert_eq!(
+            p[1],
+            Instr::Sw { rs: Reg::RA, base: Reg::SP, offset: -2 }
+        );
+        assert_eq!(
+            p[2],
+            Instr::Lw { rd: Reg::RV, base: Reg::ZERO, offset: 16 }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("; header\n\n  # only comments here\nhalt # trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn multiple_labels_on_one_line() {
+        let p = parse_program("a: b: halt\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = parse_program("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_reported() {
+        let err = parse_program("li r99, 0\nhalt\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("r99"));
+    }
+
+    #[test]
+    fn arity_errors_reported() {
+        let err = parse_program("add r1, r2\nhalt\n").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn undefined_label_caught_at_assembly() {
+        let err = parse_program("j nowhere\nhalt\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn pseudo_ops_expand() {
+        let p = parse_program("push r3\npop r4\nret\nhalt\n").unwrap();
+        // push = 2, pop = 2, ret = 1, halt = 1.
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn listing_round_trips_through_the_parser() {
+        // Build a program with every instruction shape, dump it, strip the
+        // addresses, and re-parse; the result must be identical.
+        let mut asm = Assembler::new();
+        let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        asm.li(r1, -7);
+        asm.add(r2, r1, r1);
+        asm.muli(r3, r2, 3);
+        asm.sw(r3, Reg::SP, -1);
+        asm.lw(r3, Reg::SP, -1);
+        asm.label("here");
+        asm.beq_label(r3, Reg::ZERO, "done");
+        asm.j_label("here");
+        asm.label("done");
+        asm.call_label("f");
+        asm.out(r3);
+        asm.halt();
+        asm.label("f");
+        asm.ret();
+        let original = asm.assemble().unwrap();
+
+        // The listing uses `@addr` targets; translate to labels the lazy
+        // way: rewrite `@N` to `LN` and emit label lines.
+        let mut source = String::new();
+        for (pc, instr) in original.iter() {
+            source.push_str(&format!("L{pc}: {}\n", instr).replace('@', "L"));
+        }
+        let reparsed = parse_program(&source).unwrap();
+        assert_eq!(reparsed, original);
+    }
+}

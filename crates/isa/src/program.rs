@@ -1,0 +1,276 @@
+use std::fmt;
+use std::ops::Index;
+
+use crate::{Instr, Reg};
+
+/// A validated, executable program: a sequence of instructions with all
+/// branch targets resolved and in range.
+///
+/// Build programs with the [`Assembler`](crate::Assembler); `Program::new`
+/// validates a raw instruction vector directly.
+///
+/// # Example
+///
+/// ```
+/// use dee_isa::{Instr, Program, Reg};
+///
+/// let program = Program::new(vec![
+///     Instr::Li { rd: Reg::new(1), imm: 42 },
+///     Instr::Out { rs: Reg::new(1) },
+///     Instr::Halt,
+/// ])?;
+/// assert_eq!(program.len(), 3);
+/// # Ok::<(), dee_isa::ProgramError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+/// Error returned when validating a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProgramError {
+    /// The instruction vector was empty.
+    Empty,
+    /// A branch or jump at `pc` targets `target`, which is out of range.
+    TargetOutOfRange {
+        /// Address of the offending instruction.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// The program contains no `halt`, so execution could run off the end.
+    NoHalt,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProgramError::Empty => f.write_str("program is empty"),
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction at {pc} targets out-of-range address {target}")
+            }
+            ProgramError::NoHalt => f.write_str("program contains no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Validates a raw instruction vector into a `Program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] when the vector is empty, any static branch
+    /// or jump target is out of range, or no `halt` is present.
+    pub fn new(instrs: Vec<Instr>) -> Result<Self, ProgramError> {
+        if instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = instrs.len() as u32;
+        for (pc, instr) in instrs.iter().enumerate() {
+            if let Some(target) = instr.static_target() {
+                if target >= len {
+                    return Err(ProgramError::TargetOutOfRange {
+                        pc: pc as u32,
+                        target,
+                    });
+                }
+            }
+        }
+        if !instrs.iter().any(|i| matches!(i, Instr::Halt)) {
+            return Err(ProgramError::NoHalt);
+        }
+        Ok(Program { instrs })
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for a validated program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at address `pc`, or `None` when out of range.
+    #[must_use]
+    pub fn get(&self, pc: u32) -> Option<&Instr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// Iterates over `(pc, instruction)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Instr)> {
+        self.instrs.iter().enumerate().map(|(i, x)| (i as u32, x))
+    }
+
+    /// All instructions as a slice.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Addresses of all conditional branches, in address order.
+    #[must_use]
+    pub fn cond_branch_pcs(&self) -> Vec<u32> {
+        self.iter()
+            .filter(|(_, i)| i.is_cond_branch())
+            .map(|(pc, _)| pc)
+            .collect()
+    }
+
+    /// A register that is read somewhere before being written, other than
+    /// `r0`; useful for catching uninitialized-register bugs in hand-written
+    /// workloads. This is a conservative linear scan (ignores control flow).
+    #[must_use]
+    pub fn linearly_uninitialized_use(&self) -> Option<(u32, Reg)> {
+        let mut written = [false; Reg::COUNT];
+        written[0] = true;
+        for (pc, instr) in self.iter() {
+            for r in instr.uses().into_iter().flatten() {
+                if !written[r.index()] {
+                    return Some((pc, r));
+                }
+            }
+            if let Some(d) = instr.def() {
+                written[d.index()] = true;
+            }
+        }
+        None
+    }
+
+    /// Renders the program as readable assembly text with addresses.
+    #[must_use]
+    pub fn to_listing(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (pc, instr) in self.iter() {
+            let _ = writeln!(out, "{pc:5}: {instr}");
+        }
+        out
+    }
+}
+
+impl Index<u32> for Program {
+    type Output = Instr;
+
+    fn index(&self, pc: u32) -> &Instr {
+        &self.instrs[pc as usize]
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, BranchCond};
+
+    fn halt_only() -> Vec<Instr> {
+        vec![Instr::Halt]
+    }
+
+    #[test]
+    fn validates_minimal_program() {
+        let p = Program::new(halt_only()).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(0), Some(&Instr::Halt));
+        assert_eq!(p.get(1), None);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = Program::new(vec![Instr::Jump { target: 9 }, Instr::Halt]).unwrap_err();
+        assert_eq!(err, ProgramError::TargetOutOfRange { pc: 0, target: 9 });
+        assert!(err.to_string().contains("out-of-range"));
+    }
+
+    #[test]
+    fn rejects_no_halt() {
+        let err = Program::new(vec![Instr::Nop]).unwrap_err();
+        assert_eq!(err, ProgramError::NoHalt);
+    }
+
+    #[test]
+    fn cond_branch_pcs_finds_branches_only() {
+        let p = Program::new(vec![
+            Instr::Nop,
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::new(1),
+                rt: Reg::ZERO,
+                target: 0,
+            },
+            Instr::Jump { target: 0 },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.cond_branch_pcs(), vec![1]);
+    }
+
+    #[test]
+    fn uninitialized_use_detection() {
+        let p = Program::new(vec![
+            Instr::Li {
+                rd: Reg::new(1),
+                imm: 1,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::new(2),
+                rs: Reg::new(1),
+                rt: Reg::new(3),
+            },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.linearly_uninitialized_use(), Some((1, Reg::new(3))));
+
+        let clean = Program::new(vec![
+            Instr::Li {
+                rd: Reg::new(3),
+                imm: 0,
+            },
+            Instr::Out { rs: Reg::new(3) },
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(clean.linearly_uninitialized_use(), None);
+    }
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let p = Program::new(vec![
+            Instr::Li {
+                rd: Reg::new(1),
+                imm: 5,
+            },
+            Instr::Halt,
+        ])
+        .unwrap();
+        let listing = p.to_listing();
+        assert!(listing.contains("li r1, 5"));
+        assert!(listing.contains("halt"));
+        assert_eq!(p.to_string(), listing);
+    }
+
+    #[test]
+    fn index_operator() {
+        let p = Program::new(halt_only()).unwrap();
+        assert_eq!(p[0], Instr::Halt);
+    }
+}

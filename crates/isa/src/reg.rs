@@ -1,0 +1,155 @@
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// Register 0 ([`Reg::ZERO`]) is hardwired to zero, as on the MIPS R3000:
+/// reads return 0 and writes are discarded, and dependence analyses treat it
+/// as neither a source nor a sink.
+///
+/// # Example
+///
+/// ```
+/// use dee_isa::Reg;
+///
+/// let sp = Reg::SP;
+/// assert_eq!(sp.index(), 29);
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional return-value register.
+    pub const RV: Reg = Reg(2);
+    /// Conventional first argument register.
+    pub const A0: Reg = Reg(4);
+    /// Conventional second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Conventional third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Conventional fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Conventional frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Conventional link (return-address) register, written by `jal`.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < Self::COUNT as u8, "register index out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub const fn try_new(index: u8) -> Option<Self> {
+        if index < Self::COUNT as u8 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::SP.is_zero());
+        assert_eq!(Reg::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn new_accepts_all_valid_indices() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::RA));
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(Reg::try_new(255), None);
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+        assert_eq!(format!("{:?}", Reg::RA), "r31");
+    }
+
+    #[test]
+    fn conventional_aliases() {
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::FP.index(), 30);
+        assert_eq!(Reg::RA.index(), 31);
+        assert_eq!(Reg::RV.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! Machine-code to machine-code loop unrolling — the filter program of
+//! §4.2: "The execution of loops with lengths less than that of the
+//! Instruction Queue can be enhanced by a machine-code to machine-code
+//! loop unrolling filter program, to achieve average loop sizes of about
+//! 3/4 the length of the Queue."
+//!
+//! [`unroll_loops`] rewrites simple innermost loops (a backward conditional
+//! branch closing a single-entry, call-free body) into `k` copies of the
+//! body, each ending in an exit test:
+//!
+//! ```text
+//! t: body                t: body            (copy 1)
+//!    bcond -> t      =>     b!cond -> exit
+//!                           body            (copy 2)
+//!                           b!cond -> exit
+//!                           body            (copy k)
+//!                           bcond -> t
+//!                        exit:
+//! ```
+//!
+//! The transformation is semantics-preserving — every copy keeps the loop
+//! test, so no trip-count analysis is needed — and executes *exactly the
+//! same dynamic instruction count* (one branch per original iteration).
+//! What changes is the static shape: a static instruction window (Levo's
+//! IQ) now holds `k` iterations per captured column.
+
+use crate::{Instr, Program, ProgramError};
+
+/// Parameters of the unrolling filter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnrollConfig {
+    /// Copies of each eligible body (≥ 2 to change anything).
+    pub factor: u32,
+    /// Only unroll bodies of at most this many instructions.
+    pub max_body: u32,
+}
+
+impl Default for UnrollConfig {
+    /// Factor 3 with bodies up to 8 instructions: a 32-row IQ then holds
+    /// a ~24-instruction unrolled body, the paper's "about 3/4 the length
+    /// of the Queue".
+    fn default() -> Self {
+        UnrollConfig { factor: 3, max_body: 8 }
+    }
+}
+
+/// Result of the filter.
+#[derive(Clone, Debug)]
+pub struct UnrollResult {
+    /// The rewritten program.
+    pub program: Program,
+    /// Start addresses (in the *original* program) of the unrolled loops.
+    pub unrolled: Vec<u32>,
+}
+
+/// A candidate loop: body `[start..=close]` closed either by a backward
+/// conditional branch (do-while shape) or a backward unconditional jump
+/// (test-at-top shape, the common compiler output).
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    start: u32,
+    close: u32,
+}
+
+impl Candidate {
+    fn body_len(&self) -> u32 {
+        self.close - self.start + 1
+    }
+
+    fn contains(&self, pc: u32) -> bool {
+        pc >= self.start && pc <= self.close
+    }
+
+    /// The loop's single exit: the instruction after the closing branch.
+    fn exit(&self) -> u32 {
+        self.close + 1
+    }
+}
+
+/// Finds simple innermost loops eligible for unrolling.
+fn find_candidates(program: &Program, config: &UnrollConfig) -> Vec<Candidate> {
+    let mut candidates = Vec::new();
+    'branches: for (pc, instr) in program.iter() {
+        let candidate = match *instr {
+            Instr::Branch { target, .. } | Instr::Jump { target } if target <= pc => {
+                Candidate { start: target, close: pc }
+            }
+            _ => continue,
+        };
+        if candidate.body_len() > config.max_body {
+            continue;
+        }
+        // Body restrictions: no calls/returns/halts, no *other* backward
+        // control (innermost only); internal control stays inside the body
+        // or targets the loop's single exit.
+        for body_pc in candidate.start..candidate.close {
+            match program[body_pc] {
+                Instr::Jal { .. } | Instr::Jr { .. } | Instr::Halt => continue 'branches,
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => {
+                    if t <= body_pc {
+                        continue 'branches; // nested backward control
+                    }
+                    if !candidate.contains(t) && t != candidate.exit() {
+                        continue 'branches;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Single entry: nothing outside targets the body's interior.
+        for (other_pc, other) in program.iter() {
+            if candidate.contains(other_pc) {
+                continue;
+            }
+            if let Some(t) = other.static_target() {
+                if candidate.contains(t) && t != candidate.start {
+                    continue 'branches;
+                }
+            }
+        }
+        // Fall-through into the interior other than sequentially through
+        // `start` is impossible for contiguous code, so we are done.
+        candidates.push(candidate);
+    }
+    // Keep non-overlapping candidates, outermost-first order by address.
+    let mut chosen: Vec<Candidate> = Vec::new();
+    for c in candidates {
+        if chosen
+            .iter()
+            .all(|x| c.close < x.start || c.start > x.close)
+        {
+            chosen.push(c);
+        }
+    }
+    chosen.sort_by_key(|c| c.start);
+    chosen
+}
+
+/// Applies the unrolling filter.
+///
+/// # Errors
+///
+/// Returns [`ProgramError`] only if the rewritten program fails validation,
+/// which would indicate a bug in the filter (tested not to happen).
+pub fn unroll_loops(program: &Program, config: &UnrollConfig) -> Result<UnrollResult, ProgramError> {
+    if config.factor < 2 {
+        return Ok(UnrollResult {
+            program: program.clone(),
+            unrolled: Vec::new(),
+        });
+    }
+    let candidates = find_candidates(program, config);
+    if candidates.is_empty() {
+        return Ok(UnrollResult {
+            program: program.clone(),
+            unrolled: Vec::new(),
+        });
+    }
+
+    // Pass 1: compute the new address of every original instruction.
+    // Body instructions map to their copy-1 position.
+    let mut new_pc = vec![0u32; program.len()];
+    let mut cursor = 0u32;
+    let mut c_iter = candidates.iter().peekable();
+    let mut pc = 0u32;
+    while (pc as usize) < program.len() {
+        if let Some(&&c) = c_iter.peek() {
+            if pc == c.start {
+                let body = c.body_len();
+                for offset in 0..body {
+                    new_pc[(c.start + offset) as usize] = cursor + offset;
+                }
+                cursor += body * config.factor;
+                pc = c.close + 1;
+                c_iter.next();
+                continue;
+            }
+        }
+        new_pc[pc as usize] = cursor;
+        cursor += 1;
+        pc += 1;
+    }
+    let map = |old: u32| new_pc[old as usize];
+
+    // Pass 2: emit.
+    let mut out: Vec<Instr> = Vec::with_capacity(cursor as usize);
+    let mut c_iter = candidates.iter().peekable();
+    let mut pc = 0u32;
+    while (pc as usize) < program.len() {
+        if let Some(&&c) = c_iter.peek() {
+            if pc == c.start {
+                let body = c.body_len();
+                let block_start = out.len() as u32;
+                let exit = block_start + body * config.factor;
+                for copy in 0..config.factor {
+                    let copy_base = block_start + copy * body;
+                    let last_copy = copy + 1 == config.factor;
+                    // Internal targets land in this copy; the loop's exit
+                    // lands after the whole unrolled block.
+                    let retarget = |t: u32| -> u32 {
+                        if c.contains(t) {
+                            copy_base + (t - c.start)
+                        } else {
+                            debug_assert_eq!(t, c.exit());
+                            exit
+                        }
+                    };
+                    for offset in 0..body {
+                        let old = c.start + offset;
+                        let instr = program[old];
+                        let rewritten = match instr {
+                            // The closing instruction.
+                            Instr::Branch { cond, rs, rt, target } if old == c.close => {
+                                if last_copy {
+                                    Instr::Branch { cond, rs, rt, target: map(target) }
+                                } else {
+                                    // Earlier copies test for exit and fall
+                                    // through into the next copy.
+                                    Instr::Branch {
+                                        cond: cond.negated(),
+                                        rs,
+                                        rt,
+                                        target: exit,
+                                    }
+                                }
+                            }
+                            Instr::Jump { target } if old == c.close => {
+                                // Test-at-top loop: the back jump of each
+                                // copy goes to the next copy (same dynamic
+                                // instruction count); the last loops back.
+                                if last_copy {
+                                    Instr::Jump { target: map(target) }
+                                } else {
+                                    Instr::Jump { target: copy_base + body }
+                                }
+                            }
+                            // Internal control: retarget per copy.
+                            Instr::Branch { cond, rs, rt, target } => Instr::Branch {
+                                cond,
+                                rs,
+                                rt,
+                                target: retarget(target),
+                            },
+                            Instr::Jump { target } => Instr::Jump { target: retarget(target) },
+                            other => other,
+                        };
+                        out.push(rewritten);
+                    }
+                }
+                pc = c.close + 1;
+                c_iter.next();
+                continue;
+            }
+        }
+        let instr = program[pc];
+        let rewritten = match instr {
+            Instr::Branch { cond, rs, rt, target } => {
+                Instr::Branch { cond, rs, rt, target: map(target) }
+            }
+            Instr::Jump { target } => Instr::Jump { target: map(target) },
+            Instr::Jal { target } => Instr::Jal { target: map(target) },
+            other => other,
+        };
+        out.push(rewritten);
+        pc += 1;
+    }
+
+    Ok(UnrollResult {
+        program: Program::new(out)?,
+        unrolled: candidates.iter().map(|c| c.start).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Reg};
+
+    fn countdown_program() -> Program {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 10);
+        asm.li(r2, 0);
+        asm.label("top");
+        asm.add(r2, r2, r1);
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.out(r2);
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn finds_and_unrolls_a_simple_loop() {
+        let p = countdown_program();
+        let result = unroll_loops(&p, &UnrollConfig { factor: 3, max_body: 8 }).unwrap();
+        assert_eq!(result.unrolled, vec![2]);
+        // Body of 3 instructions becomes 9; rest unchanged.
+        assert_eq!(result.program.len(), p.len() + 2 * 3);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let p = countdown_program();
+        let result = unroll_loops(&p, &UnrollConfig { factor: 1, max_body: 8 }).unwrap();
+        assert_eq!(result.program, p);
+        assert!(result.unrolled.is_empty());
+    }
+
+    #[test]
+    fn oversized_bodies_are_left_alone() {
+        let p = countdown_program();
+        let result = unroll_loops(&p, &UnrollConfig { factor: 3, max_body: 2 }).unwrap();
+        assert!(result.unrolled.is_empty());
+        assert_eq!(result.program, p);
+    }
+
+    #[test]
+    fn loops_with_calls_are_skipped() {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 3);
+        asm.label("top");
+        asm.call_label("f");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        asm.label("f");
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        let result = unroll_loops(&p, &UnrollConfig::default()).unwrap();
+        assert!(result.unrolled.is_empty());
+    }
+
+    #[test]
+    fn multi_entry_loops_are_skipped() {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 3);
+        asm.beq_label(r1, Reg::ZERO, "middle"); // second entry into the body
+        asm.label("top");
+        asm.nop();
+        asm.label("middle");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let result = unroll_loops(&p, &UnrollConfig::default()).unwrap();
+        assert!(result.unrolled.is_empty());
+    }
+
+    #[test]
+    fn internal_forward_branches_are_retargeted_per_copy() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 6);
+        asm.li(r2, 0);
+        asm.label("top");
+        asm.andi(r2, r1, 1);
+        asm.beq_label(r2, Reg::ZERO, "skip"); // internal if
+        asm.addi(r2, r2, 5);
+        asm.label("skip");
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.out(r1);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let result = unroll_loops(&p, &UnrollConfig { factor: 2, max_body: 8 }).unwrap();
+        assert_eq!(result.unrolled.len(), 1);
+        // Every internal branch target stays inside its own copy.
+        for (pc, instr) in result.program.iter() {
+            if let Some(t) = instr.static_target() {
+                assert!((t as usize) < result.program.len(), "pc {pc} target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_on_countdown() {
+        use dee_vm_equivalence::outputs_match;
+        let p = countdown_program();
+        for factor in [2, 3, 4] {
+            let result = unroll_loops(&p, &UnrollConfig { factor, max_body: 8 }).unwrap();
+            assert!(outputs_match(&p, &result.program), "factor {factor}");
+        }
+    }
+
+    /// Minimal interpreter for the equivalence check, mirroring dee-vm
+    /// semantics (dee-isa cannot depend on dee-vm).
+    mod dee_vm_equivalence {
+        use crate::{Instr, Program, Reg};
+
+        fn run(program: &Program) -> Vec<i32> {
+            let mut regs = [0i32; Reg::COUNT];
+            let mut mem = vec![0i32; 4096];
+            let mut out = Vec::new();
+            let mut pc = 0u32;
+            for _ in 0..1_000_000u32 {
+                match program[pc] {
+                    Instr::Alu { op, rd, rs, rt } => {
+                        regs[rd.index()] = op.apply(regs[rs.index()], regs[rt.index()]);
+                    }
+                    Instr::AluImm { op, rd, rs, imm } => {
+                        regs[rd.index()] = op.apply(regs[rs.index()], imm);
+                    }
+                    Instr::Li { rd, imm } => regs[rd.index()] = imm,
+                    Instr::Lw { rd, base, offset } => {
+                        regs[rd.index()] = mem[(regs[base.index()] + offset) as usize];
+                    }
+                    Instr::Sw { rs, base, offset } => {
+                        mem[(regs[base.index()] + offset) as usize] = regs[rs.index()];
+                    }
+                    Instr::Branch { cond, rs, rt, target } => {
+                        if cond.eval(regs[rs.index()], regs[rt.index()]) {
+                            pc = target;
+                            regs[0] = 0;
+                            continue;
+                        }
+                    }
+                    Instr::Jump { target } => {
+                        pc = target;
+                        continue;
+                    }
+                    Instr::Jal { target } => {
+                        regs[Reg::RA.index()] = (pc + 1) as i32;
+                        pc = target;
+                        continue;
+                    }
+                    Instr::Jr { rs } => {
+                        pc = regs[rs.index()] as u32;
+                        continue;
+                    }
+                    Instr::Out { rs } => out.push(regs[rs.index()]),
+                    Instr::Halt => return out,
+                    Instr::Nop => {}
+                }
+                regs[0] = 0;
+                pc += 1;
+            }
+            panic!("program did not halt");
+        }
+
+        pub fn outputs_match(a: &Program, b: &Program) -> bool {
+            run(a) == run(b)
+        }
+    }
+}

@@ -1,0 +1,148 @@
+/// Which per-row branch predictor the machine uses.
+///
+/// §4.3: "Although the standard 2-bit counter prediction method is
+/// desirable ... it may not be possible", because many instances of a
+/// static branch can be unresolved at once; "if PAp adaptive prediction is
+/// used, with history register lengths of 2 bits ... the 90% prediction
+/// accuracy should be realizable", thanks to speculative history update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PredictorKind {
+    /// Classic 2-bit saturating counter per row (trained at retire).
+    #[default]
+    TwoBit,
+    /// PAp two-level adaptive with 2 history bits and speculative update.
+    PapSpeculative,
+}
+
+/// Geometry and policy of a Levo machine instance.
+///
+/// The defaults are the paper's targets: a 32×8 Instruction Queue
+/// (§4.2: "the matrix dimensions n × m are targeted to be 32 × 8") with
+/// three single-column DEE paths (the `E_T = 32` configuration of §4.3;
+/// use 11 two-column paths for the `E_T = 100` single-chip target).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LevoConfig {
+    /// IQ rows: static instructions in the window (`n`).
+    pub n: usize,
+    /// Iteration columns per row (`m`): loop instances in flight.
+    pub m: usize,
+    /// Number of DEE paths (DEE'd branches), `h_DEE`. 0 disables DEE,
+    /// leaving the CONDEL-2 base machine.
+    pub dee_paths: usize,
+    /// Columns per DEE path (1 or 2 in the paper's configurations).
+    pub dee_cols: usize,
+    /// Instances dispatched per cycle.
+    pub fetch_width: usize,
+    /// Extra cycles lost on an uncovered misprediction (§4.3: "currently
+    /// one cycle").
+    pub mispredict_penalty: u32,
+    /// Per-row branch predictor kind.
+    pub predictor: PredictorKind,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for LevoConfig {
+    fn default() -> Self {
+        LevoConfig {
+            n: 32,
+            m: 8,
+            dee_paths: 3,
+            dee_cols: 1,
+            fetch_width: 8,
+            mispredict_penalty: 1,
+            predictor: PredictorKind::TwoBit,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl LevoConfig {
+    /// The paper's single-chip target: 11 two-column DEE paths
+    /// (`E_T = 100` branch paths).
+    #[must_use]
+    pub fn levo_100() -> Self {
+        LevoConfig {
+            dee_paths: 11,
+            dee_cols: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The CONDEL-2 base machine: no DEE paths.
+    #[must_use]
+    pub fn condel2() -> Self {
+        LevoConfig {
+            dee_paths: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Instructions a single DEE path holds (`n × dee_cols`).
+    #[must_use]
+    pub fn dee_path_len(&self) -> usize {
+        self.n * self.dee_cols
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is out of its sane range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || self.n > 4096 {
+            return Err(format!("n = {} out of range 1..=4096", self.n));
+        }
+        if self.m == 0 || self.m > 64 {
+            return Err(format!("m = {} out of range 1..=64", self.m));
+        }
+        if self.fetch_width == 0 {
+            return Err("fetch_width must be positive".into());
+        }
+        if self.dee_paths > 0 && self.dee_cols == 0 {
+            return Err("dee_cols must be positive when DEE paths exist".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_targets() {
+        let c = LevoConfig::default();
+        assert_eq!((c.n, c.m), (32, 8));
+        assert_eq!(c.dee_paths, 3);
+        assert_eq!(c.mispredict_penalty, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn levo_100_has_eleven_two_column_paths() {
+        let c = LevoConfig::levo_100();
+        assert_eq!(c.dee_paths, 11);
+        assert_eq!(c.dee_cols, 2);
+        assert_eq!(c.dee_path_len(), 64);
+    }
+
+    #[test]
+    fn condel2_disables_dee() {
+        assert_eq!(LevoConfig::condel2().dee_paths, 0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_geometry() {
+        let c = LevoConfig { n: 0, ..LevoConfig::default() };
+        assert!(c.validate().is_err());
+        let c = LevoConfig { m: 0, ..LevoConfig::default() };
+        assert!(c.validate().is_err());
+        let c = LevoConfig { fetch_width: 0, ..LevoConfig::default() };
+        assert!(c.validate().is_err());
+        let c = LevoConfig { dee_cols: 0, ..LevoConfig::default() };
+        assert!(c.validate().is_err());
+        let c = LevoConfig { dee_cols: 0, dee_paths: 0, ..LevoConfig::default() };
+        assert!(c.validate().is_ok(), "dee_cols unused without paths");
+    }
+}

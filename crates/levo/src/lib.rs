@@ -1,0 +1,64 @@
+//! Levo: a cycle-level model of the paper's prototype DEE machine (§4).
+//!
+//! Levo extends the CONDEL-2 static-instruction-window microarchitecture:
+//! an Instruction Queue (IQ) of `n` static instructions with `m` iteration
+//! columns of bookkeeping state (RE/VE bits, Shadow-Sink and
+//! Instruction-Sink-Address renaming matrices), one processing element and
+//! one branch predictor per IQ row, minimal control dependences via
+//! VE-predication, and Disjoint Eager Execution through extra state columns
+//! that execute the opposite direction of the first `h_DEE` unresolved
+//! predicted branches.
+//!
+//! This crate models those mechanisms at cycle level with an execution
+//! engine that actually *runs* programs (architectural results are
+//! validated against the functional VM):
+//!
+//! * **Static window**: only instructions whose static address lies in
+//!   `[w0, w0 + n)` may be in flight; the window advances in linear-code
+//!   mode when the program runs off its end, and *captures loops* whose
+//!   backward branches stay inside it — each loop iteration occupies one of
+//!   the `m` per-row instance columns, exactly CONDEL-2's RE/VE matrix
+//!   geometry.
+//! * **Data-flow execution**: an instance executes when its operands are
+//!   available through renaming (latest older in-flight writer, else
+//!   architectural state); one instance per row per cycle (one PE per row).
+//!   Stores commit at retire; loads forward from executed older stores and
+//!   conservatively wait for older stores whose address is unknown.
+//! * **Branches**: predicted at dispatch by a per-row 2-bit counter
+//!   (trained at retire, on the committed path only); `jr` targets come
+//!   from a return-address stack. A misprediction squashes younger
+//!   instances and redirects dispatch after a one-cycle penalty (§4.3).
+//! * **DEE paths**: a mispredicted branch that holds one of the `dee_paths`
+//!   DEE slots (it is among the first `dee_paths` unresolved branches) has
+//!   already executed the correct continuation in its DEE column: up to
+//!   `n × dee_cols` instructions down the correct path whose operands were
+//!   available at resolution are injected as executed one cycle after the
+//!   branch resolves — the state-copy penalty of §4.3 — instead of being
+//!   re-fetched and re-executed.
+//!
+//! The [`cost`] module reproduces the paper's hardware-cost estimates
+//! (transistor budget shares of the DEE additions).
+//!
+//! # Example
+//!
+//! ```
+//! use dee_levo::{Levo, LevoConfig};
+//! use dee_workloads::{xlisp, Scale};
+//!
+//! let w = xlisp::build(Scale::Tiny);
+//! let report = Levo::new(LevoConfig::default())
+//!     .run(&w.program, &w.initial_memory)
+//!     .expect("runs to completion");
+//! assert_eq!(report.output, w.expected_output);
+//! assert!(report.ipc() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod cost;
+mod machine;
+
+pub use config::{LevoConfig, PredictorKind};
+pub use machine::{Levo, LevoError, LevoReport};

@@ -1,0 +1,966 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use dee_isa::{Instr, Program, Reg};
+use dee_predict::{BranchPredictor, PapAdaptive, TwoBitCounter};
+use dee_vm::DEFAULT_MEM_WORDS;
+
+use crate::config::LevoConfig;
+
+/// One in-flight instruction instance (an (IQ-row, column) slot holder).
+#[derive(Clone, Debug)]
+struct Instance {
+    pc: u32,
+    instr: Instr,
+    /// Successor assumed at dispatch (prediction for branches and `jr`).
+    predicted_next: u32,
+    /// Cycle the instance entered the machine (DEE paths start executing
+    /// in the shadow of their branch from this point on).
+    dispatch_cycle: u64,
+    exec: Option<Exec>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Exec {
+    cycle: u64,
+    /// Result value (ALU/load result, store value, `jal` link).
+    value: Option<i32>,
+    /// Effective memory address for loads/stores.
+    addr: Option<u32>,
+    /// Actual successor.
+    actual_next: u32,
+    /// Taken direction for conditional branches.
+    taken: Option<bool>,
+}
+
+impl Instance {
+    fn executed_before(&self, cycle: u64) -> bool {
+        self.exec.is_some_and(|e| e.cycle < cycle)
+    }
+}
+
+/// Error from a Levo run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LevoError {
+    /// The configuration failed validation.
+    Config(String),
+    /// The cycle limit was reached before `halt` retired.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No instance executed, retired, or dispatched for a long time — a
+    /// model bug guard, not an architectural condition.
+    Deadlock {
+        /// Cycle at which the stall was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for LevoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevoError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            LevoError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            LevoError::Deadlock { cycle } => write!(f, "no progress near cycle {cycle}"),
+        }
+    }
+}
+
+impl std::error::Error for LevoError {}
+
+/// Statistics and results from a completed Levo run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LevoReport {
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Instructions retired (committed; squashed work not counted).
+    pub retired: u64,
+    /// Instances dispatched (including squashed and injected).
+    pub dispatched: u64,
+    /// Instances squashed by mispredictions.
+    pub squashed: u64,
+    /// Mispredicted control transfers detected.
+    pub mispredicts: u64,
+    /// Mispredicts whose branch held a DEE path (state-copy recovery).
+    pub dee_covered: u64,
+    /// Correct-path instructions injected from DEE paths.
+    pub dee_injected: u64,
+    /// Linear-mode window advances.
+    pub window_shifts: u64,
+    /// Backward control transfers whose target stayed inside the window
+    /// (captured loop iterations).
+    pub captured_backjumps: u64,
+    /// Backward transfers that forced a drain-and-move (uncaptured loops).
+    pub uncaptured_backjumps: u64,
+    /// The program's output stream.
+    pub output: Vec<i32>,
+}
+
+impl LevoReport {
+    /// Retired instructions per cycle — with unit latency this is also the
+    /// speedup over the ideal sequential machine.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.retired as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Fraction of backward control transfers captured by the IQ.
+    #[must_use]
+    pub fn loop_capture_rate(&self) -> Option<f64> {
+        let total = self.captured_backjumps + self.uncaptured_backjumps;
+        if total == 0 {
+            return None;
+        }
+        Some(self.captured_backjumps as f64 / total as f64)
+    }
+}
+
+/// The Levo machine: configure, then [`run`](Levo::run) a program.
+pub struct Levo {
+    config: LevoConfig,
+}
+
+impl Levo {
+    /// Creates a machine with the given geometry.
+    #[must_use]
+    pub fn new(config: LevoConfig) -> Self {
+        Levo { config }
+    }
+
+    /// Runs `program` to completion with `initial_memory` loaded at word 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LevoError`] on invalid configuration, cycle-limit
+    /// overrun, or internal stall.
+    pub fn run(&self, program: &Program, initial_memory: &[i32]) -> Result<LevoReport, LevoError> {
+        self.config.validate().map_err(LevoError::Config)?;
+        Engine::new(&self.config, program, initial_memory).run()
+    }
+}
+
+/// Value lookup result during execute.
+enum Operand {
+    Ready(i32),
+    NotReady,
+}
+
+struct Engine<'a> {
+    config: &'a LevoConfig,
+    program: &'a Program,
+    // Architectural (retired) state.
+    regs: [i32; Reg::COUNT],
+    mem: Vec<i32>,
+    // When each architectural register/memory word was produced (execute
+    // cycle of the retired producer); DEE-path pre-execution needs true
+    // production times even for retired values.
+    reg_time: [u64; Reg::COUNT],
+    mem_time: std::collections::HashMap<u32, u64>,
+    output: Vec<i32>,
+    predictor: Box<dyn BranchPredictor>,
+    // Machine state.
+    rob: VecDeque<Instance>,
+    row_count: Vec<u32>,
+    w0: u32,
+    dispatch_pc: u32,
+    dispatch_resume: u64,
+    dispatch_blocked: bool,
+    ras: Vec<u32>,
+    done: bool,
+    cycle: u64,
+    report: LevoReport,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a LevoConfig, program: &'a Program, initial_memory: &[i32]) -> Self {
+        let mut mem = vec![0i32; DEFAULT_MEM_WORDS];
+        mem[..initial_memory.len()].copy_from_slice(initial_memory);
+        let mut regs = [0i32; Reg::COUNT];
+        regs[Reg::SP.index()] = DEFAULT_MEM_WORDS as i32;
+        Engine {
+            config,
+            program,
+            regs,
+            mem,
+            reg_time: [0; Reg::COUNT],
+            mem_time: std::collections::HashMap::new(),
+            output: Vec::new(),
+            predictor: match config.predictor {
+                crate::config::PredictorKind::TwoBit => Box::new(TwoBitCounter::new()),
+                crate::config::PredictorKind::PapSpeculative => {
+                    Box::new(PapAdaptive::with_config(2, true))
+                }
+            },
+            rob: VecDeque::new(),
+            row_count: vec![0; program.len()],
+            w0: 0,
+            dispatch_pc: 0,
+            dispatch_resume: 0,
+            dispatch_blocked: false,
+            ras: Vec::new(),
+            done: false,
+            cycle: 0,
+            report: LevoReport {
+                cycles: 0,
+                retired: 0,
+                dispatched: 0,
+                squashed: 0,
+                mispredicts: 0,
+                dee_covered: 0,
+                dee_injected: 0,
+                window_shifts: 0,
+                captured_backjumps: 0,
+                uncaptured_backjumps: 0,
+                output: Vec::new(),
+            },
+        }
+    }
+
+    fn run(mut self) -> Result<LevoReport, LevoError> {
+        let mut last_progress = 0u64;
+        while !self.done {
+            if self.cycle >= self.config.max_cycles {
+                return Err(LevoError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
+            }
+            let executed = self.execute_phase();
+            let retired = self.retire_phase();
+            let dispatched = self.dispatch_phase();
+            if executed + retired + dispatched > 0 {
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > 100_000 {
+                return Err(LevoError::Deadlock { cycle: self.cycle });
+            }
+            self.cycle += 1;
+        }
+        self.report.cycles = self.cycle.max(1);
+        self.report.output = self.output;
+        Ok(self.report)
+    }
+
+    /// Latest in-flight writer of `reg` among instances older than `limit`
+    /// (exclusive), falling back to architectural state.
+    fn reg_operand(&self, reg: Reg, limit: usize, cycle: u64) -> Operand {
+        if reg.is_zero() {
+            return Operand::Ready(0);
+        }
+        for k in (0..limit).rev() {
+            let inst = &self.rob[k];
+            if inst.instr.def() == Some(reg) {
+                return match inst.exec {
+                    Some(e) if e.cycle < cycle => Operand::Ready(e.value.unwrap_or(0)),
+                    _ => Operand::NotReady,
+                };
+            }
+        }
+        Operand::Ready(self.regs[reg.index()])
+    }
+
+    /// Like [`reg_operand`](Self::reg_operand) but also reports when the
+    /// value became available (cycle 0 for architectural state). Used by
+    /// DEE-path pre-execution to model the path's own data-flow timing.
+    fn reg_operand_timed(&self, reg: Reg, limit: usize, cycle: u64) -> Option<(i32, u64)> {
+        if reg.is_zero() {
+            return Some((0, 0));
+        }
+        for k in (0..limit).rev() {
+            let inst = &self.rob[k];
+            if inst.instr.def() == Some(reg) {
+                return match inst.exec {
+                    Some(e) if e.cycle < cycle => Some((e.value.unwrap_or(0), e.cycle)),
+                    _ => None,
+                };
+            }
+        }
+        Some((self.regs[reg.index()], self.reg_time[reg.index()]))
+    }
+
+    /// Timed counterpart of [`mem_operand`](Self::mem_operand).
+    fn mem_operand_timed(&self, addr: u32, limit: usize, cycle: u64) -> Option<(i32, u64)> {
+        for k in (0..limit).rev() {
+            let inst = &self.rob[k];
+            if matches!(inst.instr, Instr::Sw { .. }) {
+                match inst.exec {
+                    Some(e) if e.cycle < cycle => {
+                        if e.addr == Some(addr) {
+                            return Some((e.value.unwrap_or(0), e.cycle));
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        Some((
+            self.mem.get(addr as usize).copied().unwrap_or(0),
+            self.mem_time.get(&addr).copied().unwrap_or(0),
+        ))
+    }
+
+    /// Memory read for a load at ROB position `limit`: forwards from the
+    /// latest executed older store to the same word; conservatively waits
+    /// while any older store's address is unknown.
+    fn mem_operand(&self, addr: u32, limit: usize, cycle: u64) -> Operand {
+        for k in (0..limit).rev() {
+            let inst = &self.rob[k];
+            if matches!(inst.instr, Instr::Sw { .. }) {
+                match inst.exec {
+                    Some(e) if e.cycle < cycle => {
+                        if e.addr == Some(addr) {
+                            return Operand::Ready(e.value.unwrap_or(0));
+                        }
+                    }
+                    _ => return Operand::NotReady,
+                }
+            }
+        }
+        Operand::Ready(self.mem.get(addr as usize).copied().unwrap_or(0))
+    }
+
+    /// Executes ready instances (one per IQ row per cycle); returns the
+    /// number executed and handles the oldest misprediction.
+    fn execute_phase(&mut self) -> u64 {
+        let cycle = self.cycle;
+        let mut row_busy: Vec<u32> = Vec::new();
+        let mut executed = 0u64;
+        let mut oldest_mispredict: Option<usize> = None;
+
+        for k in 0..self.rob.len() {
+            if self.rob[k].exec.is_some() {
+                continue;
+            }
+            let pc = self.rob[k].pc;
+            if row_busy.contains(&pc) {
+                continue; // one PE per row
+            }
+            if let Some(exec) = self.try_execute(k, cycle) {
+                let mispredict = exec.actual_next != self.rob[k].predicted_next;
+                self.rob[k].exec = Some(exec);
+                row_busy.push(pc);
+                executed += 1;
+                if mispredict && oldest_mispredict.is_none() {
+                    oldest_mispredict = Some(k);
+                }
+            }
+        }
+
+        if let Some(k) = oldest_mispredict {
+            self.handle_mispredict(k, cycle);
+        }
+        executed
+    }
+
+    /// Computes an instance's execution, or `None` when operands are not
+    /// ready.
+    fn try_execute(&self, k: usize, cycle: u64) -> Option<Exec> {
+        let inst = &self.rob[k];
+        let pc = inst.pc;
+        let fall = pc + 1;
+        let mut exec = Exec {
+            cycle,
+            value: None,
+            addr: None,
+            actual_next: fall,
+            taken: None,
+        };
+        let reg = |r: Reg| -> Option<i32> {
+            match self.reg_operand(r, k, cycle) {
+                Operand::Ready(v) => Some(v),
+                Operand::NotReady => None,
+            }
+        };
+        match inst.instr {
+            Instr::Alu { op, rs, rt, .. } => {
+                exec.value = Some(op.apply(reg(rs)?, reg(rt)?));
+            }
+            Instr::AluImm { op, rs, imm, .. } => {
+                exec.value = Some(op.apply(reg(rs)?, imm));
+            }
+            Instr::Li { imm, .. } => exec.value = Some(imm),
+            Instr::Lw { base, offset, .. } => {
+                let addr = i64::from(reg(base)?) + i64::from(offset);
+                let addr = u32::try_from(addr).unwrap_or(u32::MAX);
+                exec.addr = Some(addr);
+                match self.mem_operand(addr, k, cycle) {
+                    Operand::Ready(v) => exec.value = Some(v),
+                    Operand::NotReady => return None,
+                }
+            }
+            Instr::Sw { rs, base, offset } => {
+                let addr = i64::from(reg(base)?) + i64::from(offset);
+                exec.addr = Some(u32::try_from(addr).unwrap_or(u32::MAX));
+                exec.value = Some(reg(rs)?);
+            }
+            Instr::Branch {
+                cond, rs, rt, target, ..
+            } => {
+                let taken = cond.eval(reg(rs)?, reg(rt)?);
+                exec.taken = Some(taken);
+                exec.actual_next = if taken { target } else { fall };
+            }
+            Instr::Jump { target } => exec.actual_next = target,
+            Instr::Jal { target } => {
+                exec.value = Some(fall as i32);
+                exec.actual_next = target;
+            }
+            Instr::Jr { rs } => {
+                let t = reg(rs)?;
+                exec.actual_next = u32::try_from(t).unwrap_or(u32::MAX);
+            }
+            Instr::Out { rs } => {
+                exec.value = Some(reg(rs)?);
+            }
+            Instr::Halt => exec.actual_next = pc,
+            Instr::Nop => {}
+        }
+        Some(exec)
+    }
+
+    /// Squash younger instances; recover through the DEE path when the
+    /// branch holds a DEE slot, else redirect with the mispredict penalty.
+    fn handle_mispredict(&mut self, k: usize, cycle: u64) {
+        self.report.mispredicts += 1;
+        let exec = self.rob[k].exec.expect("resolved");
+        let is_cond = self.rob[k].instr.is_cond_branch();
+
+        // DEE slot check: among the first `dee_paths` unresolved branches?
+        // (Unresolved = not executed before this cycle; the DEE region
+        // hangs off the pending branches at the top of the tree.)
+        let older_unresolved = self
+            .rob
+            .iter()
+            .take(k)
+            .filter(|i| i.instr.is_cond_branch() && !i.executed_before(cycle))
+            .count();
+        let covered = is_cond && older_unresolved < self.config.dee_paths;
+
+        // Squash everything younger.
+        while self.rob.len() > k + 1 {
+            let victim = self.rob.pop_back().expect("len checked");
+            self.row_count[victim.pc as usize] -= 1;
+            self.report.squashed += 1;
+        }
+        self.dispatch_blocked = false;
+        self.dispatch_pc = exec.actual_next;
+
+        if covered {
+            self.report.dee_covered += 1;
+            // State copy: the DEE path already executed the correct
+            // continuation; its results become visible next cycle.
+            let path_start = self.rob[k].dispatch_cycle;
+            self.inject_dee_path(exec.actual_next, cycle, path_start);
+            self.dispatch_resume = cycle + 1;
+        } else {
+            self.dispatch_resume = cycle + 1 + u64::from(self.config.mispredict_penalty);
+        }
+    }
+
+    /// Functionally executes the correct-path continuation the DEE column
+    /// held, appending its instructions as executed instances.
+    ///
+    /// The DEE path has been executing in the shadow of its branch since
+    /// the branch dispatched (`path_start`), so each injected instruction
+    /// carries its own data-flow completion time within the path; results
+    /// become visible to the main line no earlier than `cycle + 1` (the
+    /// state-copy penalty of §4.3).
+    fn inject_dee_path(&mut self, start: u32, cycle: u64, path_start: u64) {
+        use std::collections::HashMap;
+        let limit = self.config.dee_path_len();
+        let base = self.rob.len(); // injection appends after the branch
+        // Value and intra-path availability time of DEE-path results.
+        let mut temp_regs: HashMap<Reg, (i32, u64)> = HashMap::new();
+        let mut temp_mem: HashMap<u32, (i32, u64)> = HashMap::new();
+        let mut pc = start;
+
+        // Any older store still unexecuted blocks load disambiguation for
+        // the whole injected block.
+        let stores_unknown = self
+            .rob
+            .iter()
+            .take(base)
+            .any(|i| matches!(i.instr, Instr::Sw { .. }) && !i.executed_before(cycle + 1));
+
+        for _ in 0..limit {
+            if pc < self.w0 || pc >= self.w0 + self.config.n as u32 {
+                break; // DEE columns only span the IQ
+            }
+            let Some(&instr) = self.program.get(pc) else {
+                break;
+            };
+            let read = |r: Reg, tr: &HashMap<Reg, (i32, u64)>| -> Option<(i32, u64)> {
+                if r.is_zero() {
+                    return Some((0, 0));
+                }
+                if let Some(&vt) = tr.get(&r) {
+                    return Some(vt);
+                }
+                self.reg_operand_timed(r, base, cycle + 1)
+            };
+            let fall = pc + 1;
+            let mut exec = Exec {
+                cycle: cycle + 1,
+                value: None,
+                addr: None,
+                actual_next: fall,
+                taken: None,
+            };
+            // Latest operand availability within the path.
+            let mut ready = path_start;
+            let take = |vt: (i32, u64), ready: &mut u64| -> i32 {
+                *ready = (*ready).max(vt.1);
+                vt.0
+            };
+            let next = match instr {
+                Instr::Alu { op, rs, rt, .. } => {
+                    let (Some(a), Some(b)) = (read(rs, &temp_regs), read(rt, &temp_regs)) else {
+                        break;
+                    };
+                    exec.value = Some(op.apply(take(a, &mut ready), take(b, &mut ready)));
+                    fall
+                }
+                Instr::AluImm { op, rs, imm, .. } => {
+                    let Some(a) = read(rs, &temp_regs) else { break };
+                    exec.value = Some(op.apply(take(a, &mut ready), imm));
+                    fall
+                }
+                Instr::Li { imm, .. } => {
+                    exec.value = Some(imm);
+                    fall
+                }
+                Instr::Lw { base: b, offset, .. } => {
+                    let Some(bv) = read(b, &temp_regs) else { break };
+                    let addr = u32::try_from(i64::from(take(bv, &mut ready)) + i64::from(offset))
+                        .unwrap_or(u32::MAX);
+                    exec.addr = Some(addr);
+                    if let Some(&vt) = temp_mem.get(&addr) {
+                        exec.value = Some(take(vt, &mut ready));
+                    } else if stores_unknown {
+                        break;
+                    } else {
+                        match self.mem_operand_timed(addr, base, cycle + 1) {
+                            Some(vt) => exec.value = Some(take(vt, &mut ready)),
+                            None => break,
+                        }
+                    }
+                    fall
+                }
+                Instr::Sw { rs, base: b, offset } => {
+                    let (Some(v), Some(bv)) = (read(rs, &temp_regs), read(b, &temp_regs)) else {
+                        break;
+                    };
+                    let addr = u32::try_from(i64::from(take(bv, &mut ready)) + i64::from(offset))
+                        .unwrap_or(u32::MAX);
+                    exec.addr = Some(addr);
+                    exec.value = Some(take(v, &mut ready));
+                    fall
+                }
+                Instr::Branch { cond, rs, rt, target } => {
+                    let (Some(a), Some(b)) = (read(rs, &temp_regs), read(rt, &temp_regs)) else {
+                        break;
+                    };
+                    let taken = cond.eval(take(a, &mut ready), take(b, &mut ready));
+                    exec.taken = Some(taken);
+                    exec.actual_next = if taken { target } else { fall };
+                    exec.actual_next
+                }
+                Instr::Jump { target } => {
+                    exec.actual_next = target;
+                    target
+                }
+                Instr::Jal { target } => {
+                    exec.value = Some(fall as i32);
+                    exec.actual_next = target;
+                    target
+                }
+                Instr::Jr { rs } => {
+                    let Some(t) = read(rs, &temp_regs) else { break };
+                    let Ok(t) = u32::try_from(take(t, &mut ready)) else { break };
+                    exec.actual_next = t;
+                    t
+                }
+                Instr::Out { rs } => {
+                    let Some(v) = read(rs, &temp_regs) else { break };
+                    exec.value = Some(take(v, &mut ready));
+                    fall
+                }
+                Instr::Halt => {
+                    exec.actual_next = pc;
+                    pc
+                }
+                Instr::Nop => fall,
+            };
+            // The instruction completes in the DEE path one cycle after its
+            // operands; the main line sees it no earlier than the state
+            // copy at `cycle + 1`.
+            let path_time = ready + 1;
+            exec.cycle = path_time.max(cycle + 1);
+            if let Some(d) = instr.def() {
+                temp_regs.insert(d, (exec.value.unwrap_or(0), path_time));
+            }
+            if let Some(addr) = exec.addr {
+                if matches!(instr, Instr::Sw { .. }) {
+                    temp_mem.insert(addr, (exec.value.unwrap_or(0), path_time));
+                }
+            }
+            self.rob.push_back(Instance {
+                pc,
+                instr,
+                predicted_next: exec.actual_next,
+                dispatch_cycle: cycle + 1,
+                exec: Some(exec),
+            });
+            self.row_count[pc as usize] += 1;
+            self.report.dee_injected += 1;
+            self.report.dispatched += 1;
+            if matches!(instr, Instr::Halt) {
+                self.dispatch_blocked = true;
+                break;
+            }
+            pc = next;
+        }
+        self.dispatch_pc = pc;
+    }
+
+    /// Retires executed instances in order; returns the number retired.
+    fn retire_phase(&mut self) -> u64 {
+        let cycle = self.cycle;
+        let mut retired = 0u64;
+        while let Some(front) = self.rob.front() {
+            let Some(exec) = front.exec else { break };
+            if exec.cycle > cycle {
+                break;
+            }
+            let inst = self.rob.pop_front().expect("front exists");
+            self.row_count[inst.pc as usize] -= 1;
+            retired += 1;
+            self.report.retired += 1;
+            match inst.instr {
+                Instr::Sw { .. } => {
+                    let addr = exec.addr.expect("store executed");
+                    if (addr as usize) < self.mem.len() {
+                        self.mem[addr as usize] = exec.value.expect("store value");
+                        self.mem_time.insert(addr, exec.cycle);
+                    }
+                }
+                Instr::Out { .. } => self.output.push(exec.value.expect("out value")),
+                Instr::Branch { .. } => {
+                    self.predictor
+                        .resolve(inst.pc, exec.taken.expect("branch resolved"));
+                }
+                Instr::Halt => {
+                    self.done = true;
+                    return retired;
+                }
+                _ => {}
+            }
+            if let Some(d) = inst.instr.def() {
+                self.regs[d.index()] = exec.value.unwrap_or(0);
+                self.reg_time[d.index()] = exec.cycle;
+            }
+        }
+        retired
+    }
+
+    /// Dispatches down the predicted path; returns the number dispatched.
+    fn dispatch_phase(&mut self) -> u64 {
+        if self.done || self.dispatch_blocked || self.cycle < self.dispatch_resume {
+            return 0;
+        }
+        let mut dispatched = 0u64;
+        while dispatched < self.config.fetch_width as u64 {
+            let pc = self.dispatch_pc;
+            let Some(&instr) = self.program.get(pc) else {
+                break; // invalid speculative target: wait for squash
+            };
+            if !self.window_admit(pc) {
+                break;
+            }
+            if self.row_count[pc as usize] >= self.config.m as u32 {
+                break; // all m columns of this row are in flight
+            }
+
+            let fall = pc + 1;
+            let predicted_next = match instr {
+                Instr::Branch { target, .. } => {
+                    if self.predictor.predict(pc) {
+                        target
+                    } else {
+                        fall
+                    }
+                }
+                Instr::Jump { target } => target,
+                Instr::Jal { target } => {
+                    self.ras.push(fall);
+                    if self.ras.len() > 64 {
+                        self.ras.remove(0);
+                    }
+                    target
+                }
+                Instr::Jr { .. } => self.ras.pop().unwrap_or(fall),
+                Instr::Halt => pc,
+                _ => fall,
+            };
+            if predicted_next < pc {
+                // Backward transfer: count capture for the loop statistic.
+                if predicted_next >= self.w0 {
+                    self.report.captured_backjumps += 1;
+                } else {
+                    self.report.uncaptured_backjumps += 1;
+                }
+            }
+            self.rob.push_back(Instance {
+                pc,
+                instr,
+                predicted_next,
+                dispatch_cycle: self.cycle,
+                exec: None,
+            });
+            self.row_count[pc as usize] += 1;
+            self.report.dispatched += 1;
+            dispatched += 1;
+            self.dispatch_pc = predicted_next;
+            if matches!(instr, Instr::Halt) {
+                self.dispatch_blocked = true;
+                break;
+            }
+        }
+        dispatched
+    }
+
+    /// Ensures `pc` lies in the static window, advancing or jumping the
+    /// window when the IQ's occupancy rules allow it.
+    fn window_admit(&mut self, pc: u32) -> bool {
+        let n = self.config.n as u32;
+        if pc >= self.w0 && pc < self.w0 + n {
+            return true;
+        }
+        if self.rob.is_empty() {
+            // Nothing in flight: the IQ reloads wherever execution goes.
+            self.w0 = pc.saturating_sub(0);
+            self.report.window_shifts += 1;
+            return true;
+        }
+        if pc < self.w0 {
+            return false; // uncaptured backward target: drain first
+        }
+        // Linear-mode advance: the window may slide down to the oldest
+        // in-flight row.
+        let min_active = self.rob.iter().map(|i| i.pc).min().expect("non-empty");
+        let needed = pc + 1 - n;
+        if needed <= min_active {
+            self.w0 = needed;
+            self.report.window_shifts += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dee_isa::Assembler;
+    use dee_vm::trace_program;
+
+    fn run_levo(config: LevoConfig, program: &Program, mem: &[i32]) -> LevoReport {
+        Levo::new(config).run(program, mem).expect("levo runs")
+    }
+
+    fn assert_matches_vm(config: LevoConfig, program: &Program, mem: &[i32]) -> LevoReport {
+        let trace = trace_program(program, mem, 50_000_000).expect("vm runs");
+        let report = run_levo(config, program, mem);
+        assert_eq!(report.output, trace.output(), "output must match the VM");
+        report
+    }
+
+    #[test]
+    fn straight_line_code_executes_correctly() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 6);
+        asm.li(r2, 7);
+        asm.mul(r1, r1, r2);
+        asm.out(r1);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let report = assert_matches_vm(LevoConfig::default(), &p, &[]);
+        assert_eq!(report.retired, 5);
+        assert!(report.cycles <= 6, "ILP should compress the schedule");
+    }
+
+    #[test]
+    fn captured_loop_iterates_in_columns() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 20);
+        asm.li(r2, 0);
+        asm.label("top");
+        asm.add(r2, r2, r1);
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.out(r2);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let report = assert_matches_vm(LevoConfig::default(), &p, &[]);
+        assert_eq!(report.output, vec![210]);
+        assert_eq!(report.loop_capture_rate(), Some(1.0), "loop fits the IQ");
+        assert!(report.ipc() > 1.0, "iterations overlap: ipc = {}", report.ipc());
+    }
+
+    #[test]
+    fn memory_flow_through_rob_and_retirement() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 99);
+        asm.sw(r1, Reg::ZERO, 50);
+        asm.lw(r2, Reg::ZERO, 50);
+        asm.out(r2);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_matches_vm(LevoConfig::default(), &p, &[]);
+    }
+
+    #[test]
+    fn calls_and_returns_via_ras() {
+        let mut asm = Assembler::new();
+        let r4 = Reg::new(4);
+        asm.li(r4, 5);
+        asm.call_label("double");
+        asm.out(Reg::RV);
+        asm.call_label("double");
+        asm.out(Reg::RV);
+        asm.halt();
+        asm.label("double");
+        asm.add(Reg::RV, r4, r4);
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        let report = assert_matches_vm(LevoConfig::default(), &p, &[]);
+        assert_eq!(report.output, vec![10, 10]);
+    }
+
+    #[test]
+    fn window_slides_in_linear_mode() {
+        // A straight-line program longer than the IQ.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 0);
+        for _ in 0..100 {
+            asm.addi(r1, r1, 1);
+        }
+        asm.out(r1);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let report = assert_matches_vm(LevoConfig::default(), &p, &[]);
+        assert_eq!(report.output, vec![100]);
+        assert!(report.window_shifts > 0, "the 32-row window must slide");
+    }
+
+    #[test]
+    fn uncaptured_loop_drains_and_refetches() {
+        // Loop body longer than the window forces drain-and-move.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 4);
+        asm.label("top");
+        for _ in 0..40 {
+            asm.nop();
+        }
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let config = LevoConfig { n: 32, ..LevoConfig::default() };
+        let report = assert_matches_vm(config, &p, &[]);
+        assert!(report.uncaptured_backjumps > 0);
+        assert_eq!(report.loop_capture_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn workloads_produce_correct_output_with_dee() {
+        for w in dee_workloads::all_workloads(dee_workloads::Scale::Tiny) {
+            let report = run_levo(LevoConfig::default(), &w.program, &w.initial_memory);
+            assert_eq!(report.output, w.expected_output, "{} output", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_produce_correct_output_without_dee() {
+        for w in dee_workloads::all_workloads(dee_workloads::Scale::Tiny) {
+            let report = run_levo(LevoConfig::condel2(), &w.program, &w.initial_memory);
+            assert_eq!(report.output, w.expected_output, "{} output", w.name);
+        }
+    }
+
+    #[test]
+    fn dee_paths_do_not_change_results_but_save_cycles() {
+        let w = dee_workloads::xlisp::build(dee_workloads::Scale::Tiny);
+        let without = run_levo(LevoConfig::condel2(), &w.program, &w.initial_memory);
+        let with = run_levo(LevoConfig::default(), &w.program, &w.initial_memory);
+        let wide = run_levo(LevoConfig::levo_100(), &w.program, &w.initial_memory);
+        assert_eq!(without.output, with.output);
+        assert_eq!(with.output, wide.output);
+        assert!(with.dee_covered > 0, "some mispredicts should be covered");
+        assert!(
+            with.cycles < without.cycles,
+            "DEE should save cycles: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+        assert!(wide.cycles <= with.cycles, "more DEE paths cannot hurt");
+    }
+
+    #[test]
+    fn mispredict_penalty_is_configurable() {
+        let w = dee_workloads::cc1::build(dee_workloads::Scale::Tiny);
+        let fast = LevoConfig { mispredict_penalty: 0, ..LevoConfig::condel2() };
+        let slow = LevoConfig { mispredict_penalty: 5, ..LevoConfig::condel2() };
+        let fast_report = run_levo(fast, &w.program, &w.initial_memory);
+        let slow_report = run_levo(slow, &w.program, &w.initial_memory);
+        assert_eq!(fast_report.output, slow_report.output);
+        assert!(fast_report.cycles < slow_report.cycles);
+    }
+
+    #[test]
+    fn pap_predictor_option_preserves_results() {
+        use crate::config::PredictorKind;
+        for w in dee_workloads::all_workloads(dee_workloads::Scale::Tiny) {
+            let config = LevoConfig {
+                predictor: PredictorKind::PapSpeculative,
+                ..LevoConfig::default()
+            };
+            let report = run_levo(config, &w.program, &w.initial_memory);
+            assert_eq!(report.output, w.expected_output, "{}: pap output", w.name);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let config = LevoConfig { n: 0, ..LevoConfig::default() };
+        let mut asm = Assembler::new();
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let err = Levo::new(config).run(&p, &[]).unwrap_err();
+        assert!(matches!(err, LevoError::Config(_)));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let mut asm = Assembler::new();
+        asm.label("spin");
+        asm.j_label("spin");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let config = LevoConfig { max_cycles: 100, ..LevoConfig::default() };
+        let err = Levo::new(config).run(&p, &[]).unwrap_err();
+        assert_eq!(err, LevoError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn ipc_exceeds_one_on_parallel_workloads() {
+        let w = dee_workloads::eqntott::build(dee_workloads::Scale::Tiny);
+        let report = run_levo(LevoConfig::default(), &w.program, &w.initial_memory);
+        assert_eq!(report.output, w.expected_output);
+        assert!(report.ipc() > 1.2, "ipc = {}", report.ipc());
+    }
+}

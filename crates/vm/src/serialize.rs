@@ -1,0 +1,234 @@
+//! Compact binary serialization for captured traces.
+//!
+//! Large evaluations (the paper ran up to 100 M instructions per
+//! benchmark) want to capture a trace once and re-simulate it many times.
+//! [`Trace::write_to`] / [`Trace::read_from`] store records in a fixed
+//! 20-byte little-endian layout plus the output stream:
+//!
+//! ```text
+//! magic "DEETRC1\0" | u64 record count
+//! per record: u32 pc | u8 src0 | u8 src1 | u8 dst | u8 flags
+//!             | u32 mem addr | u32 branch target | u16 depth
+//! u64 output count | i32 output words
+//! ```
+//!
+//! Register fields use `0xFF` for "none"; `flags` bits: 0 = mem read,
+//! 1 = mem write, 2 = conditional branch, 3 = branch taken.
+
+use std::io::{self, Read, Write};
+
+use dee_isa::Reg;
+
+use crate::trace::{BranchOutcome, Trace, TraceRecord};
+
+const MAGIC: &[u8; 8] = b"DEETRC1\0";
+const NO_REG: u8 = 0xFF;
+
+const FLAG_MEM_READ: u8 = 1 << 0;
+const FLAG_MEM_WRITE: u8 = 1 << 1;
+const FLAG_BRANCH: u8 = 1 << 2;
+const FLAG_TAKEN: u8 = 1 << 3;
+
+fn reg_byte(reg: Option<Reg>) -> u8 {
+    reg.map_or(NO_REG, |r| r.index() as u8)
+}
+
+fn byte_reg(byte: u8, what: &str) -> io::Result<Option<Reg>> {
+    if byte == NO_REG {
+        return Ok(None);
+    }
+    Reg::try_new(byte)
+        .map(Some)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what} register {byte}")))
+}
+
+impl Trace {
+    /// Serializes the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors; records with call depth above `u16::MAX`
+    /// are rejected as unrepresentable.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&(self.records().len() as u64).to_le_bytes())?;
+        let mut buffer = [0u8; 20];
+        for record in self.records() {
+            let depth = u16::try_from(record.depth).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, "call depth exceeds u16")
+            })?;
+            let mut flags = 0u8;
+            let mut mem = 0u32;
+            if let Some(addr) = record.mem_read {
+                flags |= FLAG_MEM_READ;
+                mem = addr;
+            }
+            if let Some(addr) = record.mem_write {
+                flags |= FLAG_MEM_WRITE;
+                mem = addr;
+            }
+            let mut target = 0u32;
+            if let Some(branch) = record.branch {
+                flags |= FLAG_BRANCH;
+                if branch.taken {
+                    flags |= FLAG_TAKEN;
+                }
+                target = branch.target;
+            }
+            buffer[0..4].copy_from_slice(&record.pc.to_le_bytes());
+            buffer[4] = reg_byte(record.srcs[0]);
+            buffer[5] = reg_byte(record.srcs[1]);
+            buffer[6] = reg_byte(record.dst);
+            buffer[7] = flags;
+            buffer[8..12].copy_from_slice(&mem.to_le_bytes());
+            buffer[12..16].copy_from_slice(&target.to_le_bytes());
+            buffer[16..18].copy_from_slice(&depth.to_le_bytes());
+            buffer[18] = 0;
+            buffer[19] = 0;
+            writer.write_all(&buffer)?;
+        }
+        writer.write_all(&(self.output().len() as u64).to_le_bytes())?;
+        for &word in self.output() {
+            writer.write_all(&word.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace written by [`write_to`](Trace::write_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic, malformed record, or
+    /// truncation.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<Trace> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        let mut len8 = [0u8; 8];
+        reader.read_exact(&mut len8)?;
+        let count = u64::from_le_bytes(len8);
+        let mut records = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+        let mut buffer = [0u8; 20];
+        for _ in 0..count {
+            reader.read_exact(&mut buffer)?;
+            let flags = buffer[7];
+            let mem = u32::from_le_bytes(buffer[8..12].try_into().expect("4 bytes"));
+            let branch = if flags & FLAG_BRANCH != 0 {
+                Some(BranchOutcome {
+                    taken: flags & FLAG_TAKEN != 0,
+                    target: u32::from_le_bytes(buffer[12..16].try_into().expect("4 bytes")),
+                })
+            } else {
+                None
+            };
+            records.push(TraceRecord {
+                pc: u32::from_le_bytes(buffer[0..4].try_into().expect("4 bytes")),
+                srcs: [byte_reg(buffer[4], "src0")?, byte_reg(buffer[5], "src1")?],
+                dst: byte_reg(buffer[6], "dst")?,
+                mem_read: (flags & FLAG_MEM_READ != 0).then_some(mem),
+                mem_write: (flags & FLAG_MEM_WRITE != 0).then_some(mem),
+                branch,
+                depth: u32::from(u16::from_le_bytes(buffer[16..18].try_into().expect("2 bytes"))),
+            });
+        }
+        reader.read_exact(&mut len8)?;
+        let out_count = u64::from_le_bytes(len8);
+        let mut output = Vec::with_capacity(usize::try_from(out_count).unwrap_or(0));
+        let mut word = [0u8; 4];
+        for _ in 0..out_count {
+            reader.read_exact(&mut word)?;
+            output.push(i32::from_le_bytes(word));
+        }
+        Ok(Trace::from_parts(records, output))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_program;
+    use dee_isa::Assembler;
+
+    fn branchy_trace() -> Trace {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 5);
+        asm.li(r2, 0);
+        asm.label("top");
+        asm.sw(r1, Reg::ZERO, 64);
+        asm.lw(r2, Reg::ZERO, 64);
+        asm.call_label("bump");
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.out(r2);
+        asm.halt();
+        asm.label("bump");
+        asm.addi(r1, r1, -1);
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        trace_program(&p, &[], 10_000).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = branchy_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let restored = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(restored.records(), trace.records());
+        assert_eq!(restored.output(), trace.output());
+        assert_eq!(restored.output_checksum(), trace.output_checksum());
+    }
+
+    #[test]
+    fn record_size_is_fixed() {
+        let trace = branchy_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), 8 + 8 + 20 * trace.len() + 8 + 4 * trace.output().len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Trace::read_from(&b"NOTATRACE........."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let trace = branchy_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Trace::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_register_byte_rejected() {
+        // Hand-build a stream with one record whose src0 byte is an
+        // out-of-range (but non-sentinel) register.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        let mut record = [0u8; 20];
+        record[4] = 0x40; // register 64: invalid
+        record[5] = NO_REG;
+        record[6] = NO_REG;
+        bytes.extend_from_slice(&record);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("src0"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::from_parts(vec![], vec![7, 8]);
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let restored = Trace::read_from(bytes.as_slice()).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(restored.output(), &[7, 8]);
+    }
+}

@@ -1,0 +1,583 @@
+//! `cc1` stand-in: expression tokenizer, recursive-descent parser, and
+//! constant folder.
+//!
+//! SPEC's `cc1` is the GCC front end; its dynamic character is cascaded,
+//! poorly-predictable dispatch branches (character classes, token kinds)
+//! plus pointer-chasing through recursive structure. This workload is a
+//! miniature front end over a synthetic source text:
+//!
+//! 1. **Tokenizer**: a character-class dispatch loop producing
+//!    (kind, value) token pairs (multi-digit numbers, identifiers,
+//!    operators, parentheses, statement separators);
+//! 2. **Parser/folder**: recursive-descent expression evaluation
+//!    (`expr → term → factor`, parenthesised recursion through real
+//!    `jal`/`jr` calls with a memory stack), folding each statement to a
+//!    constant against a small symbol table.
+//!
+//! Output: one folded value per statement, then the statement count.
+
+use dee_isa::{Assembler, Reg};
+
+use crate::{Scale, Workload, XorShift32};
+
+/// Token kinds shared by the assembly and the reference.
+const T_EOF: i32 = 0;
+const T_NUM: i32 = 1;
+const T_IDENT: i32 = 2;
+const T_PLUS: i32 = 3;
+const T_MINUS: i32 = 4;
+const T_STAR: i32 = 5;
+const T_SLASH: i32 = 6;
+const T_LPAREN: i32 = 7;
+const T_RPAREN: i32 = 8;
+const T_SEMI: i32 = 9;
+const T_PERCENT: i32 = 10;
+
+/// Memory map.
+const LEN_ADDR: i32 = 0;
+const SYM_BASE: i32 = 16; // 26 identifier values
+const CHAR_BASE: i32 = 48;
+fn tok_base(char_len: i32) -> i32 {
+    CHAR_BASE + char_len
+}
+
+/// Number of statements per scale.
+#[must_use]
+pub fn statement_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 80,
+        Scale::Medium => 400,
+        Scale::Large => 1_600,
+    }
+}
+
+/// The identifier symbol table (values of `a`..`z`).
+#[must_use]
+pub fn symbol_table() -> [i32; 26] {
+    let mut syms = [0i32; 26];
+    let mut rng = XorShift32::new(0xCC_0001);
+    for s in &mut syms {
+        *s = rng.below(1_000) as i32 - 500;
+    }
+    syms
+}
+
+/// Generates the synthetic source text: `count` expression statements.
+#[must_use]
+pub fn generate_source(count: usize, seed: u32) -> Vec<i32> {
+    let mut rng = XorShift32::new(seed);
+    let mut text = String::new();
+    for _ in 0..count {
+        gen_expr(&mut rng, &mut text, 3);
+        text.push(';');
+        text.push(' ');
+    }
+    text.bytes().map(i32::from).collect()
+}
+
+fn gen_expr(rng: &mut XorShift32, out: &mut String, depth: u32) {
+    gen_term(rng, out, depth);
+    for _ in 0..rng.below(3) {
+        out.push(if rng.below(2) == 0 { '+' } else { '-' });
+        gen_term(rng, out, depth);
+    }
+}
+
+fn gen_term(rng: &mut XorShift32, out: &mut String, depth: u32) {
+    gen_factor(rng, out, depth);
+    for _ in 0..rng.below(3) {
+        out.push(match rng.below(3) {
+            0 => '*',
+            1 => '/',
+            _ => '%',
+        });
+        gen_factor(rng, out, depth);
+    }
+}
+
+fn gen_factor(rng: &mut XorShift32, out: &mut String, depth: u32) {
+    match rng.below(if depth > 0 { 8 } else { 5 }) {
+        0..=2 => {
+            let n = rng.below(100);
+            out.push_str(&n.to_string());
+        }
+        3 | 4 => {
+            let c = (b'a' + rng.below(10) as u8) as char;
+            out.push(c);
+        }
+        5 => {
+            out.push('-');
+            gen_factor(rng, out, depth - 1);
+        }
+        _ => {
+            out.push('(');
+            gen_expr(rng, out, depth - 1);
+            out.push(')');
+        }
+    }
+}
+
+/// Reference tokenizer, identical classification to the assembly.
+#[must_use]
+pub fn reference_tokenize(chars: &[i32]) -> Vec<(i32, i32)> {
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == i32::from(b' ') {
+            i += 1;
+        } else if (i32::from(b'0')..=i32::from(b'9')).contains(&c) {
+            let mut value = 0i32;
+            while i < chars.len() && (i32::from(b'0')..=i32::from(b'9')).contains(&chars[i]) {
+                value = value.wrapping_mul(10).wrapping_add(chars[i] - i32::from(b'0'));
+                i += 1;
+            }
+            tokens.push((T_NUM, value));
+        } else if (i32::from(b'a')..=i32::from(b'z')).contains(&c) {
+            tokens.push((T_IDENT, c - i32::from(b'a')));
+            i += 1;
+        } else {
+            let kind = match c as u8 {
+                b'+' => T_PLUS,
+                b'-' => T_MINUS,
+                b'*' => T_STAR,
+                b'/' => T_SLASH,
+                b'(' => T_LPAREN,
+                b')' => T_RPAREN,
+                b';' => T_SEMI,
+                b'%' => T_PERCENT,
+                _ => T_EOF, // generator never emits anything else
+            };
+            tokens.push((kind, 0));
+            i += 1;
+        }
+    }
+    tokens.push((T_EOF, 0));
+    tokens
+}
+
+/// Reference parser/evaluator (wrapping arithmetic, `/0` and `%0` yield 0,
+/// matching the VM's ALU semantics).
+#[must_use]
+pub fn reference_evaluate(tokens: &[(i32, i32)], syms: &[i32; 26]) -> Vec<i32> {
+    struct P<'a> {
+        toks: &'a [(i32, i32)],
+        pos: usize,
+        syms: &'a [i32; 26],
+    }
+    impl P<'_> {
+        fn kind(&self) -> i32 {
+            self.toks[self.pos].0
+        }
+        fn value(&self) -> i32 {
+            self.toks[self.pos].1
+        }
+        fn advance(&mut self) {
+            self.pos += 1;
+        }
+        fn expr(&mut self) -> i32 {
+            let mut acc = self.term();
+            loop {
+                match self.kind() {
+                    k if k == T_PLUS => {
+                        self.advance();
+                        acc = acc.wrapping_add(self.term());
+                    }
+                    k if k == T_MINUS => {
+                        self.advance();
+                        acc = acc.wrapping_sub(self.term());
+                    }
+                    _ => return acc,
+                }
+            }
+        }
+        fn term(&mut self) -> i32 {
+            let mut acc = self.factor();
+            loop {
+                match self.kind() {
+                    k if k == T_STAR => {
+                        self.advance();
+                        acc = acc.wrapping_mul(self.factor());
+                    }
+                    k if k == T_SLASH => {
+                        self.advance();
+                        let d = self.factor();
+                        acc = if d == 0 { 0 } else { acc.wrapping_div(d) };
+                    }
+                    k if k == T_PERCENT => {
+                        self.advance();
+                        let d = self.factor();
+                        acc = if d == 0 { 0 } else { acc.wrapping_rem(d) };
+                    }
+                    _ => return acc,
+                }
+            }
+        }
+        fn factor(&mut self) -> i32 {
+            match self.kind() {
+                k if k == T_NUM => {
+                    let v = self.value();
+                    self.advance();
+                    v
+                }
+                k if k == T_IDENT => {
+                    let v = self.syms[self.value() as usize];
+                    self.advance();
+                    v
+                }
+                k if k == T_MINUS => {
+                    self.advance();
+                    0i32.wrapping_sub(self.factor())
+                }
+                k if k == T_LPAREN => {
+                    self.advance();
+                    let v = self.expr();
+                    debug_assert_eq!(self.kind(), T_RPAREN);
+                    self.advance();
+                    v
+                }
+                other => panic!("unexpected token kind {other}"),
+            }
+        }
+    }
+    let mut p = P { toks: tokens, pos: 0, syms };
+    let mut out = Vec::new();
+    let mut count = 0i32;
+    while p.kind() != T_EOF {
+        out.push(p.expr());
+        count += 1;
+        if p.kind() != T_SEMI {
+            break;
+        }
+        p.advance();
+    }
+    out.push(count);
+    out
+}
+
+/// Builds the workload at `scale`.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let source = generate_source(statement_count(scale), 0xCC_1234);
+    let syms = symbol_table();
+    let char_len = source.len() as i32;
+    let tbase = tok_base(char_len);
+
+    let program = {
+        let mut asm = Assembler::new();
+        // ---- Tokenizer ----
+        // r1=len, r2=i, r3=c, r4=token write ptr (word addr), r5/r6=temps,
+        // r7=value accumulator.
+        let (r_len, r_i, r_c, r_tw) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_t5, r_t6, r_val) = (Reg::new(5), Reg::new(6), Reg::new(7));
+
+        asm.lw(r_len, Reg::ZERO, LEN_ADDR);
+        asm.li(r_i, 0);
+        asm.li(r_tw, tbase);
+
+        asm.label("lex");
+        asm.bge_label(r_i, r_len, "lex_eof");
+        asm.li(r_t5, CHAR_BASE);
+        asm.add(r_t5, r_t5, r_i);
+        asm.lw(r_c, r_t5, 0);
+        // space
+        asm.li(r_t5, i32::from(b' '));
+        asm.bne_label(r_c, r_t5, "not_space");
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("lex");
+        asm.label("not_space");
+        // digit?
+        asm.li(r_t5, i32::from(b'0'));
+        asm.blt_label(r_c, r_t5, "not_digit");
+        asm.li(r_t5, i32::from(b'9'));
+        asm.bgt_label(r_c, r_t5, "not_digit");
+        asm.li(r_val, 0);
+        asm.label("num_loop");
+        asm.muli(r_val, r_val, 10);
+        asm.addi(r_t5, r_c, -(i32::from(b'0')));
+        asm.add(r_val, r_val, r_t5);
+        asm.addi(r_i, r_i, 1);
+        asm.bge_label(r_i, r_len, "num_done");
+        asm.li(r_t5, CHAR_BASE);
+        asm.add(r_t5, r_t5, r_i);
+        asm.lw(r_c, r_t5, 0);
+        asm.li(r_t5, i32::from(b'0'));
+        asm.blt_label(r_c, r_t5, "num_done");
+        asm.li(r_t5, i32::from(b'9'));
+        asm.bgt_label(r_c, r_t5, "num_done");
+        asm.j_label("num_loop");
+        asm.label("num_done");
+        asm.li(r_t5, T_NUM);
+        asm.sw(r_t5, r_tw, 0);
+        asm.sw(r_val, r_tw, 1);
+        asm.addi(r_tw, r_tw, 2);
+        asm.j_label("lex");
+        asm.label("not_digit");
+        // letter?
+        asm.li(r_t5, i32::from(b'a'));
+        asm.blt_label(r_c, r_t5, "not_letter");
+        asm.li(r_t5, i32::from(b'z'));
+        asm.bgt_label(r_c, r_t5, "not_letter");
+        asm.li(r_t5, T_IDENT);
+        asm.sw(r_t5, r_tw, 0);
+        asm.addi(r_t6, r_c, -(i32::from(b'a')));
+        asm.sw(r_t6, r_tw, 1);
+        asm.addi(r_tw, r_tw, 2);
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("lex");
+        asm.label("not_letter");
+        // operator dispatch (cascaded compares — the cc1 flavour)
+        for (ch, kind, label) in [
+            (b'+', T_PLUS, "op_done"),
+            (b'-', T_MINUS, "op_done"),
+            (b'*', T_STAR, "op_done"),
+            (b'/', T_SLASH, "op_done"),
+            (b'(', T_LPAREN, "op_done"),
+            (b')', T_RPAREN, "op_done"),
+            (b';', T_SEMI, "op_done"),
+            (b'%', T_PERCENT, "op_done"),
+        ] {
+            let skip = format!("not_{ch}");
+            asm.li(r_t5, i32::from(ch));
+            asm.bne_label(r_c, r_t5, &skip);
+            asm.li(r_t6, kind);
+            asm.j_label(label);
+            asm.label(&skip);
+        }
+        asm.li(r_t6, T_EOF); // unknown char: treat as EOF kind
+        asm.label("op_done");
+        asm.sw(r_t6, r_tw, 0);
+        asm.sw(Reg::ZERO, r_tw, 1);
+        asm.addi(r_tw, r_tw, 2);
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("lex");
+        asm.label("lex_eof");
+        asm.li(r_t5, T_EOF);
+        asm.sw(r_t5, r_tw, 0);
+        asm.sw(Reg::ZERO, r_tw, 1);
+
+        // ---- Parser ----
+        // Globals: r20 = token cursor (word addr of current pair),
+        // r22 = kind, r23 = value; r2 = function result; r10/r11 locals.
+        let (r_res, r_acc, r_acc2) = (Reg::new(2), Reg::new(10), Reg::new(11));
+        let (r_cur, r_kind, r_tval, r_k) =
+            (Reg::new(20), Reg::new(22), Reg::new(23), Reg::new(24));
+        let (r_cnt, r_cmp) = (Reg::new(25), Reg::new(26));
+
+        asm.li(r_cur, tbase);
+        asm.call_label("advance");
+        asm.li(r_cnt, 0);
+        asm.label("stmt_loop");
+        asm.beq_label(r_kind, Reg::ZERO, "finish"); // EOF
+        asm.call_label("parse_expr");
+        asm.out(r_res);
+        asm.addi(r_cnt, r_cnt, 1);
+        asm.li(r_cmp, T_SEMI);
+        asm.bne_label(r_kind, r_cmp, "finish");
+        asm.call_label("advance");
+        asm.j_label("stmt_loop");
+        asm.label("finish");
+        asm.out(r_cnt);
+        asm.halt();
+
+        // advance: load (kind, value) at cursor, bump cursor. Leaf.
+        asm.label("advance");
+        asm.lw(r_kind, r_cur, 0);
+        asm.lw(r_tval, r_cur, 1);
+        asm.addi(r_cur, r_cur, 2);
+        asm.ret();
+
+        // parse_expr: term (('+'|'-') term)*
+        asm.label("parse_expr");
+        asm.push(Reg::RA);
+        asm.call_label("parse_term");
+        asm.mv(r_acc, r_res);
+        asm.label("expr_loop");
+        asm.li(r_cmp, T_PLUS);
+        asm.beq_label(r_kind, r_cmp, "expr_plus");
+        asm.li(r_cmp, T_MINUS);
+        asm.beq_label(r_kind, r_cmp, "expr_minus");
+        asm.mv(r_res, r_acc);
+        asm.pop(Reg::RA);
+        asm.ret();
+        asm.label("expr_plus");
+        asm.call_label("advance");
+        asm.push(r_acc);
+        asm.call_label("parse_term");
+        asm.pop(r_acc);
+        asm.add(r_acc, r_acc, r_res);
+        asm.j_label("expr_loop");
+        asm.label("expr_minus");
+        asm.call_label("advance");
+        asm.push(r_acc);
+        asm.call_label("parse_term");
+        asm.pop(r_acc);
+        asm.sub(r_acc, r_acc, r_res);
+        asm.j_label("expr_loop");
+
+        // parse_term: factor (('*'|'/'|'%') factor)*
+        asm.label("parse_term");
+        asm.push(Reg::RA);
+        asm.call_label("parse_factor");
+        asm.mv(r_acc2, r_res);
+        asm.label("term_loop");
+        asm.li(r_cmp, T_STAR);
+        asm.beq_label(r_kind, r_cmp, "term_mul");
+        asm.li(r_cmp, T_SLASH);
+        asm.beq_label(r_kind, r_cmp, "term_div");
+        asm.li(r_cmp, T_PERCENT);
+        asm.beq_label(r_kind, r_cmp, "term_rem");
+        asm.mv(r_res, r_acc2);
+        asm.pop(Reg::RA);
+        asm.ret();
+        asm.label("term_mul");
+        asm.call_label("advance");
+        asm.push(r_acc2);
+        asm.call_label("parse_factor");
+        asm.pop(r_acc2);
+        asm.mul(r_acc2, r_acc2, r_res);
+        asm.j_label("term_loop");
+        asm.label("term_div");
+        asm.call_label("advance");
+        asm.push(r_acc2);
+        asm.call_label("parse_factor");
+        asm.pop(r_acc2);
+        asm.div(r_acc2, r_acc2, r_res);
+        asm.j_label("term_loop");
+        asm.label("term_rem");
+        asm.call_label("advance");
+        asm.push(r_acc2);
+        asm.call_label("parse_factor");
+        asm.pop(r_acc2);
+        asm.rem(r_acc2, r_acc2, r_res);
+        asm.j_label("term_loop");
+
+        // parse_factor: NUM | IDENT | '-' factor | '(' expr ')'
+        asm.label("parse_factor");
+        asm.push(Reg::RA);
+        asm.li(r_cmp, T_NUM);
+        asm.bne_label(r_kind, r_cmp, "f_not_num");
+        asm.mv(r_res, r_tval);
+        asm.call_label("advance");
+        asm.pop(Reg::RA);
+        asm.ret();
+        asm.label("f_not_num");
+        asm.li(r_cmp, T_IDENT);
+        asm.bne_label(r_kind, r_cmp, "f_not_ident");
+        asm.li(r_k, SYM_BASE);
+        asm.add(r_k, r_k, r_tval);
+        asm.lw(r_res, r_k, 0);
+        asm.call_label("advance");
+        asm.pop(Reg::RA);
+        asm.ret();
+        asm.label("f_not_ident");
+        asm.li(r_cmp, T_MINUS);
+        asm.bne_label(r_kind, r_cmp, "f_paren");
+        asm.call_label("advance");
+        asm.call_label("parse_factor");
+        asm.sub(r_res, Reg::ZERO, r_res);
+        asm.pop(Reg::RA);
+        asm.ret();
+        asm.label("f_paren");
+        // Must be '(' by construction.
+        asm.call_label("advance");
+        asm.call_label("parse_expr");
+        asm.call_label("advance"); // consume ')'
+        asm.pop(Reg::RA);
+        asm.ret();
+
+        asm.assemble().expect("cc1 assembles")
+    };
+
+    let mut initial_memory = vec![0i32; CHAR_BASE as usize];
+    initial_memory[LEN_ADDR as usize] = char_len;
+    for (i, &s) in syms.iter().enumerate() {
+        initial_memory[(SYM_BASE as usize) + i] = s;
+    }
+    initial_memory.extend_from_slice(&source);
+    // Token region follows; 2 words per char upper-bounds it.
+    assert!(tbase + 2 * char_len + 16 < (1 << 20), "memory layout fits");
+
+    let tokens = reference_tokenize(&source);
+    let expected_output = reference_evaluate(&tokens, &syms);
+    Workload {
+        name: "cc1",
+        program,
+        initial_memory,
+        expected_output,
+        step_limit: 200_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars_of(s: &str) -> Vec<i32> {
+        s.bytes().map(i32::from).collect()
+    }
+
+    #[test]
+    fn tokenizer_handles_all_classes() {
+        let toks = reference_tokenize(&chars_of("12+ab*(3);"));
+        assert_eq!(
+            toks,
+            vec![
+                (T_NUM, 12),
+                (T_PLUS, 0),
+                (T_IDENT, 0),
+                (T_IDENT, 1),
+                (T_STAR, 0),
+                (T_LPAREN, 0),
+                (T_NUM, 3),
+                (T_RPAREN, 0),
+                (T_SEMI, 0),
+                (T_EOF, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn evaluator_precedence_and_unary() {
+        let syms = [0i32; 26];
+        let toks = reference_tokenize(&chars_of("2+3*4;-5+1;(2+3)*4;"));
+        assert_eq!(reference_evaluate(&toks, &syms), vec![14, -4, 20, 3]);
+    }
+
+    #[test]
+    fn evaluator_division_semantics() {
+        let syms = [0i32; 26];
+        let toks = reference_tokenize(&chars_of("7/2;7%3;5/0;5%0;"));
+        assert_eq!(reference_evaluate(&toks, &syms), vec![3, 1, 0, 0, 4]);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut syms = [0i32; 26];
+        syms[2] = 10; // 'c'
+        let toks = reference_tokenize(&chars_of("c*c;"));
+        assert_eq!(reference_evaluate(&toks, &syms), vec![100, 1]);
+    }
+
+    #[test]
+    fn generated_source_is_parseable() {
+        let src = generate_source(50, 99);
+        let toks = reference_tokenize(&src);
+        let out = reference_evaluate(&toks, &symbol_table());
+        assert_eq!(*out.last().unwrap(), 50);
+    }
+
+    #[test]
+    fn assembly_matches_reference_tiny() {
+        let w = build(Scale::Tiny);
+        let trace = w.validate().expect("runs and validates");
+        assert!(trace.len() > 1_000);
+    }
+
+    #[test]
+    fn assembly_matches_reference_small() {
+        let w = build(Scale::Small);
+        w.validate().expect("runs and validates");
+    }
+}

@@ -1,0 +1,277 @@
+//! `compress` stand-in: LZW compression with an open-addressing hash table.
+//!
+//! This is the actual algorithm of SPEC's `compress` (Welch's LZW with a
+//! hashed dictionary): the inner loop hashes a (prefix-code, next-char)
+//! pair, probes a table, and either extends the current match or emits a
+//! code and inserts a new dictionary entry. The probe loop's branches are
+//! data-dependent and the emitted-code stream exercises long dependence
+//! chains through the hash table.
+//!
+//! Input: synthetic English-like text from a small word vocabulary
+//! (repetition is what gives LZW its dictionary hits). Output: the LZW code
+//! stream followed by the code count.
+
+use dee_isa::{Assembler, Reg};
+
+use crate::{Scale, Workload, XorShift32};
+
+/// Hash table size (power of two) and dictionary capacity.
+const HSIZE: i32 = 4096;
+const MAX_CODE: i32 = 4096;
+/// First dictionary code (single bytes occupy 0..256).
+const FIRST_CODE: i32 = 256;
+
+/// Memory map.
+const INPUT_LEN_ADDR: i32 = 0;
+const INPUT_BASE: i32 = 16;
+/// keys[] base follows the input region, computed per-build.
+fn keys_base(input_len: i32) -> i32 {
+    INPUT_BASE + input_len
+}
+
+/// Golden-ratio multiplicative hash, identical in Rust and assembly.
+fn hash(key: i32) -> i32 {
+    let h = (key as u32).wrapping_mul(2_654_435_761);
+    ((h >> 16) & (HSIZE as u32 - 1)) as i32
+}
+
+/// Text length in characters per scale.
+#[must_use]
+pub fn text_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 400,
+        Scale::Small => 3_000,
+        Scale::Medium => 14_000,
+        Scale::Large => 60_000,
+    }
+}
+
+/// Generates the synthetic input text: words drawn from a Zipf-ish
+/// vocabulary, separated by spaces, with occasional punctuation.
+#[must_use]
+pub fn generate_text(len: usize, seed: u32) -> Vec<i32> {
+    const VOCAB: &[&str] = &[
+        "the", "of", "and", "to", "in", "branch", "path", "eager", "tree",
+        "execution", "speculative", "resource", "probability", "window",
+        "instruction", "parallel",
+    ];
+    let mut rng = XorShift32::new(seed);
+    let mut text = Vec::with_capacity(len);
+    while text.len() < len {
+        // Zipf-ish: prefer early vocabulary entries.
+        let pick = (rng.below(16).min(rng.below(16))) as usize;
+        for byte in VOCAB[pick].bytes() {
+            text.push(i32::from(byte));
+        }
+        text.push(if rng.below(12) == 0 { i32::from(b'.') } else { i32::from(b' ') });
+    }
+    text.truncate(len);
+    text
+}
+
+/// Reference LZW compressor; must match the assembly bit-for-bit.
+#[must_use]
+pub fn reference_compress(input: &[i32]) -> Vec<i32> {
+    assert!(!input.is_empty(), "input must be non-empty");
+    let hsize = HSIZE as usize;
+    let mut keys = vec![0i32; hsize];
+    let mut codes = vec![0i32; hsize]; // 0 = empty slot
+    let mut next_code = FIRST_CODE;
+    let mut out = Vec::new();
+    let mut prefix = input[0];
+    for &c in &input[1..] {
+        let key = (prefix << 8) | c;
+        let mut h = hash(key) as usize;
+        loop {
+            if codes[h] == 0 {
+                out.push(prefix);
+                if next_code < MAX_CODE {
+                    keys[h] = key;
+                    codes[h] = next_code;
+                    next_code += 1;
+                }
+                prefix = c;
+                break;
+            }
+            if keys[h] == key {
+                prefix = codes[h];
+                break;
+            }
+            h = (h + 1) & (hsize - 1);
+        }
+    }
+    out.push(prefix);
+    let n = out.len() as i32;
+    out.push(n);
+    out
+}
+
+/// Builds the workload at `scale`.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let text = generate_text(text_len(scale), 0xC0_FFEE);
+    let n = text.len() as i32;
+    let kbase = keys_base(n);
+    let cbase = kbase + HSIZE;
+
+    let program = {
+        let mut asm = Assembler::new();
+        let (r_n, r_i, r_prefix, r_c) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_key, r_h, r_t, r_next) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
+        let (r_mask, r_kbase, r_cbase, r_inbase) =
+            (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+        let (r_addr, r_code, r_emit) = (Reg::new(13), Reg::new(14), Reg::new(15));
+
+        asm.lw(r_n, Reg::ZERO, INPUT_LEN_ADDR);
+        asm.li(r_mask, HSIZE - 1);
+        asm.li(r_kbase, kbase);
+        asm.li(r_cbase, cbase);
+        asm.li(r_inbase, INPUT_BASE);
+        asm.li(r_next, FIRST_CODE);
+        asm.li(r_emit, 0); // emitted-code count
+        asm.lw(r_prefix, r_inbase, 0); // prefix = input[0]
+        asm.li(r_i, 1);
+
+        asm.label("main");
+        asm.bge_label(r_i, r_n, "flush");
+        asm.add(r_addr, r_inbase, r_i);
+        asm.lw(r_c, r_addr, 0); // c = input[i]
+        // key = prefix << 8 | c
+        asm.slli(r_key, r_prefix, 8);
+        asm.or(r_key, r_key, r_c);
+        // h = (key * 2654435761) >> 16 & mask  (u32 wrap)
+        asm.li(r_t, -1_640_531_535i32); // 2654435761 as i32
+        asm.mul(r_h, r_key, r_t);
+        asm.srli(r_h, r_h, 16);
+        asm.and(r_h, r_h, r_mask);
+
+        asm.label("probe");
+        asm.add(r_addr, r_cbase, r_h);
+        asm.lw(r_code, r_addr, 0); // codes[h]
+        asm.beq_label(r_code, Reg::ZERO, "miss");
+        asm.add(r_addr, r_kbase, r_h);
+        asm.lw(r_t, r_addr, 0); // keys[h]
+        asm.beq_label(r_t, r_key, "hit");
+        asm.addi(r_h, r_h, 1);
+        asm.and(r_h, r_h, r_mask);
+        asm.j_label("probe");
+
+        asm.label("hit");
+        asm.mv(r_prefix, r_code);
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("main");
+
+        asm.label("miss");
+        asm.out(r_prefix);
+        asm.addi(r_emit, r_emit, 1);
+        asm.li(r_t, MAX_CODE);
+        asm.bge_label(r_next, r_t, "no_insert");
+        asm.add(r_addr, r_kbase, r_h);
+        asm.sw(r_key, r_addr, 0);
+        asm.add(r_addr, r_cbase, r_h);
+        asm.sw(r_next, r_addr, 0);
+        asm.addi(r_next, r_next, 1);
+        asm.label("no_insert");
+        asm.mv(r_prefix, r_c);
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("main");
+
+        asm.label("flush");
+        asm.out(r_prefix);
+        asm.addi(r_emit, r_emit, 1);
+        asm.out(r_emit);
+        asm.halt();
+        asm.assemble().expect("compress assembles")
+    };
+
+    let mut initial_memory = vec![0i32; INPUT_BASE as usize];
+    initial_memory[INPUT_LEN_ADDR as usize] = n;
+    initial_memory.extend_from_slice(&text);
+    // keys/codes regions start zeroed (fresh machine memory is zero), so no
+    // image is needed for them — but assert the layout stays in bounds.
+    assert!(cbase + HSIZE < (1 << 20), "memory layout fits");
+
+    let expected_output = reference_compress(&text);
+    Workload {
+        name: "compress",
+        program,
+        initial_memory,
+        expected_output,
+        step_limit: 200_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_in_range() {
+        for key in [0, 1, 255, 65_535, 1 << 20, i32::MAX] {
+            let h = hash(key);
+            assert!((0..HSIZE).contains(&h));
+        }
+    }
+
+    #[test]
+    fn reference_round_trip_decompresses() {
+        // Decode the reference LZW stream and confirm it reproduces the
+        // input (validates the reference itself, not just consistency).
+        let text = generate_text(600, 7);
+        let mut stream = reference_compress(&text);
+        let count = stream.pop().unwrap();
+        assert_eq!(count as usize, stream.len());
+
+        // Standard LZW decoder.
+        let mut dict: Vec<Vec<i32>> = (0..FIRST_CODE).map(|b| vec![b]).collect();
+        let mut decoded: Vec<i32> = Vec::new();
+        let mut prev: Option<Vec<i32>> = None;
+        for &code in &stream {
+            let entry = if (code as usize) < dict.len() {
+                dict[code as usize].clone()
+            } else {
+                // KwKwK case.
+                let p = prev.clone().expect("kwkwk after first");
+                let mut e = p.clone();
+                e.push(p[0]);
+                e
+            };
+            if let Some(p) = prev {
+                if dict.len() < MAX_CODE as usize {
+                    let mut novel = p;
+                    novel.push(entry[0]);
+                    dict.push(novel);
+                }
+            }
+            decoded.extend_from_slice(&entry);
+            prev = Some(entry);
+        }
+        assert_eq!(decoded, text);
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        let text = generate_text(2_000, 3);
+        let out = reference_compress(&text);
+        assert!(out.len() < text.len() * 3 / 4, "repetitive text compresses");
+    }
+
+    #[test]
+    fn assembly_matches_reference_tiny() {
+        let w = build(Scale::Tiny);
+        let trace = w.validate().expect("runs and validates");
+        assert!(trace.len() > 3_000);
+    }
+
+    #[test]
+    fn text_generation_is_deterministic() {
+        assert_eq!(generate_text(100, 5), generate_text(100, 5));
+        assert_ne!(generate_text(100, 5), generate_text(100, 6));
+    }
+
+    #[test]
+    fn single_char_input_emits_one_code() {
+        let out = reference_compress(&[65]);
+        assert_eq!(out, vec![65, 1]);
+    }
+}

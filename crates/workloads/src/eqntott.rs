@@ -1,0 +1,401 @@
+//! `eqntott` stand-in: boolean-equation truth-table expansion plus a
+//! comparison-dominated quicksort of ternary product terms.
+//!
+//! SPEC's `eqntott` converts boolean equations to truth tables; profile
+//! studies attribute most of its time to `cmppt`, a digit-by-digit
+//! comparison function driving a quicksort of product-term rows, and the
+//! table expansion itself is a large, nearly independent iteration space —
+//! the source of eqntott's famously huge oracle ILP (the paper measures an
+//! oracle speedup of 2810×). This workload has both phases:
+//!
+//! 1. **Expansion**: evaluate a sum-of-products function on all `2^V`
+//!    assignments, counting ones and folding a checksum;
+//! 2. **Sort**: quicksort `M` packed ternary terms with a per-digit
+//!    comparison routine called through `jal` (explicit lo/hi stack).
+//!
+//! Output: ones-count of the truth table, expansion checksum, sorted-array
+//! checksum, and `M`.
+
+use dee_isa::{Assembler, Reg};
+
+use crate::{Scale, Workload, XorShift32};
+
+/// Number of input variables for the expansion phase.
+const VARS: i32 = 11;
+/// Ternary digits per packed term (2 bits each).
+const DIGITS: i32 = 12;
+
+/// Memory map.
+const NTERMS_ADDR: i32 = 0; // product terms (expansion)
+const M_ADDR: i32 = 1; // sort array length
+const PT_BASE: i32 = 16; // product terms: (mask, value) pairs
+
+fn sort_base(nterms: i32) -> i32 {
+    PT_BASE + 2 * nterms
+}
+
+fn stack_base(nterms: i32, m: i32) -> i32 {
+    sort_base(nterms) + m
+}
+
+/// Phase sizes per scale: (product terms, sort array length).
+#[must_use]
+pub fn sizes(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (4, 48),
+        Scale::Small => (8, 220),
+        Scale::Medium => (12, 700),
+        Scale::Large => (16, 2_400),
+    }
+}
+
+/// Generates the sum-of-products terms as (mask, value) pairs over `VARS`
+/// variables: term true iff `(x & mask) == value`.
+#[must_use]
+pub fn generate_terms(count: usize, seed: u32) -> Vec<(i32, i32)> {
+    let mut rng = XorShift32::new(seed);
+    let all = (1u32 << VARS) - 1;
+    (0..count)
+        .map(|_| {
+            let mask = (rng.next_u32() & all) as i32;
+            let value = (rng.next_u32() as i32) & mask;
+            (mask, value)
+        })
+        .collect()
+}
+
+/// Generates the packed ternary terms to sort (2-bit digits, values 0..=2).
+#[must_use]
+pub fn generate_sort_terms(m: usize, seed: u32) -> Vec<i32> {
+    let mut rng = XorShift32::new(seed);
+    (0..m)
+        .map(|_| {
+            let mut word = 0i32;
+            for d in 0..DIGITS {
+                word |= (rng.below(3) as i32) << (2 * d);
+            }
+            word
+        })
+        .collect()
+}
+
+/// The eqntott `cmppt`-style comparator: least-significant ternary digit
+/// first. Deliberately *not* equivalent to numeric comparison of the packed
+/// words, so the comparison loop stays data-dependent.
+#[must_use]
+pub fn cmp_terms(a: i32, b: i32) -> std::cmp::Ordering {
+    for d in 0..DIGITS {
+        let fa = (a >> (2 * d)) & 3;
+        let fb = (b >> (2 * d)) & 3;
+        match fa.cmp(&fb) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Reference output; must match the assembly bit-for-bit.
+#[must_use]
+pub fn reference_output(terms: &[(i32, i32)], sort_terms: &[i32]) -> Vec<i32> {
+    // Phase 1: truth-table expansion.
+    let mut ones = 0i32;
+    let mut checksum = 0i32;
+    for x in 0..(1i32 << VARS) {
+        let mut f = 0i32;
+        for &(mask, value) in terms {
+            if (x & mask) == value {
+                f = 1;
+                break;
+            }
+        }
+        ones = ones.wrapping_add(f);
+        checksum = checksum.wrapping_mul(3).wrapping_add(f) & 0x00FF_FFFF;
+    }
+
+    // Phase 2: quicksort (Lomuto, last-element pivot, explicit stack) —
+    // the same algorithm as the assembly so the output order matches even
+    // among equal keys.
+    let mut arr = sort_terms.to_vec();
+    if !arr.is_empty() {
+        let mut stack = vec![(0i32, arr.len() as i32 - 1)];
+        while let Some((lo, hi)) = stack.pop() {
+            if lo >= hi {
+                continue;
+            }
+            let pivot = arr[hi as usize];
+            let mut store = lo;
+            for j in lo..hi {
+                if cmp_terms(arr[j as usize], pivot) == std::cmp::Ordering::Less {
+                    arr.swap(j as usize, store as usize);
+                    store += 1;
+                }
+            }
+            arr.swap(store as usize, hi as usize);
+            // Pushed in this order, the (store+1, hi) side pops first —
+            // mirrored exactly in the assembly.
+            stack.push((lo, store - 1));
+            stack.push((store + 1, hi));
+        }
+    }
+    let mut sort_sum = 0i32;
+    for &t in &arr {
+        sort_sum = sort_sum.wrapping_mul(31).wrapping_add(t) & 0x00FF_FFFF;
+    }
+
+    vec![ones, checksum, sort_sum, sort_terms.len() as i32]
+}
+
+/// Builds the workload at `scale`.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let (nterms, m) = sizes(scale);
+    let terms = generate_terms(nterms, 0xE9_0101);
+    let sterms = generate_sort_terms(m, 0xE9_0202);
+    let nterms = nterms as i32;
+    let m = m as i32;
+    let sbase = sort_base(nterms);
+    let stkbase = stack_base(nterms, m);
+
+    let program = {
+        let mut asm = Assembler::new();
+        // ---- Phase 1: expansion ----
+        let (r_nt, r_x, r_lim, r_f) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_t, r_ti, r_mask, r_val) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
+        let (r_ones, r_ck, r_ptb, r_addr) =
+            (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+
+        asm.lw(r_nt, Reg::ZERO, NTERMS_ADDR);
+        asm.li(r_ptb, PT_BASE);
+        asm.li(r_ones, 0);
+        asm.li(r_ck, 0);
+        asm.li(r_lim, 1 << VARS);
+        asm.li(r_x, 0);
+
+        asm.label("exp_loop");
+        asm.bge_label(r_x, r_lim, "exp_done");
+        asm.li(r_f, 0);
+        asm.li(r_ti, 0);
+        asm.label("term_loop");
+        asm.bge_label(r_ti, r_nt, "terms_done");
+        asm.slli(r_addr, r_ti, 1);
+        asm.add(r_addr, r_addr, r_ptb);
+        asm.lw(r_mask, r_addr, 0);
+        asm.lw(r_val, r_addr, 1);
+        asm.and(r_t, r_x, r_mask);
+        asm.bne_label(r_t, r_val, "term_next");
+        asm.li(r_f, 1);
+        asm.j_label("terms_done"); // first match wins (OR short-circuit)
+        asm.label("term_next");
+        asm.addi(r_ti, r_ti, 1);
+        asm.j_label("term_loop");
+        asm.label("terms_done");
+        asm.add(r_ones, r_ones, r_f);
+        asm.muli(r_ck, r_ck, 3);
+        asm.add(r_ck, r_ck, r_f);
+        asm.andi(r_ck, r_ck, 0x00FF_FFFF);
+        asm.addi(r_x, r_x, 1);
+        asm.j_label("exp_loop");
+
+        asm.label("exp_done");
+        asm.out(r_ones);
+        asm.out(r_ck);
+
+        // ---- Phase 2: quicksort ----
+        let (r_m, r_ab, r_sp2, r_lo) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_hi, r_piv, r_store, r_j) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
+        let (r_t1, r_t2, r_ca, r_cb) = (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+        let (r_cr, r_d, r_fa, r_fb) = (Reg::new(13), Reg::new(14), Reg::new(15), Reg::new(16));
+
+        asm.lw(r_m, Reg::ZERO, M_ADDR);
+        asm.li(r_ab, sbase);
+        asm.li(r_sp2, stkbase);
+        // push (0, m-1)
+        asm.sw(Reg::ZERO, r_sp2, 0);
+        asm.addi(r_t1, r_m, -1);
+        asm.sw(r_t1, r_sp2, 1);
+        asm.addi(r_sp2, r_sp2, 2);
+
+        asm.label("qs_loop");
+        asm.li(r_t1, stkbase);
+        asm.ble_label(r_sp2, r_t1, "qs_done"); // stack empty
+        asm.addi(r_sp2, r_sp2, -2);
+        asm.lw(r_lo, r_sp2, 0);
+        asm.lw(r_hi, r_sp2, 1);
+        asm.bge_label(r_lo, r_hi, "qs_loop");
+
+        // pivot = arr[hi]
+        asm.add(r_t1, r_ab, r_hi);
+        asm.lw(r_piv, r_t1, 0);
+        asm.mv(r_store, r_lo);
+        asm.mv(r_j, r_lo);
+
+        asm.label("part_loop");
+        asm.bge_label(r_j, r_hi, "part_done");
+        asm.add(r_t1, r_ab, r_j);
+        asm.lw(r_ca, r_t1, 0);
+        asm.mv(r_cb, r_piv);
+        asm.call_label("cmppt");
+        asm.bge_label(r_cr, Reg::ZERO, "no_swap"); // only Less swaps
+        asm.add(r_t1, r_ab, r_j);
+        asm.add(r_t2, r_ab, r_store);
+        asm.lw(r_fa, r_t1, 0);
+        asm.lw(r_fb, r_t2, 0);
+        asm.sw(r_fb, r_t1, 0);
+        asm.sw(r_fa, r_t2, 0);
+        asm.addi(r_store, r_store, 1);
+        asm.label("no_swap");
+        asm.addi(r_j, r_j, 1);
+        asm.j_label("part_loop");
+
+        asm.label("part_done");
+        // swap arr[store], arr[hi]
+        asm.add(r_t1, r_ab, r_store);
+        asm.add(r_t2, r_ab, r_hi);
+        asm.lw(r_fa, r_t1, 0);
+        asm.lw(r_fb, r_t2, 0);
+        asm.sw(r_fb, r_t1, 0);
+        asm.sw(r_fa, r_t2, 0);
+        // push (lo, store-1) then (store+1, hi)
+        asm.sw(r_lo, r_sp2, 0);
+        asm.addi(r_t1, r_store, -1);
+        asm.sw(r_t1, r_sp2, 1);
+        asm.addi(r_sp2, r_sp2, 2);
+        asm.addi(r_t1, r_store, 1);
+        asm.sw(r_t1, r_sp2, 0);
+        asm.sw(r_hi, r_sp2, 1);
+        asm.addi(r_sp2, r_sp2, 2);
+        asm.j_label("qs_loop");
+
+        // cmppt(a=r_ca, b=r_cb) -> r_cr in {-1, 0, 1}; LSD first.
+        // Clobbers r_d, r_fa, r_fb, r_t2.
+        asm.label("cmppt");
+        asm.li(r_d, 0);
+        asm.label("cmp_loop");
+        asm.li(r_t2, DIGITS);
+        asm.bge_label(r_d, r_t2, "cmp_eq");
+        asm.slli(r_t2, r_d, 1);
+        asm.srl(r_fa, r_ca, r_t2);
+        asm.andi(r_fa, r_fa, 3);
+        asm.srl(r_fb, r_cb, r_t2);
+        asm.andi(r_fb, r_fb, 3);
+        asm.blt_label(r_fa, r_fb, "cmp_lt");
+        asm.bgt_label(r_fa, r_fb, "cmp_gt");
+        asm.addi(r_d, r_d, 1);
+        asm.j_label("cmp_loop");
+        asm.label("cmp_lt");
+        asm.li(r_cr, -1);
+        asm.ret();
+        asm.label("cmp_gt");
+        asm.li(r_cr, 1);
+        asm.ret();
+        asm.label("cmp_eq");
+        asm.li(r_cr, 0);
+        asm.ret();
+
+        // ---- Epilogue: checksum of sorted array ----
+        asm.label("qs_done");
+        asm.li(r_t1, 0); // checksum
+        asm.li(r_j, 0);
+        asm.label("sum_loop");
+        asm.bge_label(r_j, r_m, "sum_done");
+        asm.add(r_t2, r_ab, r_j);
+        asm.lw(r_fa, r_t2, 0);
+        asm.muli(r_t1, r_t1, 31);
+        asm.add(r_t1, r_t1, r_fa);
+        asm.andi(r_t1, r_t1, 0x00FF_FFFF);
+        asm.addi(r_j, r_j, 1);
+        asm.j_label("sum_loop");
+        asm.label("sum_done");
+        asm.out(r_t1);
+        asm.out(r_m);
+        asm.halt();
+        asm.assemble().expect("eqntott assembles")
+    };
+
+    let mut initial_memory = vec![0i32; PT_BASE as usize];
+    initial_memory[NTERMS_ADDR as usize] = nterms;
+    initial_memory[M_ADDR as usize] = m;
+    for &(mask, value) in &terms {
+        initial_memory.push(mask);
+        initial_memory.push(value);
+    }
+    initial_memory.extend_from_slice(&sterms);
+    assert_eq!(initial_memory.len() as i32, sbase + m);
+    assert!(stkbase + 4 * m + 16 < (1 << 20), "memory layout fits");
+
+    let expected_output = reference_output(&terms, &sterms);
+    Workload {
+        name: "eqntott",
+        program,
+        initial_memory,
+        expected_output,
+        step_limit: 400_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn comparator_is_lsd_first_not_numeric() {
+        // a: digit0 = 2 (packed 0b0010 = 2); b: digit0 = 1, digit1 = 1
+        // (packed 0b0101 = 5). LSD-first: 2 > 1 => Greater, though a < b
+        // numerically.
+        assert_eq!(cmp_terms(2, 5), Ordering::Greater);
+        assert_eq!(cmp_terms(5, 2), Ordering::Less);
+        assert_eq!(cmp_terms(7, 7), Ordering::Equal);
+    }
+
+    #[test]
+    fn comparator_is_total_order() {
+        let terms = generate_sort_terms(40, 9);
+        for &a in &terms {
+            for &b in &terms {
+                match cmp_terms(a, b) {
+                    Ordering::Less => assert_eq!(cmp_terms(b, a), Ordering::Greater),
+                    Ordering::Greater => assert_eq!(cmp_terms(b, a), Ordering::Less),
+                    Ordering::Equal => assert_eq!(cmp_terms(b, a), Ordering::Equal),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_sort_agrees_with_stdlib_sort() {
+        let sterms = generate_sort_terms(100, 11);
+        let terms = generate_terms(4, 12);
+        let mut expect = sterms.clone();
+        expect.sort_by(|&a, &b| cmp_terms(a, b));
+        let mut sum = 0i32;
+        for &t in &expect {
+            sum = sum.wrapping_mul(31).wrapping_add(t) & 0x00FF_FFFF;
+        }
+        let out = reference_output(&terms, &sterms);
+        assert_eq!(out[2], sum);
+    }
+
+    #[test]
+    fn expansion_counts_plausible() {
+        let terms = generate_terms(8, 5);
+        let out = reference_output(&terms, &[]);
+        let total = 1i32 << VARS;
+        assert!(out[0] > 0 && out[0] <= total, "ones in range: {}", out[0]);
+    }
+
+    #[test]
+    fn assembly_matches_reference_tiny() {
+        let w = build(Scale::Tiny);
+        let trace = w.validate().expect("runs and validates");
+        assert!(trace.len() > 10_000);
+    }
+
+    #[test]
+    fn empty_sort_is_handled_by_reference() {
+        let out = reference_output(&generate_terms(2, 3), &[]);
+        assert_eq!(out[2], 0);
+        assert_eq!(out[3], 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! `xlisp` stand-in: N-queens backtracking search.
+//!
+//! The paper's xlisp input is `li-input.lsp` — the 9-queens problem. The
+//! original runs a Lisp interpreter over a queens program; the hot dynamic
+//! behaviour is a backtracking search with data-dependent branches (column
+//! and diagonal conflict tests). This workload implements that search
+//! directly with an explicit row/column trial stack in memory.
+//!
+//! Output: the number of solutions, then the board size.
+
+use dee_isa::{Assembler, Reg};
+
+use crate::{Scale, Workload};
+
+/// Board size per scale (9 at `Medium`, matching the paper's input).
+#[must_use]
+pub fn board_size(scale: Scale) -> i32 {
+    match scale {
+        Scale::Tiny => 5,
+        Scale::Small => 7,
+        Scale::Medium => 9,
+        Scale::Large => 10,
+    }
+}
+
+/// Reference implementation: counts N-queens solutions by the same
+/// column-trial backtracking the assembly uses.
+#[must_use]
+pub fn reference_count(n: i32) -> i32 {
+    assert!(n >= 1, "board size must be positive");
+    let n = n as usize;
+    let mut cols = vec![-1i32; n];
+    let mut count = 0i32;
+    let mut row: i32 = 0;
+    while row >= 0 {
+        let r = row as usize;
+        cols[r] += 1;
+        if cols[r] >= n as i32 {
+            cols[r] = -1;
+            row -= 1;
+            continue;
+        }
+        let mut ok = true;
+        for i in 0..r {
+            let d = cols[i] - cols[r];
+            if d == 0 || d.abs() == (r - i) as i32 {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if r + 1 == n {
+            count += 1;
+        } else {
+            row += 1;
+        }
+    }
+    count
+}
+
+/// Word address of the column-trial array.
+const COLS_BASE: i32 = 16;
+
+/// Builds the workload at `scale`.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let n = board_size(scale);
+    let program = {
+        let mut asm = Assembler::new();
+        let (r_n, r_row, r_count, r_base) =
+            (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_t, r_addr, r_col, r_i) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
+        let (r_ci, r_diff, r_dist, r_last) =
+            (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+
+        asm.lw(r_n, Reg::ZERO, 0); // N
+        asm.li(r_count, 0);
+        asm.li(r_row, 0);
+        asm.li(r_base, COLS_BASE);
+        asm.li(r_t, -1);
+        asm.sw(r_t, r_base, 0); // cols[0] = -1
+
+        asm.label("loop");
+        asm.blt_label(r_row, Reg::ZERO, "done");
+        asm.add(r_addr, r_base, r_row);
+        asm.lw(r_col, r_addr, 0);
+        asm.addi(r_col, r_col, 1);
+        asm.sw(r_col, r_addr, 0); // cols[row] += 1
+        asm.bge_label(r_col, r_n, "backtrack");
+
+        // Conflict scan over rows 0..row.
+        asm.li(r_i, 0);
+        asm.label("check");
+        asm.bge_label(r_i, r_row, "place_ok");
+        asm.add(r_t, r_base, r_i);
+        asm.lw(r_ci, r_t, 0);
+        asm.beq_label(r_ci, r_col, "loop"); // column conflict: next trial
+        asm.sub(r_diff, r_ci, r_col);
+        asm.sub(r_dist, r_row, r_i);
+        asm.bge_label(r_diff, Reg::ZERO, "abs_done");
+        asm.sub(r_diff, Reg::ZERO, r_diff);
+        asm.label("abs_done");
+        asm.beq_label(r_diff, r_dist, "loop"); // diagonal conflict
+        asm.addi(r_i, r_i, 1);
+        asm.j_label("check");
+
+        asm.label("place_ok");
+        asm.addi(r_last, r_n, -1);
+        asm.bne_label(r_row, r_last, "descend");
+        asm.addi(r_count, r_count, 1); // full board: count and keep scanning
+        asm.j_label("loop");
+
+        asm.label("descend");
+        asm.addi(r_row, r_row, 1);
+        asm.add(r_addr, r_base, r_row);
+        asm.li(r_t, -1);
+        asm.sw(r_t, r_addr, 0); // cols[row] = -1
+        asm.j_label("loop");
+
+        asm.label("backtrack");
+        asm.li(r_t, -1);
+        asm.sw(r_t, r_addr, 0); // reset trial column before retreating
+        asm.addi(r_row, r_row, -1);
+        asm.j_label("loop");
+
+        asm.label("done");
+        asm.out(r_count);
+        asm.out(r_n);
+        asm.halt();
+        asm.assemble().expect("xlisp assembles")
+    };
+
+    let initial_memory = vec![n];
+    let expected_output = vec![reference_count(n), n];
+    Workload {
+        name: "xlisp",
+        program,
+        initial_memory,
+        expected_output,
+        step_limit: 200_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_known_counts() {
+        // OEIS A000170.
+        assert_eq!(reference_count(1), 1);
+        assert_eq!(reference_count(4), 2);
+        assert_eq!(reference_count(5), 10);
+        assert_eq!(reference_count(6), 4);
+        assert_eq!(reference_count(7), 40);
+        assert_eq!(reference_count(8), 92);
+    }
+
+    #[test]
+    fn assembly_matches_reference_tiny() {
+        let w = build(Scale::Tiny);
+        let trace = w.validate().expect("runs and validates");
+        assert!(trace.len() > 1_000, "nontrivial dynamic length");
+    }
+
+    #[test]
+    fn assembly_matches_reference_small() {
+        let w = build(Scale::Small);
+        w.validate().expect("runs and validates");
+    }
+
+    #[test]
+    fn trace_is_branch_dense() {
+        let w = build(Scale::Tiny);
+        let trace = w.capture_trace().unwrap();
+        let density = trace.num_cond_branches() as f64 / trace.len() as f64;
+        assert!(
+            density > 0.15,
+            "queens should be branchy, got {density:.3}"
+        );
+    }
+
+    #[test]
+    fn nine_queens_count_is_352() {
+        assert_eq!(reference_count(9), 352);
+    }
+}

@@ -1,0 +1,64 @@
+//! Face off the paper's execution models on one workload: a miniature of
+//! Figure 5 with a resource sweep, printed as an ASCII chart.
+//!
+//! Run with: `cargo run --release --example model_faceoff [workload]`
+//! (default espresso at Small scale).
+
+use dee::prelude::*;
+use dee::ilpsim::Model;
+use dee::workloads::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "espresso".into());
+    let workload = workloads::all_workloads(Scale::Small)
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let trace = workload.capture_trace()?;
+    let prepared = PreparedTrace::new(&workload.program, &trace);
+    let p = prepared.accuracy();
+    println!(
+        "{}: {} dynamic instructions, 2bc accuracy {:.1}%\n",
+        workload.name,
+        trace.len(),
+        p * 100.0
+    );
+
+    let resources = [8u32, 16, 32, 64, 128, 256];
+    let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0)).speedup();
+
+    // Collect speedups, then chart each model as a bar at E_T = 256.
+    println!("{:<10} {}", "model", resources.map(|e| format!("{e:>7}")).join(""));
+    let mut at_256 = Vec::new();
+    for model in Model::all_constrained() {
+        let row: Vec<f64> = resources
+            .iter()
+            .map(|&et| simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup())
+            .collect();
+        println!(
+            "{:<10} {}",
+            model.name(),
+            row.iter().map(|s| format!("{s:>7.2}")).join("")
+        );
+        at_256.push((model, *row.last().expect("non-empty sweep")));
+    }
+
+    println!("\nspeedup at E_T = 256 (oracle = {oracle:.1}x):");
+    let max = at_256.iter().map(|(_, s)| *s).fold(1.0f64, f64::max);
+    for (model, speedup) in &at_256 {
+        let bar = "#".repeat(((speedup / max) * 50.0).round() as usize);
+        println!("{:<10} {:>7.2}x {}", model.name(), speedup, bar);
+    }
+    Ok(())
+}
+
+/// Join an iterator of Strings (tiny helper to avoid pulling a crate).
+trait JoinExt {
+    fn join(self, sep: &str) -> String;
+}
+
+impl<I: Iterator<Item = String>> JoinExt for I {
+    fn join(self, sep: &str) -> String {
+        self.collect::<Vec<_>>().join(sep)
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a tiny program with the assembler, trace it on the
+//! functional VM, and compare the speculative execution models on it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dee::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write a small branchy program: sum the odd numbers below 100.
+    let mut asm = Assembler::new();
+    let (i, sum, tmp) = (Reg::new(1), Reg::new(2), Reg::new(3));
+    asm.li(i, 0);
+    asm.li(sum, 0);
+    asm.label("loop");
+    asm.andi(tmp, i, 1);
+    asm.beq_label(tmp, Reg::ZERO, "even"); // data-dependent branch
+    asm.add(sum, sum, i);
+    asm.label("even");
+    asm.addi(i, i, 1);
+    asm.slti(tmp, i, 100);
+    asm.bne_label(tmp, Reg::ZERO, "loop");
+    asm.out(sum);
+    asm.halt();
+    let program = asm.assemble()?;
+
+    // 2. Run it on the functional VM, capturing the dynamic trace.
+    let trace = dee::vm::trace_program(&program, &[], 100_000)?;
+    println!("program output: {:?} (expected 2500)", trace.output());
+    println!(
+        "dynamic instructions: {}, conditional branches: {}, mean branch-path length: {:.2}",
+        trace.len(),
+        trace.num_cond_branches(),
+        trace.mean_path_len()
+    );
+
+    // 3. Prepare once (predictor replay + control-dependence analysis),
+    //    then simulate every model of the paper at 32 branch paths.
+    let prepared = PreparedTrace::new(&program, &trace);
+    println!(
+        "2-bit counter accuracy on this trace: {:.1}%\n",
+        prepared.accuracy() * 100.0
+    );
+    println!("{:<10} {:>9}", "model", "speedup");
+    for model in Model::all_constrained() {
+        let outcome = simulate(
+            &prepared,
+            &SimConfig::new(model, 32).with_p(prepared.accuracy()),
+        );
+        println!("{:<10} {:>8.2}x", model.name(), outcome.speedup());
+    }
+    let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+    println!("{:<10} {:>8.2}x", "Oracle", oracle.speedup());
+
+    // 4. And run the same program on the Levo machine model.
+    let report = Levo::new(LevoConfig::default()).run(&program, &[])?;
+    assert_eq!(report.output, trace.output(), "Levo computes the same result");
+    println!("\nLevo (32x8 IQ, 3 DEE paths): {:.2} IPC over {} cycles", report.ipc(), report.cycles);
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Explore the static DEE tree heuristic (§3.1) across prediction
+//! accuracies and resource budgets: prints the tree dimensions, the
+//! expected-performance advantage over SP and EE, and a picture of the
+//! Figure 2 tree.
+//!
+//! Run with: `cargo run --example static_tree_explorer [p] [et]`
+//! (defaults: the paper's p = 0.90, E_T = 34).
+
+use dee::prelude::*;
+use dee::theory::{ee_depth, log_p_not_p, SpecTree, Strategy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.90);
+    let et: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(34);
+
+    let tree = StaticTree::build(TreeParams { p, et });
+    println!("static DEE tree for p = {p}, E_T = {et}");
+    println!("  log_p(1-p)      = {:.2}", log_p_not_p(p));
+    println!("  main-line l     = {}", tree.mainline_len());
+    println!("  h_DEE           = {}", tree.h_dee());
+    println!("  DEE-region size = {}", tree.dee_region_paths());
+    println!("  degenerate SP?  = {}", tree.is_single_path());
+    println!("  EE depth at E_T = {}", ee_depth(et));
+    println!();
+
+    // Expected performance (sum of covered cumulative probabilities) of
+    // the three strategies at this operating point.
+    let dee = SpecTree::build(Strategy::Disjoint, p, et);
+    let sp = SpecTree::build(Strategy::SinglePath, p, et);
+    let ee = SpecTree::build(Strategy::Eager, p, et);
+    println!("expected performance P_tot (one resource slot per path):");
+    println!("  DEE = {:.3}   SP = {:.3}   EE = {:.3}", dee.total_cp(), sp.total_cp(), ee.total_cp());
+    println!();
+
+    // ASCII sketch of the tree: main line down the left, DEE paths
+    // hanging off the first h branches.
+    println!("tree sketch (ML cp on the left; DEE path extensions right):");
+    let ml = tree.mainline_cps();
+    for (k, cp) in ml.iter().enumerate().take(tree.h_dee() as usize + 2) {
+        let level = k as u32 + 1;
+        let mut line = format!("  ML{:<3} {cp:.3}", level);
+        if level <= tree.h_dee() {
+            let cov = tree.coverage_at_level(level);
+            let exts: Vec<String> = (0..cov)
+                .map(|j| format!("{:.3}", tree.dee_path_cp(level, j)))
+                .collect();
+            line.push_str(&format!("  \\-- DEE: {}", exts.join(" ")));
+        }
+        println!("{line}");
+    }
+    if tree.mainline_len() > tree.h_dee() + 2 {
+        println!("  ...   (main line continues to depth {})", tree.mainline_len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Disjoint Eager Execution (DEE) — a reproduction of Uht & Sindagi,
+//! "Disjoint Eager Execution: An Optimal Form of Speculative Execution",
+//! MICRO-28, 1995.
+//!
+//! This facade crate re-exports every subsystem of the reproduction:
+//!
+//! * [`isa`] — the toy MIPS-R3000-like instruction set, assembler, and
+//!   control-dependence analyses;
+//! * [`vm`] — the functional interpreter and dynamic trace capture;
+//! * [`workloads`] — five SPECint92-like benchmark programs;
+//! * [`predict`] — branch predictors (2-bit counter, PAp, gshare, static);
+//! * [`theory`] — DEE theory: optimal resource assignment and the static
+//!   tree heuristic (`dee-core`);
+//! * [`ilpsim`] — the resource-constrained trace-driven ILP limit simulator
+//!   behind every figure of the paper's evaluation;
+//! * [`levo`] — the Levo/CONDEL-2 static-instruction-window machine model;
+//! * [`mem`] — the data-cache model (the paper's future-work memory
+//!   system), pluggable into the ILP simulator via per-access latencies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dee::prelude::*;
+//!
+//! // Build a workload, trace it, and measure DEE-CD-MF speedup.
+//! let workload = dee::workloads::xlisp::build(Scale::Tiny);
+//! let trace = workload.capture_trace().expect("workload runs to completion");
+//! let prepared = PreparedTrace::new(&workload.program, &trace);
+//! let outcome = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, 32));
+//! assert!(outcome.speedup() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dee_core as theory;
+pub use dee_ilpsim as ilpsim;
+pub use dee_isa as isa;
+pub use dee_levo as levo;
+pub use dee_mem as mem;
+pub use dee_predict as predict;
+pub use dee_vm as vm;
+pub use dee_workloads as workloads;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use dee_core::{StaticTree, TreeParams};
+    pub use dee_ilpsim::{simulate, LatencyModel, Model, PreparedTrace, SimConfig, SimOutcome};
+    pub use dee_isa::{Assembler, Instr, Program, Reg};
+    pub use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
+    pub use dee_mem::{CacheConfig, MemoryHierarchy};
+    pub use dee_predict::{BranchPredictor, TwoBitCounter};
+    pub use dee_vm::{Trace, TraceRecord};
+    pub use dee_workloads::{Scale, Workload};
+}

@@ -1,0 +1,311 @@
+//! `dee` — command-line front end for the Disjoint Eager Execution stack.
+//!
+//! ```text
+//! dee run <prog.s> [--mem k=v,...]        run on the functional VM
+//! dee sim <prog.s> [--model M] [--et N]   trace + ILP-model speedups
+//! dee levo <prog.s> [--dee-paths N]       run on the Levo machine model
+//! dee unroll <prog.s> [--factor K]        apply the §4.2 loop filter
+//! dee tree [--p P] [--et N]               print the static DEE tree
+//! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
+//! dee replay <file> [--model M] [--et N]  simulate a captured trace
+//! ```
+//!
+//! Programs are assembly text (see `dee_isa::parse`); initial memory cells
+//! are set with `--mem addr=value,addr=value,...`.
+
+use std::process::ExitCode;
+
+use dee::ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+use dee::isa::parse::parse_program;
+use dee::isa::transform::{unroll_loops, UnrollConfig};
+use dee::isa::Program;
+use dee::levo::{Levo, LevoConfig};
+use dee::theory::{StaticTree, TreeParams};
+use dee::vm::trace_program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dee run <prog.s> [--mem a=v,...]          run on the functional VM
+  dee sim <prog.s> [--model M] [--et N] [--mem a=v,...]
+  dee levo <prog.s> [--dee-paths N] [--mem a=v,...]
+  dee unroll <prog.s> [--factor K]          print the unrolled program
+  dee tree [--p P] [--et N]                 print the static DEE tree
+  dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
+  dee replay <prog.s> <file> [--model M] [--et N]";
+
+/// Parsed `--flag value` options after the positional arguments.
+struct Options {
+    memory: Vec<i32>,
+    model: Option<String>,
+    et: u32,
+    dee_paths: Option<usize>,
+    factor: u32,
+    p: f64,
+    output: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        memory: Vec::new(),
+        model: None,
+        et: 100,
+        dee_paths: None,
+        factor: 3,
+        p: 0.9053,
+        output: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--mem" => {
+                for pair in value()?.split(',') {
+                    let (addr, val) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad --mem entry `{pair}`"))?;
+                    let addr: usize = addr.trim().parse().map_err(|_| format!("bad address `{addr}`"))?;
+                    let val: i32 = val.trim().parse().map_err(|_| format!("bad value `{val}`"))?;
+                    if options.memory.len() <= addr {
+                        options.memory.resize(addr + 1, 0);
+                    }
+                    options.memory[addr] = val;
+                }
+            }
+            "--model" => options.model = Some(value()?),
+            "--et" => options.et = value()?.parse().map_err(|_| "bad --et".to_string())?,
+            "--dee-paths" => {
+                options.dee_paths = Some(value()?.parse().map_err(|_| "bad --dee-paths".to_string())?)
+            }
+            "--factor" => options.factor = value()?.parse().map_err(|_| "bad --factor".to_string())?,
+            "--p" => options.p = value()?.parse().map_err(|_| "bad --p".to_string())?,
+            "-o" | "--output" => options.output = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_program(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn model_by_name(name: &str) -> Option<Model> {
+    Model::all_constrained()
+        .into_iter()
+        .chain([Model::Oracle])
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    match command.as_str() {
+        "run" => {
+            let path = args.get(1).ok_or("missing program path")?;
+            let options = parse_options(&args[2..])?;
+            let program = load_program(path)?;
+            let trace = trace_program(&program, &options.memory, 1_000_000_000)
+                .map_err(|e| e.to_string())?;
+            println!("output: {:?}", trace.output());
+            println!(
+                "dynamic instructions: {}, branches: {}, mean path length: {:.2}",
+                trace.len(),
+                trace.num_cond_branches(),
+                trace.mean_path_len()
+            );
+            Ok(())
+        }
+        "sim" => {
+            let path = args.get(1).ok_or("missing program path")?;
+            let options = parse_options(&args[2..])?;
+            let program = load_program(path)?;
+            let trace = trace_program(&program, &options.memory, 1_000_000_000)
+                .map_err(|e| e.to_string())?;
+            let prepared = PreparedTrace::new(&program, &trace);
+            let p = prepared.accuracy();
+            println!("2-bit counter accuracy: {:.1}%", p * 100.0);
+            let models: Vec<Model> = match &options.model {
+                Some(name) => vec![model_by_name(name).ok_or_else(|| format!("unknown model `{name}`"))?],
+                None => Model::all_constrained()
+                    .into_iter()
+                    .chain([Model::Oracle])
+                    .collect(),
+            };
+            for model in models {
+                let out = simulate(&prepared, &SimConfig::new(model, options.et).with_p(p));
+                println!("{:<10} @ {:>4} paths: {:>7.2}x", model.name(), options.et, out.speedup());
+            }
+            Ok(())
+        }
+        "levo" => {
+            let path = args.get(1).ok_or("missing program path")?;
+            let options = parse_options(&args[2..])?;
+            let program = load_program(path)?;
+            let mut config = LevoConfig::default();
+            if let Some(paths) = options.dee_paths {
+                config.dee_paths = paths;
+            }
+            let report = Levo::new(config)
+                .run(&program, &options.memory)
+                .map_err(|e| e.to_string())?;
+            println!("output: {:?}", report.output);
+            println!(
+                "cycles: {}, retired: {}, IPC: {:.2}, mispredicts: {} ({} DEE-covered)",
+                report.cycles, report.retired, report.ipc(), report.mispredicts, report.dee_covered
+            );
+            Ok(())
+        }
+        "unroll" => {
+            let path = args.get(1).ok_or("missing program path")?;
+            let options = parse_options(&args[2..])?;
+            let program = load_program(path)?;
+            let result = unroll_loops(
+                &program,
+                &UnrollConfig { factor: options.factor, max_body: 12 },
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "unrolled {} loop(s), {} -> {} instructions",
+                result.unrolled.len(),
+                program.len(),
+                result.program.len()
+            );
+            print!("{}", result.program.to_listing());
+            Ok(())
+        }
+        "tree" => {
+            let options = parse_options(&args[1..])?;
+            let tree = StaticTree::build(TreeParams { p: options.p, et: options.et });
+            println!("static DEE tree for p = {}, E_T = {}:", options.p, options.et);
+            println!("  main line l = {}", tree.mainline_len());
+            println!("  h_DEE       = {}", tree.h_dee());
+            println!("  DEE region  = {} paths", tree.dee_region_paths());
+            println!("  degenerate  = {}", tree.is_single_path());
+            Ok(())
+        }
+        "trace" => {
+            let path = args.get(1).ok_or("missing program path")?;
+            let options = parse_options(&args[2..])?;
+            let out_path = options.output.as_deref().ok_or("missing -o <file>")?;
+            let program = load_program(path)?;
+            let trace = trace_program(&program, &options.memory, 1_000_000_000)
+                .map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
+            trace
+                .write_to(std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("captured {} records to {out_path}", trace.len());
+            Ok(())
+        }
+        "replay" => {
+            let prog_path = args.get(1).ok_or("missing program path")?;
+            let trace_path = args.get(2).ok_or("missing trace file")?;
+            let options = parse_options(&args[3..])?;
+            let program = load_program(prog_path)?;
+            let file = std::fs::File::open(trace_path).map_err(|e| e.to_string())?;
+            let trace = dee::vm::Trace::read_from(std::io::BufReader::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("replaying {} records", trace.len());
+            let prepared = PreparedTrace::new(&program, &trace);
+            let p = prepared.accuracy();
+            let models: Vec<Model> = match &options.model {
+                Some(name) => {
+                    vec![model_by_name(name).ok_or_else(|| format!("unknown model `{name}`"))?]
+                }
+                None => Model::all_constrained()
+                    .into_iter()
+                    .chain([Model::Oracle])
+                    .collect(),
+            };
+            for model in models {
+                let out = simulate(&prepared, &SimConfig::new(model, options.et).with_p(p));
+                println!(
+                    "{:<10} @ {:>4} paths: {:>7.2}x",
+                    model.name(),
+                    options.et,
+                    out.speedup()
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_memory_pairs() {
+        let options = parse_options(&strings(&["--mem", "0=5,3=-7", "--et", "64"])).unwrap();
+        assert_eq!(options.memory, vec![5, 0, 0, -7]);
+        assert_eq!(options.et, 64);
+    }
+
+    #[test]
+    fn options_reject_bad_memory() {
+        assert!(parse_options(&strings(&["--mem", "x=1"])).is_err());
+        assert!(parse_options(&strings(&["--mem", "5"])).is_err());
+        assert!(parse_options(&strings(&["--et"])).is_err());
+        assert!(parse_options(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn model_names_resolve_case_insensitively() {
+        assert_eq!(model_by_name("dee-cd-mf"), Some(Model::DeeCdMf));
+        assert_eq!(model_by_name("SP"), Some(Model::Sp));
+        assert_eq!(model_by_name("oracle"), Some(Model::Oracle));
+        assert_eq!(model_by_name("warp"), None);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn tree_command_runs() {
+        run(&strings(&["tree", "--p", "0.9", "--et", "34"])).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join("dee-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prog = dir.join("p.s");
+        let trace = dir.join("p.trace");
+        std::fs::write(&prog, "li r1, 3\nout r1\nhalt\n").unwrap();
+        let prog_s = prog.to_string_lossy().to_string();
+        let trace_s = trace.to_string_lossy().to_string();
+        run(&strings(&["run", &prog_s])).unwrap();
+        run(&strings(&["sim", &prog_s, "--model", "sp", "--et", "8"])).unwrap();
+        run(&strings(&["levo", &prog_s])).unwrap();
+        run(&strings(&["unroll", &prog_s])).unwrap();
+        run(&strings(&["trace", &prog_s, "-o", &trace_s])).unwrap();
+        run(&strings(&["replay", &prog_s, &trace_s, "--model", "oracle"])).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-engine consistency: the functional VM, the Levo machine model,
+//! and the reference implementations must agree on every workload, and the
+//! cycle-level machine must respect the data-flow limit computed by the
+//! ILP simulator's oracle.
+
+use dee::ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+use dee::levo::{Levo, LevoConfig};
+use dee::vm::output_checksum;
+use dee::workloads::{all_workloads, Scale};
+
+#[test]
+fn vm_matches_reference_outputs() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.validate().expect("workload validates");
+        assert_eq!(
+            trace.output_checksum(),
+            output_checksum(&w.expected_output),
+            "{}: checksum",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn levo_matches_vm_on_all_workloads_and_configs() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("vm runs");
+        for config in [
+            LevoConfig::condel2(),
+            LevoConfig::default(),
+            LevoConfig::levo_100(),
+        ] {
+            let report = Levo::new(config)
+                .run(&w.program, &w.initial_memory)
+                .expect("levo runs");
+            assert_eq!(report.output, trace.output(), "{}: output", w.name);
+            assert_eq!(
+                report.retired,
+                trace.len() as u64,
+                "{}: retired count equals dynamic instruction count",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn levo_never_beats_the_dataflow_oracle() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("vm runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        for config in [LevoConfig::default(), LevoConfig::levo_100()] {
+            let report = Levo::new(config)
+                .run(&w.program, &w.initial_memory)
+                .expect("levo runs");
+            assert!(
+                report.ipc() <= oracle.speedup() * 1.001,
+                "{}: Levo {:.3} IPC exceeds oracle {:.3}",
+                w.name,
+                report.ipc(),
+                oracle.speedup()
+            );
+        }
+    }
+}
+
+#[test]
+fn ilpsim_models_never_beat_the_oracle_either() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("vm runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
+        for model in Model::all_constrained() {
+            let out = simulate(&prepared, &SimConfig::new(model, 256));
+            assert!(
+                out.cycles >= oracle.cycles,
+                "{}: {} beat the oracle",
+                w.name,
+                model
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_builds_are_deterministic() {
+    let a = all_workloads(Scale::Tiny);
+    let b = all_workloads(Scale::Tiny);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.program, y.program, "{}: program", x.name);
+        assert_eq!(x.initial_memory, y.initial_memory, "{}: memory", x.name);
+        assert_eq!(x.expected_output, y.expected_output, "{}: output", x.name);
+    }
+}
+
+#[test]
+fn scales_grow_dynamic_length() {
+    for (small, medium) in all_workloads(Scale::Tiny)
+        .iter()
+        .zip(all_workloads(Scale::Small).iter())
+    {
+        let a = small.capture_trace().expect("tiny runs");
+        let b = medium.capture_trace().expect("small runs");
+        assert!(
+            b.len() > a.len(),
+            "{}: {} !> {}",
+            small.name,
+            b.len(),
+            a.len()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Edge-case geometry for the Levo machine model: degenerate windows,
+//! minimal fetch, and column extremes must all stay architecturally
+//! correct.
+
+use dee::isa::{Assembler, Program, Reg};
+use dee::levo::{Levo, LevoConfig};
+use dee::vm::trace_program;
+
+fn countdown(n: i32) -> Program {
+    let mut asm = Assembler::new();
+    let (r1, r2) = (Reg::new(1), Reg::new(2));
+    asm.li(r1, n);
+    asm.li(r2, 0);
+    asm.label("top");
+    asm.add(r2, r2, r1);
+    asm.addi(r1, r1, -1);
+    asm.bgt_label(r1, Reg::ZERO, "top");
+    asm.out(r2);
+    asm.halt();
+    asm.assemble().unwrap()
+}
+
+fn check(config: LevoConfig, program: &Program) {
+    let reference = trace_program(program, &[], 1_000_000).expect("vm runs");
+    let report = Levo::new(config).run(program, &[]).expect("levo runs");
+    assert_eq!(report.output, reference.output(), "config {config:?}");
+    assert_eq!(report.retired, reference.len() as u64, "config {config:?}");
+}
+
+#[test]
+fn window_larger_than_program() {
+    let p = countdown(12);
+    check(LevoConfig { n: 1024, ..LevoConfig::default() }, &p);
+}
+
+#[test]
+fn single_fetch_per_cycle() {
+    let p = countdown(12);
+    let config = LevoConfig { fetch_width: 1, ..LevoConfig::default() };
+    let report = Levo::new(config).run(&p, &[]).expect("runs");
+    assert!(report.ipc() <= 1.0 + 1e-9, "fetch width 1 caps IPC at 1");
+    check(config, &p);
+}
+
+#[test]
+fn single_column_machine() {
+    let p = countdown(12);
+    check(LevoConfig { m: 1, ..LevoConfig::default() }, &p);
+}
+
+#[test]
+fn many_columns_machine() {
+    let p = countdown(40);
+    check(LevoConfig { m: 64, ..LevoConfig::default() }, &p);
+}
+
+#[test]
+fn tiny_window_forces_drains() {
+    // A window smaller than the loop body: every iteration drains.
+    let mut asm = Assembler::new();
+    let r1 = Reg::new(1);
+    asm.li(r1, 5);
+    asm.label("top");
+    for _ in 0..10 {
+        asm.nop();
+    }
+    asm.addi(r1, r1, -1);
+    asm.bgt_label(r1, Reg::ZERO, "top");
+    asm.halt();
+    let p = asm.assemble().unwrap();
+    let config = LevoConfig { n: 8, ..LevoConfig::default() };
+    let report = Levo::new(config).run(&p, &[]).expect("runs");
+    assert!(report.uncaptured_backjumps > 0);
+    check(config, &p);
+}
+
+#[test]
+fn halt_only_program() {
+    let mut asm = Assembler::new();
+    asm.halt();
+    let p = asm.assemble().unwrap();
+    let report = Levo::new(LevoConfig::default()).run(&p, &[]).expect("runs");
+    assert_eq!(report.retired, 1);
+    assert!(report.output.is_empty());
+}
+
+#[test]
+fn zero_penalty_machine_still_correct() {
+    let p = countdown(25);
+    let config = LevoConfig {
+        mispredict_penalty: 0,
+        ..LevoConfig::condel2()
+    };
+    check(config, &p);
+}
+
+#[test]
+fn every_workload_under_stress_geometry() {
+    // Hostile geometry: tiny window, one column, one DEE path, fetch 2.
+    let config = LevoConfig {
+        n: 16,
+        m: 1,
+        dee_paths: 1,
+        dee_cols: 1,
+        fetch_width: 2,
+        ..LevoConfig::default()
+    };
+    for w in dee::workloads::all_workloads(dee::workloads::Scale::Tiny) {
+        let report = Levo::new(config)
+            .run(&w.program, &w.initial_memory)
+            .expect("runs");
+        assert_eq!(report.output, w.expected_output, "{}", w.name);
+    }
+}

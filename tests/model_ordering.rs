@@ -1,0 +1,108 @@
+//! The partial order the paper's theory imposes on the execution models
+//! must hold on every workload: adding reduced control dependences,
+//! multiple flows, or DEE coverage can only help; resources can only help;
+//! and DEE degenerates to SP exactly when the static tree says so.
+
+use dee::ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+use dee::theory::{StaticTree, TreeParams};
+use dee::workloads::{all_workloads, Scale};
+
+fn cycles(prepared: &PreparedTrace, model: Model, et: u32, p: f64) -> u64 {
+    simulate(prepared, &SimConfig::new(model, et).with_p(p)).cycles
+}
+
+#[test]
+fn refinement_hierarchy_never_hurts() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let p = prepared.accuracy();
+        for et in [16, 64, 256] {
+            let sp = cycles(&prepared, Model::Sp, et, p);
+            let sp_cd = cycles(&prepared, Model::SpCd, et, p);
+            let sp_cd_mf = cycles(&prepared, Model::SpCdMf, et, p);
+            let dee = cycles(&prepared, Model::Dee, et, p);
+            let dee_cd = cycles(&prepared, Model::DeeCd, et, p);
+            let dee_cd_mf = cycles(&prepared, Model::DeeCdMf, et, p);
+            assert!(sp_cd <= sp, "{} et={et}: CD hurt SP", w.name);
+            assert!(sp_cd_mf <= sp_cd, "{} et={et}: MF hurt SP-CD", w.name);
+            assert!(dee <= sp, "{} et={et}: DEE worse than SP", w.name);
+            assert!(dee_cd <= dee, "{} et={et}: CD hurt DEE", w.name);
+            assert!(dee_cd_mf <= dee_cd, "{} et={et}: MF hurt DEE-CD", w.name);
+            assert!(dee_cd_mf <= sp_cd_mf, "{} et={et}: DEE-CD-MF worse than SP-CD-MF", w.name);
+        }
+    }
+}
+
+#[test]
+fn resources_are_monotone_for_every_model() {
+    let w = &all_workloads(Scale::Tiny)[3]; // espresso
+    let trace = w.capture_trace().expect("runs");
+    let prepared = PreparedTrace::new(&w.program, &trace);
+    let p = prepared.accuracy();
+    for model in Model::all_constrained() {
+        let mut last = u64::MAX;
+        for et in [8, 16, 32, 64, 128, 256] {
+            let c = cycles(&prepared, model, et, p);
+            assert!(c <= last, "{model} et={et}: cycles rose {c} > {last}");
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn dee_equals_sp_exactly_when_tree_degenerates() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        // Use the paper's characteristic accuracy so the degeneracy point
+        // matches §5.3: E_T <= 16 at p = 0.9053.
+        let p = 0.9053;
+        for et in [8, 16, 32, 100] {
+            let tree = StaticTree::build(TreeParams { p, et });
+            let sp = cycles(&prepared, Model::Sp, et, p);
+            let dee = cycles(&prepared, Model::Dee, et, p);
+            if tree.is_single_path() {
+                assert_eq!(sp, dee, "{} et={et}: degenerate DEE must equal SP", w.name);
+            } else {
+                assert!(dee <= sp, "{} et={et}", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn speedups_land_between_one_and_oracle() {
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0)).speedup();
+        for model in Model::all_constrained() {
+            let s = simulate(&prepared, &SimConfig::new(model, 100)).speedup();
+            assert!(s >= 0.99, "{}: {} slower than sequential", w.name, model);
+            assert!(s <= oracle * 1.001, "{}: {} beat oracle", w.name, model);
+        }
+    }
+}
+
+#[test]
+fn dee_cd_mf_wins_at_high_resources_on_every_workload() {
+    // The paper's central claim, per benchmark: "DEE-CD and DEE-CD-MF are
+    // seen to be uniformly better than both SP and EE above 16 branch path
+    // resources."
+    for w in all_workloads(Scale::Tiny) {
+        let trace = w.capture_trace().expect("runs");
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let p = prepared.accuracy();
+        let best_other = [Model::Sp, Model::Ee]
+            .into_iter()
+            .map(|m| simulate(&prepared, &SimConfig::new(m, 256).with_p(p)).speedup())
+            .fold(0.0f64, f64::max);
+        let dee = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, 256).with_p(p)).speedup();
+        assert!(
+            dee >= best_other,
+            "{}: DEE-CD-MF {dee:.2} should beat SP/EE {best_other:.2} at 256 paths",
+            w.name
+        );
+    }
+}

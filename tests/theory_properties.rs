@@ -1,0 +1,122 @@
+//! Property-based tests on the theory layer: optimality of the greedy
+//! assignment (Theorem 1/Corollary 1) against exhaustive search, and
+//! structural invariants of the speculation trees.
+
+use dee::theory::{
+    assign_resources, expected_performance, PathCandidate, SpecTree, StaticTree, Strategy,
+    TreeParams,
+};
+use proptest::prelude::*;
+
+/// Exhaustive best `P_tot` over all allocations (small instances only).
+fn brute_force_best(paths: &[PathCandidate], total: u32) -> f64 {
+    fn recurse(paths: &[PathCandidate], left: u32, idx: usize, alloc: &mut Vec<u32>, best: &mut f64) {
+        if idx == paths.len() {
+            let perf = expected_performance(paths, alloc);
+            if perf > *best {
+                *best = perf;
+            }
+            return;
+        }
+        for e in 0..=left {
+            alloc.push(e);
+            recurse(paths, left - e, idx + 1, alloc, best);
+            alloc.pop();
+        }
+    }
+    let mut best = f64::MIN;
+    recurse(paths, total, 0, &mut Vec::new(), &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 + Corollary 1: greedy equals exhaustive optimum.
+    #[test]
+    fn greedy_assignment_is_optimal(
+        cps in prop::collection::vec(0.01f64..1.0, 1..5),
+        sats in prop::collection::vec(prop::option::of(1u32..4), 1..5),
+        total in 0u32..7,
+    ) {
+        let paths: Vec<PathCandidate> = cps
+            .iter()
+            .zip(sats.iter().chain(std::iter::repeat(&None)))
+            .map(|(&cp, &sat)| PathCandidate { cp, saturation: sat })
+            .collect();
+        let greedy = assign_resources(&paths, total);
+        let greedy_perf = expected_performance(&paths, &greedy);
+        let best = brute_force_best(&paths, total);
+        prop_assert!((greedy_perf - best).abs() < 1e-9,
+            "greedy {greedy_perf} vs optimal {best} for {paths:?} total {total}");
+    }
+
+    /// The greedy allocation never hands out more than the budget.
+    #[test]
+    fn assignment_respects_budget(
+        cps in prop::collection::vec(0.01f64..1.0, 1..8),
+        total in 0u32..50,
+    ) {
+        let paths: Vec<PathCandidate> =
+            cps.iter().map(|&cp| PathCandidate::saturating(cp, 3)).collect();
+        let alloc = assign_resources(&paths, total);
+        prop_assert!(alloc.iter().sum::<u32>() <= total);
+        for (a, p) in alloc.iter().zip(&paths) {
+            prop_assert!(*a <= p.saturation.unwrap_or(u32::MAX));
+        }
+    }
+
+    /// Disjoint trees dominate SP and EE in expected performance and
+    /// interpolate their depths.
+    #[test]
+    fn disjoint_tree_dominates_and_interpolates(p in 0.5f64..0.99, et in 1u32..200) {
+        let dee = SpecTree::build(Strategy::Disjoint, p, et);
+        let sp = SpecTree::build(Strategy::SinglePath, p, et);
+        let ee = SpecTree::build(Strategy::Eager, p, et);
+        prop_assert!(dee.total_cp() >= sp.total_cp() - 1e-9);
+        prop_assert!(dee.total_cp() >= ee.total_cp() - 1e-9);
+        prop_assert!(dee.depth() <= sp.depth());
+        prop_assert!(dee.depth() >= ee.depth());
+    }
+
+    /// Every chosen path's cp is the product of local probabilities along
+    /// its ancestry (a cp-consistency invariant).
+    #[test]
+    fn chosen_path_cps_are_consistent(p in 0.5f64..0.99, et in 1u32..64) {
+        let tree = SpecTree::build(Strategy::Disjoint, p, et);
+        for path in tree.paths() {
+            let mut cp = 1.0;
+            let mut cursor = Some(path);
+            while let Some(node) = cursor {
+                cp *= if node.predicted { p } else { 1.0 - p };
+                cursor = node.parent.map(|i| &tree.paths()[i as usize]);
+            }
+            prop_assert!((cp - path.cp).abs() < 1e-9);
+        }
+    }
+
+    /// Static-tree coverage is consistent with its own region accounting
+    /// and fits the budget at every operating point.
+    #[test]
+    fn static_tree_accounting(p in 0.5f64..0.99, et in 1u32..400) {
+        let tree = StaticTree::build(TreeParams { p, et });
+        let region: u32 = (1..=tree.h_dee()).map(|k| tree.coverage_at_level(k)).sum();
+        prop_assert_eq!(region, tree.dee_region_paths());
+        prop_assert!(tree.total_paths() <= et);
+        prop_assert!(tree.mainline_len() >= 1);
+        // Degeneracy exactly mirrors is_single_path().
+        prop_assert_eq!(tree.h_dee() == 0, tree.is_single_path());
+    }
+}
+
+#[test]
+fn figure_1_numbers_are_stable() {
+    // Pin the exact Figure 1 values as a regression anchor.
+    let dee = SpecTree::build(Strategy::Disjoint, 0.7, 6);
+    let mut cps: Vec<f64> = dee.paths().iter().map(|p| p.cp).collect();
+    cps.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let expected = [0.7, 0.49, 0.343, 0.3, 0.2401, 0.21];
+    for (a, e) in cps.iter().zip(expected.iter()) {
+        assert!((a - e).abs() < 1e-12);
+    }
+}
