@@ -1,9 +1,11 @@
 //! Throughput benches for the engines themselves: how fast the VM traces,
-//! how fast each ILP model schedules a trace, and how fast the Levo model
-//! cycles. Throughput is reported in dynamic instructions via
-//! `Throughput::Elements`.
+//! how fast each ILP model schedules a trace, and how fast trace
+//! preparation runs. Throughput is reported in dynamic instructions per
+//! second by the hand-rolled [`dee_bench::timing`] harness (no Criterion:
+//! the workspace carries no external crates so it stays buildable
+//! offline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dee_bench::timing::Group;
 use std::hint::black_box;
 
 use dee_ilpsim::{simulate, Model, PreparedTrace, SimConfig};
@@ -11,55 +13,48 @@ use dee_predict::{mispredict_flags, TwoBitCounter};
 use dee_vm::trace_program;
 use dee_workloads::{compress, eqntott, Scale};
 
-fn vm_tracing(c: &mut Criterion) {
+fn vm_tracing() {
     let workload = compress::build(Scale::Small);
     let len = workload.capture_trace().expect("runs").len() as u64;
-    let mut group = c.benchmark_group("vm_tracing");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(len));
-    group.bench_function("compress_small", |b| {
-        b.iter(|| {
+    Group::new("vm_tracing")
+        .throughput(len)
+        .bench("compress_small", || {
             trace_program(
                 black_box(&workload.program),
                 black_box(&workload.initial_memory),
                 100_000_000,
             )
             .expect("runs")
-        })
-    });
-    group.finish();
+        });
 }
 
-fn ilpsim_scheduling(c: &mut Criterion) {
+fn ilpsim_scheduling() {
     let workload = eqntott::build(Scale::Small);
     let trace = workload.capture_trace().expect("runs");
     let prepared = PreparedTrace::new(&workload.program, &trace);
     let p = prepared.accuracy();
-    let mut group = c.benchmark_group("ilpsim_scheduling");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let group = Group::new("ilpsim_scheduling").throughput(trace.len() as u64);
     for model in [Model::Oracle, Model::Sp, Model::Ee, Model::DeeCdMf] {
-        group.bench_function(model.name(), |b| {
-            b.iter(|| simulate(black_box(&prepared), &SimConfig::new(model, 100).with_p(p)))
+        group.bench(model.name(), || {
+            simulate(black_box(&prepared), &SimConfig::new(model, 100).with_p(p))
         });
     }
-    group.finish();
 }
 
-fn trace_preparation(c: &mut Criterion) {
+fn trace_preparation() {
     let workload = eqntott::build(Scale::Small);
     let trace = workload.capture_trace().expect("runs");
-    let mut group = c.benchmark_group("trace_preparation");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("prepare", |b| {
-        b.iter(|| PreparedTrace::new(black_box(&workload.program), black_box(&trace)))
+    let group = Group::new("trace_preparation").throughput(trace.len() as u64);
+    group.bench("prepare", || {
+        PreparedTrace::new(black_box(&workload.program), black_box(&trace))
     });
-    group.bench_function("mispredict_flags_only", |b| {
-        b.iter(|| mispredict_flags(&mut TwoBitCounter::new(), black_box(&trace)))
+    group.bench("mispredict_flags_only", || {
+        mispredict_flags(&mut TwoBitCounter::new(), black_box(&trace))
     });
-    group.finish();
 }
 
-criterion_group!(engines, vm_tracing, ilpsim_scheduling, trace_preparation);
-criterion_main!(engines);
+fn main() {
+    vm_tracing();
+    ilpsim_scheduling();
+    trace_preparation();
+}

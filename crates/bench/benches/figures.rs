@@ -1,10 +1,13 @@
-//! Criterion benches regenerating (small instances of) every figure and
+//! Timing benches regenerating (small instances of) every figure and
 //! table of the paper. Each group exercises exactly the code path the
 //! corresponding experiment binary uses, so `cargo bench` doubles as a
 //! regression harness for the evaluation pipeline; the full-scale tables
 //! come from the binaries (see DESIGN.md §3).
+//!
+//! The harness is the repo's own [`dee_bench::timing`] (no Criterion: the
+//! workspace carries no external crates so it stays buildable offline).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dee_bench::timing::Group;
 use std::hint::black_box;
 
 use dee_core::{SpecTree, StaticTree, Strategy, TreeParams};
@@ -14,98 +17,85 @@ use dee_predict::{measure_accuracy, TwoBitCounter};
 use dee_workloads::{all_workloads, Scale};
 
 /// Figure 1: strategy tree construction at the paper's operating point.
-fn fig1_trees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_trees");
+fn fig1_trees() {
+    let group = Group::new("fig1_trees");
     for strategy in [Strategy::SinglePath, Strategy::Eager, Strategy::Disjoint] {
-        group.bench_function(format!("{strategy:?}"), |b| {
-            b.iter(|| SpecTree::build(black_box(strategy), black_box(0.7), black_box(6)))
+        group.bench(&format!("{strategy:?}"), || {
+            SpecTree::build(black_box(strategy), black_box(0.7), black_box(6))
         });
     }
-    group.finish();
 }
 
 /// Figure 2: static tree heuristic (greedy and closed form).
-fn fig2_static_tree(c: &mut Criterion) {
+fn fig2_static_tree() {
     let params = TreeParams { p: 0.90, et: 34 };
-    let mut group = c.benchmark_group("fig2_static_tree");
-    group.bench_function("greedy", |b| b.iter(|| StaticTree::build(black_box(params))));
-    group.bench_function("closed_form", |b| {
-        b.iter(|| StaticTree::build_closed_form(black_box(params)))
+    let group = Group::new("fig2_static_tree");
+    group.bench("greedy", || StaticTree::build(black_box(params)));
+    group.bench("closed_form", || {
+        StaticTree::build_closed_form(black_box(params))
     });
-    group.finish();
 }
 
 /// Figure 5: one sweep point per model on a tiny trace.
-fn fig5_models(c: &mut Criterion) {
+fn fig5_models() {
     let workload = dee_workloads::xlisp::build(Scale::Tiny);
     let trace = workload.capture_trace().expect("runs");
     let prepared = PreparedTrace::new(&workload.program, &trace);
     let p = prepared.accuracy();
-    let mut group = c.benchmark_group("fig5_models");
-    group.sample_size(20);
+    let group = Group::new("fig5_models");
     for model in Model::all_constrained() {
-        group.bench_function(model.name(), |b| {
-            b.iter(|| simulate(black_box(&prepared), &SimConfig::new(model, 100).with_p(p)))
+        group.bench(model.name(), || {
+            simulate(black_box(&prepared), &SimConfig::new(model, 100).with_p(p))
         });
     }
-    group.bench_function("Oracle", |b| {
-        b.iter(|| simulate(black_box(&prepared), &SimConfig::new(Model::Oracle, 0)))
+    group.bench("Oracle", || {
+        simulate(black_box(&prepared), &SimConfig::new(Model::Oracle, 0))
     });
-    group.finish();
 }
 
 /// TAB-PRED: predictor replay over a trace.
-fn predictor_accuracy(c: &mut Criterion) {
+fn predictor_accuracy() {
     let workload = dee_workloads::cc1::build(Scale::Tiny);
     let trace = workload.capture_trace().expect("runs");
-    c.bench_function("predictor_accuracy_2bc", |b| {
-        b.iter_batched(
-            TwoBitCounter::new,
-            |mut predictor| measure_accuracy(&mut predictor, black_box(&trace)),
-            BatchSize::SmallInput,
-        )
+    Group::new("predictor").bench("accuracy_2bc", || {
+        measure_accuracy(&mut TwoBitCounter::new(), black_box(&trace))
     });
 }
 
 /// ABL-LEVO: a complete Levo run (the machine model end to end).
-fn levo_run(c: &mut Criterion) {
+fn levo_run() {
     let workload = dee_workloads::xlisp::build(Scale::Tiny);
-    let mut group = c.benchmark_group("levo_run");
-    group.sample_size(10);
+    let group = Group::new("levo_run");
     for (name, config) in [
         ("condel2", LevoConfig::condel2()),
         ("dee_3x1", LevoConfig::default()),
         ("dee_11x2", LevoConfig::levo_100()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                Levo::new(config)
-                    .run(black_box(&workload.program), black_box(&workload.initial_memory))
-                    .expect("runs")
-            })
+        group.bench(name, || {
+            Levo::new(config)
+                .run(
+                    black_box(&workload.program),
+                    black_box(&workload.initial_memory),
+                )
+                .expect("runs")
         });
     }
-    group.finish();
 }
 
 /// Workload generation + validation (the suite the figures consume).
-fn suite_build(c: &mut Criterion) {
-    c.bench_function("suite_build_tiny", |b| {
-        b.iter(|| {
-            for w in all_workloads(Scale::Tiny) {
-                black_box(w.capture_trace().expect("runs"));
-            }
-        })
+fn suite_build() {
+    Group::new("suite").bench("build_tiny", || {
+        for w in all_workloads(Scale::Tiny) {
+            black_box(w.capture_trace().expect("runs"));
+        }
     });
 }
 
-criterion_group!(
-    figures,
-    fig1_trees,
-    fig2_static_tree,
-    fig5_models,
-    predictor_accuracy,
-    levo_run,
-    suite_build
-);
-criterion_main!(figures);
+fn main() {
+    fig1_trees();
+    fig2_static_tree();
+    fig5_models();
+    predictor_accuracy();
+    levo_run();
+    suite_build();
+}

@@ -30,7 +30,10 @@ fn main() {
     let p = suite.characteristic_accuracy();
     let et = 100;
 
-    println!("Non-unit latencies (mul/div 4, mem 2; E_T = {et}, p = {}):\n", f2(p));
+    println!(
+        "Non-unit latencies (mul/div 4, mem 2; E_T = {et}, p = {}):\n",
+        f2(p)
+    );
     let mut lat = TextTable::new(&[
         "model",
         "speedup unit",
@@ -77,7 +80,9 @@ fn main() {
                 let prepared = e.prepare();
                 simulate(
                     &prepared,
-                    &SimConfig::new(Model::DeeCdMf, et).with_p(p).with_max_pe(cap),
+                    &SimConfig::new(Model::DeeCdMf, et)
+                        .with_p(p)
+                        .with_max_pe(cap),
                 )
                 .speedup()
             })

@@ -28,11 +28,19 @@ fn main() {
         ("perfect (1 cycle)", None),
         (
             "8KiB 2-way x8w",
-            Some(CacheConfig { sets: 128, ways: 2, line_words: 8 }),
+            Some(CacheConfig {
+                sets: 128,
+                ways: 2,
+                line_words: 8,
+            }),
         ),
         (
             "1KiB 1-way x4w",
-            Some(CacheConfig { sets: 64, ways: 1, line_words: 4 }),
+            Some(CacheConfig {
+                sets: 64,
+                ways: 1,
+                line_words: 4,
+            }),
         ),
     ];
 

@@ -59,7 +59,11 @@ fn main() {
             .iter()
             .map(|e| {
                 let prepared = e.prepare();
-                simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(assumed)).speedup()
+                simulate(
+                    &prepared,
+                    &SimConfig::new(Model::DeeCdMf, et).with_p(assumed),
+                )
+                .speedup()
             })
             .collect();
         let label = if (assumed - measured).abs() < 1e-9 {

@@ -36,7 +36,9 @@ fn main() {
                         .program
                         .iter()
                         .filter_map(|(pc, i)| {
-                            i.static_target().filter(|_| i.is_cond_branch()).map(|t| (pc, t))
+                            i.static_target()
+                                .filter(|_| i.is_cond_branch())
+                                .map(|t| (pc, t))
                         })
                         .collect();
                     Box::new(Btfn::new(&targets))

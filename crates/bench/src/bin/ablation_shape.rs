@@ -20,7 +20,10 @@ fn main() {
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
     let et = 100u32;
-    let heuristic = StaticTree::build(TreeParams { p: p.clamp(0.5, 0.9999), et });
+    let heuristic = StaticTree::build(TreeParams {
+        p: p.clamp(0.5, 0.9999),
+        et,
+    });
 
     println!(
         "DEE-CD-MF tree-shape sweep at E_T = {et} (measured p = {}; heuristic picks l = {}, h = {})\n",
@@ -30,7 +33,10 @@ fn main() {
     );
     let mut t = TextTable::new(&["h_DEE", "l", "HM speedup", "note"]);
     let mut best = (0u32, 0.0f64);
-    for h in [0u32, 2, 4, 6, 8, 10, 11, 12, 13].into_iter().filter(|h| h * (h + 1) / 2 < et) {
+    for h in [0u32, 2, 4, 6, 8, 10, 11, 12, 13]
+        .into_iter()
+        .filter(|h| h * (h + 1) / 2 < et)
+    {
         let l = et - h * (h + 1) / 2;
         let values: Vec<f64> = suite
             .entries
@@ -50,7 +56,11 @@ fn main() {
         if hm > best.1 {
             best = (h, hm);
         }
-        let note = if h == heuristic.h_dee() { "<- heuristic" } else { "" };
+        let note = if h == heuristic.h_dee() {
+            "<- heuristic"
+        } else {
+            ""
+        };
         t.row(vec![h.to_string(), l.to_string(), f2(hm), note.into()]);
     }
     println!("{}", t.render());
@@ -74,7 +84,9 @@ fn hm_of(suite: &Suite, p: f64, et: u32, l: u32, h: u32) -> f64 {
             let prepared = e.prepare();
             simulate(
                 &prepared,
-                &SimConfig::new(Model::DeeCdMf, et).with_p(p).with_dee_shape(l, h),
+                &SimConfig::new(Model::DeeCdMf, et)
+                    .with_p(p)
+                    .with_dee_shape(l, h),
             )
             .speedup()
         })

@@ -36,7 +36,11 @@ fn main() {
                 (path.order + 1).to_string(),
                 path.depth.to_string(),
                 f2(path.cp),
-                if path.predicted { "predicted".into() } else { "NOT predicted".into() },
+                if path.predicted {
+                    "predicted".into()
+                } else {
+                    "NOT predicted".into()
+                },
             ]);
         }
         println!("{}", paths.render());

@@ -10,13 +10,28 @@ use dee_core::{log_p_not_p, StaticTree, TreeParams};
 fn main() {
     let params = TreeParams { p: 0.90, et: 34 };
     let tree = StaticTree::build(params);
-    println!("Figure 2 — static DEE tree, p = {}, E_T = {}\n", params.p, params.et);
+    println!(
+        "Figure 2 — static DEE tree, p = {}, E_T = {}\n",
+        params.p, params.et
+    );
 
     let mut dims = TextTable::new(&["quantity", "measured", "paper"]);
-    dims.row(vec!["main-line length l".into(), tree.mainline_len().to_string(), "24".into()]);
+    dims.row(vec![
+        "main-line length l".into(),
+        tree.mainline_len().to_string(),
+        "24".into(),
+    ]);
     dims.row(vec!["h_DEE".into(), tree.h_dee().to_string(), "4".into()]);
-    dims.row(vec!["DEE-region paths".into(), tree.dee_region_paths().to_string(), "10".into()]);
-    dims.row(vec!["total paths".into(), tree.total_paths().to_string(), "34".into()]);
+    dims.row(vec![
+        "DEE-region paths".into(),
+        tree.dee_region_paths().to_string(),
+        "10".into(),
+    ]);
+    dims.row(vec![
+        "total paths".into(),
+        tree.total_paths().to_string(),
+        "34".into(),
+    ]);
     dims.row(vec![
         "log_p(1-p)".into(),
         f2(log_p_not_p(params.p)),

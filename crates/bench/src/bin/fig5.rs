@@ -19,7 +19,10 @@ fn main() {
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
     println!("Figure 5 — speedup vs branch-path resources ({scale:?} scale)");
-    println!("characteristic accuracy p = {} (paper: 90.53%)\n", f2(p * 100.0));
+    println!(
+        "characteristic accuracy p = {} (paper: 90.53%)\n",
+        f2(p * 100.0)
+    );
 
     let models = Model::all_constrained();
     let mut csv = TextTable::new(&["benchmark", "model", "et", "speedup"]);
@@ -87,15 +90,18 @@ fn main() {
     println!("Harmonic Mean  (oracle speedup: {})", f2(hm_oracle));
     println!("{}", hm_table.render());
 
-    let mut oracle_table =
-        TextTable::new(&["benchmark", "oracle (measured)", "oracle (paper)"]);
+    let mut oracle_table = TextTable::new(&["benchmark", "oracle (measured)", "oracle (paper)"]);
     let paper_oracle = ["23.22", "25.86", "2810.48", "815.62", "104.35"];
     for (entry, (oracle, paper)) in suite
         .entries
         .iter()
         .zip(oracles.iter().zip(paper_oracle.iter()))
     {
-        oracle_table.row(vec![entry.workload.name.into(), f2(*oracle), (*paper).into()]);
+        oracle_table.row(vec![
+            entry.workload.name.into(),
+            f2(*oracle),
+            (*paper).into(),
+        ]);
         csv.row(vec![
             entry.workload.name.into(),
             "Oracle".into(),

@@ -49,16 +49,49 @@ fn main() {
             .collect::<Vec<f64>>(),
     );
 
-    println!("§5.3 headline statistics (harmonic means, {scale:?} scale, p = {})\n", f2(p));
+    println!(
+        "§5.3 headline statistics (harmonic means, {scale:?} scale, p = {})\n",
+        f2(p)
+    );
     let mut t = TextTable::new(&["statistic", "measured", "paper"]);
-    t.row(vec!["DEE-CD-MF @100 / SP @100".into(), f2(dee100 / sp100), "5.8".into()]);
-    t.row(vec!["DEE-CD-MF @100 / EE @100".into(), f2(dee100 / ee100), "4.0".into()]);
-    t.row(vec!["DEE-CD-MF @100 x sequential".into(), f2(dee100), "31.9".into()]);
-    t.row(vec!["DEE-CD-MF @100 / oracle".into(), f2(dee100 / oracle), "0.59".into()]);
-    t.row(vec!["DEE-CD-MF @32 x sequential".into(), f2(dee32), "26".into()]);
-    t.row(vec!["DEE-CD-MF @8 vs EE @256".into(), format!("{} vs {}", f2(dee8), f2(ee256)), "equal".into()]);
-    t.row(vec!["SP @256 / SP @16 (plateau)".into(), f2(sp256 / sp16), "~1.0".into()]);
+    t.row(vec![
+        "DEE-CD-MF @100 / SP @100".into(),
+        f2(dee100 / sp100),
+        "5.8".into(),
+    ]);
+    t.row(vec![
+        "DEE-CD-MF @100 / EE @100".into(),
+        f2(dee100 / ee100),
+        "4.0".into(),
+    ]);
+    t.row(vec![
+        "DEE-CD-MF @100 x sequential".into(),
+        f2(dee100),
+        "31.9".into(),
+    ]);
+    t.row(vec![
+        "DEE-CD-MF @100 / oracle".into(),
+        f2(dee100 / oracle),
+        "0.59".into(),
+    ]);
+    t.row(vec![
+        "DEE-CD-MF @32 x sequential".into(),
+        f2(dee32),
+        "26".into(),
+    ]);
+    t.row(vec![
+        "DEE-CD-MF @8 vs EE @256".into(),
+        format!("{} vs {}", f2(dee8), f2(ee256)),
+        "equal".into(),
+    ]);
+    t.row(vec![
+        "SP @256 / SP @16 (plateau)".into(),
+        f2(sp256 / sp16),
+        "~1.0".into(),
+    ]);
     println!("{}", t.render());
-    let path = t.write_csv(&format!("headline_{scale:?}.csv").to_lowercase()).expect("csv");
+    let path = t
+        .write_csv(&format!("headline_{scale:?}.csv").to_lowercase())
+        .expect("csv");
     println!("wrote {}", path.display());
 }

@@ -54,9 +54,7 @@ fn main() {
             f2(large.ipc()),
             covered,
             large.dee_injected.to_string(),
-            large
-                .loop_capture_rate()
-                .map_or("-".into(), pct),
+            large.loop_capture_rate().map_or("-".into(), pct),
         ]);
     }
     println!("{}", t.render());
@@ -64,9 +62,16 @@ fn main() {
 
     println!("IQ geometry sweep (xlisp, DEE 3x1):");
     let mut g = TextTable::new(&["n x m", "ipc", "window shifts", "squashed"]);
-    let w = workloads.iter().find(|w| w.name == "xlisp").expect("xlisp present");
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "xlisp")
+        .expect("xlisp present");
     for (n, m) in [(16, 4), (16, 8), (32, 4), (32, 8), (64, 8), (64, 16)] {
-        let config = LevoConfig { n, m, ..LevoConfig::default() };
+        let config = LevoConfig {
+            n,
+            m,
+            ..LevoConfig::default()
+        };
         let report = Levo::new(config)
             .run(&w.program, &w.initial_memory)
             .expect("geometry runs");
@@ -83,7 +88,10 @@ fn main() {
     println!("DEE path count sweep (xlisp, 1-column paths):");
     let mut d = TextTable::new(&["dee paths", "ipc", "covered mispredicts", "injected"]);
     for paths in [0usize, 1, 2, 3, 5, 8, 11] {
-        let config = LevoConfig { dee_paths: paths, ..LevoConfig::default() };
+        let config = LevoConfig {
+            dee_paths: paths,
+            ..LevoConfig::default()
+        };
         let report = Levo::new(config)
             .run(&w.program, &w.initial_memory)
             .expect("dee sweep runs");

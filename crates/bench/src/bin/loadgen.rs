@@ -1,0 +1,266 @@
+//! Load generator for `dee serve`.
+//!
+//! Drives a parameter sweep — the service's intended workload — against a
+//! running server (`--addr HOST:PORT`) or an in-process one it spawns
+//! itself, then reports throughput, latency percentiles, and the
+//! prepared-trace cache hit rate scraped from `/metrics`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
+//!         [--workers W] [--csv]
+//! ```
+//!
+//! The sweep cycles models and `E_T` values over two tiny workloads, so
+//! after the two cold preparations every request hits the cache; with the
+//! default 100 requests the steady-state hit rate is 98%.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dee_bench::TextTable;
+use dee_serve::{Server, ServerConfig};
+
+const MODELS: [&str; 4] = ["SP", "DEE", "SP-CD-MF", "DEE-CD-MF"];
+const WORKLOADS: [&str; 2] = ["compress", "xlisp"];
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    workers: usize,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        requests: 100,
+        concurrency: 4,
+        workers: 0,
+        csv: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = argv.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().ok_or_else(|| format!("`{flag}` needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value()?.clone()),
+            "--requests" => {
+                args.requests = value()?.parse().map_err(|_| "bad --requests".to_string())?;
+            }
+            "--concurrency" => {
+                args.concurrency = value()?
+                    .parse()
+                    .map_err(|_| "bad --concurrency".to_string())?;
+            }
+            "--workers" => {
+                args.workers = value()?.parse().map_err(|_| "bad --workers".to_string())?;
+            }
+            "--csv" => args.csv = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.requests == 0 || args.concurrency == 0 {
+        return Err("--requests and --concurrency must be positive".into());
+    }
+    Ok(args)
+}
+
+/// One `Connection: close` HTTP exchange. Returns (status, body).
+fn exchange(addr: &str, request: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad response: {raw:.60}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(addr, &request)
+}
+
+fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// The i-th request body of the sweep: cycle workloads slowest, so every
+/// distinct prepared trace is requested early and re-hit often.
+fn sweep_body(i: usize) -> String {
+    let workload = WORKLOADS[i % WORKLOADS.len()];
+    let model = MODELS[(i / WORKLOADS.len()) % MODELS.len()];
+    let et = 4 + 8 * u32::try_from((i / (WORKLOADS.len() * MODELS.len())) % 16).unwrap_or(0);
+    format!(r#"{{"workload":"{workload}","scale":"tiny","model":"{model}","et":{et}}}"#)
+}
+
+/// Pulls one counter value out of the Prometheus text exposition.
+fn scrape(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Spawn an in-process server unless one was pointed at.
+    let mut spawned: Option<Server> = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let mut config = ServerConfig::default();
+            if args.workers > 0 {
+                config.workers = args.workers;
+            }
+            config.queue_capacity = config.queue_capacity.max(args.concurrency * 4);
+            let server = Server::spawn(config).expect("spawn server");
+            let addr = server.addr().to_string();
+            spawned = Some(server);
+            addr
+        }
+    };
+
+    let (status, _) = get(&addr, "/healthz").expect("healthz");
+    assert_eq!(status, 200, "server not healthy");
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.concurrency)
+        .map(|_| {
+            let addr = addr.clone();
+            let next = Arc::clone(&next);
+            let errors = Arc::clone(&errors);
+            let total = args.requests;
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        return latencies_us;
+                    }
+                    let body = sweep_body(i);
+                    let begin = Instant::now();
+                    match post(&addr, "/simulate", &body) {
+                        Ok((200, _)) => {
+                            latencies_us.push(
+                                u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        Ok((status, body)) => {
+                            eprintln!("request {i}: HTTP {status}: {body}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(message) => {
+                            eprintln!("request {i}: {message}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+
+    let (status, metrics) = get(&addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let hits = scrape(&metrics, "dee_prepared_cache_hits_total");
+    let misses = scrape(&metrics, "dee_prepared_cache_misses_total");
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    let ok = latencies_us.len();
+    let rps = ok as f64 / wall.as_secs_f64();
+    let mut table = TextTable::new(&[
+        "requests",
+        "ok",
+        "errors",
+        "rps",
+        "p50_us",
+        "p90_us",
+        "p99_us",
+        "max_us",
+        "cache_hits",
+        "cache_misses",
+        "hit_rate",
+    ]);
+    table.row(vec![
+        args.requests.to_string(),
+        ok.to_string(),
+        errors.load(Ordering::Relaxed).to_string(),
+        format!("{rps:.1}"),
+        percentile(&latencies_us, 0.50).to_string(),
+        percentile(&latencies_us, 0.90).to_string(),
+        percentile(&latencies_us, 0.99).to_string(),
+        latencies_us.last().copied().unwrap_or(0).to_string(),
+        hits.to_string(),
+        misses.to_string(),
+        format!("{:.1}%", 100.0 * hit_rate),
+    ]);
+    println!(
+        "{} requests ({} concurrent clients) against {addr} in {:.2}s",
+        args.requests,
+        args.concurrency,
+        wall.as_secs_f64()
+    );
+    print!("{}", table.render());
+    if args.csv {
+        let path = table.write_csv("serve_baseline.csv").expect("write csv");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(server) = spawned {
+        server.shutdown();
+    }
+    if errors.load(Ordering::Relaxed) > 0 {
+        std::process::exit(1);
+    }
+}

@@ -26,7 +26,13 @@ fn main() {
 
     println!("Predictor accuracy per benchmark ({scale:?} scale)\n");
     let mut t = TextTable::new(&[
-        "benchmark", "always", "btfn", "2bc", "pap", "pap-spec", "gshare",
+        "benchmark",
+        "always",
+        "btfn",
+        "2bc",
+        "pap",
+        "pap-spec",
+        "gshare",
     ]);
     for entry in &suite.entries {
         let trace = &entry.trace;
@@ -34,7 +40,11 @@ fn main() {
             .workload
             .program
             .iter()
-            .filter_map(|(pc, i)| i.static_target().filter(|_| i.is_cond_branch()).map(|t| (pc, t)))
+            .filter_map(|(pc, i)| {
+                i.static_target()
+                    .filter(|_| i.is_cond_branch())
+                    .map(|t| (pc, t))
+            })
             .collect();
         let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
             Box::new(AlwaysTaken::new()),
@@ -59,7 +69,11 @@ fn main() {
         let branch_targets: Vec<(u32, u32)> = sc
             .program
             .iter()
-            .filter_map(|(pc, i)| i.static_target().filter(|_| i.is_cond_branch()).map(|t| (pc, t)))
+            .filter_map(|(pc, i)| {
+                i.static_target()
+                    .filter(|_| i.is_cond_branch())
+                    .map(|t| (pc, t))
+            })
             .collect();
         let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
             Box::new(AlwaysTaken::new()),

@@ -25,10 +25,16 @@ fn main() {
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
     let et = 100;
-    let tree = StaticTree::build(TreeParams { p: p.clamp(0.5, 0.9999), et });
+    let tree = StaticTree::build(TreeParams {
+        p: p.clamp(0.5, 0.9999),
+        et,
+    });
     let h = tree.h_dee();
 
-    println!("Misprediction resolution locations — DEE-CD-MF @ E_T = {et}, p = {}", f2(p));
+    println!(
+        "Misprediction resolution locations — DEE-CD-MF @ E_T = {et}, p = {}",
+        f2(p)
+    );
     println!("(paper: ~70-80% at the root; DEE tree h_DEE = {h})\n");
 
     let mut t = TextTable::new(&[
@@ -56,7 +62,12 @@ fn main() {
     let total: u64 = agg.iter().sum();
     for (k, &c) in agg.iter().enumerate() {
         if c > 0 {
-            println!("  level {:>2}: {:>8}  ({})", k + 1, c, pct(c as f64 / total.max(1) as f64));
+            println!(
+                "  level {:>2}: {:>8}  ({})",
+                k + 1,
+                c,
+                pct(c as f64 / total.max(1) as f64)
+            );
         }
     }
     let path = t

@@ -37,5 +37,8 @@ fn main() {
             acc * 100.0,
         );
     }
-    println!("harmonic-mean accuracy: {:.2}%", 100.0 * count / acc_sum_recip);
+    println!(
+        "harmonic-mean accuracy: {:.2}%",
+        100.0 * count / acc_sum_recip
+    );
 }

@@ -1,5 +1,6 @@
 //! Experiment harness shared by the figure/table-regeneration binaries and
-//! the Criterion benches.
+//! the timing benches (see [`timing`]; the repo carries no external crates,
+//! so the benches use a hand-rolled harness instead of Criterion).
 //!
 //! Every evaluation artifact of the paper has a binary here (see DESIGN.md
 //! §3 for the index):
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+pub mod timing;
 
 use std::fmt::Write as _;
 use std::path::Path;

@@ -198,8 +198,14 @@ mod tests {
         Panel {
             title: "sample".into(),
             series: vec![
-                Series { name: "SP".into(), points: vec![(8.0, 2.0), (256.0, 2.1)] },
-                Series { name: "DEE-CD-MF".into(), points: vec![(8.0, 3.0), (256.0, 9.0)] },
+                Series {
+                    name: "SP".into(),
+                    points: vec![(8.0, 2.0), (256.0, 2.1)],
+                },
+                Series {
+                    name: "DEE-CD-MF".into(),
+                    points: vec![(8.0, 3.0), (256.0, 9.0)],
+                },
             ],
             oracle: Some(42.0),
         }

@@ -1,0 +1,92 @@
+//! A minimal, dependency-free timing harness for the `cargo bench`
+//! targets.
+//!
+//! The repo's convention is zero external crates, so the benches cannot
+//! use Criterion; this harness covers what they need: warm up, run a
+//! closure until a time budget is spent, and report mean/min wall time per
+//! iteration plus optional element throughput. Results are indicative (no
+//! outlier rejection or statistics beyond min/mean) — the experiment
+//! binaries remain the source of record for paper numbers.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (after warmup).
+const BUDGET: Duration = Duration::from_millis(300);
+/// Warmup time before measurement starts.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Upper bound on measured iterations, for very fast closures.
+const MAX_ITERS: u32 = 100_000;
+
+/// One benchmark group, printed with a shared name prefix.
+pub struct Group {
+    prefix: String,
+    /// Elements processed per iteration (enables throughput output).
+    elements: Option<u64>,
+}
+
+impl Group {
+    /// Starts a named group.
+    #[must_use]
+    pub fn new(prefix: &str) -> Self {
+        Group {
+            prefix: prefix.to_string(),
+            elements: None,
+        }
+    }
+
+    /// Reports throughput as `elements` per iteration (e.g. dynamic
+    /// instructions).
+    #[must_use]
+    pub fn throughput(mut self, elements: u64) -> Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Times `f` and prints one result line; returns mean ns/iter.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> f64 {
+        // Warmup.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(f());
+        }
+        // Measure.
+        let mut iters = 0u32;
+        let mut min = Duration::MAX;
+        let start = Instant::now();
+        while start.elapsed() < BUDGET && iters < MAX_ITERS {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            min = min.min(dt);
+            iters += 1;
+        }
+        let total = start.elapsed();
+        let mean_ns = total.as_nanos() as f64 / f64::from(iters.max(1));
+        let mut line = format!(
+            "{}/{name:<24} {iters:>7} iters  mean {:>12.0} ns  min {:>12.0} ns",
+            self.prefix,
+            mean_ns,
+            min.as_nanos() as f64,
+        );
+        if let Some(elements) = self.elements {
+            let per_sec = elements as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  {:>8.2} M elem/s", per_sec / 1e6));
+        }
+        println!("{line}");
+        mean_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mean = Group::new("test")
+            .throughput(10)
+            .bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(mean > 0.0);
+    }
+}

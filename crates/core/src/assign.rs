@@ -30,7 +30,10 @@ impl PathCandidate {
     #[must_use]
     pub fn unsaturated(cp: f64) -> Self {
         assert!((0.0..=1.0).contains(&cp), "cp must be a probability");
-        PathCandidate { cp, saturation: None }
+        PathCandidate {
+            cp,
+            saturation: None,
+        }
     }
 
     /// A path that saturates at `max` resources.
@@ -41,7 +44,10 @@ impl PathCandidate {
     #[must_use]
     pub fn saturating(cp: f64, max: u32) -> Self {
         assert!((0.0..=1.0).contains(&cp), "cp must be a probability");
-        PathCandidate { cp, saturation: Some(max) }
+        PathCandidate {
+            cp,
+            saturation: Some(max),
+        }
     }
 }
 
@@ -122,7 +128,13 @@ mod tests {
     /// Exhaustively enumerates all allocations of `total` resources over
     /// `paths` and returns the best `P_tot`.
     fn brute_force_best(paths: &[PathCandidate], total: u32) -> f64 {
-        fn recurse(paths: &[PathCandidate], total: u32, idx: usize, alloc: &mut Vec<u32>, best: &mut f64) {
+        fn recurse(
+            paths: &[PathCandidate],
+            total: u32,
+            idx: usize,
+            alloc: &mut Vec<u32>,
+            best: &mut f64,
+        ) {
             if idx == paths.len() {
                 let mut padded = alloc.clone();
                 padded.resize(paths.len(), 0);
@@ -207,8 +219,10 @@ mod tests {
         // paths with their cumulative probabilities; each path "saturates"
         // at one resource slot (one path = one slot in the figure).
         let cps = [0.7, 0.49, 0.34, 0.3, 0.24, 0.21, 0.17, 0.15, 0.12];
-        let paths: Vec<PathCandidate> =
-            cps.iter().map(|&cp| PathCandidate::saturating(cp, 1)).collect();
+        let paths: Vec<PathCandidate> = cps
+            .iter()
+            .map(|&cp| PathCandidate::saturating(cp, 1))
+            .collect();
         let alloc = assign_resources(&paths, 6);
         // The six most likely paths get the resources: the 0.3 path (the
         // not-predicted path at the root) is taken *before* the deeper

@@ -161,8 +161,18 @@ impl SpecTree {
             let mut cands: Vec<Candidate> = Vec::new();
             for &parent in &parents {
                 let parent_cp = parent.map_or(1.0, |i| paths[i as usize].cp);
-                cands.push(Candidate { cp: parent_cp * p, depth, predicted: true, parent });
-                cands.push(Candidate { cp: parent_cp * (1.0 - p), depth, predicted: false, parent });
+                cands.push(Candidate {
+                    cp: parent_cp * p,
+                    depth,
+                    predicted: true,
+                    parent,
+                });
+                cands.push(Candidate {
+                    cp: parent_cp * (1.0 - p),
+                    depth,
+                    predicted: false,
+                    parent,
+                });
             }
             cands.sort_by(|a, b| b.cmp(a));
             level.clear();
@@ -187,8 +197,18 @@ impl SpecTree {
     fn build_greedy(p: f64, et: u32) -> Vec<ChosenPath> {
         let mut paths: Vec<ChosenPath> = Vec::with_capacity(et as usize);
         let mut heap = BinaryHeap::new();
-        heap.push(Candidate { cp: p, depth: 1, predicted: true, parent: None });
-        heap.push(Candidate { cp: 1.0 - p, depth: 1, predicted: false, parent: None });
+        heap.push(Candidate {
+            cp: p,
+            depth: 1,
+            predicted: true,
+            parent: None,
+        });
+        heap.push(Candidate {
+            cp: 1.0 - p,
+            depth: 1,
+            predicted: false,
+            parent: None,
+        });
         while (paths.len() as u32) < et {
             let cand = heap.pop().expect("frontier never empties");
             let order = paths.len() as u32;
@@ -311,10 +331,7 @@ mod tests {
     fn figure_1_disjoint() {
         let tree = SpecTree::build(Strategy::Disjoint, FIG1_P, FIG1_ET);
         assert_eq!(tree.depth(), 4); // l_DEE = 4
-        assert_close(
-            &sorted_cps(&tree),
-            &[0.7, 0.49, 0.343, 0.3, 0.2401, 0.21],
-        );
+        assert_close(&sorted_cps(&tree), &[0.7, 0.49, 0.343, 0.3, 0.2401, 0.21]);
         // Paths 1..3 are main-line; path 4 (order 3) is the not-predicted
         // root path with cp 0.3 — chosen before main-line cp 0.2401.
         let orders: Vec<(u32, bool)> = tree
@@ -324,7 +341,14 @@ mod tests {
             .collect();
         assert_eq!(
             orders,
-            vec![(0, true), (1, true), (2, true), (3, false), (4, true), (5, true)]
+            vec![
+                (0, true),
+                (1, true),
+                (2, true),
+                (3, false),
+                (4, true),
+                (5, true)
+            ]
         );
         assert_eq!(tree.mainline_len(), 4);
     }

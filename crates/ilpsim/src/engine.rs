@@ -93,7 +93,11 @@ struct PeSchedule {
 
 impl PeSchedule {
     fn new(cap: u32) -> Self {
-        PeSchedule { cap, issued: BTreeMap::new(), floor: 0 }
+        PeSchedule {
+            cap,
+            issued: BTreeMap::new(),
+            floor: 0,
+        }
     }
 
     fn issue_at(&mut self, earliest: u32) -> u32 {
@@ -228,8 +232,10 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
     let dee_shape: Option<(u32, u32)> = model.is_dee().then(|| match config.dee_shape {
         Some(shape) => shape,
         None => {
-            let tree =
-                StaticTree::build(TreeParams { p: config.p.clamp(0.5, 0.9999), et: config.et });
+            let tree = StaticTree::build(TreeParams {
+                p: config.p.clamp(0.5, 0.9999),
+                et: config.et,
+            });
             (tree.mainline_len(), tree.h_dee())
         }
     });
@@ -396,12 +402,7 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
 /// restrictive (`u32::MAX`). Otherwise the penalty ends at the first dynamic
 /// occurrence of the branch's reconvergence point at the same call depth
 /// (scan capped at `max_cd_scan`).
-fn cd_region_end(
-    prepared: &PreparedTrace,
-    config: &SimConfig,
-    i: usize,
-    rec: &TraceRecord,
-) -> u32 {
+fn cd_region_end(prepared: &PreparedTrace, config: &SimConfig, i: usize, rec: &TraceRecord) -> u32 {
     let outcome = rec.branch.expect("mispredicted record is a branch");
     // Mispredicted: the predicted direction is the opposite of the actual.
     let predicted_taken = !outcome.taken;
@@ -693,7 +694,12 @@ mod tests {
             &prepared,
             &SimConfig::new(Model::Oracle, 0).with_latency(LatencyModel::CLASSIC),
         );
-        assert!(classic.cycles >= unit.cycles + 3 * 20, "{} vs {}", classic.cycles, unit.cycles);
+        assert!(
+            classic.cycles >= unit.cycles + 3 * 20,
+            "{} vs {}",
+            classic.cycles,
+            unit.cycles
+        );
         assert_eq!(classic.sequential_cycles, unit.sequential_cycles + 3 * 20);
         assert!((classic.speedup() - unit.speedup()).abs() < 0.3);
     }

@@ -262,7 +262,15 @@ mod tests {
         let names: Vec<&str> = Model::all_constrained().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["EE", "SP", "DEE", "SP-CD", "DEE-CD", "SP-CD-MF", "DEE-CD-MF"]
+            vec![
+                "EE",
+                "SP",
+                "DEE",
+                "SP-CD",
+                "DEE-CD",
+                "SP-CD-MF",
+                "DEE-CD-MF"
+            ]
         );
         assert_eq!(Model::Oracle.to_string(), "Oracle");
     }
@@ -299,15 +307,21 @@ mod tests {
     fn latency_models_valid() {
         assert!(LatencyModel::UNIT.is_valid());
         assert!(LatencyModel::CLASSIC.is_valid());
-        assert!(!LatencyModel { alu: 0, ..LatencyModel::UNIT }.is_valid());
+        assert!(!LatencyModel {
+            alu: 0,
+            ..LatencyModel::UNIT
+        }
+        .is_valid());
         assert_eq!(LatencyModel::default(), LatencyModel::UNIT);
     }
 
     #[test]
     #[should_panic(expected = "latencies must be at least one cycle")]
     fn zero_latency_rejected() {
-        let _ = SimConfig::new(Model::Sp, 8)
-            .with_latency(LatencyModel { mem: 0, ..LatencyModel::UNIT });
+        let _ = SimConfig::new(Model::Sp, 8).with_latency(LatencyModel {
+            mem: 0,
+            ..LatencyModel::UNIT
+        });
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use std::borrow::Cow;
+
 use dee_isa::cfg::Cfg;
 use dee_isa::{AluOp, Instr, Program};
 use dee_predict::{mispredict_flags, BranchPredictor, TwoBitCounter};
@@ -10,9 +12,13 @@ use dee_vm::Trace;
 ///
 /// Preparing once and simulating many configurations amortizes the
 /// predictor replay and CFG analysis across the whole parameter sweep.
+/// The trace is held behind a [`Cow`]: the usual constructors borrow the
+/// caller's trace, while [`into_owned`](Self::into_owned) detaches the
+/// lifetime so prepared traces can live in long-lived caches (e.g. the
+/// `dee-serve` prepared-trace cache).
 #[derive(Clone, Debug)]
 pub struct PreparedTrace<'a> {
-    pub(crate) trace: &'a Trace,
+    pub(crate) trace: Cow<'a, Trace>,
     /// Per record: true iff it is a mispredicted conditional branch.
     pub(crate) mispredict: Vec<bool>,
     /// Per static pc: the branch's reconvergence point, if any.
@@ -88,7 +94,10 @@ impl<'a> PreparedTrace<'a> {
             None => 0,
         };
 
-        let branches = mispredict.iter().zip(trace.records()).filter(|(_, r)| r.is_cond_branch());
+        let branches = mispredict
+            .iter()
+            .zip(trace.records())
+            .filter(|(_, r)| r.is_cond_branch());
         let (mut total, mut wrong) = (0u64, 0u64);
         for (&miss, _) in branches {
             total += 1;
@@ -117,7 +126,7 @@ impl<'a> PreparedTrace<'a> {
             .collect();
 
         PreparedTrace {
-            trace,
+            trace: Cow::Borrowed(trace),
             mispredict,
             reconv,
             path_of,
@@ -154,7 +163,26 @@ impl<'a> PreparedTrace<'a> {
     /// The underlying trace.
     #[must_use]
     pub fn trace(&self) -> &Trace {
-        self.trace
+        &self.trace
+    }
+
+    /// Detaches the prepared trace from the borrowed input by cloning the
+    /// trace exactly once, yielding a `'static` value that can be stored
+    /// in caches or shared across threads.
+    #[must_use]
+    pub fn into_owned(self) -> PreparedTrace<'static> {
+        PreparedTrace {
+            trace: Cow::Owned(self.trace.into_owned()),
+            mispredict: self.mispredict,
+            reconv: self.reconv,
+            path_of: self.path_of,
+            num_paths: self.num_paths,
+            loops_back_taken: self.loops_back_taken,
+            loops_back_fall: self.loops_back_fall,
+            class_of: self.class_of,
+            mem_latency: self.mem_latency,
+            accuracy: self.accuracy,
+        }
     }
 
     /// Measured accuracy of the predictor that produced the flags — the
@@ -314,7 +342,10 @@ mod tests {
         let t = trace_program(&p, &[], 100).unwrap();
         let prepared = PreparedTrace::new(&p, &t);
         assert!(!prepared.loops_back_taken[1], "taken side exits");
-        assert!(prepared.loops_back_fall[1], "fall-through re-reaches the test");
+        assert!(
+            prepared.loops_back_fall[1],
+            "fall-through re-reaches the test"
+        );
     }
 
     #[test]

@@ -127,7 +127,9 @@ impl Assembler {
                 .get(label)
                 .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             match &mut instrs[*idx] {
-                Instr::Branch { target: t, .. } | Instr::Jump { target: t } | Instr::Jal { target: t } => {
+                Instr::Branch { target: t, .. }
+                | Instr::Jump { target: t }
+                | Instr::Jal { target: t } => {
                     debug_assert_eq!(*t, PENDING);
                     *t = target;
                 }
@@ -141,98 +143,213 @@ impl Assembler {
 
     /// `rd = rs + rt`
     pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Add, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs - rt`
     pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Sub, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs * rt`
     pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Mul, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs / rt` (0 when `rt` is 0)
     pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Div, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Div,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs % rt` (0 when `rt` is 0)
     pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Rem, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs & rt`
     pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::And, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs | rt`
     pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Or, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs ^ rt`
     pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs << rt`
     pub fn sll(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Sll, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = (rs as u32) >> rt`
     pub fn srl(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Srl, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = rs >> rt` (arithmetic)
     pub fn sra(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Sra, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = (rs < rt) as i32`
     pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Slt, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs,
+            rt,
+        })
     }
     /// `rd = (rs == rt) as i32`
     pub fn seq(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op: AluOp::Seq, rd, rs, rt })
+        self.emit(Instr::Alu {
+            op: AluOp::Seq,
+            rd,
+            rs,
+            rt,
+        })
     }
 
     // --- ALU, immediate form ---------------------------------------------
 
     /// `rd = rs + imm`
     pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Add, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs & imm`
     pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::And, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::And,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs | imm`
     pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Or, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs ^ imm`
     pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Xor, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs * imm`
     pub fn muli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Mul, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs % imm`
     pub fn remi(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Rem, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Rem,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = (rs < imm) as i32`
     pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Slt, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs << imm`
     pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Sll, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = (rs as u32) >> imm`
     pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Srl, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs,
+            imm,
+        })
     }
     /// `rd = rs >> imm` (arithmetic)
     pub fn srai(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::AluImm { op: AluOp::Sra, rd, rs, imm })
+        self.emit(Instr::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs,
+            imm,
+        })
     }
 
     // --- moves, loads, stores ---------------------------------------------
@@ -268,7 +385,15 @@ impl Assembler {
 
     /// Conditional branch to a label.
     pub fn branch_label(&mut self, cond: BranchCond, rs: Reg, rt: Reg, label: &str) -> &mut Self {
-        self.emit_labeled(Instr::Branch { cond, rs, rt, target: PENDING }, label)
+        self.emit_labeled(
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target: PENDING,
+            },
+            label,
+        )
     }
     /// `beq rs, rt, label`
     pub fn beq_label(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
@@ -389,10 +514,29 @@ mod tests {
         assert_eq!(p.len(), 5);
         assert_eq!(
             p[0],
-            Instr::AluImm { op: AluOp::Add, rd: Reg::SP, rs: Reg::SP, imm: -1 }
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::SP,
+                rs: Reg::SP,
+                imm: -1
+            }
         );
-        assert_eq!(p[1], Instr::Sw { rs: Reg::new(3), base: Reg::SP, offset: 0 });
-        assert_eq!(p[2], Instr::Lw { rd: Reg::new(4), base: Reg::SP, offset: 0 });
+        assert_eq!(
+            p[1],
+            Instr::Sw {
+                rs: Reg::new(3),
+                base: Reg::SP,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            p[2],
+            Instr::Lw {
+                rd: Reg::new(4),
+                base: Reg::SP,
+                offset: 0
+            }
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl std::error::Error for ParseError {}
 
 impl From<AsmError> for ParseError {
     fn from(e: AsmError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -165,7 +168,10 @@ fn emit(
 ) -> Result<(), ParseError> {
     let arity_err = |want: usize| ParseError {
         line,
-        message: format!("`{mnemonic}` expects {want} operand(s), got {}", operands.len()),
+        message: format!(
+            "`{mnemonic}` expects {want} operand(s), got {}",
+            operands.len()
+        ),
     };
     let need = |n: usize| -> Result<(), ParseError> {
         if operands.len() == n {
@@ -179,8 +185,8 @@ fn emit(
 
     match mnemonic {
         // Register-register ALU.
-        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl"
-        | "sra" | "slt" | "seq" => {
+        "add" | "sub" | "mul" | "div" | "rem" | "and" | "or" | "xor" | "sll" | "srl" | "sra"
+        | "slt" | "seq" => {
             need(3)?;
             let (d, a, b) = (reg(0)?, reg(1)?, reg(2)?);
             match mnemonic {
@@ -200,8 +206,7 @@ fn emit(
             };
         }
         // Register-immediate ALU.
-        "addi" | "andi" | "ori" | "xori" | "muli" | "remi" | "slti" | "slli" | "srli"
-        | "srai" => {
+        "addi" | "andi" | "ori" | "xori" | "muli" | "remi" | "slti" | "slli" | "srli" | "srai" => {
             need(3)?;
             let (d, a, b) = (reg(0)?, reg(1)?, imm(2)?);
             match mnemonic {
@@ -329,15 +334,26 @@ mod tests {
         let p = parse_program("li sp, 0x40\nsw ra, -2(sp)\nlw rv, 0x10(zero)\nhalt\n").unwrap();
         assert_eq!(
             p[0],
-            Instr::Li { rd: Reg::SP, imm: 0x40 }
+            Instr::Li {
+                rd: Reg::SP,
+                imm: 0x40
+            }
         );
         assert_eq!(
             p[1],
-            Instr::Sw { rs: Reg::RA, base: Reg::SP, offset: -2 }
+            Instr::Sw {
+                rs: Reg::RA,
+                base: Reg::SP,
+                offset: -2
+            }
         );
         assert_eq!(
             p[2],
-            Instr::Lw { rd: Reg::RV, base: Reg::ZERO, offset: 16 }
+            Instr::Lw {
+                rd: Reg::RV,
+                base: Reg::ZERO,
+                offset: 16
+            }
         );
     }
 

@@ -48,7 +48,10 @@ impl fmt::Display for ProgramError {
         match *self {
             ProgramError::Empty => f.write_str("program is empty"),
             ProgramError::TargetOutOfRange { pc, target } => {
-                write!(f, "instruction at {pc} targets out-of-range address {target}")
+                write!(
+                    f,
+                    "instruction at {pc} targets out-of-range address {target}"
+                )
             }
             ProgramError::NoHalt => f.write_str("program contains no halt instruction"),
         }

@@ -40,7 +40,10 @@ impl Default for UnrollConfig {
     /// a ~24-instruction unrolled body, the paper's "about 3/4 the length
     /// of the Queue".
     fn default() -> Self {
-        UnrollConfig { factor: 3, max_body: 8 }
+        UnrollConfig {
+            factor: 3,
+            max_body: 8,
+        }
     }
 }
 
@@ -82,9 +85,10 @@ fn find_candidates(program: &Program, config: &UnrollConfig) -> Vec<Candidate> {
     let mut candidates = Vec::new();
     'branches: for (pc, instr) in program.iter() {
         let candidate = match *instr {
-            Instr::Branch { target, .. } | Instr::Jump { target } if target <= pc => {
-                Candidate { start: target, close: pc }
-            }
+            Instr::Branch { target, .. } | Instr::Jump { target } if target <= pc => Candidate {
+                start: target,
+                close: pc,
+            },
             _ => continue,
         };
         if candidate.body_len() > config.max_body {
@@ -142,7 +146,10 @@ fn find_candidates(program: &Program, config: &UnrollConfig) -> Vec<Candidate> {
 ///
 /// Returns [`ProgramError`] only if the rewritten program fails validation,
 /// which would indicate a bug in the filter (tested not to happen).
-pub fn unroll_loops(program: &Program, config: &UnrollConfig) -> Result<UnrollResult, ProgramError> {
+pub fn unroll_loops(
+    program: &Program,
+    config: &UnrollConfig,
+) -> Result<UnrollResult, ProgramError> {
     if config.factor < 2 {
         return Ok(UnrollResult {
             program: program.clone(),
@@ -210,9 +217,19 @@ pub fn unroll_loops(program: &Program, config: &UnrollConfig) -> Result<UnrollRe
                         let instr = program[old];
                         let rewritten = match instr {
                             // The closing instruction.
-                            Instr::Branch { cond, rs, rt, target } if old == c.close => {
+                            Instr::Branch {
+                                cond,
+                                rs,
+                                rt,
+                                target,
+                            } if old == c.close => {
                                 if last_copy {
-                                    Instr::Branch { cond, rs, rt, target: map(target) }
+                                    Instr::Branch {
+                                        cond,
+                                        rs,
+                                        rt,
+                                        target: map(target),
+                                    }
                                 } else {
                                     // Earlier copies test for exit and fall
                                     // through into the next copy.
@@ -229,19 +246,30 @@ pub fn unroll_loops(program: &Program, config: &UnrollConfig) -> Result<UnrollRe
                                 // copy goes to the next copy (same dynamic
                                 // instruction count); the last loops back.
                                 if last_copy {
-                                    Instr::Jump { target: map(target) }
+                                    Instr::Jump {
+                                        target: map(target),
+                                    }
                                 } else {
-                                    Instr::Jump { target: copy_base + body }
+                                    Instr::Jump {
+                                        target: copy_base + body,
+                                    }
                                 }
                             }
                             // Internal control: retarget per copy.
-                            Instr::Branch { cond, rs, rt, target } => Instr::Branch {
+                            Instr::Branch {
+                                cond,
+                                rs,
+                                rt,
+                                target,
+                            } => Instr::Branch {
                                 cond,
                                 rs,
                                 rt,
                                 target: retarget(target),
                             },
-                            Instr::Jump { target } => Instr::Jump { target: retarget(target) },
+                            Instr::Jump { target } => Instr::Jump {
+                                target: retarget(target),
+                            },
                             other => other,
                         };
                         out.push(rewritten);
@@ -254,11 +282,23 @@ pub fn unroll_loops(program: &Program, config: &UnrollConfig) -> Result<UnrollRe
         }
         let instr = program[pc];
         let rewritten = match instr {
-            Instr::Branch { cond, rs, rt, target } => {
-                Instr::Branch { cond, rs, rt, target: map(target) }
-            }
-            Instr::Jump { target } => Instr::Jump { target: map(target) },
-            Instr::Jal { target } => Instr::Jal { target: map(target) },
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target: map(target),
+            },
+            Instr::Jump { target } => Instr::Jump {
+                target: map(target),
+            },
+            Instr::Jal { target } => Instr::Jal {
+                target: map(target),
+            },
             other => other,
         };
         out.push(rewritten);
@@ -293,7 +333,14 @@ mod tests {
     #[test]
     fn finds_and_unrolls_a_simple_loop() {
         let p = countdown_program();
-        let result = unroll_loops(&p, &UnrollConfig { factor: 3, max_body: 8 }).unwrap();
+        let result = unroll_loops(
+            &p,
+            &UnrollConfig {
+                factor: 3,
+                max_body: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(result.unrolled, vec![2]);
         // Body of 3 instructions becomes 9; rest unchanged.
         assert_eq!(result.program.len(), p.len() + 2 * 3);
@@ -302,7 +349,14 @@ mod tests {
     #[test]
     fn factor_one_is_identity() {
         let p = countdown_program();
-        let result = unroll_loops(&p, &UnrollConfig { factor: 1, max_body: 8 }).unwrap();
+        let result = unroll_loops(
+            &p,
+            &UnrollConfig {
+                factor: 1,
+                max_body: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(result.program, p);
         assert!(result.unrolled.is_empty());
     }
@@ -310,7 +364,14 @@ mod tests {
     #[test]
     fn oversized_bodies_are_left_alone() {
         let p = countdown_program();
-        let result = unroll_loops(&p, &UnrollConfig { factor: 3, max_body: 2 }).unwrap();
+        let result = unroll_loops(
+            &p,
+            &UnrollConfig {
+                factor: 3,
+                max_body: 2,
+            },
+        )
+        .unwrap();
         assert!(result.unrolled.is_empty());
         assert_eq!(result.program, p);
     }
@@ -365,7 +426,14 @@ mod tests {
         asm.out(r1);
         asm.halt();
         let p = asm.assemble().unwrap();
-        let result = unroll_loops(&p, &UnrollConfig { factor: 2, max_body: 8 }).unwrap();
+        let result = unroll_loops(
+            &p,
+            &UnrollConfig {
+                factor: 2,
+                max_body: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(result.unrolled.len(), 1);
         // Every internal branch target stays inside its own copy.
         for (pc, instr) in result.program.iter() {
@@ -380,7 +448,14 @@ mod tests {
         use dee_vm_equivalence::outputs_match;
         let p = countdown_program();
         for factor in [2, 3, 4] {
-            let result = unroll_loops(&p, &UnrollConfig { factor, max_body: 8 }).unwrap();
+            let result = unroll_loops(
+                &p,
+                &UnrollConfig {
+                    factor,
+                    max_body: 8,
+                },
+            )
+            .unwrap();
             assert!(outputs_match(&p, &result.program), "factor {factor}");
         }
     }
@@ -410,7 +485,12 @@ mod tests {
                     Instr::Sw { rs, base, offset } => {
                         mem[(regs[base.index()] + offset) as usize] = regs[rs.index()];
                     }
-                    Instr::Branch { cond, rs, rt, target } => {
+                    Instr::Branch {
+                        cond,
+                        rs,
+                        rt,
+                        target,
+                    } => {
                         if cond.eval(regs[rs.index()], regs[rt.index()]) {
                             pc = target;
                             regs[0] = 0;

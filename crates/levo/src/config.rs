@@ -134,15 +134,31 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_geometry() {
-        let c = LevoConfig { n: 0, ..LevoConfig::default() };
+        let c = LevoConfig {
+            n: 0,
+            ..LevoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = LevoConfig { m: 0, ..LevoConfig::default() };
+        let c = LevoConfig {
+            m: 0,
+            ..LevoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = LevoConfig { fetch_width: 0, ..LevoConfig::default() };
+        let c = LevoConfig {
+            fetch_width: 0,
+            ..LevoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = LevoConfig { dee_cols: 0, ..LevoConfig::default() };
+        let c = LevoConfig {
+            dee_cols: 0,
+            ..LevoConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = LevoConfig { dee_cols: 0, dee_paths: 0, ..LevoConfig::default() };
+        let c = LevoConfig {
+            dee_cols: 0,
+            dee_paths: 0,
+            ..LevoConfig::default()
+        };
         assert!(c.validate().is_ok(), "dee_cols unused without paths");
     }
 }

@@ -100,14 +100,24 @@ mod tests {
         let model = CostModel::default();
         let cost = model.breakdown(&LevoConfig::default()); // 3 × 1-col
         assert_eq!(cost.dee_columns, 3);
-        assert!((cost.dee_fraction - 0.04).abs() < 0.02, "{}", cost.dee_fraction);
+        assert!(
+            (cost.dee_fraction - 0.04).abs() < 0.02,
+            "{}",
+            cost.dee_fraction
+        );
     }
 
     #[test]
     fn marginal_column_cost_matches_paper() {
         let model = CostModel::default();
-        let a = LevoConfig { dee_paths: 4, ..LevoConfig::default() };
-        let b = LevoConfig { dee_paths: 5, ..LevoConfig::default() };
+        let a = LevoConfig {
+            dee_paths: 4,
+            ..LevoConfig::default()
+        };
+        let b = LevoConfig {
+            dee_paths: 5,
+            ..LevoConfig::default()
+        };
         let delta = model.breakdown(&b).dee_transistors - model.breakdown(&a).dee_transistors;
         assert!((delta - 1.0e6).abs() < 1e-6);
     }
@@ -115,7 +125,11 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let model = CostModel::default();
-        for config in [LevoConfig::condel2(), LevoConfig::default(), LevoConfig::levo_100()] {
+        for config in [
+            LevoConfig::condel2(),
+            LevoConfig::default(),
+            LevoConfig::levo_100(),
+        ] {
             let c = model.breakdown(&config);
             let sum = c.dee_transistors + c.concurrency_transistors + c.base_transistors;
             assert!((sum - model.total_transistors).abs() < 1.0);

@@ -393,7 +393,11 @@ impl<'a> Engine<'a> {
                 exec.value = Some(reg(rs)?);
             }
             Instr::Branch {
-                cond, rs, rt, target, ..
+                cond,
+                rs,
+                rt,
+                target,
+                ..
             } => {
                 let taken = cond.eval(reg(rs)?, reg(rt)?);
                 exec.taken = Some(taken);
@@ -468,7 +472,7 @@ impl<'a> Engine<'a> {
         use std::collections::HashMap;
         let limit = self.config.dee_path_len();
         let base = self.rob.len(); // injection appends after the branch
-        // Value and intra-path availability time of DEE-path results.
+                                   // Value and intra-path availability time of DEE-path results.
         let mut temp_regs: HashMap<Reg, (i32, u64)> = HashMap::new();
         let mut temp_mem: HashMap<u32, (i32, u64)> = HashMap::new();
         let mut pc = start;
@@ -528,7 +532,9 @@ impl<'a> Engine<'a> {
                     exec.value = Some(imm);
                     fall
                 }
-                Instr::Lw { base: b, offset, .. } => {
+                Instr::Lw {
+                    base: b, offset, ..
+                } => {
                     let Some(bv) = read(b, &temp_regs) else { break };
                     let addr = u32::try_from(i64::from(take(bv, &mut ready)) + i64::from(offset))
                         .unwrap_or(u32::MAX);
@@ -545,7 +551,11 @@ impl<'a> Engine<'a> {
                     }
                     fall
                 }
-                Instr::Sw { rs, base: b, offset } => {
+                Instr::Sw {
+                    rs,
+                    base: b,
+                    offset,
+                } => {
                     let (Some(v), Some(bv)) = (read(rs, &temp_regs), read(b, &temp_regs)) else {
                         break;
                     };
@@ -555,7 +565,12 @@ impl<'a> Engine<'a> {
                     exec.value = Some(take(v, &mut ready));
                     fall
                 }
-                Instr::Branch { cond, rs, rt, target } => {
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
                     let (Some(a), Some(b)) = (read(rs, &temp_regs), read(rt, &temp_regs)) else {
                         break;
                     };
@@ -575,7 +590,9 @@ impl<'a> Engine<'a> {
                 }
                 Instr::Jr { rs } => {
                     let Some(t) = read(rs, &temp_regs) else { break };
-                    let Ok(t) = u32::try_from(take(t, &mut ready)) else { break };
+                    let Ok(t) = u32::try_from(take(t, &mut ready)) else {
+                        break;
+                    };
                     exec.actual_next = t;
                     t
                 }
@@ -805,7 +822,11 @@ mod tests {
         let report = assert_matches_vm(LevoConfig::default(), &p, &[]);
         assert_eq!(report.output, vec![210]);
         assert_eq!(report.loop_capture_rate(), Some(1.0), "loop fits the IQ");
-        assert!(report.ipc() > 1.0, "iterations overlap: ipc = {}", report.ipc());
+        assert!(
+            report.ipc() > 1.0,
+            "iterations overlap: ipc = {}",
+            report.ipc()
+        );
     }
 
     #[test]
@@ -870,7 +891,10 @@ mod tests {
         asm.bgt_label(r1, Reg::ZERO, "top");
         asm.halt();
         let p = asm.assemble().unwrap();
-        let config = LevoConfig { n: 32, ..LevoConfig::default() };
+        let config = LevoConfig {
+            n: 32,
+            ..LevoConfig::default()
+        };
         let report = assert_matches_vm(config, &p, &[]);
         assert!(report.uncaptured_backjumps > 0);
         assert_eq!(report.loop_capture_rate(), Some(0.0));
@@ -913,8 +937,14 @@ mod tests {
     #[test]
     fn mispredict_penalty_is_configurable() {
         let w = dee_workloads::cc1::build(dee_workloads::Scale::Tiny);
-        let fast = LevoConfig { mispredict_penalty: 0, ..LevoConfig::condel2() };
-        let slow = LevoConfig { mispredict_penalty: 5, ..LevoConfig::condel2() };
+        let fast = LevoConfig {
+            mispredict_penalty: 0,
+            ..LevoConfig::condel2()
+        };
+        let slow = LevoConfig {
+            mispredict_penalty: 5,
+            ..LevoConfig::condel2()
+        };
         let fast_report = run_levo(fast, &w.program, &w.initial_memory);
         let slow_report = run_levo(slow, &w.program, &w.initial_memory);
         assert_eq!(fast_report.output, slow_report.output);
@@ -936,7 +966,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let config = LevoConfig { n: 0, ..LevoConfig::default() };
+        let config = LevoConfig {
+            n: 0,
+            ..LevoConfig::default()
+        };
         let mut asm = Assembler::new();
         asm.halt();
         let p = asm.assemble().unwrap();
@@ -951,7 +984,10 @@ mod tests {
         asm.j_label("spin");
         asm.halt();
         let p = asm.assemble().unwrap();
-        let config = LevoConfig { max_cycles: 100, ..LevoConfig::default() };
+        let config = LevoConfig {
+            max_cycles: 100,
+            ..LevoConfig::default()
+        };
         let err = Levo::new(config).run(&p, &[]).unwrap_err();
         assert_eq!(err, LevoError::CycleLimit { limit: 100 });
     }

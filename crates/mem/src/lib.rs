@@ -56,7 +56,10 @@ impl CacheConfig {
     /// required.
     pub fn validate(&self) -> Result<(), String> {
         if self.sets == 0 || !self.sets.is_power_of_two() {
-            return Err(format!("sets = {} must be a nonzero power of two", self.sets));
+            return Err(format!(
+                "sets = {} must be a nonzero power of two",
+                self.sets
+            ));
         }
         if self.line_words == 0 || !self.line_words.is_power_of_two() {
             return Err(format!(
@@ -192,7 +195,10 @@ impl MemoryHierarchy {
     /// zero.
     #[must_use]
     pub fn new(config: CacheConfig, hit_latency: u32, miss_latency: u32) -> Self {
-        assert!(hit_latency >= 1 && miss_latency >= hit_latency, "latencies ordered");
+        assert!(
+            hit_latency >= 1 && miss_latency >= hit_latency,
+            "latencies ordered"
+        );
         MemoryHierarchy {
             cache: Cache::new(config),
             hit_latency,
@@ -205,7 +211,11 @@ impl MemoryHierarchy {
     pub fn perfect(latency: u32) -> Self {
         // A 1-set, 1-way dummy cache; latencies equal so it never matters.
         MemoryHierarchy {
-            cache: Cache::new(CacheConfig { sets: 1, ways: 1, line_words: 1 }),
+            cache: Cache::new(CacheConfig {
+                sets: 1,
+                ways: 1,
+                line_words: 1,
+            }),
             hit_latency: latency,
             miss_latency: latency,
         }
@@ -248,7 +258,11 @@ mod tests {
     use super::*;
 
     fn tiny_cache() -> Cache {
-        Cache::new(CacheConfig { sets: 2, ways: 2, line_words: 4 })
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_words: 4,
+        })
     }
 
     #[test]
@@ -265,7 +279,7 @@ mod tests {
     #[test]
     fn lru_replacement_evicts_oldest() {
         let mut c = tiny_cache(); // 2 sets x 2 ways x 4 words; set = line % 2
-        // Lines 0, 2, 4 all map to set 0 (even lines).
+                                  // Lines 0, 2, 4 all map to set 0 (even lines).
         assert!(!c.access(0)); // line 0 -> set 0
         assert!(!c.access(8)); // line 2 -> set 0
         assert!(!c.access(16)); // line 4 -> set 0, evicts line 0
@@ -275,8 +289,16 @@ mod tests {
 
     #[test]
     fn associativity_keeps_conflicting_lines() {
-        let direct = CacheConfig { sets: 4, ways: 1, line_words: 1 };
-        let assoc = CacheConfig { sets: 4, ways: 2, line_words: 1 };
+        let direct = CacheConfig {
+            sets: 4,
+            ways: 1,
+            line_words: 1,
+        };
+        let assoc = CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_words: 1,
+        };
         let mut d = Cache::new(direct);
         let mut a = Cache::new(assoc);
         // Two addresses conflicting in the same set, alternated.
@@ -292,9 +314,27 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(CacheConfig { sets: 3, ways: 1, line_words: 1 }.validate().is_err());
-        assert!(CacheConfig { sets: 4, ways: 0, line_words: 1 }.validate().is_err());
-        assert!(CacheConfig { sets: 4, ways: 1, line_words: 3 }.validate().is_err());
+        assert!(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_words: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            sets: 4,
+            ways: 0,
+            line_words: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            sets: 4,
+            ways: 1,
+            line_words: 3
+        }
+        .validate()
+        .is_err());
         assert!(CacheConfig::default().validate().is_ok());
         assert_eq!(CacheConfig::default().capacity_words(), 2048);
     }
@@ -302,13 +342,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "valid cache configuration")]
     fn cache_rejects_bad_config() {
-        let _ = Cache::new(CacheConfig { sets: 0, ways: 1, line_words: 1 });
+        let _ = Cache::new(CacheConfig {
+            sets: 0,
+            ways: 1,
+            line_words: 1,
+        });
     }
 
     #[test]
     fn hierarchy_latencies() {
         let mut h = MemoryHierarchy::new(
-            CacheConfig { sets: 2, ways: 1, line_words: 4 },
+            CacheConfig {
+                sets: 2,
+                ways: 1,
+                line_words: 4,
+            },
             1,
             12,
         );
@@ -355,36 +403,70 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Property tests over a deterministic xorshift sweep (the repo builds
+    //! with no external crates, so no `proptest`; failures print the seed).
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Hits never exceed accesses; a repeated address always hits after
-        /// its first access when it fits the cache.
-        #[test]
-        fn stats_sane(addrs in prop::collection::vec(0u32..4096, 1..200)) {
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn addrs(&mut self, bound: u32, max_len: usize) -> Vec<u32> {
+            let len = 1 + (self.next() as usize) % max_len;
+            (0..len)
+                .map(|_| (self.next() % u64::from(bound)) as u32)
+                .collect()
+        }
+    }
+
+    /// Hits never exceed accesses; every access is counted.
+    #[test]
+    fn stats_sane() {
+        let mut rng = Rng(0x5eed_0003);
+        for case in 0..128 {
+            let addrs = rng.addrs(4096, 200);
             let mut c = Cache::new(CacheConfig::default());
             for &a in &addrs {
                 c.access(a);
             }
             let s = c.stats();
-            prop_assert!(s.hits <= s.accesses);
-            prop_assert_eq!(s.accesses, addrs.len() as u64);
+            assert!(s.hits <= s.accesses, "case {case}");
+            assert_eq!(s.accesses, addrs.len() as u64, "case {case}");
         }
+    }
 
-        /// A larger cache never has fewer hits on the same address stream
-        /// (LRU inclusion property across way counts).
-        #[test]
-        fn more_ways_never_hurt(addrs in prop::collection::vec(0u32..256, 1..300)) {
-            let small = CacheConfig { sets: 8, ways: 1, line_words: 2 };
-            let big = CacheConfig { sets: 8, ways: 4, line_words: 2 };
+    /// A larger cache never has fewer hits on the same address stream
+    /// (LRU inclusion property across way counts).
+    #[test]
+    fn more_ways_never_hurt() {
+        let mut rng = Rng(0x5eed_0004);
+        for case in 0..128 {
+            let addrs = rng.addrs(256, 300);
+            let small = CacheConfig {
+                sets: 8,
+                ways: 1,
+                line_words: 2,
+            };
+            let big = CacheConfig {
+                sets: 8,
+                ways: 4,
+                line_words: 2,
+            };
             let mut c_small = Cache::new(small);
             let mut c_big = Cache::new(big);
             for &a in &addrs {
                 c_small.access(a);
                 c_big.access(a);
             }
-            prop_assert!(c_big.stats().hits >= c_small.stats().hits);
+            assert!(c_big.stats().hits >= c_small.stats().hits, "case {case}");
         }
     }
 }

@@ -48,7 +48,10 @@ impl TwoBitCounter {
     /// The raw counter state (0..=3) for `pc`.
     #[must_use]
     pub fn state(&self, pc: u32) -> u8 {
-        self.counters.get(pc as usize).copied().unwrap_or(INIT_STATE)
+        self.counters
+            .get(pc as usize)
+            .copied()
+            .unwrap_or(INIT_STATE)
     }
 }
 

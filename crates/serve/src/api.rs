@@ -1,0 +1,565 @@
+//! Request handlers: JSON in, JSON out.
+//!
+//! Three endpoints expose the stack: `simulate` (ILP limit models over a
+//! workload or an uploaded program), `tree` (static DEE tree queries), and
+//! `levo` (machine-model runs). Handlers are plain functions over
+//! [`Json`] values so they are directly testable without a socket, and so
+//! the integration tests can byte-compare server responses against
+//! locally computed payloads built with the same functions.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dee_core::{StaticTree, TreeParams};
+use dee_ilpsim::{simulate, LatencyModel, Model, PreparedTrace, SimConfig, SimOutcome};
+use dee_isa::parse::parse_program;
+use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
+use dee_predict::{AlwaysTaken, BranchPredictor, Gshare, PapAdaptive, TwoBitCounter};
+use dee_vm::trace_program;
+use dee_workloads::{Scale, Workload};
+
+use crate::cache::{fnv1a, fnv1a_words, CacheKey, PreparedCache, PreparedEntry};
+use crate::json::Json;
+
+/// Dynamic-instruction budget for uploaded programs and workload traces.
+const STEP_LIMIT: u64 = 1_000_000_000;
+
+/// A handler failure carrying the HTTP status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code (400, 404, 500, 504).
+    pub status: u16,
+    /// Human-readable message, returned as `{"error": ...}`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `400 Bad Request` error.
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A `504` deadline-exceeded error.
+    #[must_use]
+    pub fn deadline() -> Self {
+        ApiError {
+            status: 504,
+            message: "deadline exceeded".into(),
+        }
+    }
+
+    /// The error as a JSON body.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![("error", Json::str(self.message.clone()))])
+    }
+}
+
+fn str_field<'a>(body: &'a Json, key: &str) -> Option<&'a str> {
+    body.get(key).and_then(Json::as_str)
+}
+
+fn u64_field(body: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn scale_by_name(name: &str) -> Result<Scale, ApiError> {
+    match name {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "large" => Ok(Scale::Large),
+        other => Err(ApiError::bad_request(format!("unknown scale `{other}`"))),
+    }
+}
+
+fn workload_by_name(name: &str, scale: Scale) -> Result<Workload, ApiError> {
+    match name {
+        "cc1" => Ok(dee_workloads::cc1::build(scale)),
+        "compress" => Ok(dee_workloads::compress::build(scale)),
+        "eqntott" => Ok(dee_workloads::eqntott::build(scale)),
+        "espresso" => Ok(dee_workloads::espresso::build(scale)),
+        "sc" => Ok(dee_workloads::sc::build(scale)),
+        "xlisp" => Ok(dee_workloads::xlisp::build(scale)),
+        other => Err(ApiError::bad_request(format!("unknown workload `{other}`"))),
+    }
+}
+
+fn model_by_name(name: &str) -> Option<Model> {
+    Model::all_constrained()
+        .into_iter()
+        .chain([Model::Oracle])
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+fn predictor_by_name(name: &str) -> Result<Box<dyn BranchPredictor>, ApiError> {
+    match name {
+        "twobit" => Ok(Box::new(TwoBitCounter::new())),
+        "gshare" => Ok(Box::new(Gshare::new(12, 8))),
+        "pap" => Ok(Box::new(PapAdaptive::new())),
+        "taken" => Ok(Box::new(AlwaysTaken::new())),
+        other => Err(ApiError::bad_request(format!(
+            "unknown predictor `{other}` (expected twobit|gshare|pap|taken)"
+        ))),
+    }
+}
+
+/// The program + input-memory source of a simulate/levo request.
+struct Source {
+    program: dee_isa::Program,
+    memory: Vec<i32>,
+    /// Stable identity for cache keys and response labels.
+    label: String,
+}
+
+fn resolve_source(body: &Json) -> Result<Source, ApiError> {
+    match (str_field(body, "workload"), str_field(body, "program")) {
+        (Some(_), Some(_)) => Err(ApiError::bad_request(
+            "give either `workload` or `program`, not both",
+        )),
+        (Some(name), None) => {
+            let scale = scale_by_name(str_field(body, "scale").unwrap_or("tiny"))?;
+            if body.get("memory").is_some() {
+                return Err(ApiError::bad_request(
+                    "`memory` only applies to uploaded programs",
+                ));
+            }
+            let workload = workload_by_name(name, scale)?;
+            Ok(Source {
+                label: format!("{name}/{scale:?}").to_ascii_lowercase(),
+                memory: workload.initial_memory.clone(),
+                program: workload.program,
+            })
+        }
+        (None, Some(source_text)) => {
+            let program = parse_program(source_text)
+                .map_err(|e| ApiError::bad_request(format!("program: {e}")))?;
+            let memory = match body.get("memory") {
+                None => Vec::new(),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .filter(|x| x.fract() == 0.0 && x.abs() <= f64::from(i32::MAX))
+                            .map(|x| x as i32)
+                            .ok_or_else(|| ApiError::bad_request("`memory` must hold integers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err(ApiError::bad_request("`memory` must be an array")),
+            };
+            let label = format!("program:{:016x}", fnv1a(source_text.as_bytes()));
+            Ok(Source {
+                program,
+                memory,
+                label,
+            })
+        }
+        (None, None) => Err(ApiError::bad_request("missing `workload` or `program`")),
+    }
+}
+
+/// Fetches (or prepares and caches) the prepared trace for a request.
+///
+/// # Errors
+///
+/// `400` for unknown workloads/predictors/unparseable programs, `500`
+/// when the program faults or overruns its step budget.
+pub fn prepared_for(
+    cache: &PreparedCache,
+    body: &Json,
+) -> Result<(Arc<PreparedEntry>, bool, String), ApiError> {
+    let source = resolve_source(body)?;
+    let predictor_name = str_field(body, "predictor").unwrap_or("twobit");
+    // Validate the predictor name before the (expensive) miss path.
+    predictor_by_name(predictor_name)?;
+    let key = CacheKey {
+        program: fnv1a(source.program.to_listing().as_bytes()),
+        memory: fnv1a_words(&source.memory),
+        predictor: fnv1a(predictor_name.as_bytes()),
+    };
+    let label = source.label.clone();
+    let (entry, hit) = cache
+        .get_or_insert_with(key, move || {
+            let trace = trace_program(&source.program, &source.memory, STEP_LIMIT)
+                .map_err(|e| format!("trace: {e}"))?;
+            let mut predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
+            let prepared =
+                PreparedTrace::with_predictor(&source.program, &trace, predictor.as_mut())
+                    .into_owned();
+            Ok(PreparedEntry {
+                program: source.program,
+                prepared,
+            })
+        })
+        .map_err(|message| ApiError {
+            status: 500,
+            message,
+        })?;
+    Ok((entry, hit, label))
+}
+
+/// Renders one simulation outcome — the payload tests byte-compare.
+#[must_use]
+pub fn outcome_json(outcome: &SimOutcome) -> Json {
+    Json::obj(vec![
+        ("model", Json::str(outcome.model.name())),
+        ("et", Json::from(outcome.et)),
+        ("instructions", Json::from(outcome.instructions)),
+        ("cycles", Json::from(outcome.cycles)),
+        ("speedup", Json::from(outcome.speedup())),
+        ("ipc", Json::from(outcome.ipc())),
+        ("branches", Json::from(outcome.branches)),
+        ("mispredicts", Json::from(outcome.mispredicts)),
+    ])
+}
+
+/// `POST /simulate` — run ILP limit models over a prepared trace.
+///
+/// # Errors
+///
+/// See [`prepared_for`]; additionally `400` for unknown models and `504`
+/// when the deadline passes between models.
+pub fn handle_simulate(
+    cache: &PreparedCache,
+    body: &Json,
+    deadline: Instant,
+) -> Result<(Json, bool), ApiError> {
+    let (entry, hit, label) = prepared_for(cache, body)?;
+    let et = u32::try_from(u64_field(body, "et", 100)?)
+        .map_err(|_| ApiError::bad_request("`et` too large"))?;
+    let models: Vec<Model> = match str_field(body, "model") {
+        None | Some("all") => Model::all_constrained()
+            .into_iter()
+            .chain([Model::Oracle])
+            .collect(),
+        Some(name) => vec![model_by_name(name)
+            .ok_or_else(|| ApiError::bad_request(format!("unknown model `{name}`")))?],
+    };
+    if et == 0 && models.iter().any(|m| *m != Model::Oracle) {
+        return Err(ApiError::bad_request(
+            "`et` must be at least 1 for constrained models",
+        ));
+    }
+    let p = match body.get("p") {
+        None => entry.prepared.accuracy(),
+        Some(v) => v
+            .as_f64()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| ApiError::bad_request("`p` must be in [0, 1]"))?,
+    };
+    let latency = match str_field(body, "latency") {
+        None | Some("unit") => LatencyModel::UNIT,
+        Some("classic") => LatencyModel::CLASSIC,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown latency model `{other}`"
+            )))
+        }
+    };
+    let max_pe = u64_field(body, "max_pe", 0)?;
+
+    let mut results = Vec::with_capacity(models.len());
+    for model in models {
+        if Instant::now() > deadline {
+            return Err(ApiError::deadline());
+        }
+        let mut config = SimConfig::new(model, if model == Model::Oracle { 0 } else { et })
+            .with_p(p)
+            .with_latency(latency);
+        if max_pe > 0 {
+            config = config.with_max_pe(
+                u32::try_from(max_pe).map_err(|_| ApiError::bad_request("`max_pe` too large"))?,
+            );
+        }
+        results.push(outcome_json(&simulate(&entry.prepared, &config)));
+    }
+    let response = Json::obj(vec![
+        ("source", Json::str(label)),
+        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("p", Json::from(p)),
+        ("results", Json::Arr(results)),
+    ]);
+    Ok((response, hit))
+}
+
+/// Renders a static tree — the payload tests byte-compare.
+#[must_use]
+pub fn tree_json(tree: &StaticTree) -> Json {
+    Json::obj(vec![
+        ("p", Json::from(tree.p())),
+        ("et", Json::from(tree.et())),
+        ("mainline_len", Json::from(tree.mainline_len())),
+        ("h_dee", Json::from(tree.h_dee())),
+        ("dee_region_paths", Json::from(tree.dee_region_paths())),
+        ("total_paths", Json::from(tree.total_paths())),
+        ("is_single_path", Json::from(tree.is_single_path())),
+    ])
+}
+
+/// `POST /tree` — static DEE tree queries.
+///
+/// # Errors
+///
+/// `400` for out-of-range parameters.
+pub fn handle_tree(body: &Json) -> Result<Json, ApiError> {
+    let p = match body.get("p") {
+        None => 0.9053,
+        Some(v) => v
+            .as_f64()
+            .filter(|p| (0.0..1.0).contains(p) && *p > 0.0)
+            .ok_or_else(|| ApiError::bad_request("`p` must be in (0, 1)"))?,
+    };
+    let et = u32::try_from(u64_field(body, "et", 100)?)
+        .map_err(|_| ApiError::bad_request("`et` too large"))?;
+    if et == 0 {
+        return Err(ApiError::bad_request("`et` must be at least 1"));
+    }
+    Ok(tree_json(&StaticTree::build(TreeParams { p, et })))
+}
+
+/// Renders a Levo report — the payload tests byte-compare.
+#[must_use]
+pub fn levo_json(report: &LevoReport) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::from(report.cycles)),
+        ("retired", Json::from(report.retired)),
+        ("ipc", Json::from(report.ipc())),
+        ("dispatched", Json::from(report.dispatched)),
+        ("squashed", Json::from(report.squashed)),
+        ("mispredicts", Json::from(report.mispredicts)),
+        ("dee_covered", Json::from(report.dee_covered)),
+        ("output_len", Json::from(report.output.len() as u64)),
+        // Hex string: the checksum is a full 64-bit value, which JSON
+        // numbers (f64) cannot carry exactly.
+        (
+            "output_checksum",
+            Json::str(format!("{:016x}", dee_vm::output_checksum(&report.output))),
+        ),
+    ])
+}
+
+/// `POST /levo` — run the Levo machine model.
+///
+/// # Errors
+///
+/// `400` for bad configs or sources, `500` when the machine faults, `504`
+/// past the deadline.
+pub fn handle_levo(body: &Json, deadline: Instant) -> Result<Json, ApiError> {
+    let source = resolve_source(body)?;
+    let mut config = LevoConfig::default();
+    if let Some(paths) = body.get("dee_paths") {
+        config.dee_paths = paths
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| ApiError::bad_request("`dee_paths` must be a non-negative integer"))?;
+    }
+    if let Some(cols) = body.get("dee_cols") {
+        config.dee_cols = cols
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| ApiError::bad_request("`dee_cols` must be a non-negative integer"))?;
+    }
+    if let Some(n) = body.get("n") {
+        config.n = n
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| ApiError::bad_request("`n` must be a non-negative integer"))?;
+    }
+    if let Some(m) = body.get("m") {
+        config.m = m
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| ApiError::bad_request("`m` must be a non-negative integer"))?;
+    }
+    match str_field(body, "predictor") {
+        None | Some("twobit") => config.predictor = PredictorKind::TwoBit,
+        Some("pap") => config.predictor = PredictorKind::PapSpeculative,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown levo predictor `{other}` (expected twobit|pap)"
+            )))
+        }
+    }
+    config.validate().map_err(ApiError::bad_request)?;
+    if Instant::now() > deadline {
+        return Err(ApiError::deadline());
+    }
+    let report = Levo::new(config)
+        .run(&source.program, &source.memory)
+        .map_err(|e| ApiError {
+            status: 500,
+            message: e.to_string(),
+        })?;
+    let mut json = levo_json(&report);
+    if let Json::Obj(members) = &mut json {
+        members.insert(0, ("source".to_string(), Json::str(source.label)));
+    }
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn far_deadline() -> Instant {
+        Instant::now() + std::time::Duration::from_secs(60)
+    }
+
+    #[test]
+    fn simulate_workload_miss_then_hit() {
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":16}"#).unwrap();
+        let (response, hit) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        assert!(!hit);
+        assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("model").and_then(Json::as_str), Some("SP"));
+        assert!(results[0].get("cycles").and_then(Json::as_u64).unwrap() > 0);
+        let (response, hit) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        assert!(hit);
+        assert_eq!(response.get("cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn simulate_matches_direct_call_exactly() {
+        let cache = PreparedCache::new(8, 2);
+        let body =
+            parse(r#"{"workload":"compress","scale":"tiny","model":"DEE-CD-MF","et":32}"#).unwrap();
+        let (response, _) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+
+        let w = dee_workloads::compress::build(Scale::Tiny);
+        let trace = w.capture_trace().unwrap();
+        let prepared = PreparedTrace::new(&w.program, &trace);
+        let expected = simulate(
+            &prepared,
+            &SimConfig::new(Model::DeeCdMf, 32).with_p(prepared.accuracy()),
+        );
+        let got = &response.get("results").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(got.to_string(), outcome_json(&expected).to_string());
+    }
+
+    #[test]
+    fn simulate_uploaded_program_with_memory() {
+        let cache = PreparedCache::new(8, 2);
+        let body =
+            parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[42],"model":"oracle"}"#)
+                .unwrap();
+        let (response, _) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        let results = response.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            results[0].get("model").and_then(Json::as_str),
+            Some("Oracle")
+        );
+    }
+
+    #[test]
+    fn simulate_distinguishes_memory_and_predictor_in_cache_key() {
+        let cache = PreparedCache::new(8, 2);
+        let a = parse(
+            r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[1],"model":"SP","et":4}"#,
+        )
+        .unwrap();
+        let b = parse(
+            r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[2],"model":"SP","et":4}"#,
+        )
+        .unwrap();
+        let c = parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[1],"model":"SP","et":4,"predictor":"gshare"}"#).unwrap();
+        assert!(!handle_simulate(&cache, &a, far_deadline()).unwrap().1);
+        assert!(!handle_simulate(&cache, &b, far_deadline()).unwrap().1);
+        assert!(!handle_simulate(&cache, &c, far_deadline()).unwrap().1);
+        assert!(handle_simulate(&cache, &a, far_deadline()).unwrap().1);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_inputs() {
+        let cache = PreparedCache::new(8, 2);
+        for (body, needle) in [
+            (r#"{}"#, "missing"),
+            (r#"{"workload":"nope"}"#, "unknown workload"),
+            (r#"{"workload":"xlisp","scale":"huge"}"#, "unknown scale"),
+            (r#"{"workload":"xlisp","model":"warp"}"#, "unknown model"),
+            (
+                r#"{"workload":"xlisp","predictor":"psychic"}"#,
+                "unknown predictor",
+            ),
+            (r#"{"workload":"xlisp","memory":[1]}"#, "only applies"),
+            (r#"{"workload":"xlisp","program":"halt\n"}"#, "not both"),
+            (r#"{"workload":"xlisp","et":0}"#, "at least 1"),
+            (r#"{"program":"not an opcode\n"}"#, "program:"),
+        ] {
+            let err = handle_simulate(&cache, &parse(body).unwrap(), far_deadline()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(needle), "{body}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn simulate_past_deadline_times_out() {
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny"}"#).unwrap();
+        let err = handle_simulate(
+            &cache,
+            &body,
+            Instant::now() - std::time::Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 504);
+    }
+
+    #[test]
+    fn tree_matches_direct_build() {
+        let body = parse(r#"{"p":0.9053,"et":100}"#).unwrap();
+        let response = handle_tree(&body).unwrap();
+        let expected = tree_json(&StaticTree::build(TreeParams { p: 0.9053, et: 100 }));
+        assert_eq!(response.to_string(), expected.to_string());
+        assert_eq!(
+            response.get("mainline_len").and_then(Json::as_u64),
+            Some(34)
+        );
+    }
+
+    #[test]
+    fn tree_rejects_bad_params() {
+        assert!(handle_tree(&parse(r#"{"p":1.5}"#).unwrap()).is_err());
+        assert!(handle_tree(&parse(r#"{"et":0}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn levo_runs_and_matches_direct_call() {
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","dee_paths":3}"#).unwrap();
+        let response = handle_levo(&body, far_deadline()).unwrap();
+        let w = dee_workloads::xlisp::build(Scale::Tiny);
+        let report = Levo::new(LevoConfig::default())
+            .run(&w.program, &w.initial_memory)
+            .unwrap();
+        assert_eq!(
+            response.get("cycles").and_then(Json::as_u64),
+            Some(report.cycles)
+        );
+        assert_eq!(
+            response.get("retired").and_then(Json::as_u64),
+            Some(report.retired)
+        );
+        assert_eq!(
+            response.get("output_checksum").and_then(Json::as_str),
+            Some(format!("{:016x}", dee_vm::output_checksum(&report.output)).as_str())
+        );
+    }
+
+    #[test]
+    fn levo_rejects_invalid_config() {
+        let body = parse(r#"{"workload":"xlisp","n":0}"#).unwrap();
+        assert_eq!(handle_levo(&body, far_deadline()).unwrap_err().status, 400);
+    }
+}

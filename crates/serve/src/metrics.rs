@@ -1,0 +1,251 @@
+//! Lock-free service metrics: atomic counters, gauges, and a fixed-bucket
+//! latency histogram, rendered in a Prometheus-compatible text format at
+//! `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram bucket upper bounds, in microseconds. The last implicit
+/// bucket is `+Inf`.
+const LATENCY_BOUNDS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 2_000_000,
+];
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// The server's metrics registry. Every field is updated with relaxed
+/// atomics — the numbers are monitoring data, not synchronization.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests fully parsed and routed.
+    pub requests: AtomicU64,
+    /// `2xx` responses.
+    pub responses_ok: AtomicU64,
+    /// `4xx` responses.
+    pub responses_client_error: AtomicU64,
+    /// `5xx` responses (excluding queue-full rejections).
+    pub responses_server_error: AtomicU64,
+    /// Connections shed with `503 queue full` before queueing.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests answered `504` because their deadline passed.
+    pub timeouts: AtomicU64,
+    /// Prepared-trace cache hits.
+    pub cache_hits: AtomicU64,
+    /// Prepared-trace cache misses (preparations performed).
+    pub cache_misses: AtomicU64,
+    /// Highest queue depth observed.
+    pub queue_depth_highwater: AtomicU64,
+    /// End-to-end request latency (read → response flushed).
+    pub latency: Histogram,
+    started: Instant,
+}
+
+impl Metrics {
+    /// Creates a zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth_highwater: AtomicU64::new(0),
+            latency: Histogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Raises the queue-depth high-water mark to `depth` if higher.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_highwater
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counts a response by status class.
+    pub fn count_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition, plus caller-supplied gauges
+    /// (current queue depth, cache entries, worker count, ...).
+    #[must_use]
+    pub fn render(&self, gauges: &[(&str, u64)]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        counter(
+            "dee_requests_total",
+            "Requests parsed and routed.",
+            load(&self.requests),
+        );
+        counter(
+            "dee_responses_ok_total",
+            "2xx responses.",
+            load(&self.responses_ok),
+        );
+        counter(
+            "dee_responses_client_error_total",
+            "4xx responses.",
+            load(&self.responses_client_error),
+        );
+        counter(
+            "dee_responses_server_error_total",
+            "5xx responses (excluding queue-full rejections).",
+            load(&self.responses_server_error),
+        );
+        counter(
+            "dee_rejected_queue_full_total",
+            "Connections shed with 503 before queueing.",
+            load(&self.rejected_queue_full),
+        );
+        counter(
+            "dee_timeouts_total",
+            "Requests past their deadline.",
+            load(&self.timeouts),
+        );
+        counter(
+            "dee_prepared_cache_hits_total",
+            "Prepared-trace cache hits.",
+            load(&self.cache_hits),
+        );
+        counter(
+            "dee_prepared_cache_misses_total",
+            "Prepared-trace cache misses.",
+            load(&self.cache_misses),
+        );
+        counter(
+            "dee_queue_depth_highwater",
+            "Highest job-queue depth observed.",
+            load(&self.queue_depth_highwater),
+        );
+        for (name, value) in gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE dee_request_latency_us histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+            cumulative += self.latency.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "dee_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.latency.buckets[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "dee_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(
+            out,
+            "dee_request_latency_us_sum {}",
+            self.latency.sum_us.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "dee_request_latency_us_count {}", self.latency.count());
+        let _ = writeln!(out, "# TYPE dee_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "dee_uptime_seconds {}",
+            self.started.elapsed().as_secs()
+        );
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let h = Histogram::new();
+        h.record_us(50);
+        h.record_us(150);
+        h.record_us(10_000_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 1);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(
+            h.buckets[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(h.sum_us.load(Ordering::Relaxed), 10_000_200);
+    }
+
+    #[test]
+    fn render_contains_counters_and_gauges() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.count_response(200);
+        m.count_response(404);
+        m.count_response(503);
+        m.latency.record_us(777);
+        m.observe_queue_depth(5);
+        m.observe_queue_depth(2);
+        let text = m.render(&[("dee_queue_depth", 1), ("dee_workers", 4)]);
+        assert!(text.contains("dee_requests_total 3"));
+        assert!(text.contains("dee_prepared_cache_hits_total 2"));
+        assert!(text.contains("dee_responses_ok_total 1"));
+        assert!(text.contains("dee_responses_client_error_total 1"));
+        assert!(text.contains("dee_responses_server_error_total 1"));
+        assert!(text.contains("dee_queue_depth_highwater 5"));
+        assert!(text.contains("dee_queue_depth 1"));
+        assert!(text.contains("dee_workers 4"));
+        assert!(text.contains("dee_request_latency_us_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("dee_request_latency_us_count 1"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The resident simulation server: accept loop, worker pool, dispatch.
+//!
+//! One TCP connection carries exactly one request (`Connection: close`),
+//! so the bounded job queue measures load in whole requests. The accept
+//! thread never blocks on the queue — at capacity it answers
+//! `503 queue full` inline and moves on, which keeps accept latency flat
+//! under overload and makes backpressure observable to clients instead
+//! of silent.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::cache::PreparedCache;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::{parse as parse_json, Json};
+use crate::metrics::Metrics;
+use crate::queue::{Bounded, TryPushError};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads. `0` spawns no workers — accepted jobs queue until
+    /// the queue fills, a deterministic seam for backpressure tests.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it connections get `503`.
+    pub queue_capacity: usize,
+    /// Total prepared-trace cache entries across all shards.
+    pub cache_entries: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Default per-request deadline, measured from accept time. Requests
+    /// may tighten it with a `deadline_ms` body field.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            queue_capacity: 64,
+            cache_entries: 128,
+            cache_shards: 8,
+            max_body_bytes: 1 << 20,
+            default_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One accepted connection, stamped so queue wait counts toward the
+/// request deadline.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+struct Shared {
+    queue: Bounded<Job>,
+    cache: PreparedCache,
+    metrics: Metrics,
+    stop: AtomicBool,
+    workers: usize,
+    max_body_bytes: usize,
+    default_deadline: Duration,
+}
+
+/// A running server. Dropping the handle leaks the threads; call
+/// [`shutdown`](Server::shutdown) for an orderly stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: JoinHandle<()>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the accept thread plus worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            cache: PreparedCache::new(config.cache_entries, config.cache_shards),
+            metrics: Metrics::new(),
+            stop: AtomicBool::new(false),
+            workers: config.workers,
+            max_body_bytes: config.max_body_bytes,
+            default_deadline: config.default_deadline,
+        });
+        let worker_threads = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dee-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("dee-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread,
+            worker_threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry (shared with the worker threads).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Stops accepting, lets workers drain every queued job, then joins
+    /// all threads. Jobs still queued when no worker remains (the
+    /// `workers: 0` seam) are answered `503`.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a throwaway connection.
+        drop(TcpStream::connect(self.addr));
+        let _ = self.accept_thread.join();
+        self.shared.queue.close();
+        for worker in self.worker_threads {
+            let _ = worker.join();
+        }
+        for job in self.shared.queue.drain() {
+            refuse(job.stream, &self.shared.metrics);
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = Job {
+            stream,
+            accepted: Instant::now(),
+        };
+        match shared.queue.try_push(job) {
+            Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
+            Err(TryPushError::Full(job)) | Err(TryPushError::Closed(job)) => {
+                refuse(job.stream, &shared.metrics);
+            }
+        }
+    }
+}
+
+/// Sheds one connection with `503 queue full`.
+fn refuse(mut stream: TcpStream, metrics: &Metrics) {
+    metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    metrics.count_response(503);
+    let body = Json::obj(vec![("error", Json::str("queue full"))]).to_string();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = write_response(&mut stream, 503, "application/json", body.as_bytes());
+    lingering_close(stream);
+}
+
+/// Closes a connection whose request was never (fully) read. Closing with
+/// unread bytes in the receive buffer makes the kernel send RST, which
+/// can destroy the response before the client reads it — so half-close
+/// the write side and drain the peer's data until EOF first.
+fn lingering_close(mut stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let mut scratch = [0u8; 1024];
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut scratch) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        handle_connection(shared, job);
+    }
+}
+
+fn handle_connection(shared: &Shared, job: Job) {
+    let accepted = job.accepted;
+    let stream = job.stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut fully_read = true;
+    let (status, content_type, body) = match read_request(&mut reader, shared.max_body_bytes) {
+        Ok(None) => return, // peer closed without sending a request
+        Ok(Some(request)) => {
+            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            dispatch(shared, &request, accepted)
+        }
+        Err(HttpError::BadRequest(message)) => {
+            fully_read = false;
+            (
+                400,
+                JSON,
+                Json::obj(vec![("error", Json::str(message))]).to_string(),
+            )
+        }
+        Err(HttpError::TooLarge) => {
+            fully_read = false;
+            (
+                413,
+                JSON,
+                Json::obj(vec![("error", Json::str("payload too large"))]).to_string(),
+            )
+        }
+        Err(HttpError::Io(_)) => return, // peer went away mid-request
+    };
+    if status == 504 {
+        shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.metrics.count_response(status);
+    let mut stream = reader.into_inner();
+    let _ = write_response(&mut stream, status, content_type, body.as_bytes());
+    if !fully_read {
+        lingering_close(stream);
+    }
+    let elapsed = accepted.elapsed();
+    shared
+        .metrics
+        .latency
+        .record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+}
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; charset=utf-8";
+
+fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
+        ("GET", "/metrics") => {
+            let gauges = [
+                ("dee_queue_depth", shared.queue.len() as u64),
+                ("dee_cache_entries", shared.cache.len() as u64),
+                ("dee_workers", shared.workers as u64),
+            ];
+            (200, TEXT, shared.metrics.render(&gauges))
+        }
+        ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") => {
+            handle_api(shared, request, accepted)
+        }
+        (_, "/healthz" | "/metrics" | "/simulate" | "/tree" | "/levo") => (
+            405,
+            JSON,
+            Json::obj(vec![("error", Json::str("method not allowed"))]).to_string(),
+        ),
+        _ => (
+            404,
+            JSON,
+            Json::obj(vec![("error", Json::str("not found"))]).to_string(),
+        ),
+    }
+}
+
+fn handle_api(
+    shared: &Shared,
+    request: &Request,
+    accepted: Instant,
+) -> (u16, &'static str, String) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => "{}",
+        Err(_) => {
+            let body = Json::obj(vec![("error", Json::str("body is not UTF-8"))]);
+            return (400, JSON, body.to_string());
+        }
+    };
+    let body = match parse_json(text) {
+        Ok(body) => body,
+        Err(message) => {
+            let body = Json::obj(vec![("error", Json::str(format!("json: {message}")))]);
+            return (400, JSON, body.to_string());
+        }
+    };
+    let mut budget = shared.default_deadline;
+    if let Some(ms) = body.get("deadline_ms").and_then(Json::as_u64) {
+        budget = budget.min(Duration::from_millis(ms));
+    }
+    let deadline = accepted + budget;
+    let result = match request.path() {
+        "/simulate" => api::handle_simulate(&shared.cache, &body, deadline).map(|(json, hit)| {
+            let counter = if hit {
+                &shared.metrics.cache_hits
+            } else {
+                &shared.metrics.cache_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            json
+        }),
+        "/tree" => api::handle_tree(&body),
+        _ => api::handle_levo(&body, deadline),
+    };
+    match result {
+        Ok(json) => (200, JSON, json.to_string()),
+        Err(e) => (e.status, JSON, e.to_json().to_string()),
+    }
+}

@@ -1,0 +1,62 @@
+//! SIGINT/SIGTERM notification as a polled flag.
+//!
+//! The workspace carries no external crates, so instead of the `libc`
+//! crate this declares the C `signal(2)` entry point directly — std
+//! already links the platform libc, so the symbol is always present on
+//! the targets the server supports. The handler only flips an atomic
+//! flag (async-signal-safe); the CLI polls [`interrupted`] and runs the
+//! actual shutdown on its own thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod sys {
+    pub(super) type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        pub(super) fn signal(signum: i32, handler: super::sys::Handler) -> usize;
+    }
+
+    pub(super) fn install(signum: i32, handler: Handler) {
+        // SAFETY: `signal` is the C standard library entry point; the
+        // handler only touches a static atomic.
+        unsafe {
+            signal(signum, handler);
+        }
+    }
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT and SIGTERM handlers that set the interrupt flag.
+/// Idempotent; later installations simply re-register the same handler.
+pub fn install() {
+    sys::install(SIGINT, on_signal);
+    sys::install(SIGTERM, on_signal);
+}
+
+/// Whether an interrupt signal has arrived since [`install`].
+#[must_use]
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches() {
+        install();
+        assert!(!interrupted());
+        on_signal(SIGINT);
+        assert!(interrupted());
+    }
+}

@@ -37,9 +37,12 @@ fn byte_reg(byte: u8, what: &str) -> io::Result<Option<Reg>> {
     if byte == NO_REG {
         return Ok(None);
     }
-    Reg::try_new(byte)
-        .map(Some)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what} register {byte}")))
+    Reg::try_new(byte).map(Some).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad {what} register {byte}"),
+        )
+    })
 }
 
 impl Trace {
@@ -104,7 +107,10 @@ impl Trace {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad trace magic",
+            ));
         }
         let mut len8 = [0u8; 8];
         reader.read_exact(&mut len8)?;
@@ -130,7 +136,9 @@ impl Trace {
                 mem_read: (flags & FLAG_MEM_READ != 0).then_some(mem),
                 mem_write: (flags & FLAG_MEM_WRITE != 0).then_some(mem),
                 branch,
-                depth: u32::from(u16::from_le_bytes(buffer[16..18].try_into().expect("2 bytes"))),
+                depth: u32::from(u16::from_le_bytes(
+                    buffer[16..18].try_into().expect("2 bytes"),
+                )),
             });
         }
         reader.read_exact(&mut len8)?;
@@ -186,7 +194,10 @@ mod tests {
         let trace = branchy_trace();
         let mut bytes = Vec::new();
         trace.write_to(&mut bytes).unwrap();
-        assert_eq!(bytes.len(), 8 + 8 + 20 * trace.len() + 8 + 4 * trace.output().len());
+        assert_eq!(
+            bytes.len(),
+            8 + 8 + 20 * trace.len() + 8 + 4 * trace.output().len()
+        );
     }
 
     #[test]

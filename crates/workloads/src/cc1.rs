@@ -130,7 +130,9 @@ pub fn reference_tokenize(chars: &[i32]) -> Vec<(i32, i32)> {
         } else if (i32::from(b'0')..=i32::from(b'9')).contains(&c) {
             let mut value = 0i32;
             while i < chars.len() && (i32::from(b'0')..=i32::from(b'9')).contains(&chars[i]) {
-                value = value.wrapping_mul(10).wrapping_add(chars[i] - i32::from(b'0'));
+                value = value
+                    .wrapping_mul(10)
+                    .wrapping_add(chars[i] - i32::from(b'0'));
                 i += 1;
             }
             tokens.push((T_NUM, value));
@@ -241,7 +243,11 @@ pub fn reference_evaluate(tokens: &[(i32, i32)], syms: &[i32; 26]) -> Vec<i32> {
             }
         }
     }
-    let mut p = P { toks: tokens, pos: 0, syms };
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+        syms,
+    };
     let mut out = Vec::new();
     let mut count = 0i32;
     while p.kind() != T_EOF {
@@ -361,8 +367,7 @@ pub fn build(scale: Scale) -> Workload {
         // Globals: r20 = token cursor (word addr of current pair),
         // r22 = kind, r23 = value; r2 = function result; r10/r11 locals.
         let (r_res, r_acc, r_acc2) = (Reg::new(2), Reg::new(10), Reg::new(11));
-        let (r_cur, r_kind, r_tval, r_k) =
-            (Reg::new(20), Reg::new(22), Reg::new(23), Reg::new(24));
+        let (r_cur, r_kind, r_tval, r_k) = (Reg::new(20), Reg::new(22), Reg::new(23), Reg::new(24));
         let (r_cnt, r_cmp) = (Reg::new(25), Reg::new(26));
 
         asm.li(r_cur, tbase);

@@ -51,9 +51,22 @@ pub fn text_len(scale: Scale) -> usize {
 #[must_use]
 pub fn generate_text(len: usize, seed: u32) -> Vec<i32> {
     const VOCAB: &[&str] = &[
-        "the", "of", "and", "to", "in", "branch", "path", "eager", "tree",
-        "execution", "speculative", "resource", "probability", "window",
-        "instruction", "parallel",
+        "the",
+        "of",
+        "and",
+        "to",
+        "in",
+        "branch",
+        "path",
+        "eager",
+        "tree",
+        "execution",
+        "speculative",
+        "resource",
+        "probability",
+        "window",
+        "instruction",
+        "parallel",
     ];
     let mut rng = XorShift32::new(seed);
     let mut text = Vec::with_capacity(len);
@@ -63,7 +76,11 @@ pub fn generate_text(len: usize, seed: u32) -> Vec<i32> {
         for byte in VOCAB[pick].bytes() {
             text.push(i32::from(byte));
         }
-        text.push(if rng.below(12) == 0 { i32::from(b'.') } else { i32::from(b' ') });
+        text.push(if rng.below(12) == 0 {
+            i32::from(b'.')
+        } else {
+            i32::from(b' ')
+        });
     }
     text.truncate(len);
     text
@@ -136,7 +153,7 @@ pub fn build(scale: Scale) -> Workload {
         asm.bge_label(r_i, r_n, "flush");
         asm.add(r_addr, r_inbase, r_i);
         asm.lw(r_c, r_addr, 0); // c = input[i]
-        // key = prefix << 8 | c
+                                // key = prefix << 8 | c
         asm.slli(r_key, r_prefix, 8);
         asm.or(r_key, r_key, r_c);
         // h = (key * 2654435761) >> 16 & mask  (u32 wrap)

@@ -162,8 +162,7 @@ pub fn build(scale: Scale) -> Workload {
         // ---- Phase 1: expansion ----
         let (r_nt, r_x, r_lim, r_f) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
         let (r_t, r_ti, r_mask, r_val) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
-        let (r_ones, r_ck, r_ptb, r_addr) =
-            (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+        let (r_ones, r_ck, r_ptb, r_addr) = (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
 
         asm.lw(r_nt, Reg::ZERO, NTERMS_ADDR);
         asm.li(r_ptb, PT_BASE);

@@ -190,10 +190,8 @@ pub fn build(scale: Scale) -> Workload {
         let mut asm = Assembler::new();
         let (r_n, r_i, r_j, r_t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
         let (r_vi, r_di, r_vj, r_dj) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
-        let (r_diff, r_cnt, r_nn, r_addr) =
-            (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
-        let (r_mv, r_md, r_k, r_passes) =
-            (Reg::new(13), Reg::new(14), Reg::new(15), Reg::new(16));
+        let (r_diff, r_cnt, r_nn, r_addr) = (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
+        let (r_mv, r_md, r_k, r_passes) = (Reg::new(13), Reg::new(14), Reg::new(15), Reg::new(16));
         let (r_t2, r_xn) = (Reg::new(17), Reg::new(18));
 
         asm.lw(r_n, Reg::ZERO, N_ADDR);

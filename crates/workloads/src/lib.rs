@@ -178,7 +178,10 @@ mod tests {
     fn all_workloads_present_and_named() {
         let suite = all_workloads(Scale::Tiny);
         let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["cc1", "compress", "eqntott", "espresso", "xlisp"]);
+        assert_eq!(
+            names,
+            vec!["cc1", "compress", "eqntott", "espresso", "xlisp"]
+        );
     }
 
     #[test]

@@ -95,8 +95,7 @@ pub fn build(scale: Scale) -> Workload {
 
     let program = {
         let mut asm = Assembler::new();
-        let (r_rows, r_cols, r_k, r_pass) =
-            (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_rows, r_cols, r_k, r_pass) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
         let (r_r, r_c, r_addr, r_t) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
         let (r_sum, r_total, r_row_base, r_lim) =
             (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));

@@ -69,8 +69,7 @@ pub fn build(scale: Scale) -> Workload {
     let n = board_size(scale);
     let program = {
         let mut asm = Assembler::new();
-        let (r_n, r_row, r_count, r_base) =
-            (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        let (r_n, r_row, r_count, r_base) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
         let (r_t, r_addr, r_col, r_i) = (Reg::new(5), Reg::new(6), Reg::new(7), Reg::new(8));
         let (r_ci, r_diff, r_dist, r_last) =
             (Reg::new(9), Reg::new(10), Reg::new(11), Reg::new(12));
@@ -176,10 +175,7 @@ mod tests {
         let w = build(Scale::Tiny);
         let trace = w.capture_trace().unwrap();
         let density = trace.num_cond_branches() as f64 / trace.len() as f64;
-        assert!(
-            density > 0.15,
-            "queens should be branchy, got {density:.3}"
-        );
+        assert!(density > 0.15, "queens should be branchy, got {density:.3}");
     }
 
     #[test]

@@ -33,7 +33,11 @@ next:   addi r1, r1, 1
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(SOURCE)?;
-    println!("parsed {} instructions:\n{}", program.len(), program.to_listing());
+    println!(
+        "parsed {} instructions:\n{}",
+        program.len(),
+        program.to_listing()
+    );
 
     // Input vectors at word addresses 100.. and 200..
     let mut memory = vec![0i32; 300];
@@ -43,22 +47,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace = dee::vm::trace_program(&program, &memory, 100_000)?;
-    println!("VM result: {:?} over {} dynamic instructions\n", trace.output(), trace.len());
+    println!(
+        "VM result: {:?} over {} dynamic instructions\n",
+        trace.output(),
+        trace.len()
+    );
 
     let prepared = PreparedTrace::new(&program, &trace);
     for model in [Model::Sp, Model::DeeCdMf, Model::Oracle] {
-        let out = simulate(&prepared, &SimConfig::new(model, 64).with_p(prepared.accuracy()));
+        let out = simulate(
+            &prepared,
+            &SimConfig::new(model, 64).with_p(prepared.accuracy()),
+        );
         println!("{:<10} {:.2}x", model.name(), out.speedup());
     }
 
     // The §4.2 filter, then Levo with scarce iteration columns.
-    let unrolled = unroll_loops(&program, &UnrollConfig { factor: 3, max_body: 12 })?;
-    println!("\nunrolled {} loop(s); program grows {} -> {} instructions",
-        unrolled.unrolled.len(), program.len(), unrolled.program.len());
-    let config = LevoConfig { m: 1, ..LevoConfig::default() };
+    let unrolled = unroll_loops(
+        &program,
+        &UnrollConfig {
+            factor: 3,
+            max_body: 12,
+        },
+    )?;
+    println!(
+        "\nunrolled {} loop(s); program grows {} -> {} instructions",
+        unrolled.unrolled.len(),
+        program.len(),
+        unrolled.program.len()
+    );
+    let config = LevoConfig {
+        m: 1,
+        ..LevoConfig::default()
+    };
     let plain = Levo::new(config).run(&program, &memory)?;
     let rolled = Levo::new(config).run(&unrolled.program, &memory)?;
     assert_eq!(plain.output, rolled.output);
-    println!("Levo (m=1): {:.2} IPC plain, {:.2} IPC unrolled", plain.ipc(), rolled.ipc());
+    println!(
+        "Levo (m=1): {:.2} IPC plain, {:.2} IPC unrolled",
+        plain.ipc(),
+        rolled.ipc()
+    );
     Ok(())
 }

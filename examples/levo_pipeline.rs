@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|w| w.name == name)
         .ok_or_else(|| format!("unknown workload `{name}`"))?;
-    println!("workload: {} ({} static instructions)", workload.name, workload.program.len());
+    println!(
+        "workload: {} ({} static instructions)",
+        workload.name,
+        workload.program.len()
+    );
 
     for (label, config) in [
         ("CONDEL-2 (no DEE)", LevoConfig::condel2()),

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example model_faceoff [workload]`
 //! (default espresso at Small scale).
 
-use dee::prelude::*;
 use dee::ilpsim::Model;
+use dee::prelude::*;
 use dee::workloads::{self, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0)).speedup();
 
     // Collect speedups, then chart each model as a bar at E_T = 256.
-    println!("{:<10} {}", "model", resources.map(|e| format!("{e:>7}")).join(""));
+    println!(
+        "{:<10} {}",
+        "model",
+        resources.map(|e| format!("{e:>7}")).join("")
+    );
     let mut at_256 = Vec::new();
     for model in Model::all_constrained() {
         let row: Vec<f64> = resources

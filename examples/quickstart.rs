@@ -53,7 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. And run the same program on the Levo machine model.
     let report = Levo::new(LevoConfig::default()).run(&program, &[])?;
-    assert_eq!(report.output, trace.output(), "Levo computes the same result");
-    println!("\nLevo (32x8 IQ, 3 DEE paths): {:.2} IPC over {} cycles", report.ipc(), report.cycles);
+    assert_eq!(
+        report.output,
+        trace.output(),
+        "Levo computes the same result"
+    );
+    println!(
+        "\nLevo (32x8 IQ, 3 DEE paths): {:.2} IPC over {} cycles",
+        report.ipc(),
+        report.cycles
+    );
     Ok(())
 }

@@ -30,7 +30,12 @@ fn main() {
     let sp = SpecTree::build(Strategy::SinglePath, p, et);
     let ee = SpecTree::build(Strategy::Eager, p, et);
     println!("expected performance P_tot (one resource slot per path):");
-    println!("  DEE = {:.3}   SP = {:.3}   EE = {:.3}", dee.total_cp(), sp.total_cp(), ee.total_cp());
+    println!(
+        "  DEE = {:.3}   SP = {:.3}   EE = {:.3}",
+        dee.total_cp(),
+        sp.total_cp(),
+        ee.total_cp()
+    );
     println!();
 
     // ASCII sketch of the tree: main line down the left, DEE paths
@@ -50,6 +55,9 @@ fn main() {
         println!("{line}");
     }
     if tree.mainline_len() > tree.h_dee() + 2 {
-        println!("  ...   (main line continues to depth {})", tree.mainline_len());
+        println!(
+            "  ...   (main line continues to depth {})",
+            tree.mainline_len()
+        );
     }
 }

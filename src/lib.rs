@@ -15,7 +15,10 @@
 //!   behind every figure of the paper's evaluation;
 //! * [`levo`] — the Levo/CONDEL-2 static-instruction-window machine model;
 //! * [`mem`] — the data-cache model (the paper's future-work memory
-//!   system), pluggable into the ILP simulator via per-access latencies.
+//!   system), pluggable into the ILP simulator via per-access latencies;
+//! * [`serve`] — the resident simulation server: a worker pool and a
+//!   sharded prepared-trace cache behind a dependency-free HTTP/JSON API
+//!   (`dee serve`).
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@ pub use dee_isa as isa;
 pub use dee_levo as levo;
 pub use dee_mem as mem;
 pub use dee_predict as predict;
+pub use dee_serve as serve;
 pub use dee_vm as vm;
 pub use dee_workloads as workloads;
 
@@ -49,6 +53,7 @@ pub mod prelude {
     pub use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
     pub use dee_mem::{CacheConfig, MemoryHierarchy};
     pub use dee_predict::{BranchPredictor, TwoBitCounter};
+    pub use dee_serve::{Server, ServerConfig};
     pub use dee_vm::{Trace, TraceRecord};
     pub use dee_workloads::{Scale, Workload};
 }

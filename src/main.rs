@@ -7,7 +7,8 @@
 //! dee unroll <prog.s> [--factor K]        apply the §4.2 loop filter
 //! dee tree [--p P] [--et N]               print the static DEE tree
 //! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
-//! dee replay <file> [--model M] [--et N]  simulate a captured trace
+//! dee replay <prog.s> <file> [--model M] [--et N]  simulate a captured trace
+//! dee serve [--addr H:P] [--workers N]    run the simulation server
 //! ```
 //!
 //! Programs are assembly text (see `dee_isa::parse`); initial memory cells
@@ -43,7 +44,8 @@ const USAGE: &str = "usage:
   dee unroll <prog.s> [--factor K]          print the unrolled program
   dee tree [--p P] [--et N]                 print the static DEE tree
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
-  dee replay <prog.s> <file> [--model M] [--et N]";
+  dee replay <prog.s> <file> [--model M] [--et N]
+  dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]";
 
 /// Parsed `--flag value` options after the positional arguments.
 struct Options {
@@ -54,6 +56,10 @@ struct Options {
     factor: u32,
     p: f64,
     output: Option<String>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    cache_entries: Option<usize>,
+    queue_capacity: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -65,6 +71,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         factor: 3,
         p: 0.9053,
         output: None,
+        addr: None,
+        workers: None,
+        cache_entries: None,
+        queue_capacity: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -79,8 +89,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     let (addr, val) = pair
                         .split_once('=')
                         .ok_or_else(|| format!("bad --mem entry `{pair}`"))?;
-                    let addr: usize = addr.trim().parse().map_err(|_| format!("bad address `{addr}`"))?;
-                    let val: i32 = val.trim().parse().map_err(|_| format!("bad value `{val}`"))?;
+                    let addr: usize = addr
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad address `{addr}`"))?;
+                    let val: i32 = val
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad value `{val}`"))?;
                     if options.memory.len() <= addr {
                         options.memory.resize(addr + 1, 0);
                     }
@@ -90,11 +106,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--model" => options.model = Some(value()?),
             "--et" => options.et = value()?.parse().map_err(|_| "bad --et".to_string())?,
             "--dee-paths" => {
-                options.dee_paths = Some(value()?.parse().map_err(|_| "bad --dee-paths".to_string())?)
+                options.dee_paths = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --dee-paths".to_string())?,
+                )
             }
-            "--factor" => options.factor = value()?.parse().map_err(|_| "bad --factor".to_string())?,
+            "--factor" => {
+                options.factor = value()?.parse().map_err(|_| "bad --factor".to_string())?
+            }
             "--p" => options.p = value()?.parse().map_err(|_| "bad --p".to_string())?,
             "-o" | "--output" => options.output = Some(value()?),
+            "--addr" => options.addr = Some(value()?),
+            "--workers" => {
+                options.workers = Some(value()?.parse().map_err(|_| "bad --workers".to_string())?)
+            }
+            "--cache-entries" => {
+                options.cache_entries = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --cache-entries".to_string())?,
+                )
+            }
+            "--queue-capacity" => {
+                options.queue_capacity = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --queue-capacity".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -143,7 +183,9 @@ fn run(args: &[String]) -> Result<(), String> {
             let p = prepared.accuracy();
             println!("2-bit counter accuracy: {:.1}%", p * 100.0);
             let models: Vec<Model> = match &options.model {
-                Some(name) => vec![model_by_name(name).ok_or_else(|| format!("unknown model `{name}`"))?],
+                Some(name) => {
+                    vec![model_by_name(name).ok_or_else(|| format!("unknown model `{name}`"))?]
+                }
                 None => Model::all_constrained()
                     .into_iter()
                     .chain([Model::Oracle])
@@ -151,7 +193,12 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             for model in models {
                 let out = simulate(&prepared, &SimConfig::new(model, options.et).with_p(p));
-                println!("{:<10} @ {:>4} paths: {:>7.2}x", model.name(), options.et, out.speedup());
+                println!(
+                    "{:<10} @ {:>4} paths: {:>7.2}x",
+                    model.name(),
+                    options.et,
+                    out.speedup()
+                );
             }
             Ok(())
         }
@@ -169,7 +216,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("output: {:?}", report.output);
             println!(
                 "cycles: {}, retired: {}, IPC: {:.2}, mispredicts: {} ({} DEE-covered)",
-                report.cycles, report.retired, report.ipc(), report.mispredicts, report.dee_covered
+                report.cycles,
+                report.retired,
+                report.ipc(),
+                report.mispredicts,
+                report.dee_covered
             );
             Ok(())
         }
@@ -179,7 +230,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let program = load_program(path)?;
             let result = unroll_loops(
                 &program,
-                &UnrollConfig { factor: options.factor, max_body: 12 },
+                &UnrollConfig {
+                    factor: options.factor,
+                    max_body: 12,
+                },
             )
             .map_err(|e| e.to_string())?;
             eprintln!(
@@ -193,8 +247,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "tree" => {
             let options = parse_options(&args[1..])?;
-            let tree = StaticTree::build(TreeParams { p: options.p, et: options.et });
-            println!("static DEE tree for p = {}, E_T = {}:", options.p, options.et);
+            let tree = StaticTree::build(TreeParams {
+                p: options.p,
+                et: options.et,
+            });
+            println!(
+                "static DEE tree for p = {}, E_T = {}:",
+                options.p, options.et
+            );
             println!("  main line l = {}", tree.mainline_len());
             println!("  h_DEE       = {}", tree.h_dee());
             println!("  DEE region  = {} paths", tree.dee_region_paths());
@@ -244,6 +304,39 @@ fn run(args: &[String]) -> Result<(), String> {
                     out.speedup()
                 );
             }
+            Ok(())
+        }
+        "serve" => {
+            let options = parse_options(&args[1..])?;
+            let mut config = dee::serve::ServerConfig::default();
+            if let Some(addr) = options.addr {
+                config.addr = addr;
+            } else {
+                config.addr = "127.0.0.1:7377".to_string();
+            }
+            if let Some(workers) = options.workers {
+                config.workers = workers;
+            }
+            if let Some(entries) = options.cache_entries {
+                config.cache_entries = entries;
+            }
+            if let Some(capacity) = options.queue_capacity {
+                config.queue_capacity = capacity;
+            }
+            let workers = config.workers;
+            let server = dee::serve::Server::spawn(config).map_err(|e| e.to_string())?;
+            println!(
+                "dee-serve listening on http://{} ({workers} workers); endpoints: \
+                 POST /simulate /tree /levo, GET /healthz /metrics; Ctrl-C to stop",
+                server.addr()
+            );
+            dee::serve::signal::install();
+            while !dee::serve::signal::interrupted() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            println!("shutting down (draining in-flight requests)...");
+            server.shutdown();
+            println!("bye");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -306,6 +399,9 @@ mod tests {
         run(&strings(&["levo", &prog_s])).unwrap();
         run(&strings(&["unroll", &prog_s])).unwrap();
         run(&strings(&["trace", &prog_s, "-o", &trace_s])).unwrap();
-        run(&strings(&["replay", &prog_s, &trace_s, "--model", "oracle"])).unwrap();
+        run(&strings(&[
+            "replay", &prog_s, &trace_s, "--model", "oracle",
+        ]))
+        .unwrap();
     }
 }

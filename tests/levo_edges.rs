@@ -30,13 +30,22 @@ fn check(config: LevoConfig, program: &Program) {
 #[test]
 fn window_larger_than_program() {
     let p = countdown(12);
-    check(LevoConfig { n: 1024, ..LevoConfig::default() }, &p);
+    check(
+        LevoConfig {
+            n: 1024,
+            ..LevoConfig::default()
+        },
+        &p,
+    );
 }
 
 #[test]
 fn single_fetch_per_cycle() {
     let p = countdown(12);
-    let config = LevoConfig { fetch_width: 1, ..LevoConfig::default() };
+    let config = LevoConfig {
+        fetch_width: 1,
+        ..LevoConfig::default()
+    };
     let report = Levo::new(config).run(&p, &[]).expect("runs");
     assert!(report.ipc() <= 1.0 + 1e-9, "fetch width 1 caps IPC at 1");
     check(config, &p);
@@ -45,13 +54,25 @@ fn single_fetch_per_cycle() {
 #[test]
 fn single_column_machine() {
     let p = countdown(12);
-    check(LevoConfig { m: 1, ..LevoConfig::default() }, &p);
+    check(
+        LevoConfig {
+            m: 1,
+            ..LevoConfig::default()
+        },
+        &p,
+    );
 }
 
 #[test]
 fn many_columns_machine() {
     let p = countdown(40);
-    check(LevoConfig { m: 64, ..LevoConfig::default() }, &p);
+    check(
+        LevoConfig {
+            m: 64,
+            ..LevoConfig::default()
+        },
+        &p,
+    );
 }
 
 #[test]
@@ -68,7 +89,10 @@ fn tiny_window_forces_drains() {
     asm.bgt_label(r1, Reg::ZERO, "top");
     asm.halt();
     let p = asm.assemble().unwrap();
-    let config = LevoConfig { n: 8, ..LevoConfig::default() };
+    let config = LevoConfig {
+        n: 8,
+        ..LevoConfig::default()
+    };
     let report = Levo::new(config).run(&p, &[]).expect("runs");
     assert!(report.uncaptured_backjumps > 0);
     check(config, &p);

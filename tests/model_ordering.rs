@@ -29,7 +29,11 @@ fn refinement_hierarchy_never_hurts() {
             assert!(dee <= sp, "{} et={et}: DEE worse than SP", w.name);
             assert!(dee_cd <= dee, "{} et={et}: CD hurt DEE", w.name);
             assert!(dee_cd_mf <= dee_cd, "{} et={et}: MF hurt DEE-CD", w.name);
-            assert!(dee_cd_mf <= sp_cd_mf, "{} et={et}: DEE-CD-MF worse than SP-CD-MF", w.name);
+            assert!(
+                dee_cd_mf <= sp_cd_mf,
+                "{} et={et}: DEE-CD-MF worse than SP-CD-MF",
+                w.name
+            );
         }
     }
 }

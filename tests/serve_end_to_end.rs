@@ -1,0 +1,226 @@
+//! End-to-end tests of the `dee-serve` subsystem over real sockets.
+//!
+//! The load-bearing property: concurrent server responses are *byte-
+//! identical* to what a direct, single-threaded call into the simulation
+//! stack produces. The worker pool, queue, and cache must be transparent
+//! to results.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dee::ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+use dee::serve::{outcome_json, tree_json, Json, Server, ServerConfig};
+use dee::theory::{StaticTree, TreeParams};
+use dee::workloads::Scale;
+
+fn spawn(workers: usize) -> Server {
+    Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind on port 0")
+}
+
+/// One `Connection: close` HTTP exchange; returns (status, body).
+fn exchange(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(addr, &raw)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn scrape(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn healthz_responds() {
+    let server = spawn(2);
+    let (status, body) = get(server.addr(), "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_simulate_matches_direct_results_byte_for_byte() {
+    let server = spawn(4);
+    let addr = server.addr();
+
+    // Expected payloads, computed directly and single-threaded.
+    let expected: Vec<String> = [("compress", 16u32), ("xlisp", 48u32)]
+        .iter()
+        .map(|&(name, et)| {
+            let workload = match name {
+                "compress" => dee::workloads::compress::build(Scale::Tiny),
+                _ => dee::workloads::xlisp::build(Scale::Tiny),
+            };
+            let trace = workload.capture_trace().unwrap();
+            let prepared = PreparedTrace::new(&workload.program, &trace);
+            let outcome = simulate(
+                &prepared,
+                &SimConfig::new(Model::DeeCdMf, et).with_p(prepared.accuracy()),
+            );
+            outcome_json(&outcome).to_string()
+        })
+        .collect();
+
+    // 16 concurrent clients alternating between the two requests.
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let expected = expected[i % 2].clone();
+            std::thread::spawn(move || {
+                let (name, et) = if i % 2 == 0 {
+                    ("compress", 16)
+                } else {
+                    ("xlisp", 48)
+                };
+                let body = format!(
+                    r#"{{"workload":"{name}","scale":"tiny","model":"DEE-CD-MF","et":{et}}}"#
+                );
+                let (status, response) = post(addr, "/simulate", &body);
+                assert_eq!(status, 200, "{response}");
+                let json = dee::serve::json::parse(&response).expect("valid json");
+                let results = json.get("results").and_then(Json::as_arr).expect("results");
+                assert_eq!(results.len(), 1);
+                assert_eq!(results[0].to_string(), expected, "client {i}");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client");
+    }
+
+    // 2 distinct cache keys for 16 requests; preparation is single-flight,
+    // so exactly 2 misses regardless of interleaving.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let hits = scrape(&metrics, "dee_prepared_cache_hits_total");
+    let misses = scrape(&metrics, "dee_prepared_cache_misses_total");
+    assert_eq!((hits, misses), (14, 2), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn tree_endpoint_matches_direct_build() {
+    let server = spawn(2);
+    let (status, body) = post(server.addr(), "/tree", r#"{"p":0.9053,"et":100}"#);
+    assert_eq!(status, 200);
+    let expected = tree_json(&StaticTree::build(TreeParams { p: 0.9053, et: 100 })).to_string();
+    assert_eq!(body, expected);
+    server.shutdown();
+}
+
+#[test]
+fn levo_endpoint_runs_a_workload() {
+    let server = spawn(2);
+    let (status, body) = post(
+        server.addr(),
+        "/levo",
+        r#"{"workload":"xlisp","scale":"tiny"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let json = dee::serve::json::parse(&body).unwrap();
+    assert!(json.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert!(json.get("output_checksum").and_then(Json::as_str).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_4xx_not_hangs() {
+    let server = spawn(2);
+    let addr = server.addr();
+    assert_eq!(post(addr, "/simulate", "not json").0, 400);
+    assert_eq!(post(addr, "/simulate", r#"{"workload":"nope"}"#).0, 400);
+    assert_eq!(post(addr, "/nowhere", "{}").0, 404);
+    assert_eq!(get(addr, "/simulate").0, 405);
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_503() {
+    // No workers: accepted jobs stay queued, so with capacity 1 the second
+    // concurrent request must be refused with 503 before queueing.
+    let server = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Fills the queue: connect and send, but nobody will serve it.
+    let mut parked = TcpStream::connect(addr).expect("connect");
+    parked
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    // Wait until the accept thread has queued the first connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, body) = get(addr, "/healthz");
+        if status == 503 {
+            assert!(body.contains("queue full"), "{body}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never saw 503, last status {status}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Shutdown answers the still-parked job with 503 (no workers remain).
+    server.shutdown();
+    let mut response = String::new();
+    parked
+        .read_to_string(&mut response)
+        .expect("drained response");
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+}
+
+#[test]
+fn graceful_shutdown_completes_queued_work() {
+    let server = spawn(2);
+    let addr = server.addr();
+    // Issue a request, then shut down; both must complete cleanly.
+    let client = std::thread::spawn(move || post(addr, "/tree", r#"{"et":50}"#));
+    let (status, _) = client.join().expect("client");
+    assert_eq!(status, 200);
+    server.shutdown();
+    // The port is released: a fresh bind to the same address succeeds.
+    assert!(std::net::TcpListener::bind(addr).is_ok());
+}

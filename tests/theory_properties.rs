@@ -1,16 +1,47 @@
 //! Property-based tests on the theory layer: optimality of the greedy
 //! assignment (Theorem 1/Corollary 1) against exhaustive search, and
 //! structural invariants of the speculation trees.
+//!
+//! Cases are drawn from a deterministic xorshift sweep (the repo builds
+//! with no external crates, so no `proptest`); assertion messages carry
+//! the sampled parameters so failures reproduce exactly.
 
 use dee::theory::{
     assign_resources, expected_performance, PathCandidate, SpecTree, StaticTree, Strategy,
     TreeParams,
 };
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn f_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn u_in(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + (self.next() % u64::from(hi - lo)) as u32
+    }
+}
 
 /// Exhaustive best `P_tot` over all allocations (small instances only).
 fn brute_force_best(paths: &[PathCandidate], total: u32) -> f64 {
-    fn recurse(paths: &[PathCandidate], left: u32, idx: usize, alloc: &mut Vec<u32>, best: &mut f64) {
+    fn recurse(
+        paths: &[PathCandidate],
+        left: u32,
+        idx: usize,
+        alloc: &mut Vec<u32>,
+        best: &mut f64,
+    ) {
         if idx == paths.len() {
             let perf = expected_performance(paths, alloc);
             if perf > *best {
@@ -29,60 +60,92 @@ fn brute_force_best(paths: &[PathCandidate], total: u32) -> f64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 1 + Corollary 1: greedy equals exhaustive optimum.
-    #[test]
-    fn greedy_assignment_is_optimal(
-        cps in prop::collection::vec(0.01f64..1.0, 1..5),
-        sats in prop::collection::vec(prop::option::of(1u32..4), 1..5),
-        total in 0u32..7,
-    ) {
+/// Theorem 1 + Corollary 1: greedy equals exhaustive optimum.
+#[test]
+fn greedy_assignment_is_optimal() {
+    let mut rng = Rng(0x7eed_0001);
+    for case in 0..64 {
+        let n = rng.u_in(1, 5) as usize;
+        let cps: Vec<f64> = (0..n).map(|_| rng.f_in(0.01, 1.0)).collect();
+        let sats: Vec<Option<u32>> = (0..n)
+            .map(|_| {
+                if rng.next().is_multiple_of(2) {
+                    Some(rng.u_in(1, 4))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let total = rng.u_in(0, 7);
         let paths: Vec<PathCandidate> = cps
             .iter()
-            .zip(sats.iter().chain(std::iter::repeat(&None)))
-            .map(|(&cp, &sat)| PathCandidate { cp, saturation: sat })
+            .zip(sats.iter())
+            .map(|(&cp, &sat)| PathCandidate {
+                cp,
+                saturation: sat,
+            })
             .collect();
         let greedy = assign_resources(&paths, total);
         let greedy_perf = expected_performance(&paths, &greedy);
         let best = brute_force_best(&paths, total);
-        prop_assert!((greedy_perf - best).abs() < 1e-9,
-            "greedy {greedy_perf} vs optimal {best} for {paths:?} total {total}");
+        assert!(
+            (greedy_perf - best).abs() < 1e-9,
+            "case {case}: greedy {greedy_perf} vs optimal {best} for {paths:?} total {total}"
+        );
     }
+}
 
-    /// The greedy allocation never hands out more than the budget.
-    #[test]
-    fn assignment_respects_budget(
-        cps in prop::collection::vec(0.01f64..1.0, 1..8),
-        total in 0u32..50,
-    ) {
-        let paths: Vec<PathCandidate> =
-            cps.iter().map(|&cp| PathCandidate::saturating(cp, 3)).collect();
+/// The greedy allocation never hands out more than the budget.
+#[test]
+fn assignment_respects_budget() {
+    let mut rng = Rng(0x7eed_0002);
+    for case in 0..128 {
+        let n = rng.u_in(1, 8) as usize;
+        let paths: Vec<PathCandidate> = (0..n)
+            .map(|_| PathCandidate::saturating(rng.f_in(0.01, 1.0), 3))
+            .collect();
+        let total = rng.u_in(0, 50);
         let alloc = assign_resources(&paths, total);
-        prop_assert!(alloc.iter().sum::<u32>() <= total);
+        assert!(
+            alloc.iter().sum::<u32>() <= total,
+            "case {case}: total {total}"
+        );
         for (a, p) in alloc.iter().zip(&paths) {
-            prop_assert!(*a <= p.saturation.unwrap_or(u32::MAX));
+            assert!(*a <= p.saturation.unwrap_or(u32::MAX), "case {case}");
         }
     }
+}
 
-    /// Disjoint trees dominate SP and EE in expected performance and
-    /// interpolate their depths.
-    #[test]
-    fn disjoint_tree_dominates_and_interpolates(p in 0.5f64..0.99, et in 1u32..200) {
+/// Disjoint trees dominate SP and EE in expected performance and
+/// interpolate their depths.
+#[test]
+fn disjoint_tree_dominates_and_interpolates() {
+    let mut rng = Rng(0x7eed_0003);
+    for case in 0..128 {
+        let (p, et) = (rng.f_in(0.5, 0.99), rng.u_in(1, 200));
         let dee = SpecTree::build(Strategy::Disjoint, p, et);
         let sp = SpecTree::build(Strategy::SinglePath, p, et);
         let ee = SpecTree::build(Strategy::Eager, p, et);
-        prop_assert!(dee.total_cp() >= sp.total_cp() - 1e-9);
-        prop_assert!(dee.total_cp() >= ee.total_cp() - 1e-9);
-        prop_assert!(dee.depth() <= sp.depth());
-        prop_assert!(dee.depth() >= ee.depth());
+        assert!(
+            dee.total_cp() >= sp.total_cp() - 1e-9,
+            "case {case}: p={p} et={et}"
+        );
+        assert!(
+            dee.total_cp() >= ee.total_cp() - 1e-9,
+            "case {case}: p={p} et={et}"
+        );
+        assert!(dee.depth() <= sp.depth(), "case {case}: p={p} et={et}");
+        assert!(dee.depth() >= ee.depth(), "case {case}: p={p} et={et}");
     }
+}
 
-    /// Every chosen path's cp is the product of local probabilities along
-    /// its ancestry (a cp-consistency invariant).
-    #[test]
-    fn chosen_path_cps_are_consistent(p in 0.5f64..0.99, et in 1u32..64) {
+/// Every chosen path's cp is the product of local probabilities along
+/// its ancestry (a cp-consistency invariant).
+#[test]
+fn chosen_path_cps_are_consistent() {
+    let mut rng = Rng(0x7eed_0004);
+    for case in 0..128 {
+        let (p, et) = (rng.f_in(0.5, 0.99), rng.u_in(1, 64));
         let tree = SpecTree::build(Strategy::Disjoint, p, et);
         for path in tree.paths() {
             let mut cp = 1.0;
@@ -91,21 +154,33 @@ proptest! {
                 cp *= if node.predicted { p } else { 1.0 - p };
                 cursor = node.parent.map(|i| &tree.paths()[i as usize]);
             }
-            prop_assert!((cp - path.cp).abs() < 1e-9);
+            assert!((cp - path.cp).abs() < 1e-9, "case {case}: p={p} et={et}");
         }
     }
+}
 
-    /// Static-tree coverage is consistent with its own region accounting
-    /// and fits the budget at every operating point.
-    #[test]
-    fn static_tree_accounting(p in 0.5f64..0.99, et in 1u32..400) {
+/// Static-tree coverage is consistent with its own region accounting
+/// and fits the budget at every operating point.
+#[test]
+fn static_tree_accounting() {
+    let mut rng = Rng(0x7eed_0005);
+    for case in 0..256 {
+        let (p, et) = (rng.f_in(0.5, 0.99), rng.u_in(1, 400));
         let tree = StaticTree::build(TreeParams { p, et });
         let region: u32 = (1..=tree.h_dee()).map(|k| tree.coverage_at_level(k)).sum();
-        prop_assert_eq!(region, tree.dee_region_paths());
-        prop_assert!(tree.total_paths() <= et);
-        prop_assert!(tree.mainline_len() >= 1);
+        assert_eq!(
+            region,
+            tree.dee_region_paths(),
+            "case {case}: p={p} et={et}"
+        );
+        assert!(tree.total_paths() <= et, "case {case}: p={p} et={et}");
+        assert!(tree.mainline_len() >= 1, "case {case}: p={p} et={et}");
         // Degeneracy exactly mirrors is_single_path().
-        prop_assert_eq!(tree.h_dee() == 0, tree.is_single_path());
+        assert_eq!(
+            tree.h_dee() == 0,
+            tree.is_single_path(),
+            "case {case}: p={p} et={et}"
+        );
     }
 }
 

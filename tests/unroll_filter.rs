@@ -66,12 +66,24 @@ fn unrolling_helps_levo_when_columns_are_scarce() {
     asm.halt();
     let p = asm.assemble().unwrap();
 
-    let result = unroll_loops(&p, &UnrollConfig { factor: 4, max_body: 8 }).unwrap();
+    let result = unroll_loops(
+        &p,
+        &UnrollConfig {
+            factor: 4,
+            max_body: 8,
+        },
+    )
+    .unwrap();
     assert_eq!(result.unrolled.len(), 1);
 
-    let config = LevoConfig { m: 1, ..LevoConfig::default() }; // one column
+    let config = LevoConfig {
+        m: 1,
+        ..LevoConfig::default()
+    }; // one column
     let plain = Levo::new(config).run(&p, &[]).expect("plain runs");
-    let unrolled = Levo::new(config).run(&result.program, &[]).expect("unrolled runs");
+    let unrolled = Levo::new(config)
+        .run(&result.program, &[])
+        .expect("unrolled runs");
     assert_eq!(plain.output, unrolled.output);
     assert!(
         unrolled.ipc() > plain.ipc() * 1.2,
