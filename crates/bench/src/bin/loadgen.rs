@@ -7,12 +7,18 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
-//!         [--workers W] [--csv]
+//!         [--workers W] [--retries R] [--seed S] [--csv]
 //! ```
 //!
 //! The sweep cycles models and `E_T` values over two tiny workloads, so
 //! after the two cold preparations every request hits the cache; with the
 //! default 100 requests the steady-state hit rate is 98%.
+//!
+//! Transient `503`/`504` responses (queue full, open breaker, deadline
+//! slip) are retried with seeded jittered exponential backoff, so a burst
+//! of shed load shows up as `retried` in the summary instead of hard
+//! errors; requests that stay unlucky through every attempt count as
+//! `abandoned`.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -26,11 +32,16 @@ use dee_serve::{Server, ServerConfig};
 const MODELS: [&str; 4] = ["SP", "DEE", "SP-CD-MF", "DEE-CD-MF"];
 const WORKLOADS: [&str; 2] = ["compress", "xlisp"];
 
+/// First-retry backoff; doubles per attempt before jitter.
+const BACKOFF_BASE_MS: u64 = 10;
+
 struct Args {
     addr: Option<String>,
     requests: usize,
     concurrency: usize,
     workers: usize,
+    retries: u32,
+    seed: u64,
     csv: bool,
 }
 
@@ -40,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         requests: 100,
         concurrency: 4,
         workers: 0,
+        retries: 3,
+        seed: 1,
         csv: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +72,12 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => {
                 args.workers = value()?.parse().map_err(|_| "bad --workers".to_string())?;
             }
+            "--retries" => {
+                args.retries = value()?.parse().map_err(|_| "bad --retries".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?;
+            }
             "--csv" => args.csv = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -67,6 +86,32 @@ fn parse_args() -> Result<Args, String> {
         return Err("--requests and --concurrency must be positive".into());
     }
     Ok(args)
+}
+
+/// xorshift64* — the same tiny generator the fault plan uses, so backoff
+/// jitter is reproducible from `--seed`.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Backoff before retry `attempt` (1-based): exponential base with full
+/// jitter, `uniform(0, BASE << (attempt-1))`, capped at one second.
+fn backoff(rng: &mut Rng, attempt: u32) -> Duration {
+    let ceiling_ms = (BACKOFF_BASE_MS << (attempt - 1).min(10)).min(1_000);
+    Duration::from_millis(rng.next() % ceiling_ms.max(1))
 }
 
 /// One `Connection: close` HTTP exchange. Returns (status, body).
@@ -107,6 +152,12 @@ fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
     )
 }
 
+/// Whether a status is worth retrying: shed load (`503`) and deadline
+/// slips (`504`) are transient by design; everything else is not.
+fn transient(status: u16) -> bool {
+    status == 503 || status == 504
+}
+
 /// The i-th request body of the sweep: cycle workloads slowest, so every
 /// distinct prepared trace is requested early and re-hit often.
 fn sweep_body(i: usize) -> String {
@@ -132,6 +183,18 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     }
     let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
     sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Per-thread tally of how the sweep's requests ended.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    /// Requests that needed at least one retry before succeeding.
+    retried: usize,
+    /// Requests abandoned after exhausting every retry on 503/504.
+    abandoned: usize,
+    /// Non-transient failures (unexpected status or transport error).
+    errors: usize,
 }
 
 fn main() {
@@ -164,46 +227,73 @@ fn main() {
     assert_eq!(status, 200, "server not healthy");
 
     let next = Arc::new(AtomicUsize::new(0));
-    let errors = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let handles: Vec<_> = (0..args.concurrency)
-        .map(|_| {
+        .map(|client| {
             let addr = addr.clone();
             let next = Arc::clone(&next);
-            let errors = Arc::clone(&errors);
             let total = args.requests;
+            let retries = args.retries;
+            // Distinct deterministic jitter stream per client thread.
+            let mut rng = Rng::new(args.seed.wrapping_add(client as u64 * 0x9E37_79B9));
             std::thread::spawn(move || {
-                let mut latencies_us = Vec::new();
+                let mut tally = Tally::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
-                        return latencies_us;
+                        return tally;
                     }
                     let body = sweep_body(i);
                     let begin = Instant::now();
-                    match post(&addr, "/simulate", &body) {
-                        Ok((200, _)) => {
-                            latencies_us.push(
-                                u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX),
-                            );
-                        }
-                        Ok((status, body)) => {
-                            eprintln!("request {i}: HTTP {status}: {body}");
-                            errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(message) => {
-                            eprintln!("request {i}: {message}");
-                            errors.fetch_add(1, Ordering::Relaxed);
+                    let mut attempt = 0u32;
+                    loop {
+                        match post(&addr, "/simulate", &body) {
+                            Ok((200, _)) => {
+                                tally.latencies_us.push(
+                                    u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                );
+                                if attempt > 0 {
+                                    tally.retried += 1;
+                                }
+                                break;
+                            }
+                            Ok((status, body)) if transient(status) => {
+                                if attempt >= retries {
+                                    eprintln!(
+                                        "request {i}: abandoned after {attempt} retries \
+                                         (HTTP {status}: {body})"
+                                    );
+                                    tally.abandoned += 1;
+                                    break;
+                                }
+                                attempt += 1;
+                                std::thread::sleep(backoff(&mut rng, attempt));
+                            }
+                            Ok((status, body)) => {
+                                eprintln!("request {i}: HTTP {status}: {body}");
+                                tally.errors += 1;
+                                break;
+                            }
+                            Err(message) => {
+                                eprintln!("request {i}: {message}");
+                                tally.errors += 1;
+                                break;
+                            }
                         }
                     }
                 }
             })
         })
         .collect();
-    let mut latencies_us: Vec<u64> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("client thread"))
-        .collect();
+    let mut latencies_us = Vec::new();
+    let (mut retried, mut abandoned, mut errors) = (0usize, 0usize, 0usize);
+    for handle in handles {
+        let tally = handle.join().expect("client thread");
+        latencies_us.extend(tally.latencies_us);
+        retried += tally.retried;
+        abandoned += tally.abandoned;
+        errors += tally.errors;
+    }
     let wall = started.elapsed();
     latencies_us.sort_unstable();
 
@@ -222,6 +312,8 @@ fn main() {
     let mut table = TextTable::new(&[
         "requests",
         "ok",
+        "retried",
+        "abandoned",
         "errors",
         "rps",
         "p50_us",
@@ -235,7 +327,9 @@ fn main() {
     table.row(vec![
         args.requests.to_string(),
         ok.to_string(),
-        errors.load(Ordering::Relaxed).to_string(),
+        retried.to_string(),
+        abandoned.to_string(),
+        errors.to_string(),
         format!("{rps:.1}"),
         percentile(&latencies_us, 0.50).to_string(),
         percentile(&latencies_us, 0.90).to_string(),
@@ -246,9 +340,10 @@ fn main() {
         format!("{:.1}%", 100.0 * hit_rate),
     ]);
     println!(
-        "{} requests ({} concurrent clients) against {addr} in {:.2}s",
+        "{} requests ({} concurrent clients, {} retries max) against {addr} in {:.2}s",
         args.requests,
         args.concurrency,
+        args.retries,
         wall.as_secs_f64()
     );
     print!("{}", table.render());
@@ -260,7 +355,7 @@ fn main() {
     if let Some(server) = spawned {
         server.shutdown();
     }
-    if errors.load(Ordering::Relaxed) > 0 {
+    if errors + abandoned > 0 {
         std::process::exit(1);
     }
 }

@@ -742,14 +742,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one latency per record")]
+    #[should_panic(expected = "invalid memory latencies")]
     fn mem_latencies_length_checked() {
         let (p, t) = serial_chain(3);
         let _ = prep(&p, &t).with_mem_latencies(vec![1]);
     }
 
     #[test]
-    #[should_panic(expected = "at least 1")]
+    #[should_panic(expected = "invalid memory latencies")]
     fn zero_mem_latency_rejected_for_memory_records() {
         let mut asm = Assembler::new();
         asm.sw(Reg::new(1), Reg::ZERO, 0);

@@ -147,17 +147,37 @@ impl<'a> PreparedTrace<'a> {
     /// # Panics
     ///
     /// Panics when the length does not match the trace or a memory
-    /// record's latency is zero.
+    /// record's latency is zero. Untrusted latency vectors should go
+    /// through [`try_with_mem_latencies`](Self::try_with_mem_latencies).
     #[must_use]
-    pub fn with_mem_latencies(mut self, latencies: Vec<u32>) -> Self {
-        assert_eq!(latencies.len(), self.trace.len(), "one latency per record");
-        for (lat, rec) in latencies.iter().zip(self.trace.records()) {
-            if rec.mem_read.is_some() || rec.mem_write.is_some() {
-                assert!(*lat >= 1, "memory access latency must be at least 1");
+    pub fn with_mem_latencies(self, latencies: Vec<u32>) -> Self {
+        self.try_with_mem_latencies(latencies)
+            .expect("invalid memory latencies")
+    }
+
+    /// Fallible form of [`with_mem_latencies`](Self::with_mem_latencies):
+    /// validates instead of asserting, for latency vectors that arrive
+    /// from outside the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the length does not match the trace or a
+    /// memory record's latency is zero.
+    pub fn try_with_mem_latencies(mut self, latencies: Vec<u32>) -> Result<Self, String> {
+        if latencies.len() != self.trace.len() {
+            return Err(format!(
+                "latency vector has {} entries for a {}-record trace",
+                latencies.len(),
+                self.trace.len()
+            ));
+        }
+        for (i, (lat, rec)) in latencies.iter().zip(self.trace.records()).enumerate() {
+            if (rec.mem_read.is_some() || rec.mem_write.is_some()) && *lat == 0 {
+                return Err(format!("memory record {i} has zero latency"));
             }
         }
         self.mem_latency = Some(latencies);
-        self
+        Ok(self)
     }
 
     /// The underlying trace.
@@ -272,6 +292,36 @@ mod tests {
         // records: li, addi, bgt, addi, bgt, addi, bgt, halt
         assert_eq!(prepared.path_of, vec![0, 0, 0, 1, 1, 2, 2, 3]);
         assert_eq!(prepared.num_paths(), 4);
+    }
+
+    #[test]
+    fn try_with_mem_latencies_validates_instead_of_panicking() {
+        let (p, t) = countdown(3);
+        let prepared = PreparedTrace::new(&p, &t);
+        // Wrong length: typed error, not an assert.
+        let err = prepared.try_with_mem_latencies(vec![1; 3]).unwrap_err();
+        assert!(err.contains("3 entries"), "{err}");
+        // Right length with no memory records: any latencies accepted.
+        let prepared = PreparedTrace::new(&p, &t);
+        let n = t.len();
+        assert!(prepared.try_with_mem_latencies(vec![0; n]).is_ok());
+    }
+
+    #[test]
+    fn try_with_mem_latencies_rejects_zero_latency_memory_records() {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.lw(r1, Reg::ZERO, 0);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[7], 100).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        let err = prepared
+            .try_with_mem_latencies(vec![0; t.len()])
+            .unwrap_err();
+        assert!(err.contains("zero latency"), "{err}");
+        let prepared = PreparedTrace::new(&p, &t);
+        assert!(prepared.try_with_mem_latencies(vec![2; t.len()]).is_ok());
     }
 
     #[test]

@@ -96,11 +96,26 @@ impl LevoConfig {
         if self.m == 0 || self.m > 64 {
             return Err(format!("m = {} out of range 1..=64", self.m));
         }
-        if self.fetch_width == 0 {
-            return Err("fetch_width must be positive".into());
+        if self.fetch_width == 0 || self.fetch_width > 4096 {
+            return Err(format!(
+                "fetch_width = {} out of range 1..=4096",
+                self.fetch_width
+            ));
         }
         if self.dee_paths > 0 && self.dee_cols == 0 {
             return Err("dee_cols must be positive when DEE paths exist".into());
+        }
+        // Upper bounds keep the per-instance allocation (n × m plus
+        // dee_paths × n × dee_cols window slots) small enough that an
+        // untrusted request cannot OOM the process.
+        if self.dee_paths > 4096 {
+            return Err(format!(
+                "dee_paths = {} out of range 0..=4096",
+                self.dee_paths
+            ));
+        }
+        if self.dee_cols > 64 {
+            return Err(format!("dee_cols = {} out of range 0..=64", self.dee_cols));
         }
         Ok(())
     }
@@ -160,5 +175,35 @@ mod tests {
             ..LevoConfig::default()
         };
         assert!(c.validate().is_ok(), "dee_cols unused without paths");
+    }
+
+    #[test]
+    fn validation_rejects_oversized_geometry() {
+        for c in [
+            LevoConfig {
+                n: 4097,
+                ..LevoConfig::default()
+            },
+            LevoConfig {
+                m: 65,
+                ..LevoConfig::default()
+            },
+            LevoConfig {
+                fetch_width: 5000,
+                ..LevoConfig::default()
+            },
+            LevoConfig {
+                dee_paths: 5000,
+                ..LevoConfig::default()
+            },
+            LevoConfig {
+                dee_cols: 65,
+                ..LevoConfig::default()
+            },
+        ] {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+        // The largest documented configuration stays valid.
+        assert!(LevoConfig::levo_100().validate().is_ok());
     }
 }

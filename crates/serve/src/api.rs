@@ -19,10 +19,16 @@ use dee_vm::trace_program;
 use dee_workloads::{Scale, Workload};
 
 use crate::cache::{fnv1a, fnv1a_words, CacheKey, PreparedCache, PreparedEntry};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::json::Json;
 
 /// Dynamic-instruction budget for uploaded programs and workload traces.
 const STEP_LIMIT: u64 = 1_000_000_000;
+
+/// Largest accepted `et`. The static tree costs `O(et^1.5)` to build, so
+/// an unbounded value lets one request burn a worker for hours; 100 000
+/// already covers every sweep in the paper by two orders of magnitude.
+const MAX_ET: u64 = 100_000;
 
 /// A handler failure carrying the HTTP status to answer with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +76,16 @@ fn u64_field(body: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
             ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
         }),
     }
+}
+
+fn parse_et(body: &Json) -> Result<u32, ApiError> {
+    let et = u64_field(body, "et", 100)?;
+    if et > MAX_ET {
+        return Err(ApiError::bad_request(format!(
+            "`et` too large (max {MAX_ET})"
+        )));
+    }
+    Ok(et as u32)
 }
 
 fn scale_by_name(name: &str) -> Result<Scale, ApiError> {
@@ -176,11 +192,18 @@ fn resolve_source(body: &Json) -> Result<Source, ApiError> {
 pub fn prepared_for(
     cache: &PreparedCache,
     body: &Json,
+    faults: &FaultPlan,
 ) -> Result<(Arc<PreparedEntry>, bool, String), ApiError> {
     let source = resolve_source(body)?;
     let predictor_name = str_field(body, "predictor").unwrap_or("twobit");
     // Validate the predictor name before the (expensive) miss path.
     predictor_by_name(predictor_name)?;
+    if faults.trip(FaultSite::CacheLookup).is_some() {
+        return Err(ApiError {
+            status: 500,
+            message: "injected fault: cache_lookup".into(),
+        });
+    }
     let key = CacheKey {
         program: fnv1a(source.program.to_listing().as_bytes()),
         memory: fnv1a_words(&source.memory),
@@ -189,12 +212,18 @@ pub fn prepared_for(
     let label = source.label.clone();
     let (entry, hit) = cache
         .get_or_insert_with(key, move || {
+            if faults.trip(FaultSite::TracePrepare).is_some() {
+                return Err("injected fault: trace_prepare".to_string());
+            }
             let trace = trace_program(&source.program, &source.memory, STEP_LIMIT)
                 .map_err(|e| format!("trace: {e}"))?;
             let mut predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
             let prepared =
                 PreparedTrace::with_predictor(&source.program, &trace, predictor.as_mut())
                     .into_owned();
+            if faults.trip(FaultSite::CacheInsert).is_some() {
+                return Err("injected fault: cache_insert".to_string());
+            }
             Ok(PreparedEntry {
                 program: source.program,
                 prepared,
@@ -232,10 +261,10 @@ pub fn handle_simulate(
     cache: &PreparedCache,
     body: &Json,
     deadline: Instant,
+    faults: &FaultPlan,
 ) -> Result<(Json, bool), ApiError> {
-    let (entry, hit, label) = prepared_for(cache, body)?;
-    let et = u32::try_from(u64_field(body, "et", 100)?)
-        .map_err(|_| ApiError::bad_request("`et` too large"))?;
+    let (entry, hit, label) = prepared_for(cache, body, faults)?;
+    let et = parse_et(body)?;
     let models: Vec<Model> = match str_field(body, "model") {
         None | Some("all") => Model::all_constrained()
             .into_iter()
@@ -315,11 +344,13 @@ pub fn handle_tree(body: &Json) -> Result<Json, ApiError> {
         None => 0.9053,
         Some(v) => v
             .as_f64()
-            .filter(|p| (0.0..1.0).contains(p) && *p > 0.0)
-            .ok_or_else(|| ApiError::bad_request("`p` must be in (0, 1)"))?,
+            // The static tree's recurrences require p in [0.5, 1);
+            // `StaticTree::build` asserts it, so anything outside must be
+            // refused here rather than panic a worker.
+            .filter(|p| (0.5..1.0).contains(p))
+            .ok_or_else(|| ApiError::bad_request("`p` must be in [0.5, 1)"))?,
     };
-    let et = u32::try_from(u64_field(body, "et", 100)?)
-        .map_err(|_| ApiError::bad_request("`et` too large"))?;
+    let et = parse_et(body)?;
     if et == 0 {
         return Err(ApiError::bad_request("`et` must be at least 1"));
     }
@@ -419,14 +450,16 @@ mod tests {
     fn simulate_workload_miss_then_hit() {
         let cache = PreparedCache::new(8, 2);
         let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":16}"#).unwrap();
-        let (response, hit) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        let (response, hit) =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
         assert!(!hit);
         assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
         let results = response.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].get("model").and_then(Json::as_str), Some("SP"));
         assert!(results[0].get("cycles").and_then(Json::as_u64).unwrap() > 0);
-        let (response, hit) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        let (response, hit) =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
         assert!(hit);
         assert_eq!(response.get("cache").and_then(Json::as_str), Some("hit"));
     }
@@ -436,7 +469,8 @@ mod tests {
         let cache = PreparedCache::new(8, 2);
         let body =
             parse(r#"{"workload":"compress","scale":"tiny","model":"DEE-CD-MF","et":32}"#).unwrap();
-        let (response, _) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        let (response, _) =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
 
         let w = dee_workloads::compress::build(Scale::Tiny);
         let trace = w.capture_trace().unwrap();
@@ -455,7 +489,8 @@ mod tests {
         let body =
             parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[42],"model":"oracle"}"#)
                 .unwrap();
-        let (response, _) = handle_simulate(&cache, &body, far_deadline()).unwrap();
+        let (response, _) =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
         let results = response.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(
             results[0].get("model").and_then(Json::as_str),
@@ -475,10 +510,26 @@ mod tests {
         )
         .unwrap();
         let c = parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[1],"model":"SP","et":4,"predictor":"gshare"}"#).unwrap();
-        assert!(!handle_simulate(&cache, &a, far_deadline()).unwrap().1);
-        assert!(!handle_simulate(&cache, &b, far_deadline()).unwrap().1);
-        assert!(!handle_simulate(&cache, &c, far_deadline()).unwrap().1);
-        assert!(handle_simulate(&cache, &a, far_deadline()).unwrap().1);
+        assert!(
+            !handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert())
+                .unwrap()
+                .1
+        );
+        assert!(
+            !handle_simulate(&cache, &b, far_deadline(), &FaultPlan::inert())
+                .unwrap()
+                .1
+        );
+        assert!(
+            !handle_simulate(&cache, &c, far_deadline(), &FaultPlan::inert())
+                .unwrap()
+                .1
+        );
+        assert!(
+            handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert())
+                .unwrap()
+                .1
+        );
     }
 
     #[test]
@@ -498,7 +549,13 @@ mod tests {
             (r#"{"workload":"xlisp","et":0}"#, "at least 1"),
             (r#"{"program":"not an opcode\n"}"#, "program:"),
         ] {
-            let err = handle_simulate(&cache, &parse(body).unwrap(), far_deadline()).unwrap_err();
+            let err = handle_simulate(
+                &cache,
+                &parse(body).unwrap(),
+                far_deadline(),
+                &FaultPlan::inert(),
+            )
+            .unwrap_err();
             assert_eq!(err.status, 400, "{body}");
             assert!(err.message.contains(needle), "{body}: {}", err.message);
         }
@@ -512,6 +569,7 @@ mod tests {
             &cache,
             &body,
             Instant::now() - std::time::Duration::from_secs(1),
+            &FaultPlan::inert(),
         )
         .unwrap_err();
         assert_eq!(err.status, 504);
@@ -533,6 +591,74 @@ mod tests {
     fn tree_rejects_bad_params() {
         assert!(handle_tree(&parse(r#"{"p":1.5}"#).unwrap()).is_err());
         assert!(handle_tree(&parse(r#"{"et":0}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn tree_rejects_p_below_half_instead_of_panicking() {
+        // StaticTree::build asserts p in [0.5, 1); the handler must turn
+        // that precondition into a 400, never reach the assert.
+        for body in [r#"{"p":0.3}"#, r#"{"p":0.49999}"#, r#"{"p":1.0}"#] {
+            let err = handle_tree(&parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains("[0.5, 1)"), "{body}: {}", err.message);
+        }
+        assert!(handle_tree(&parse(r#"{"p":0.5}"#).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn oversized_et_is_rejected_not_simulated() {
+        let err = handle_tree(&parse(r#"{"et":100001}"#).unwrap()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("too large"), "{}", err.message);
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","et":4000000000}"#).unwrap();
+        let err = handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn injected_cache_lookup_fault_surfaces_as_500() {
+        use crate::faults::FaultSpec;
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        let plan = FaultPlan::new(5).arm(
+            FaultSite::CacheLookup,
+            FaultSpec {
+                error_ppm: 1_000_000,
+                ..FaultSpec::default()
+            },
+        );
+        let err = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap_err();
+        assert_eq!(err.status, 500);
+        assert!(err.message.contains("cache_lookup"), "{}", err.message);
+    }
+
+    #[test]
+    fn injected_prepare_faults_fail_closed_and_do_not_poison_the_cache() {
+        use crate::faults::FaultSpec;
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        for site in [FaultSite::TracePrepare, FaultSite::CacheInsert] {
+            let plan = FaultPlan::new(5)
+                .arm(
+                    site,
+                    FaultSpec {
+                        error_ppm: 1_000_000,
+                        ..FaultSpec::default()
+                    },
+                )
+                .with_fuse(1);
+            let err = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap_err();
+            assert_eq!(err.status, 500, "{}", site.name());
+            assert!(err.message.contains(site.name()), "{}", err.message);
+            // The failed preparation must not leave a poisoned entry: the
+            // fuse burned, so the retry prepares cleanly (a miss, then hits).
+            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap();
+            assert!(!hit, "{}: failed insert must not be cached", site.name());
+            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap();
+            assert!(hit, "{}", site.name());
+            cache.clear();
+        }
     }
 
     #[test]

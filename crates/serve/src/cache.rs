@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use dee_ilpsim::PreparedTrace;
 use dee_isa::Program;
@@ -97,10 +97,19 @@ struct PendingGuard<'a> {
 
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
-        if let Ok(mut shard) = self.state.shard.lock() {
-            shard.pending.remove(&self.key);
-        }
+        self.state.lock().pending.remove(&self.key);
         self.state.ready.notify_all();
+    }
+}
+
+impl ShardState {
+    /// Locks the shard, recovering from poisoning: a worker that panicked
+    /// while holding the lock cannot have left the map structurally
+    /// broken (every mutation is a single HashMap/HashSet call), and
+    /// refusing the whole shard forever would turn one bad request into a
+    /// denial of service for every key that hashes there.
+    fn lock(&self) -> MutexGuard<'_, Shard> {
+        self.shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -143,7 +152,7 @@ impl PreparedCache {
     /// Looks up `key`, refreshing its recency on a hit.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<PreparedEntry>> {
-        let mut shard = self.shard(key).shard.lock().expect("cache lock");
+        let mut shard = self.shard(key).lock();
         let tick = self.next_tick();
         shard.entries.get_mut(key).map(|(last_used, entry)| {
             *last_used = tick;
@@ -155,7 +164,7 @@ impl PreparedCache {
     /// shard when it is at capacity. Returns the shared handle.
     pub fn insert(&self, key: CacheKey, entry: PreparedEntry) -> Arc<PreparedEntry> {
         let entry = Arc::new(entry);
-        let mut shard = self.shard(&key).shard.lock().expect("cache lock");
+        let mut shard = self.shard(&key).lock();
         if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
             if let Some(victim) = shard
                 .entries
@@ -188,7 +197,7 @@ impl PreparedCache {
     ) -> Result<(Arc<PreparedEntry>, bool), String> {
         let state = self.shard(&key);
         {
-            let mut shard = state.shard.lock().expect("cache lock");
+            let mut shard = state.lock();
             loop {
                 if shard.entries.contains_key(&key) {
                     let tick = self.next_tick();
@@ -200,7 +209,10 @@ impl PreparedCache {
                     shard.pending.insert(key);
                     break;
                 }
-                shard = state.ready.wait(shard).expect("cache lock");
+                shard = state
+                    .ready
+                    .wait(shard)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         // We are the single preparer; the guard clears the pending mark
@@ -213,16 +225,20 @@ impl PreparedCache {
     /// Total entries currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.shard.lock().expect("cache lock").entries.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Whether the cache holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every cached entry (pending preparations are unaffected).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().entries.clear();
+        }
     }
 }
 

@@ -136,6 +136,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -216,6 +217,17 @@ mod tests {
     fn rejects_oversized_body() {
         let raw = "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
         assert!(matches!(parse(raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn status_reasons_cover_emitted_codes() {
+        for (code, reason) in [
+            (408, "Request Timeout"),
+            (500, "Internal Server Error"),
+            (503, "Service Unavailable"),
+        ] {
+            assert_eq!(status_reason(code), reason);
+        }
     }
 
     #[test]

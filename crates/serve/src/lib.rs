@@ -22,17 +22,21 @@
 
 pub mod api;
 pub mod cache;
+pub mod faults;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod stream;
 
 pub use api::{
     handle_levo, handle_simulate, handle_tree, levo_json, outcome_json, tree_json, ApiError,
 };
 pub use cache::{CacheKey, PreparedCache, PreparedEntry};
+pub use faults::{FaultPlan, FaultSite, FaultSpec, Injected};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig};
+pub use stream::GuardedStream;

@@ -62,6 +62,18 @@ pub struct Metrics {
     pub rejected_queue_full: AtomicU64,
     /// Requests answered `504` because their deadline passed.
     pub timeouts: AtomicU64,
+    /// Connections answered `408` because the whole-request read budget
+    /// ran out (slow-loris defense).
+    pub read_timeouts: AtomicU64,
+    /// Panics caught at the job-execution boundary and converted to
+    /// `500` responses.
+    pub panics_caught: AtomicU64,
+    /// Workers respawned by the supervisor after dying or recycling.
+    pub worker_respawns: AtomicU64,
+    /// Circuit-breaker trips (closed/half-open → open transitions).
+    pub breaker_trips: AtomicU64,
+    /// Jobs fast-failed with `503` because a worker's breaker was open.
+    pub breaker_fast_fails: AtomicU64,
     /// Prepared-trace cache hits.
     pub cache_hits: AtomicU64,
     /// Prepared-trace cache misses (preparations performed).
@@ -84,6 +96,11 @@ impl Metrics {
             responses_server_error: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             queue_depth_highwater: AtomicU64::new(0),
@@ -149,6 +166,31 @@ impl Metrics {
             "dee_timeouts_total",
             "Requests past their deadline.",
             load(&self.timeouts),
+        );
+        counter(
+            "dee_read_timeouts_total",
+            "Connections whose whole-request read budget ran out (408).",
+            load(&self.read_timeouts),
+        );
+        counter(
+            "dee_panics_caught_total",
+            "Panics caught at the job boundary and answered as 500.",
+            load(&self.panics_caught),
+        );
+        counter(
+            "dee_worker_respawns_total",
+            "Workers respawned by the supervisor.",
+            load(&self.worker_respawns),
+        );
+        counter(
+            "dee_breaker_trips_total",
+            "Circuit-breaker trips to the open state.",
+            load(&self.breaker_trips),
+        );
+        counter(
+            "dee_breaker_fast_fails_total",
+            "Jobs fast-failed 503 while a worker breaker was open.",
+            load(&self.breaker_fast_fails),
         );
         counter(
             "dee_prepared_cache_hits_total",
@@ -247,5 +289,21 @@ mod tests {
         assert!(text.contains("dee_workers 4"));
         assert!(text.contains("dee_request_latency_us_bucket{le=\"1000\"} 1"));
         assert!(text.contains("dee_request_latency_us_count 1"));
+    }
+
+    #[test]
+    fn render_exposes_robustness_counters() {
+        let m = Metrics::new();
+        m.panics_caught.fetch_add(2, Ordering::Relaxed);
+        m.worker_respawns.fetch_add(3, Ordering::Relaxed);
+        m.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        m.breaker_fast_fails.fetch_add(4, Ordering::Relaxed);
+        m.read_timeouts.fetch_add(5, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(text.contains("dee_panics_caught_total 2"));
+        assert!(text.contains("dee_worker_respawns_total 3"));
+        assert!(text.contains("dee_breaker_trips_total 1"));
+        assert!(text.contains("dee_breaker_fast_fails_total 4"));
+        assert!(text.contains("dee_read_timeouts_total 5"));
     }
 }

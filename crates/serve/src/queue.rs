@@ -9,7 +9,7 @@
 //! jobs before exiting.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why `try_push` gave the item back.
 #[derive(Debug, PartialEq, Eq)]
@@ -33,6 +33,16 @@ pub struct Bounded<T> {
 }
 
 impl<T> Bounded<T> {
+    /// Locks the queue state, recovering from poisoning: every critical
+    /// section is a handful of VecDeque calls that cannot be interrupted
+    /// mid-mutation by a panic in *this* module, so a poisoned mutex only
+    /// means some thread died elsewhere while holding it — shutting the
+    /// whole queue (and with it the server) would amplify one dead worker
+    /// into total loss of service.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue holding at most `capacity` items.
     ///
     /// # Panics
@@ -58,7 +68,7 @@ impl<T> Bounded<T> {
     /// [`TryPushError::Full`] at capacity, [`TryPushError::Closed`] after
     /// [`close`](Self::close); both return the item.
     pub fn try_push(&self, item: T) -> Result<usize, TryPushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock();
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -74,7 +84,7 @@ impl<T> Bounded<T> {
 
     /// Blocks for the next item; `None` once closed and fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -82,27 +92,30 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pushes fail, pops drain what remains then end.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 
     /// Removes and returns everything currently queued.
     #[must_use]
     pub fn drain(&self) -> Vec<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock();
         state.items.drain(..).collect()
     }
 
     /// Current depth.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue is currently empty.

@@ -1,4 +1,5 @@
-//! The resident simulation server: accept loop, worker pool, dispatch.
+//! The resident simulation server: accept loop, supervised worker pool,
+//! dispatch.
 //!
 //! One TCP connection carries exactly one request (`Connection: close`),
 //! so the bounded job queue measures load in whole requests. The accept
@@ -6,20 +7,37 @@
 //! `503 queue full` inline and moves on, which keeps accept latency flat
 //! under overload and makes backpressure observable to clients instead
 //! of silent.
+//!
+//! # Failure containment
+//!
+//! Request dispatch runs inside `catch_unwind`: a panicking simulation
+//! job answers *that client* with a structured `500` body instead of
+//! killing the worker silently. The worker then recycles itself — a
+//! panic is treated as grounds to discard the thread's state — and a
+//! supervisor thread detects the dead worker and respawns it (counted in
+//! `dee_worker_respawns_total`). Each worker also carries a
+//! consecutive-failure circuit breaker: after `breaker_threshold`
+//! consecutive `500`s it trips open and fast-fails jobs with `503` until
+//! a cooldown passes, then half-opens for a single trial job. All
+//! failure paths can be exercised deterministically through the
+//! [`FaultPlan`](crate::faults::FaultPlan) wired into [`ServerConfig`].
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::api;
 use crate::cache::PreparedCache;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::json::{parse as parse_json, Json};
 use crate::metrics::Metrics;
 use crate::queue::{Bounded, TryPushError};
+use crate::stream::GuardedStream;
 
 /// Tuning knobs for [`Server::spawn`].
 #[derive(Clone, Debug)]
@@ -40,6 +58,20 @@ pub struct ServerConfig {
     /// Default per-request deadline, measured from accept time. Requests
     /// may tighten it with a `deadline_ms` body field.
     pub default_deadline: Duration,
+    /// Whole-request wall-clock budget for reading the head + body. A
+    /// slow-loris client trickling bytes cannot hold a worker past this.
+    pub read_budget: Duration,
+    /// Whole-response wall-clock budget for writing.
+    pub write_budget: Duration,
+    /// Consecutive `500`s before a worker's circuit breaker trips open.
+    /// `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fast-fails before half-opening.
+    pub breaker_cooldown: Duration,
+    /// How often the supervisor checks for dead workers.
+    pub supervisor_interval: Duration,
+    /// Fault-injection plan; [`FaultPlan::inert`] in production.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +84,12 @@ impl Default for ServerConfig {
             cache_shards: 8,
             max_body_bytes: 1 << 20,
             default_deadline: Duration::from_secs(10),
+            read_budget: Duration::from_secs(5),
+            write_budget: Duration::from_secs(5),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(250),
+            supervisor_interval: Duration::from_millis(10),
+            faults: Arc::new(FaultPlan::inert()),
         }
     }
 }
@@ -71,6 +109,30 @@ struct Shared {
     workers: usize,
     max_body_bytes: usize,
     default_deadline: Duration,
+    read_budget: Duration,
+    write_budget: Duration,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    supervisor_interval: Duration,
+    faults: Arc<FaultPlan>,
+    /// Worker slots, owned jointly by the supervisor (respawns) and
+    /// shutdown (final join). `None` marks a slot being respawned.
+    slots: Mutex<Vec<Option<JoinHandle<()>>>>,
+}
+
+impl Shared {
+    fn slots(&self) -> std::sync::MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+        // A worker that panicked while this lock was held cannot leave
+        // the Vec structurally broken; recover instead of cascading.
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn workers_alive(&self) -> usize {
+        self.slots()
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    }
 }
 
 /// A running server. Dropping the handle leaks the threads; call
@@ -79,11 +141,12 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: JoinHandle<()>,
-    worker_threads: Vec<JoinHandle<()>>,
+    supervisor_thread: JoinHandle<()>,
 }
 
 impl Server {
-    /// Binds `config.addr` and spawns the accept thread plus worker pool.
+    /// Binds `config.addr` and spawns the accept thread, worker pool,
+    /// and worker supervisor.
     ///
     /// # Errors
     ///
@@ -99,15 +162,24 @@ impl Server {
             workers: config.workers,
             max_body_bytes: config.max_body_bytes,
             default_deadline: config.default_deadline,
+            read_budget: config.read_budget,
+            write_budget: config.write_budget,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
+            supervisor_interval: config.supervisor_interval,
+            faults: config.faults,
+            slots: Mutex::new(Vec::new()),
         });
-        let worker_threads = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dee-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
+        {
+            let mut slots = shared.slots();
+            for i in 0..config.workers {
+                slots.push(Some(spawn_worker(&shared, i)?));
+            }
+        }
+        let supervisor_shared = Arc::clone(&shared);
+        let supervisor_thread = std::thread::Builder::new()
+            .name("dee-serve-supervisor".to_string())
+            .spawn(move || supervisor_loop(&supervisor_shared))?;
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("dee-serve-accept".to_string())
@@ -116,7 +188,7 @@ impl Server {
             shared,
             addr,
             accept_thread,
-            worker_threads,
+            supervisor_thread,
         })
     }
 
@@ -132,6 +204,20 @@ impl Server {
         &self.shared.metrics
     }
 
+    /// The fault plan the server was spawned with (tests disarm it to
+    /// end a storm).
+    #[must_use]
+    pub fn faults(&self) -> &Arc<FaultPlan> {
+        &self.shared.faults
+    }
+
+    /// Worker threads currently alive (respawns land within a
+    /// supervisor interval of a death).
+    #[must_use]
+    pub fn workers_alive(&self) -> usize {
+        self.shared.workers_alive()
+    }
+
     /// Stops accepting, lets workers drain every queued job, then joins
     /// all threads. Jobs still queued when no worker remains (the
     /// `workers: 0` seam) are answered `503`.
@@ -140,13 +226,54 @@ impl Server {
         // Unblock the accept thread with a throwaway connection.
         drop(TcpStream::connect(self.addr));
         let _ = self.accept_thread.join();
+        // Join the supervisor *before* closing the queue so it cannot
+        // respawn a worker concurrently with the final join below.
+        let _ = self.supervisor_thread.join();
         self.shared.queue.close();
-        for worker in self.worker_threads {
+        let handles: Vec<JoinHandle<()>> = self.shared.slots().drain(..).flatten().collect();
+        for worker in handles {
             let _ = worker.join();
         }
         for job in self.shared.queue.drain() {
             refuse(job.stream, &self.shared.metrics);
         }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("dee-serve-worker-{id}"))
+        .spawn(move || worker_loop(&shared))
+}
+
+/// Watches the worker slots and respawns any thread that has finished
+/// while the server is running — whether it recycled itself after a
+/// caught panic or died to an unhandled one.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        {
+            let mut slots = shared.slots();
+            for i in 0..slots.len() {
+                if !slots[i].as_ref().is_some_and(JoinHandle::is_finished) {
+                    continue;
+                }
+                if let Some(dead) = slots[i].take() {
+                    let _ = dead.join();
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Ok(handle) = spawn_worker(shared, i) {
+                    slots[i] = Some(handle);
+                    shared
+                        .metrics
+                        .worker_respawns
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        std::thread::sleep(shared.supervisor_interval);
     }
 }
 
@@ -161,15 +288,28 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let job = Job {
-            stream,
-            accepted: Instant::now(),
-        };
-        match shared.queue.try_push(job) {
-            Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
-            Err(TryPushError::Full(job)) | Err(TryPushError::Closed(job)) => {
-                refuse(job.stream, &shared.metrics);
-            }
+        // The accept thread has no supervisor; survive anything the
+        // enqueue path (including an armed QueuePush site) throws.
+        if catch_unwind(AssertUnwindSafe(|| enqueue(shared, stream))).is_err() {
+            shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn enqueue(shared: &Shared, stream: TcpStream) {
+    if shared.faults.trip(FaultSite::QueuePush).is_some() {
+        // Injected enqueue failure: shed exactly like a full queue.
+        refuse(stream, &shared.metrics);
+        return;
+    }
+    let job = Job {
+        stream,
+        accepted: Instant::now(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
+        Err(TryPushError::Full(job)) | Err(TryPushError::Closed(job)) => {
+            refuse(job.stream, &shared.metrics);
         }
     }
 }
@@ -179,6 +319,16 @@ fn refuse(mut stream: TcpStream, metrics: &Metrics) {
     metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
     metrics.count_response(503);
     let body = Json::obj(vec![("error", Json::str("queue full"))]).to_string();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = write_response(&mut stream, 503, "application/json", body.as_bytes());
+    lingering_close(stream);
+}
+
+/// Fast-fails one job with `503` because the worker's breaker is open.
+fn refuse_breaker(mut stream: TcpStream, metrics: &Metrics) {
+    metrics.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+    metrics.count_response(503);
+    let body = Json::obj(vec![("error", Json::str("circuit open"))]).to_string();
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let _ = write_response(&mut stream, 503, "application/json", body.as_bytes());
     lingering_close(stream);
@@ -199,24 +349,160 @@ fn lingering_close(mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        handle_connection(shared, job);
+/// A worker's consecutive-failure circuit breaker.
+///
+/// Closed → (threshold consecutive failures) → Open, fast-failing jobs
+/// with `503` → (cooldown elapses) → Half-open, one trial job →
+/// success closes, failure re-opens. Thread-local to its worker, so no
+/// locking; a respawned worker starts with a fresh (closed) breaker.
+struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive: u32,
+    open_until: Option<Instant>,
+    half_open: bool,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooldown: Duration) -> Self {
+        Breaker {
+            threshold,
+            cooldown,
+            consecutive: 0,
+            open_until: None,
+            half_open: false,
+        }
+    }
+
+    /// Whether the next job may run; flips Open → Half-open after the
+    /// cooldown.
+    fn allow(&mut self, now: Instant) -> bool {
+        match self.open_until {
+            None => true,
+            Some(until) if now < until => false,
+            Some(_) => {
+                self.open_until = None;
+                self.half_open = true;
+                true
+            }
+        }
+    }
+
+    /// Records a job outcome; returns `true` when this trip opened the
+    /// breaker (for metrics).
+    fn record(&mut self, failed: bool, now: Instant) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        if !failed {
+            self.consecutive = 0;
+            self.half_open = false;
+            return false;
+        }
+        if self.half_open {
+            // Trial failed: straight back to open.
+            self.half_open = false;
+            self.open_until = Some(now + self.cooldown);
+            return true;
+        }
+        self.consecutive += 1;
+        if self.consecutive >= self.threshold {
+            self.consecutive = 0;
+            self.open_until = Some(now + self.cooldown);
+            return true;
+        }
+        false
     }
 }
 
-fn handle_connection(shared: &Shared, job: Job) {
+/// Why a served job ended, from the worker's perspective.
+enum JobEnd {
+    /// Answered with this status.
+    Answered(u16),
+    /// Answered `500` after catching a panic; the worker should recycle.
+    Panicked,
+    /// The peer vanished before a request existed; nothing to answer.
+    Dropped,
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut breaker = Breaker::new(shared.breaker_threshold, shared.breaker_cooldown);
+    while let Some(job) = shared.queue.pop() {
+        if shared.faults.trip(FaultSite::QueuePop).is_some() {
+            // Injected dequeue failure: shed the job like overload.
+            refuse(job.stream, &shared.metrics);
+            continue;
+        }
+        if !breaker.allow(Instant::now()) {
+            refuse_breaker(job.stream, &shared.metrics);
+            continue;
+        }
+        let end = serve_job(shared, job);
+        match end {
+            JobEnd::Answered(status) => {
+                // Only worker-attributable failures count: 500s. Client
+                // errors, shed load (503), and deadline misses (504) say
+                // nothing about this worker's health.
+                if breaker.record(status == 500, Instant::now()) {
+                    shared.metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            JobEnd::Panicked => {
+                // The client got its 500; recycle the thread anyway — a
+                // panic mid-simulation may have left thread state torn,
+                // and the supervisor will replace us within an interval.
+                return;
+            }
+            JobEnd::Dropped => {}
+        }
+    }
+}
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain; charset=utf-8";
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn serve_job(shared: &Shared, job: Job) -> JobEnd {
     let accepted = job.accepted;
-    let stream = job.stream;
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let mut reader = BufReader::new(stream);
+    let guarded = match GuardedStream::new(
+        job.stream,
+        shared.read_budget,
+        shared.write_budget,
+        Arc::clone(&shared.faults),
+    ) {
+        Ok(guarded) => guarded,
+        // The socket refused timeouts; it cannot be served under a
+        // budget, and per the contract we do not serve without one.
+        Err(_) => return JobEnd::Dropped,
+    };
+    let mut reader = BufReader::new(guarded);
     let mut fully_read = true;
+    let mut panicked = false;
     let (status, content_type, body) = match read_request(&mut reader, shared.max_body_bytes) {
-        Ok(None) => return, // peer closed without sending a request
+        Ok(None) => return JobEnd::Dropped, // peer closed without sending a request
         Ok(Some(request)) => {
             shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-            dispatch(shared, &request, accepted)
+            match catch_unwind(AssertUnwindSafe(|| dispatch(shared, &request, accepted))) {
+                Ok(response) => response,
+                Err(payload) => {
+                    shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    panicked = true;
+                    let body = Json::obj(vec![
+                        ("error", Json::str("internal: simulation job panicked")),
+                        ("detail", Json::str(panic_message(payload.as_ref()))),
+                    ]);
+                    (500, JSON, body.to_string())
+                }
+            }
         }
         Err(HttpError::BadRequest(message)) => {
             fully_read = false;
@@ -234,15 +520,35 @@ fn handle_connection(shared: &Shared, job: Job) {
                 Json::obj(vec![("error", Json::str("payload too large"))]).to_string(),
             )
         }
-        Err(HttpError::Io(_)) => return, // peer went away mid-request
+        Err(HttpError::Io(e)) => {
+            // Answer rather than vanish: if the transport is genuinely
+            // dead the write below fails harmlessly, but a slow-loris
+            // (408) or an injected read fault (400) deserves a response.
+            fully_read = false;
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                (
+                    408,
+                    JSON,
+                    Json::obj(vec![("error", Json::str("request read timed out"))]).to_string(),
+                )
+            } else {
+                (
+                    400,
+                    JSON,
+                    Json::obj(vec![("error", Json::str("request read failed"))]).to_string(),
+                )
+            }
+        }
     };
     if status == 504 {
         shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
     }
     shared.metrics.count_response(status);
-    let mut stream = reader.into_inner();
-    let _ = write_response(&mut stream, status, content_type, body.as_bytes());
-    if !fully_read {
+    let mut guarded = reader.into_inner();
+    let write_ok = write_response(&mut guarded, status, content_type, body.as_bytes()).is_ok();
+    let stream = guarded.into_inner();
+    if !fully_read && write_ok {
         lingering_close(stream);
     }
     let elapsed = accepted.elapsed();
@@ -250,12 +556,21 @@ fn handle_connection(shared: &Shared, job: Job) {
         .metrics
         .latency
         .record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    if panicked {
+        JobEnd::Panicked
+    } else {
+        JobEnd::Answered(status)
+    }
 }
 
-const JSON: &str = "application/json";
-const TEXT: &str = "text/plain; charset=utf-8";
-
 fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'static str, String) {
+    if shared.faults.trip(FaultSite::JobExecute).is_some() {
+        return (
+            500,
+            JSON,
+            Json::obj(vec![("error", Json::str("injected fault: job_execute"))]).to_string(),
+        );
+    }
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
         ("GET", "/metrics") => {
@@ -263,8 +578,11 @@ fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'st
                 ("dee_queue_depth", shared.queue.len() as u64),
                 ("dee_cache_entries", shared.cache.len() as u64),
                 ("dee_workers", shared.workers as u64),
+                ("dee_workers_alive", shared.workers_alive() as u64),
             ];
-            (200, TEXT, shared.metrics.render(&gauges))
+            let mut text = shared.metrics.render(&gauges);
+            text.push_str(&shared.faults.render_metrics());
+            (200, TEXT, text)
         }
         ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") => {
             handle_api(shared, request, accepted)
@@ -295,6 +613,10 @@ fn handle_api(
             return (400, JSON, body.to_string());
         }
     };
+    if shared.faults.trip(FaultSite::JsonDecode).is_some() {
+        let body = Json::obj(vec![("error", Json::str("injected fault: json_decode"))]);
+        return (500, JSON, body.to_string());
+    }
     let body = match parse_json(text) {
         Ok(body) => body,
         Err(message) => {
@@ -308,20 +630,93 @@ fn handle_api(
     }
     let deadline = accepted + budget;
     let result = match request.path() {
-        "/simulate" => api::handle_simulate(&shared.cache, &body, deadline).map(|(json, hit)| {
-            let counter = if hit {
-                &shared.metrics.cache_hits
-            } else {
-                &shared.metrics.cache_misses
-            };
-            counter.fetch_add(1, Ordering::Relaxed);
-            json
-        }),
+        "/simulate" => api::handle_simulate(&shared.cache, &body, deadline, &shared.faults).map(
+            |(json, hit)| {
+                let counter = if hit {
+                    &shared.metrics.cache_hits
+                } else {
+                    &shared.metrics.cache_misses
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                json
+            },
+        ),
         "/tree" => api::handle_tree(&body),
         _ => api::handle_levo(&body, deadline),
     };
     match result {
         Ok(json) => (200, JSON, json.to_string()),
         Err(e) => (e.status, JSON, e.to_json().to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new(3, Duration::from_millis(50));
+        let t0 = Instant::now();
+        assert!(b.allow(t0));
+        assert!(!b.record(true, t0));
+        assert!(!b.record(true, t0));
+        assert!(b.record(true, t0), "third consecutive failure trips");
+        assert!(!b.allow(t0), "open breaker refuses immediately");
+        assert!(
+            !b.allow(t0 + Duration::from_millis(49)),
+            "still open within cooldown"
+        );
+    }
+
+    #[test]
+    fn breaker_half_open_trial_closes_on_success_reopens_on_failure() {
+        let mut b = Breaker::new(2, Duration::from_millis(10));
+        let t0 = Instant::now();
+        b.record(true, t0);
+        assert!(b.record(true, t0), "trips");
+        let after = t0 + Duration::from_millis(11);
+        assert!(b.allow(after), "cooldown elapsed: half-open trial runs");
+        assert!(
+            b.record(true, after),
+            "failed trial re-opens (counts as trip)"
+        );
+        let later = after + Duration::from_millis(11);
+        assert!(b.allow(later), "second trial");
+        assert!(!b.record(false, later), "successful trial closes");
+        assert!(b.allow(later), "closed breaker admits everything");
+        assert!(!b.record(true, later), "failure count restarts from zero");
+    }
+
+    #[test]
+    fn breaker_success_resets_consecutive_count() {
+        let mut b = Breaker::new(3, Duration::from_millis(10));
+        let t0 = Instant::now();
+        b.record(true, t0);
+        b.record(true, t0);
+        b.record(false, t0);
+        assert!(!b.record(true, t0));
+        assert!(!b.record(true, t0));
+        assert!(b.record(true, t0), "needs a fresh run of three");
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaker() {
+        let mut b = Breaker::new(0, Duration::from_millis(10));
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert!(!b.record(true, t0));
+        }
+        assert!(b.allow(t0));
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(boxed.as_ref()), "static str");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("owned".to_string());
+        assert_eq!(panic_message(boxed.as_ref()), "owned");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
     }
 }

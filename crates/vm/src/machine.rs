@@ -73,6 +73,13 @@ pub enum VmError {
     },
     /// `step` was called on a halted machine.
     AlreadyHalted,
+    /// A memory image larger than the machine's memory was loaded.
+    ImageTooLarge {
+        /// Words in the rejected image.
+        image: usize,
+        /// Words of machine memory.
+        memory: usize,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -84,6 +91,12 @@ impl fmt::Display for VmError {
             }
             VmError::StepLimit { limit } => write!(f, "dynamic instruction limit {limit} exceeded"),
             VmError::AlreadyHalted => f.write_str("machine is halted"),
+            VmError::ImageTooLarge { image, memory } => {
+                write!(
+                    f,
+                    "memory image of {image} words exceeds {memory}-word memory"
+                )
+            }
         }
     }
 }
@@ -135,10 +148,28 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the image is larger than memory.
+    /// Panics if the image is larger than memory. Untrusted images
+    /// (request bodies) should go through
+    /// [`try_load_memory`](Self::try_load_memory) instead.
     pub fn load_memory(&mut self, image: &[i32]) {
-        assert!(image.len() <= self.mem.len(), "memory image too large");
+        self.try_load_memory(image).expect("memory image too large");
+    }
+
+    /// Copies `image` into memory starting at word 0, rejecting images
+    /// that do not fit.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::ImageTooLarge`] when `image` is larger than memory.
+    pub fn try_load_memory(&mut self, image: &[i32]) -> Result<(), VmError> {
+        if image.len() > self.mem.len() {
+            return Err(VmError::ImageTooLarge {
+                image: image.len(),
+                memory: self.mem.len(),
+            });
+        }
         self.mem[..image.len()].copy_from_slice(image);
+        Ok(())
     }
 
     /// Reads a register (reads of `r0` always return 0).
@@ -478,6 +509,21 @@ mod tests {
     fn stack_pointer_starts_at_top() {
         let m = Machine::with_memory_size(1024);
         assert_eq!(m.reg(Reg::SP), 1024);
+    }
+
+    #[test]
+    fn try_load_memory_rejects_oversized_images() {
+        let mut m = Machine::with_memory_size(2);
+        assert_eq!(
+            m.try_load_memory(&[1, 2, 3]),
+            Err(VmError::ImageTooLarge {
+                image: 3,
+                memory: 2
+            })
+        );
+        assert!(m.try_load_memory(&[1, 2]).is_ok());
+        assert_eq!(m.mem_word(0), Some(1));
+        assert_eq!(m.mem_word(1), Some(2));
     }
 
     #[test]

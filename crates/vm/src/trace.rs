@@ -165,14 +165,15 @@ pub fn output_checksum(output: &[i32]) -> u64 {
 /// # Errors
 ///
 /// Returns [`VmError::StepLimit`] if the program does not halt within
-/// `limit` dynamic instructions, or any interpreter fault.
+/// `limit` dynamic instructions, [`VmError::ImageTooLarge`] when the
+/// initial memory does not fit the machine, or any interpreter fault.
 pub fn trace_program(
     program: &Program,
     initial_memory: &[i32],
     limit: u64,
 ) -> Result<Trace, VmError> {
     let mut machine = Machine::new();
-    machine.load_memory(initial_memory);
+    machine.try_load_memory(initial_memory)?;
     let mut records = Vec::new();
     loop {
         if machine.executed() >= limit {
@@ -209,6 +210,18 @@ mod tests {
         asm.halt();
         let p = asm.assemble().unwrap();
         trace_program(&p, &[], 10_000).unwrap()
+    }
+
+    #[test]
+    fn oversized_initial_memory_is_a_typed_error() {
+        let mut asm = Assembler::new();
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let image = vec![0; crate::DEFAULT_MEM_WORDS + 1];
+        assert!(matches!(
+            trace_program(&p, &image, 10),
+            Err(VmError::ImageTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,9 @@ const USAGE: &str = "usage:
   dee tree [--p P] [--et N]                 print the static DEE tree
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
   dee replay <prog.s> <file> [--model M] [--et N]
-  dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]";
+  dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]
+            [--read-budget-ms MS] [--breaker-threshold N] [--breaker-cooldown-ms MS]
+            [--chaos-seed SEED]";
 
 /// Parsed `--flag value` options after the positional arguments.
 struct Options {
@@ -60,6 +62,10 @@ struct Options {
     workers: Option<usize>,
     cache_entries: Option<usize>,
     queue_capacity: Option<usize>,
+    read_budget_ms: Option<u64>,
+    breaker_threshold: Option<u32>,
+    breaker_cooldown_ms: Option<u64>,
+    chaos_seed: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -75,6 +81,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: None,
         cache_entries: None,
         queue_capacity: None,
+        read_budget_ms: None,
+        breaker_threshold: None,
+        breaker_cooldown_ms: None,
+        chaos_seed: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -133,6 +143,34 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     value()?
                         .parse()
                         .map_err(|_| "bad --queue-capacity".to_string())?,
+                )
+            }
+            "--read-budget-ms" => {
+                options.read_budget_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --read-budget-ms".to_string())?,
+                )
+            }
+            "--breaker-threshold" => {
+                options.breaker_threshold = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --breaker-threshold".to_string())?,
+                )
+            }
+            "--breaker-cooldown-ms" => {
+                options.breaker_cooldown_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --breaker-cooldown-ms".to_string())?,
+                )
+            }
+            "--chaos-seed" => {
+                options.chaos_seed = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --chaos-seed".to_string())?,
                 )
             }
             other => return Err(format!("unknown flag `{other}`")),
@@ -323,6 +361,22 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(capacity) = options.queue_capacity {
                 config.queue_capacity = capacity;
             }
+            if let Some(ms) = options.read_budget_ms {
+                config.read_budget = std::time::Duration::from_millis(ms);
+                config.write_budget = std::time::Duration::from_millis(ms);
+            }
+            if let Some(threshold) = options.breaker_threshold {
+                config.breaker_threshold = threshold;
+            }
+            if let Some(ms) = options.breaker_cooldown_ms {
+                config.breaker_cooldown = std::time::Duration::from_millis(ms);
+            }
+            if let Some(seed) = options.chaos_seed {
+                // A hostile plan for resilience drills: every fault site
+                // armed at low rates, fully reproducible from the seed.
+                config.faults = std::sync::Arc::new(dee::serve::FaultPlan::hostile(seed));
+                println!("chaos mode: hostile fault plan armed with seed {seed}");
+            }
             let workers = config.workers;
             let server = dee::serve::Server::spawn(config).map_err(|e| e.to_string())?;
             println!(
@@ -364,6 +418,27 @@ mod tests {
         assert!(parse_options(&strings(&["--mem", "5"])).is_err());
         assert!(parse_options(&strings(&["--et"])).is_err());
         assert!(parse_options(&strings(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn options_parse_robustness_flags() {
+        let options = parse_options(&strings(&[
+            "--read-budget-ms",
+            "2500",
+            "--breaker-threshold",
+            "7",
+            "--breaker-cooldown-ms",
+            "400",
+            "--chaos-seed",
+            "12345",
+        ]))
+        .unwrap();
+        assert_eq!(options.read_budget_ms, Some(2500));
+        assert_eq!(options.breaker_threshold, Some(7));
+        assert_eq!(options.breaker_cooldown_ms, Some(400));
+        assert_eq!(options.chaos_seed, Some(12345));
+        assert!(parse_options(&strings(&["--chaos-seed", "abc"])).is_err());
+        assert!(parse_options(&strings(&["--breaker-threshold"])).is_err());
     }
 
     #[test]
