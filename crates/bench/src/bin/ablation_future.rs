@@ -17,22 +17,68 @@
 //! Additionally compares Levo's per-row predictor options (2-bit counter
 //! vs speculative PAp, §4.3).
 //!
-//! Usage: `ablation_future [tiny|small|medium|large]`.
+//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
 use dee_levo::{Levo, LevoConfig, PredictorKind};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
     let et = 100;
 
+    // Each trace is prepared exactly once and shared by the latency and
+    // PE-limit sweeps (the serial version re-prepared per cell).
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "ablation_future_prepare",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+    let num_b = prepared.len();
+
     println!(
         "Non-unit latencies (mul/div 4, mem 2; E_T = {et}, p = {}):\n",
         f2(p)
+    );
+    let lat_models = [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle];
+    let mut lat_cells: Vec<(Model, usize)> = Vec::new();
+    for model in lat_models {
+        for b in 0..num_b {
+            lat_cells.push((model, b));
+        }
+    }
+    // One cell = both latency variants of one (model, benchmark), sharing
+    // the prepared trace: (speedup unit, speedup classic, ipc unit, ipc
+    // classic).
+    let lat_flat = pool::run_sweep(
+        "ablation_future_latency",
+        jobs,
+        lat_cells
+            .iter()
+            .map(|&(model, b)| {
+                let prepared = Arc::clone(&prepared[b]);
+                move || {
+                    let unit = simulate(&prepared, &SimConfig::new(model, et).with_p(p));
+                    let classic = simulate(
+                        &prepared,
+                        &SimConfig::new(model, et)
+                            .with_p(p)
+                            .with_latency(LatencyModel::CLASSIC),
+                    );
+                    (unit.speedup(), classic.speedup(), unit.ipc(), classic.ipc())
+                }
+            })
+            .collect(),
     );
     let mut lat = TextTable::new(&[
         "model",
@@ -41,81 +87,91 @@ fn main() {
         "ipc unit",
         "ipc classic",
     ]);
-    for model in [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle] {
-        let mut s_unit = Vec::new();
-        let mut s_classic = Vec::new();
-        let mut i_unit = Vec::new();
-        let mut i_classic = Vec::new();
-        for entry in &suite.entries {
-            let prepared = entry.prepare();
-            let unit = simulate(&prepared, &SimConfig::new(model, et).with_p(p));
-            let classic = simulate(
-                &prepared,
-                &SimConfig::new(model, et)
-                    .with_p(p)
-                    .with_latency(LatencyModel::CLASSIC),
-            );
-            s_unit.push(unit.speedup());
-            s_classic.push(classic.speedup());
-            i_unit.push(unit.ipc());
-            i_classic.push(classic.ipc());
-        }
+    for (mi, model) in lat_models.iter().enumerate() {
+        let group = &lat_flat[mi * num_b..(mi + 1) * num_b];
+        let col = |f: fn(&(f64, f64, f64, f64)) -> f64| {
+            f2(harmonic_mean(&group.iter().map(f).collect::<Vec<f64>>()))
+        };
         lat.row(vec![
             model.name().into(),
-            f2(harmonic_mean(&s_unit)),
-            f2(harmonic_mean(&s_classic)),
-            f2(harmonic_mean(&i_unit)),
-            f2(harmonic_mean(&i_classic)),
+            col(|c| c.0),
+            col(|c| c.1),
+            col(|c| c.2),
+            col(|c| c.3),
         ]);
     }
     println!("{}", lat.render());
 
     println!("Explicit PE limits (DEE-CD-MF, unit latency, E_T = {et}):\n");
-    let mut pes = TextTable::new(&["max PEs/cycle", "HM speedup"]);
-    for cap in [2u32, 4, 8, 16, 32, 64] {
-        let values: Vec<f64> = suite
-            .entries
-            .iter()
-            .map(|e| {
-                let prepared = e.prepare();
-                simulate(
-                    &prepared,
-                    &SimConfig::new(Model::DeeCdMf, et)
-                        .with_p(p)
-                        .with_max_pe(cap),
-                )
-                .speedup()
-            })
-            .collect();
-        pes.row(vec![cap.to_string(), f2(harmonic_mean(&values))]);
+    let caps: [Option<u32>; 7] = [
+        Some(2),
+        Some(4),
+        Some(8),
+        Some(16),
+        Some(32),
+        Some(64),
+        None,
+    ];
+    let mut pe_cells: Vec<(Option<u32>, usize)> = Vec::new();
+    for &cap in &caps {
+        for b in 0..num_b {
+            pe_cells.push((cap, b));
+        }
     }
-    let unlimited: Vec<f64> = suite
-        .entries
-        .iter()
-        .map(|e| {
-            let prepared = e.prepare();
-            simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p)).speedup()
-        })
-        .collect();
-    pes.row(vec!["unlimited".into(), f2(harmonic_mean(&unlimited))]);
+    let pe_flat = pool::run_sweep(
+        "ablation_future_pe",
+        jobs,
+        pe_cells
+            .iter()
+            .map(|&(cap, b)| {
+                let prepared = Arc::clone(&prepared[b]);
+                move || {
+                    let mut config = SimConfig::new(Model::DeeCdMf, et).with_p(p);
+                    if let Some(cap) = cap {
+                        config = config.with_max_pe(cap);
+                    }
+                    simulate(&prepared, &config).speedup()
+                }
+            })
+            .collect(),
+    );
+    let mut pes = TextTable::new(&["max PEs/cycle", "HM speedup"]);
+    for (ci, &cap) in caps.iter().enumerate() {
+        let label = cap.map_or("unlimited".to_string(), |c| c.to_string());
+        let hm = harmonic_mean(&pe_flat[ci * num_b..(ci + 1) * num_b]);
+        pes.row(vec![label, f2(hm)]);
+    }
     println!("{}", pes.render());
 
     println!("Levo per-row predictor (§4.3), 3 x 1-col DEE paths:\n");
+    let levo_flat = pool::run_sweep(
+        "ablation_future_levo",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|entry| {
+                move || {
+                    let w = &entry.workload;
+                    let two_bit = Levo::new(LevoConfig::default())
+                        .run(&w.program, &w.initial_memory)
+                        .expect("levo 2bc runs");
+                    let pap = Levo::new(LevoConfig {
+                        predictor: PredictorKind::PapSpeculative,
+                        ..LevoConfig::default()
+                    })
+                    .run(&w.program, &w.initial_memory)
+                    .expect("levo pap runs");
+                    assert_eq!(two_bit.output, w.expected_output);
+                    assert_eq!(pap.output, w.expected_output);
+                    (two_bit.ipc(), pap.ipc())
+                }
+            })
+            .collect(),
+    );
     let mut pred = TextTable::new(&["benchmark", "ipc 2bc", "ipc pap-spec"]);
-    for entry in &suite.entries {
-        let w = &entry.workload;
-        let two_bit = Levo::new(LevoConfig::default())
-            .run(&w.program, &w.initial_memory)
-            .expect("levo 2bc runs");
-        let pap = Levo::new(LevoConfig {
-            predictor: PredictorKind::PapSpeculative,
-            ..LevoConfig::default()
-        })
-        .run(&w.program, &w.initial_memory)
-        .expect("levo pap runs");
-        assert_eq!(two_bit.output, w.expected_output);
-        assert_eq!(pap.output, w.expected_output);
-        pred.row(vec![w.name.into(), f2(two_bit.ipc()), f2(pap.ipc())]);
+    for (entry, &(two_bit, pap)) in suite.entries.iter().zip(&levo_flat) {
+        pred.row(vec![entry.workload.name.into(), f2(two_bit), f2(pap)]);
     }
     println!("{}", pred.render());
 

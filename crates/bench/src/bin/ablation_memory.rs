@@ -9,9 +9,11 @@
 //! *equally slowed* sequential machine, so they isolate the models'
 //! latency tolerance.
 //!
-//! Usage: `ablation_memory [tiny|small|medium|large]`.
+//! Usage: `ablation_memory [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, pct, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pct, pool, scale_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 use dee_mem::{annotate_latencies, CacheConfig, MemoryHierarchy};
 
@@ -19,6 +21,7 @@ const MISS_PENALTY: u32 = 10;
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
@@ -45,40 +48,91 @@ fn main() {
     ];
 
     println!("Data-cache hit rates (miss penalty {MISS_PENALTY} cycles):\n");
+    // One cell per benchmark: replay both finite caches over the trace.
+    let rate_cells = pool::run_sweep(
+        "ablation_memory_rates",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|entry| {
+                let finite: Vec<CacheConfig> = configs
+                    .iter()
+                    .skip(1)
+                    .map(|(_, c)| c.expect("cache config"))
+                    .collect();
+                move || {
+                    let mut rates = Vec::new();
+                    let mut refs = 0;
+                    for config in finite {
+                        let mut hierarchy = MemoryHierarchy::new(config, 1, MISS_PENALTY);
+                        let _ = annotate_latencies(&entry.trace, &mut hierarchy);
+                        rates.push(hierarchy.stats().hit_rate());
+                        refs = hierarchy.stats().accesses;
+                    }
+                    (rates, refs)
+                }
+            })
+            .collect(),
+    );
     let mut rates = TextTable::new(&["benchmark", "8KiB 2-way", "1KiB 1-way", "mem refs"]);
-    for entry in &suite.entries {
+    for (entry, (hit_rates, refs)) in suite.entries.iter().zip(&rate_cells) {
         let mut cells = vec![entry.workload.name.to_string()];
-        let mut refs = 0;
-        for (_, config) in configs.iter().skip(1) {
-            let mut hierarchy =
-                MemoryHierarchy::new(config.expect("cache config"), 1, MISS_PENALTY);
-            let _ = annotate_latencies(&entry.trace, &mut hierarchy);
-            cells.push(pct(hierarchy.stats().hit_rate()));
-            refs = hierarchy.stats().accesses;
-        }
+        cells.extend(hit_rates.iter().map(|&r| pct(r)));
         cells.push(refs.to_string());
         rates.row(cells);
     }
     println!("{}", rates.render());
 
     println!("Harmonic-mean speedups at E_T = {et} (p = {}):\n", f2(p));
-    let mut t = TextTable::new(&["memory system", "SP", "SP-CD-MF", "DEE-CD-MF", "Oracle"]);
-    for (name, cache) in configs {
-        let mut cells = vec![name.to_string()];
-        for model in [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle] {
-            let values: Vec<f64> = suite
-                .entries
-                .iter()
-                .map(|entry| {
-                    let mut prepared = entry.prepare();
+    // Each benchmark is prepared once; a (memory system, benchmark) cell
+    // clones the shared base (a cheap borrow copy), attaches that cache's
+    // measured latencies, and runs all four models on it.
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "ablation_memory_prepare",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+    let models = [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle];
+    let num_b = prepared.len();
+    let mut grid: Vec<(usize, usize)> = Vec::new();
+    for ci in 0..configs.len() {
+        for b in 0..num_b {
+            grid.push((ci, b));
+        }
+    }
+    let flat = pool::run_sweep(
+        "ablation_memory",
+        jobs,
+        grid.iter()
+            .map(|&(ci, b)| {
+                let cache = configs[ci].1;
+                let entry = &suite.entries[b];
+                let base = Arc::clone(&prepared[b]);
+                move || {
+                    let mut prepared = (*base).clone();
                     if let Some(config) = cache {
                         let mut hierarchy = MemoryHierarchy::new(config, 1, MISS_PENALTY);
                         let lats = annotate_latencies(&entry.trace, &mut hierarchy);
                         prepared = prepared.with_mem_latencies(lats);
                     }
-                    simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
-                })
-                .collect();
+                    models.map(|model| {
+                        simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
+                    })
+                }
+            })
+            .collect(),
+    );
+    let mut t = TextTable::new(&["memory system", "SP", "SP-CD-MF", "DEE-CD-MF", "Oracle"]);
+    for (ci, (name, _)) in configs.iter().enumerate() {
+        let group = &flat[ci * num_b..(ci + 1) * num_b];
+        let mut cells = vec![(*name).to_string()];
+        for mi in 0..models.len() {
+            let values: Vec<f64> = group.iter().map(|c| c[mi]).collect();
             cells.push(f2(harmonic_mean(&values)));
         }
         t.row(cells);

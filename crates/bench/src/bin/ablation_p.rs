@@ -13,9 +13,11 @@
 //! that differ from the trace's measured accuracy, showing how mis-sizing
 //! the static tree costs performance.
 //!
-//! Usage: `ablation_p [tiny|small|medium|large]`.
+//! Usage: `ablation_p [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
 use dee_core::{SpecTree, StaticTree, Strategy, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
@@ -45,6 +47,7 @@ fn main() {
     println!("{}", shape.render());
 
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let measured = suite.characteristic_accuracy();
@@ -52,26 +55,53 @@ fn main() {
         "DEE-CD-MF sensitivity to the assumed tree accuracy (measured p = {}):\n",
         f2(measured)
     );
-    let mut sens = TextTable::new(&["assumed p", "HM speedup @100"]);
-    for assumed in [0.60, 0.75, measured, 0.95, 0.99] {
-        let values: Vec<f64> = suite
+
+    // The serial version re-prepared every trace once per assumed p;
+    // preparation is p-independent, so hoist it and share per workload.
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "ablation_p_prepare",
+        jobs,
+        suite
             .entries
             .iter()
-            .map(|e| {
-                let prepared = e.prepare();
-                simulate(
-                    &prepared,
-                    &SimConfig::new(Model::DeeCdMf, et).with_p(assumed),
-                )
-                .speedup()
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+    let assumed_ps = [0.60, 0.75, measured, 0.95, 0.99];
+    let num_b = prepared.len();
+    let mut cells: Vec<(f64, usize)> = Vec::new();
+    for &assumed in &assumed_ps {
+        for b in 0..num_b {
+            cells.push((assumed, b));
+        }
+    }
+    let flat = pool::run_sweep(
+        "ablation_p",
+        jobs,
+        cells
+            .iter()
+            .map(|&(assumed, b)| {
+                let prepared = Arc::clone(&prepared[b]);
+                move || {
+                    simulate(
+                        &prepared,
+                        &SimConfig::new(Model::DeeCdMf, et).with_p(assumed),
+                    )
+                    .speedup()
+                }
             })
-            .collect();
+            .collect(),
+    );
+
+    let mut sens = TextTable::new(&["assumed p", "HM speedup @100"]);
+    for (ai, &assumed) in assumed_ps.iter().enumerate() {
         let label = if (assumed - measured).abs() < 1e-9 {
             format!("{} (measured)", f2(assumed))
         } else {
             f2(assumed)
         };
-        sens.row(vec![label, f2(harmonic_mean(&values))]);
+        let hm = harmonic_mean(&flat[ai * num_b..(ai + 1) * num_b]);
+        sens.row(vec![label, f2(hm)]);
     }
     println!("{}", sens.render());
     let path = shape.write_csv("ablation_p_shape.csv").expect("csv");

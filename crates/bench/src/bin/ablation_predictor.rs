@@ -9,58 +9,76 @@
 //! own measured accuracy. The DEE advantage should survive every
 //! predictor, largest where prediction is worst.
 //!
-//! Usage: `ablation_predictor [tiny|small|medium|large]`.
+//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, pct, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, BenchEntry, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, PreparedTrace, SimConfig};
 use dee_predict::{BranchPredictor, Btfn, Gshare, PapAdaptive, TwoBitCounter};
 
+/// Prepares one entry under one predictor kind; the prepared trace is
+/// shared by the SP-CD-MF and DEE-CD-MF simulations of the cell.
+fn run_cell(kind: &str, entry: &BenchEntry, et: u32) -> (f64, f64, f64) {
+    let mut predictor: Box<dyn BranchPredictor> = match kind {
+        "btfn" => {
+            let targets: Vec<(u32, u32)> = entry
+                .workload
+                .program
+                .iter()
+                .filter_map(|(pc, i)| {
+                    i.static_target()
+                        .filter(|_| i.is_cond_branch())
+                        .map(|t| (pc, t))
+                })
+                .collect();
+            Box::new(Btfn::new(&targets))
+        }
+        "2bc" => Box::new(TwoBitCounter::new()),
+        "pap-spec" => Box::new(PapAdaptive::with_config(2, true)),
+        _ => Box::new(Gshare::default()),
+    };
+    let prepared =
+        PreparedTrace::with_predictor(&entry.workload.program, &entry.trace, predictor.as_mut());
+    let p = prepared.accuracy();
+    let sp = simulate(&prepared, &SimConfig::new(Model::SpCdMf, et).with_p(p)).speedup();
+    let dee = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p)).speedup();
+    (p, sp, dee)
+}
+
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let et = 100;
 
     println!("Predictor tradeoff at E_T = {et} (harmonic means):\n");
-    let mut t = TextTable::new(&["predictor", "accuracy", "SP-CD-MF", "DEE-CD-MF", "DEE gain"]);
     let kinds: [&str; 4] = ["btfn", "2bc", "pap-spec", "gshare"];
+    let mut cells: Vec<(&str, &BenchEntry)> = Vec::new();
     for kind in kinds {
-        let mut accs = Vec::new();
-        let mut sp = Vec::new();
-        let mut dee = Vec::new();
         for entry in &suite.entries {
-            let mut predictor: Box<dyn BranchPredictor> = match kind {
-                "btfn" => {
-                    let targets: Vec<(u32, u32)> = entry
-                        .workload
-                        .program
-                        .iter()
-                        .filter_map(|(pc, i)| {
-                            i.static_target()
-                                .filter(|_| i.is_cond_branch())
-                                .map(|t| (pc, t))
-                        })
-                        .collect();
-                    Box::new(Btfn::new(&targets))
-                }
-                "2bc" => Box::new(TwoBitCounter::new()),
-                "pap-spec" => Box::new(PapAdaptive::with_config(2, true)),
-                _ => Box::new(Gshare::default()),
-            };
-            let prepared = PreparedTrace::with_predictor(
-                &entry.workload.program,
-                &entry.trace,
-                predictor.as_mut(),
-            );
-            let p = prepared.accuracy();
-            accs.push(p);
-            sp.push(simulate(&prepared, &SimConfig::new(Model::SpCdMf, et).with_p(p)).speedup());
-            dee.push(simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p)).speedup());
+            cells.push((kind, entry));
         }
+    }
+    let flat = pool::run_sweep(
+        "ablation_predictor",
+        jobs,
+        cells
+            .iter()
+            .map(|&(kind, entry)| move || run_cell(kind, entry, et))
+            .collect(),
+    );
+
+    let mut t = TextTable::new(&["predictor", "accuracy", "SP-CD-MF", "DEE-CD-MF", "DEE gain"]);
+    let num_b = suite.entries.len();
+    for (ki, kind) in kinds.iter().enumerate() {
+        let group = &flat[ki * num_b..(ki + 1) * num_b];
+        let accs: Vec<f64> = group.iter().map(|c| c.0).collect();
+        let sp: Vec<f64> = group.iter().map(|c| c.1).collect();
+        let dee: Vec<f64> = group.iter().map(|c| c.2).collect();
         let sp_hm = harmonic_mean(&sp);
         let dee_hm = harmonic_mean(&dee);
         t.row(vec![
-            kind.into(),
+            (*kind).into(),
             pct(harmonic_mean(&accs)),
             f2(sp_hm),
             f2(dee_hm),

@@ -8,14 +8,17 @@
 //! E_T = 100 and sweeps `h_DEE` directly (with `l = E_T − h(h+1)/2`),
 //! comparing each shape's DEE-CD-MF speedup against the heuristic's pick.
 //!
-//! Usage: `ablation_shape [tiny|small|medium|large]`.
+//! Usage: `ablation_shape [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
@@ -31,28 +34,60 @@ fn main() {
         heuristic.mainline_len(),
         heuristic.h_dee()
     );
-    let mut t = TextTable::new(&["h_DEE", "l", "HM speedup", "note"]);
-    let mut best = (0u32, 0.0f64);
-    for h in [0u32, 2, 4, 6, 8, 10, 11, 12, 13]
-        .into_iter()
-        .filter(|h| h * (h + 1) / 2 < et)
-    {
-        let l = et - h * (h + 1) / 2;
-        let values: Vec<f64> = suite
+
+    // Each trace is prepared once (the serial version re-prepared it for
+    // every swept h, and again for the heuristic comparison).
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "ablation_shape_prepare",
+        jobs,
+        suite
             .entries
             .iter()
-            .map(|e| {
-                let prepared = e.prepare();
-                simulate(
-                    &prepared,
-                    &SimConfig::new(Model::DeeCdMf, et)
-                        .with_p(p)
-                        .with_dee_shape(l, h),
-                )
-                .speedup()
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+    let hs: Vec<u32> = [0u32, 2, 4, 6, 8, 10, 11, 12, 13]
+        .into_iter()
+        .filter(|h| h * (h + 1) / 2 < et)
+        .collect();
+    // Swept shapes, plus the heuristic's own (l, h) as a final extra cell
+    // group for the "within x% of best" comparison.
+    let mut shapes: Vec<(u32, u32)> = hs.iter().map(|&h| (et - h * (h + 1) / 2, h)).collect();
+    shapes.push((heuristic.mainline_len(), heuristic.h_dee()));
+
+    let num_b = prepared.len();
+    let mut cells: Vec<(u32, u32, usize)> = Vec::new();
+    for &(l, h) in &shapes {
+        for b in 0..num_b {
+            cells.push((l, h, b));
+        }
+    }
+    let flat = pool::run_sweep(
+        "ablation_shape",
+        jobs,
+        cells
+            .iter()
+            .map(|&(l, h, b)| {
+                let prepared = Arc::clone(&prepared[b]);
+                move || {
+                    simulate(
+                        &prepared,
+                        &SimConfig::new(Model::DeeCdMf, et)
+                            .with_p(p)
+                            .with_dee_shape(l, h),
+                    )
+                    .speedup()
+                }
             })
-            .collect();
-        let hm = harmonic_mean(&values);
+            .collect(),
+    );
+    let hm_of_shape = |si: usize| harmonic_mean(&flat[si * num_b..(si + 1) * num_b]);
+
+    let mut t = TextTable::new(&["h_DEE", "l", "HM speedup", "note"]);
+    let mut best = (0u32, 0.0f64);
+    for (si, &h) in hs.iter().enumerate() {
+        let l = et - h * (h + 1) / 2;
+        let hm = hm_of_shape(si);
         if hm > best.1 {
             best = (h, hm);
         }
@@ -68,28 +103,10 @@ fn main() {
         "best swept shape: h = {} at {}x; heuristic is within {:.1}% of it",
         best.0,
         f2(best.1),
-        100.0 * (1.0 - hm_of(&suite, p, et, heuristic.mainline_len(), heuristic.h_dee()) / best.1)
+        100.0 * (1.0 - hm_of_shape(shapes.len() - 1) / best.1)
     );
     let path = t
         .write_csv(&format!("ablation_shape_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
-}
-
-fn hm_of(suite: &Suite, p: f64, et: u32, l: u32, h: u32) -> f64 {
-    let values: Vec<f64> = suite
-        .entries
-        .iter()
-        .map(|e| {
-            let prepared = e.prepare();
-            simulate(
-                &prepared,
-                &SimConfig::new(Model::DeeCdMf, et)
-                    .with_p(p)
-                    .with_dee_shape(l, h),
-            )
-            .speedup()
-        })
-        .collect();
-    harmonic_mean(&values)
 }

@@ -2,19 +2,26 @@
 //! five benchmarks, plus the harmonic mean and per-benchmark oracle
 //! speedups.
 //!
-//! Usage: `fig5 [tiny|small|medium|large]` (default small; the paper-grade
-//! run is `medium`). Writes `results/fig5_<scale>.csv`.
+//! Usage: `fig5 [tiny|small|medium|large] [--jobs N]` (default small; the
+//! paper-grade run is `medium`). Writes `results/fig5_<scale>.csv`.
 //!
 //! The DEE tree shape uses the suite's measured characteristic accuracy,
 //! following §3.1 step 1 (the paper measured 90.53% on SPECint92 with the
 //! same 2-bit counter scheme).
+//!
+//! Every (benchmark, model, E_T) cell fans through [`dee_bench::pool`];
+//! each benchmark is prepared exactly once and shared across its cells, so
+//! output is byte-identical for any `--jobs` count.
+
+use std::sync::Arc;
 
 use dee_bench::plot::{render_panels, write_svg, Panel, Series};
-use dee_bench::{f2, scale_from_args, Suite, TextTable, FIG5_RESOURCES};
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable, FIG5_RESOURCES};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
@@ -25,44 +32,85 @@ fn main() {
     );
 
     let models = Model::all_constrained();
-    let mut csv = TextTable::new(&["benchmark", "model", "et", "speedup"]);
+
+    // One prepared trace per workload, shared by every cell below.
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "fig5_prepare",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+
+    // Cell grid: the oracle for each benchmark, then (benchmark, model,
+    // E_T). Results come back in exactly this order regardless of --jobs.
+    let num_b = suite.entries.len();
+    let mut cells: Vec<(usize, Option<(Model, u32)>)> = Vec::new();
+    for b in 0..num_b {
+        cells.push((b, None));
+    }
+    for b in 0..num_b {
+        for model in models {
+            for &et in &FIG5_RESOURCES {
+                cells.push((b, Some((model, et))));
+            }
+        }
+    }
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(b, cfg)| {
+            let prepared = Arc::clone(&prepared[b]);
+            move || match cfg {
+                None => simulate(&prepared, &SimConfig::new(Model::Oracle, 0)).speedup(),
+                Some((model, et)) => {
+                    simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
+                }
+            }
+        })
+        .collect();
+    let flat = pool::run_sweep("fig5", jobs, tasks);
+
+    let oracles: Vec<f64> = flat[..num_b].to_vec();
     // speedups[benchmark][model][et]
-    let mut speedups: Vec<Vec<Vec<f64>>> = Vec::new();
-    let mut oracles: Vec<f64> = Vec::new();
+    let per_bench = models.len() * FIG5_RESOURCES.len();
+    let speedups: Vec<Vec<Vec<f64>>> = (0..num_b)
+        .map(|b| {
+            (0..models.len())
+                .map(|mi| {
+                    (0..FIG5_RESOURCES.len())
+                        .map(|ei| flat[num_b + b * per_bench + mi * FIG5_RESOURCES.len() + ei])
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
 
-    for entry in &suite.entries {
+    let mut csv = TextTable::new(&["benchmark", "model", "et", "speedup"]);
+    for (b, entry) in suite.entries.iter().enumerate() {
         let name = entry.workload.name;
-        eprintln!("simulating {name} ({} instrs)...", entry.trace.len());
-        let prepared = entry.prepare();
-        let oracle = simulate(&prepared, &SimConfig::new(Model::Oracle, 0));
-        oracles.push(oracle.speedup());
-
         let mut header: Vec<&str> = vec!["model"];
         let et_labels: Vec<String> = FIG5_RESOURCES.iter().map(u32::to_string).collect();
         header.extend(et_labels.iter().map(String::as_str));
         let mut table = TextTable::new(&header);
 
-        let mut per_model = Vec::new();
-        for model in models {
+        for (mi, model) in models.iter().enumerate() {
             let mut row_cells = vec![model.name().to_string()];
-            let mut row = Vec::new();
-            for &et in &FIG5_RESOURCES {
-                let out = simulate(&prepared, &SimConfig::new(model, et).with_p(p));
-                row.push(out.speedup());
-                row_cells.push(f2(out.speedup()));
+            for (ei, &et) in FIG5_RESOURCES.iter().enumerate() {
+                let speedup = speedups[b][mi][ei];
+                row_cells.push(f2(speedup));
                 csv.row(vec![
                     name.into(),
                     model.name().into(),
                     et.to_string(),
-                    format!("{:.4}", out.speedup()),
+                    format!("{speedup:.4}"),
                 ]);
             }
             table.row(row_cells);
-            per_model.push(row);
         }
-        speedups.push(per_model);
 
-        println!("{name}  (oracle speedup: {})", f2(oracle.speedup()));
+        println!("{name}  (oracle speedup: {})", f2(oracles[b]));
         println!("{}", table.render());
     }
 

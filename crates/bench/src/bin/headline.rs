@@ -9,45 +9,82 @@
 //! * DEE-CD-MF @ 32 stays high (paper: 26×, the "Levo could be built with
 //!   only 32 branch paths" observation).
 //!
-//! Usage: `headline [tiny|small|medium|large]`.
+//! Usage: `headline [tiny|small|medium|large] [--jobs N]`.
+//!
+//! Each benchmark is prepared once and shared across all nine statistic
+//! points via [`dee_bench::pool`]; output is byte-identical for any
+//! `--jobs` count.
 
-use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
-fn hm_at(suite: &Suite, model: Model, et: u32, p: f64) -> f64 {
-    let values: Vec<f64> = suite
-        .entries
-        .iter()
-        .map(|e| {
-            let prepared = e.prepare();
-            simulate(&prepared, &SimConfig::new(model, et).with_p(p)).speedup()
-        })
-        .collect();
-    harmonic_mean(&values)
-}
+/// The nine (model, E_T) statistic points, in reporting order. The oracle
+/// is encoded as `(Oracle, 0)`.
+const POINTS: [(Model, u32); 9] = [
+    (Model::DeeCdMf, 100),
+    (Model::Sp, 100),
+    (Model::Ee, 100),
+    (Model::DeeCdMf, 32),
+    (Model::DeeCdMf, 8),
+    (Model::Ee, 256),
+    (Model::Sp, 16),
+    (Model::Sp, 256),
+    (Model::Oracle, 0),
+];
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
 
     eprintln!("simulating...");
-    let dee100 = hm_at(&suite, Model::DeeCdMf, 100, p);
-    let sp100 = hm_at(&suite, Model::Sp, 100, p);
-    let ee100 = hm_at(&suite, Model::Ee, 100, p);
-    let dee32 = hm_at(&suite, Model::DeeCdMf, 32, p);
-    let dee8 = hm_at(&suite, Model::DeeCdMf, 8, p);
-    let ee256 = hm_at(&suite, Model::Ee, 256, p);
-    let sp16 = hm_at(&suite, Model::Sp, 16, p);
-    let sp256 = hm_at(&suite, Model::Sp, 256, p);
-    let oracle = harmonic_mean(
-        &suite
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "headline_prepare",
+        jobs,
+        suite
             .entries
             .iter()
-            .map(|e| simulate(&e.prepare(), &SimConfig::new(Model::Oracle, 0)).speedup())
-            .collect::<Vec<f64>>(),
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
     );
+
+    let num_b = prepared.len();
+    let mut cells: Vec<(usize, Model, u32)> = Vec::new();
+    for (model, et) in POINTS {
+        for b in 0..num_b {
+            cells.push((b, model, et));
+        }
+    }
+    let tasks: Vec<_> = cells
+        .iter()
+        .map(|&(b, model, et)| {
+            let prepared = Arc::clone(&prepared[b]);
+            move || {
+                let config = if model == Model::Oracle {
+                    SimConfig::new(Model::Oracle, 0)
+                } else {
+                    SimConfig::new(model, et).with_p(p)
+                };
+                simulate(&prepared, &config).speedup()
+            }
+        })
+        .collect();
+    let flat = pool::run_sweep("headline", jobs, tasks);
+    let hm_at = |point: usize| harmonic_mean(&flat[point * num_b..(point + 1) * num_b]);
+
+    let dee100 = hm_at(0);
+    let sp100 = hm_at(1);
+    let ee100 = hm_at(2);
+    let dee32 = hm_at(3);
+    let dee8 = hm_at(4);
+    let ee256 = hm_at(5);
+    let sp16 = hm_at(6);
+    let sp256 = hm_at(7);
+    let oracle = hm_at(8);
 
     println!(
         "§5.3 headline statistics (harmonic means, {scale:?} scale, p = {})\n",

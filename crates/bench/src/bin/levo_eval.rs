@@ -7,18 +7,59 @@
 //! model — every configuration is validated to produce bit-identical
 //! program output.
 //!
-//! Usage: `levo_eval [tiny|small|medium|large]` (default small; Levo is a
-//! detailed model, so large scales take a while).
+//! Usage: `levo_eval [tiny|small|medium|large] [--jobs N]` (default small;
+//! Levo is a detailed model, so large scales take a while).
 
-use dee_bench::{f2, pct, scale_from_args, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, TextTable};
 use dee_levo::{Levo, LevoConfig};
-use dee_workloads::{all_workloads, Scale};
+use dee_workloads::{all_workloads, Scale, Workload};
+
+/// Runs one Levo configuration on one workload and validates its output.
+fn run_validated(w: &Workload, config: LevoConfig, what: &str) -> dee_levo::LevoReport {
+    let report = Levo::new(config)
+        .run(&w.program, &w.initial_memory)
+        .unwrap_or_else(|e| panic!("{}: {what} failed: {e}", w.name));
+    assert_eq!(
+        report.output, w.expected_output,
+        "{}: {what} output",
+        w.name
+    );
+    report
+}
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     let workloads = all_workloads(scale);
 
     println!("Levo machine model ({scale:?} scale)\n");
+    // One cell per (workload, configuration) — Levo runs dominate this
+    // binary's wall-clock, so they all fan through the pool.
+    type ConfigMaker = fn() -> LevoConfig;
+    let configs: [(&str, ConfigMaker); 3] = [
+        ("condel2", LevoConfig::condel2),
+        ("3x1", LevoConfig::default),
+        ("11x2", LevoConfig::levo_100),
+    ];
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for ci in 0..configs.len() {
+            cells.push((wi, ci));
+        }
+    }
+    let flat = pool::run_sweep(
+        "levo_eval",
+        jobs,
+        cells
+            .iter()
+            .map(|&(wi, ci)| {
+                let w = &workloads[wi];
+                let (what, make) = configs[ci];
+                move || run_validated(w, make(), what)
+            })
+            .collect(),
+    );
+
     let mut t = TextTable::new(&[
         "benchmark",
         "ipc condel2",
@@ -28,20 +69,10 @@ fn main() {
         "injected",
         "loop capture",
     ]);
-    for w in &workloads {
-        eprintln!("running {} on three configurations...", w.name);
-        let base = Levo::new(LevoConfig::condel2())
-            .run(&w.program, &w.initial_memory)
-            .expect("condel2 runs");
-        let small = Levo::new(LevoConfig::default())
-            .run(&w.program, &w.initial_memory)
-            .expect("3x1 runs");
-        let large = Levo::new(LevoConfig::levo_100())
-            .run(&w.program, &w.initial_memory)
-            .expect("11x2 runs");
-        assert_eq!(base.output, w.expected_output, "{}: condel2 output", w.name);
-        assert_eq!(small.output, w.expected_output, "{}: 3x1 output", w.name);
-        assert_eq!(large.output, w.expected_output, "{}: 11x2 output", w.name);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &flat[wi * configs.len()];
+        let small = &flat[wi * configs.len() + 1];
+        let large = &flat[wi * configs.len() + 2];
         let covered = if large.mispredicts == 0 {
             "-".to_string()
         } else {
@@ -61,21 +92,33 @@ fn main() {
     println!("(paper §4.2: >70% of backward-branch loops fit an IQ of 32 rows)\n");
 
     println!("IQ geometry sweep (xlisp, DEE 3x1):");
-    let mut g = TextTable::new(&["n x m", "ipc", "window shifts", "squashed"]);
     let w = workloads
         .iter()
         .find(|w| w.name == "xlisp")
         .expect("xlisp present");
-    for (n, m) in [(16, 4), (16, 8), (32, 4), (32, 8), (64, 8), (64, 16)] {
-        let config = LevoConfig {
-            n,
-            m,
-            ..LevoConfig::default()
-        };
-        let report = Levo::new(config)
-            .run(&w.program, &w.initial_memory)
-            .expect("geometry runs");
-        assert_eq!(report.output, w.expected_output);
+    let geometries = [(16, 4), (16, 8), (32, 4), (32, 8), (64, 8), (64, 16)];
+    let geo_flat = pool::run_sweep(
+        "levo_eval_geometry",
+        jobs,
+        geometries
+            .iter()
+            .map(|&(n, m)| {
+                move || {
+                    run_validated(
+                        w,
+                        LevoConfig {
+                            n,
+                            m,
+                            ..LevoConfig::default()
+                        },
+                        "geometry",
+                    )
+                }
+            })
+            .collect(),
+    );
+    let mut g = TextTable::new(&["n x m", "ipc", "window shifts", "squashed"]);
+    for (&(n, m), report) in geometries.iter().zip(&geo_flat) {
         g.row(vec![
             format!("{n}x{m}"),
             f2(report.ipc()),
@@ -86,16 +129,28 @@ fn main() {
     println!("{}", g.render());
 
     println!("DEE path count sweep (xlisp, 1-column paths):");
+    let path_counts = [0usize, 1, 2, 3, 5, 8, 11];
+    let dee_flat = pool::run_sweep(
+        "levo_eval_dee_paths",
+        jobs,
+        path_counts
+            .iter()
+            .map(|&paths| {
+                move || {
+                    run_validated(
+                        w,
+                        LevoConfig {
+                            dee_paths: paths,
+                            ..LevoConfig::default()
+                        },
+                        "dee sweep",
+                    )
+                }
+            })
+            .collect(),
+    );
     let mut d = TextTable::new(&["dee paths", "ipc", "covered mispredicts", "injected"]);
-    for paths in [0usize, 1, 2, 3, 5, 8, 11] {
-        let config = LevoConfig {
-            dee_paths: paths,
-            ..LevoConfig::default()
-        };
-        let report = Levo::new(config)
-            .run(&w.program, &w.initial_memory)
-            .expect("dee sweep runs");
-        assert_eq!(report.output, w.expected_output);
+    for (&paths, report) in path_counts.iter().zip(&dee_flat) {
         d.row(vec![
             paths.to_string(),
             f2(report.ipc()),

@@ -11,83 +11,89 @@
 //!   that needs each outcome before the next prediction degrades, while
 //!   PAp with *speculative* history update holds its accuracy.
 //!
-//! Usage: `predictor_accuracy [tiny|small|medium|large]`.
+//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{pct, scale_from_args, Suite, TextTable};
+use dee_bench::{pct, pool, scale_from_args, Suite, TextTable};
+use dee_isa::Program;
 use dee_predict::{
     measure_accuracy, measure_accuracy_delayed, AlwaysTaken, BranchPredictor, Btfn, Gshare,
     PapAdaptive, TwoBitCounter,
 };
+use dee_vm::Trace;
+
+/// The predictor column order of the accuracy table.
+const KINDS: [&str; 6] = ["always", "btfn", "2bc", "pap", "pap-spec", "gshare"];
+
+fn make_predictor(kind: &str, program: &Program) -> Box<dyn BranchPredictor> {
+    match kind {
+        "always" => Box::new(AlwaysTaken::new()),
+        "btfn" => {
+            let branch_targets: Vec<(u32, u32)> = program
+                .iter()
+                .filter_map(|(pc, i)| {
+                    i.static_target()
+                        .filter(|_| i.is_cond_branch())
+                        .map(|t| (pc, t))
+                })
+                .collect();
+            Box::new(Btfn::new(&branch_targets))
+        }
+        "2bc" => Box::new(TwoBitCounter::new()),
+        "pap" => Box::new(PapAdaptive::with_config(2, false)),
+        "pap-spec" => Box::new(PapAdaptive::with_config(2, true)),
+        _ => Box::new(Gshare::default()),
+    }
+}
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
 
     println!("Predictor accuracy per benchmark ({scale:?} scale)\n");
-    let mut t = TextTable::new(&[
-        "benchmark",
-        "always",
-        "btfn",
-        "2bc",
-        "pap",
-        "pap-spec",
-        "gshare",
-    ]);
-    for entry in &suite.entries {
-        let trace = &entry.trace;
-        let branch_targets: Vec<(u32, u32)> = entry
-            .workload
-            .program
-            .iter()
-            .filter_map(|(pc, i)| {
-                i.static_target()
-                    .filter(|_| i.is_cond_branch())
-                    .map(|t| (pc, t))
-            })
-            .collect();
-        let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
-            Box::new(AlwaysTaken::new()),
-            Box::new(Btfn::new(&branch_targets)),
-            Box::new(TwoBitCounter::new()),
-            Box::new(PapAdaptive::with_config(2, false)),
-            Box::new(PapAdaptive::with_config(2, true)),
-            Box::new(Gshare::default()),
-        ];
-        let mut cells = vec![entry.workload.name.to_string()];
-        for predictor in &mut predictors {
-            let report = measure_accuracy(predictor.as_mut(), trace);
-            cells.push(pct(report.accuracy()));
-        }
-        t.row(cells);
-    }
     // The sixth SPECint92 benchmark, excluded by the paper as "more
-    // predictable than the others" — shown here to reproduce the rationale.
-    {
-        let sc = dee_workloads::sc::build(suite.scale);
-        let trace = sc.validate().unwrap_or_else(|e| panic!("{e}"));
-        let branch_targets: Vec<(u32, u32)> = sc
-            .program
-            .iter()
-            .filter_map(|(pc, i)| {
-                i.static_target()
-                    .filter(|_| i.is_cond_branch())
-                    .map(|t| (pc, t))
-            })
-            .collect();
-        let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
-            Box::new(AlwaysTaken::new()),
-            Box::new(Btfn::new(&branch_targets)),
-            Box::new(TwoBitCounter::new()),
-            Box::new(PapAdaptive::with_config(2, false)),
-            Box::new(PapAdaptive::with_config(2, true)),
-            Box::new(Gshare::default()),
-        ];
-        let mut cells = vec!["sc (excluded)".to_string()];
-        for predictor in &mut predictors {
-            cells.push(pct(measure_accuracy(predictor.as_mut(), &trace).accuracy()));
+    // predictable than the others" — shown to reproduce the rationale.
+    let sc = dee_workloads::sc::build(suite.scale);
+    let sc_trace = sc.validate().unwrap_or_else(|e| panic!("{e}"));
+    let mut rows: Vec<(String, &Program, &Trace)> = suite
+        .entries
+        .iter()
+        .map(|e| (e.workload.name.to_string(), &e.workload.program, &e.trace))
+        .collect();
+    rows.push(("sc (excluded)".to_string(), &sc.program, &sc_trace));
+
+    // One cell per (benchmark, predictor).
+    let mut cells: Vec<(usize, &str)> = Vec::new();
+    for b in 0..rows.len() {
+        for kind in KINDS {
+            cells.push((b, kind));
         }
-        t.row(cells);
+    }
+    let flat = pool::run_sweep(
+        "predictor_accuracy",
+        jobs,
+        cells
+            .iter()
+            .map(|&(b, kind)| {
+                let program = rows[b].1;
+                let trace = rows[b].2;
+                move || measure_accuracy(make_predictor(kind, program).as_mut(), trace).accuracy()
+            })
+            .collect(),
+    );
+
+    let mut header = vec!["benchmark"];
+    header.extend(KINDS);
+    let mut t = TextTable::new(&header);
+    for (b, (name, _, _)) in rows.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(
+            flat[b * KINDS.len()..(b + 1) * KINDS.len()]
+                .iter()
+                .map(|&a| pct(a)),
+        );
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -96,22 +102,39 @@ fn main() {
     );
 
     println!("Delayed-resolution accuracy (2bc vs speculative PAp), §4.3:");
-    let mut d = TextTable::new(&["delay (branches)", "2bc", "pap-spec"]);
-    for delay in [0usize, 2, 4, 8, 16, 32] {
-        let mut counter_hits = 0u64;
-        let mut counter_total = 0u64;
-        let mut pap_hits = 0u64;
-        for entry in &suite.entries {
-            let c = measure_accuracy_delayed(&mut TwoBitCounter::new(), &entry.trace, delay);
-            counter_hits += c.hits;
-            counter_total += c.branches;
-            let s = measure_accuracy_delayed(
-                &mut PapAdaptive::with_config(2, true),
-                &entry.trace,
-                delay,
-            );
-            pap_hits += s.hits;
+    let delays = [0usize, 2, 4, 8, 16, 32];
+    let mut delay_cells: Vec<(usize, usize)> = Vec::new();
+    for &delay in &delays {
+        for b in 0..suite.entries.len() {
+            delay_cells.push((delay, b));
         }
+    }
+    let delay_flat = pool::run_sweep(
+        "predictor_delay",
+        jobs,
+        delay_cells
+            .iter()
+            .map(|&(delay, b)| {
+                let trace = &suite.entries[b].trace;
+                move || {
+                    let c = measure_accuracy_delayed(&mut TwoBitCounter::new(), trace, delay);
+                    let s = measure_accuracy_delayed(
+                        &mut PapAdaptive::with_config(2, true),
+                        trace,
+                        delay,
+                    );
+                    (c.hits, c.branches, s.hits)
+                }
+            })
+            .collect(),
+    );
+    let num_b = suite.entries.len();
+    let mut d = TextTable::new(&["delay (branches)", "2bc", "pap-spec"]);
+    for (di, &delay) in delays.iter().enumerate() {
+        let group = &delay_flat[di * num_b..(di + 1) * num_b];
+        let counter_hits: u64 = group.iter().map(|c| c.0).sum();
+        let counter_total: u64 = group.iter().map(|c| c.1).sum();
+        let pap_hits: u64 = group.iter().map(|c| c.2).sum();
         d.row(vec![
             delay.to_string(),
             pct(counter_hits as f64 / counter_total.max(1) as f64),

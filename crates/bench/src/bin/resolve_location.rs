@@ -13,14 +13,15 @@
 //! the -MF models spread slightly deeper but stay concentrated at the top
 //! of the tree, which is what makes the DEE paths effective.
 //!
-//! Usage: `resolve_location [tiny|small|medium|large]`.
+//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, pct, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, Suite, TextTable};
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{simulate, Model, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
     let p = suite.characteristic_accuracy();
@@ -46,10 +47,23 @@ fn main() {
         "mean level",
     ]);
     let mut agg = vec![0u64; 64];
-    for entry in &suite.entries {
-        let prepared = entry.prepare();
-        let out = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p));
-        let hist = &out.resolve_level_histogram;
+    // One cell per benchmark: prepare and simulate DEE-CD-MF @ E_T = 100.
+    let hists = pool::run_sweep(
+        "resolve_location",
+        jobs,
+        suite
+            .entries
+            .iter()
+            .map(|entry| {
+                move || {
+                    let prepared = entry.prepare();
+                    simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p))
+                        .resolve_level_histogram
+                }
+            })
+            .collect(),
+    );
+    for (entry, hist) in suite.entries.iter().zip(&hists) {
         for (k, &c) in hist.iter().enumerate() {
             agg[k] += c;
         }

@@ -9,33 +9,63 @@
 //! only with unbounded eager execution. This is exactly the cost explosion
 //! DEE's disjointness is designed to avoid.
 //!
-//! Usage: `riseman_foster [tiny|small|medium|large]`.
+//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N]`.
 
-use dee_bench::{f2, scale_from_args, Suite, TextTable};
+use std::sync::Arc;
+
+use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, riseman_foster};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let suite = Suite::load(scale);
 
     println!("Riseman-Foster sweep: branches bypassed vs harmonic-mean speedup");
     println!("(paper cites 25.65x at infinity for their benchmarks)\n");
-    let mut t = TextTable::new(&["branches bypassed", "HM speedup"]);
-    for bypassed in [0u32, 1, 2, 4, 8, 16, 64, 256, 4096] {
-        let values: Vec<f64> = suite
+
+    // Each benchmark is prepared once (the serial version re-prepared per
+    // bypassed count); every (bypassed, benchmark) cell shares it.
+    let prepared: Vec<Arc<_>> = pool::run_sweep(
+        "riseman_foster_prepare",
+        jobs,
+        suite
             .entries
             .iter()
-            .map(|e| riseman_foster(&e.prepare(), bypassed).speedup())
-            .collect();
-        t.row(vec![bypassed.to_string(), f2(harmonic_mean(&values))]);
+            .map(|e| move || Arc::new(e.prepare()))
+            .collect(),
+    );
+    let caps = [0u32, 1, 2, 4, 8, 16, 64, 256, 4096, u32::MAX];
+    let num_b = prepared.len();
+    let mut cells: Vec<(u32, usize)> = Vec::new();
+    for &cap in &caps {
+        for b in 0..num_b {
+            cells.push((cap, b));
+        }
     }
-    let unlimited: Vec<f64> = suite
-        .entries
-        .iter()
-        .map(|e| riseman_foster(&e.prepare(), u32::MAX).speedup())
-        .collect();
-    t.row(vec!["unlimited".into(), f2(harmonic_mean(&unlimited))]);
+    let flat = pool::run_sweep(
+        "riseman_foster",
+        jobs,
+        cells
+            .iter()
+            .map(|&(cap, b)| {
+                let prepared = Arc::clone(&prepared[b]);
+                move || riseman_foster(&prepared, cap).speedup()
+            })
+            .collect(),
+    );
+
+    let mut t = TextTable::new(&["branches bypassed", "HM speedup"]);
+    for (ci, &cap) in caps.iter().enumerate() {
+        let label = if cap == u32::MAX {
+            "unlimited".to_string()
+        } else {
+            cap.to_string()
+        };
+        let hm = harmonic_mean(&flat[ci * num_b..(ci + 1) * num_b]);
+        t.row(vec![label, f2(hm)]);
+    }
     println!("{}", t.render());
     let path = t
         .write_csv(&format!("riseman_foster_{scale:?}.csv").to_lowercase())

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+pub mod pool;
 pub mod timing;
 
 use std::fmt::Write as _;

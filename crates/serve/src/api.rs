@@ -98,6 +98,10 @@ fn scale_by_name(name: &str) -> Result<Scale, ApiError> {
     }
 }
 
+/// Every servable workload, for upfront validation of batch grids
+/// (checking a name must not build the workload — that is the cell's job).
+const WORKLOAD_NAMES: [&str; 6] = ["cc1", "compress", "eqntott", "espresso", "sc", "xlisp"];
+
 fn workload_by_name(name: &str, scale: Scale) -> Result<Workload, ApiError> {
     match name {
         "cc1" => Ok(dee_workloads::cc1::build(scale)),
@@ -236,6 +240,16 @@ pub fn prepared_for(
     Ok((entry, hit, label))
 }
 
+fn parse_latency(body: &Json) -> Result<LatencyModel, ApiError> {
+    match str_field(body, "latency") {
+        None | Some("unit") => Ok(LatencyModel::UNIT),
+        Some("classic") => Ok(LatencyModel::CLASSIC),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "unknown latency model `{other}`"
+        ))),
+    }
+}
+
 /// Renders one simulation outcome — the payload tests byte-compare.
 #[must_use]
 pub fn outcome_json(outcome: &SimOutcome) -> Json {
@@ -285,15 +299,7 @@ pub fn handle_simulate(
             .filter(|p| (0.0..=1.0).contains(p))
             .ok_or_else(|| ApiError::bad_request("`p` must be in [0, 1]"))?,
     };
-    let latency = match str_field(body, "latency") {
-        None | Some("unit") => LatencyModel::UNIT,
-        Some("classic") => LatencyModel::CLASSIC,
-        Some(other) => {
-            return Err(ApiError::bad_request(format!(
-                "unknown latency model `{other}`"
-            )))
-        }
-    };
+    let latency = parse_latency(body)?;
     let max_pe = u64_field(body, "max_pe", 0)?;
 
     let mut results = Vec::with_capacity(models.len());
@@ -318,6 +324,212 @@ pub fn handle_simulate(
         ("results", Json::Arr(results)),
     ]);
     Ok((response, hit))
+}
+
+/// One cell of a `POST /batch` grid: a fully resolved (workload, model,
+/// `E_T`) point plus the request-wide options it inherits. Every axis
+/// value is validated by [`parse_batch`] before any cell runs, so cells
+/// can be handed to the worker pool without re-checking names; the
+/// deterministic response order is the order [`parse_batch`] emits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchCell {
+    /// Workload name (known-good by construction).
+    pub workload: String,
+    /// Scale name shared by every cell.
+    pub scale: String,
+    /// The ILP model to run.
+    pub model: Model,
+    /// Branch-path resources; forced to 0 for `Oracle`.
+    pub et: u32,
+    /// Fixed prediction accuracy; `None` uses the trace's measured one.
+    pub p: Option<f64>,
+    /// Predictor for trace preparation; `None` means the default.
+    pub predictor: Option<String>,
+    /// Latency model shared by every cell.
+    pub latency: LatencyModel,
+    /// PE cap shared by every cell; 0 leaves PEs implicitly limited.
+    pub max_pe: u32,
+}
+
+/// Parses a `POST /batch` body into its grid of cells, in deterministic
+/// grid order: workloads (outer) × models × ets (inner).
+///
+/// `workloads` is required; `models` defaults to all eight, `ets` to
+/// `[100]`. `scale`, `p`, `predictor`, `latency`, and `max_pe` apply to
+/// every cell. Validation is all-upfront: a typo anywhere fails the whole
+/// request with `400` before a single cell is fanned out.
+///
+/// # Errors
+///
+/// `400` for missing/invalid axes or options.
+pub fn parse_batch(body: &Json) -> Result<Vec<BatchCell>, ApiError> {
+    let workloads: Vec<String> = match body.get("workloads") {
+        None => return Err(ApiError::bad_request("missing `workloads` array")),
+        Some(Json::Arr(items)) if !items.is_empty() => items
+            .iter()
+            .map(|v| {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("`workloads` must hold strings"))?;
+                if !WORKLOAD_NAMES.contains(&name) {
+                    return Err(ApiError::bad_request(format!("unknown workload `{name}`")));
+                }
+                Ok(name.to_string())
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "`workloads` must be a non-empty array",
+            ))
+        }
+    };
+    let scale_name = str_field(body, "scale").unwrap_or("tiny").to_string();
+    scale_by_name(&scale_name)?;
+    let models: Vec<Model> = match body.get("models") {
+        None => Model::all_constrained()
+            .into_iter()
+            .chain([Model::Oracle])
+            .collect(),
+        Some(Json::Arr(items)) if !items.is_empty() => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .and_then(model_by_name)
+                    .ok_or_else(|| ApiError::bad_request(format!("unknown model in `models`: {v}")))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(ApiError::bad_request("`models` must be a non-empty array")),
+    };
+    let ets: Vec<u32> = match body.get("ets") {
+        None => vec![100],
+        Some(Json::Arr(items)) if !items.is_empty() => items
+            .iter()
+            .map(|v| {
+                let et = v.as_u64().ok_or_else(|| {
+                    ApiError::bad_request("`ets` must hold non-negative integers")
+                })?;
+                if et > MAX_ET {
+                    return Err(ApiError::bad_request(format!(
+                        "`et` too large (max {MAX_ET})"
+                    )));
+                }
+                Ok(et as u32)
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(ApiError::bad_request("`ets` must be a non-empty array")),
+    };
+    if ets.contains(&0) && models.iter().any(|m| *m != Model::Oracle) {
+        return Err(ApiError::bad_request(
+            "`et` must be at least 1 for constrained models",
+        ));
+    }
+    let p = match body.get("p") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| ApiError::bad_request("`p` must be in [0, 1]"))?,
+        ),
+    };
+    let predictor = match str_field(body, "predictor") {
+        None => None,
+        Some(name) => {
+            predictor_by_name(name)?;
+            Some(name.to_string())
+        }
+    };
+    let latency = parse_latency(body)?;
+    let max_pe = u32::try_from(u64_field(body, "max_pe", 0)?)
+        .map_err(|_| ApiError::bad_request("`max_pe` too large"))?;
+    let mut cells = Vec::with_capacity(workloads.len() * models.len() * ets.len());
+    for workload in &workloads {
+        for &model in &models {
+            for &et in &ets {
+                cells.push(BatchCell {
+                    workload: workload.clone(),
+                    scale: scale_name.clone(),
+                    model,
+                    et,
+                    p,
+                    predictor: predictor.clone(),
+                    latency,
+                    max_pe,
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+fn batch_cell_identity(cell: &BatchCell) -> Vec<(&'static str, Json)> {
+    vec![
+        ("workload", Json::str(cell.workload.clone())),
+        ("model", Json::str(cell.model.name())),
+        ("et", Json::from(cell.et)),
+    ]
+}
+
+/// The body for a cell that failed outside [`run_batch_cell`] — the
+/// server uses it for panics caught at the cell boundary.
+#[must_use]
+pub fn batch_cell_error(cell: &BatchCell, message: &str) -> Json {
+    let mut members = batch_cell_identity(cell);
+    members.push(("error", Json::str(message.to_string())));
+    Json::obj(members)
+}
+
+/// Runs one batch cell against the shared prepared-trace cache.
+///
+/// Returns the cell's JSON — its identity plus either `result` (one
+/// [`outcome_json`] payload) or `error` — and whether trace preparation
+/// hit the cache (`None` when the cell failed before the cache answered).
+/// A failure here never fails the batch: it becomes that cell's `error`
+/// member, exactly like a panic caught at the boundary above.
+#[must_use]
+pub fn run_batch_cell(
+    cache: &PreparedCache,
+    cell: &BatchCell,
+    deadline: Instant,
+    faults: &FaultPlan,
+) -> (Json, Option<bool>) {
+    let mut source = vec![
+        ("workload", Json::str(cell.workload.clone())),
+        ("scale", Json::str(cell.scale.clone())),
+    ];
+    if let Some(predictor) = &cell.predictor {
+        source.push(("predictor", Json::str(predictor.clone())));
+    }
+    let source = Json::obj(source);
+    let mut hit = None;
+    let outcome = (|| {
+        let (entry, was_hit, _label) = prepared_for(cache, &source, faults)?;
+        hit = Some(was_hit);
+        if Instant::now() > deadline {
+            return Err(ApiError::deadline());
+        }
+        let p = cell.p.unwrap_or_else(|| entry.prepared.accuracy());
+        let et = if cell.model == Model::Oracle {
+            0
+        } else {
+            cell.et
+        };
+        let mut config = SimConfig::new(cell.model, et)
+            .with_p(p)
+            .with_latency(cell.latency);
+        if cell.max_pe > 0 {
+            config = config.with_max_pe(cell.max_pe);
+        }
+        Ok(outcome_json(&simulate(&entry.prepared, &config)))
+    })();
+    let mut members = batch_cell_identity(cell);
+    if let Some(h) = hit {
+        members.push(("cache", Json::str(if h { "hit" } else { "miss" })));
+    }
+    match outcome {
+        Ok(result) => members.push(("result", result)),
+        Err(e) => members.push(("error", Json::str(e.message))),
+    }
+    (Json::obj(members), hit)
 }
 
 /// Renders a static tree — the payload tests byte-compare.
@@ -687,5 +899,126 @@ mod tests {
     fn levo_rejects_invalid_config() {
         let body = parse(r#"{"workload":"xlisp","n":0}"#).unwrap();
         assert_eq!(handle_levo(&body, far_deadline()).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn batch_grid_order_is_workloads_models_ets() {
+        let body =
+            parse(r#"{"workloads":["xlisp","compress"],"models":["SP","Oracle"],"ets":[8,16]}"#)
+                .unwrap();
+        let cells = parse_batch(&body).unwrap();
+        let got: Vec<(String, &str, u32)> = cells
+            .iter()
+            .map(|c| (c.workload.clone(), c.model.name(), c.et))
+            .collect();
+        let expect = |w: &str, m: &'static str, et: u32| (w.to_string(), m, et);
+        assert_eq!(
+            got,
+            vec![
+                expect("xlisp", "SP", 8),
+                expect("xlisp", "SP", 16),
+                expect("xlisp", "Oracle", 8),
+                expect("xlisp", "Oracle", 16),
+                expect("compress", "SP", 8),
+                expect("compress", "SP", 16),
+                expect("compress", "Oracle", 8),
+                expect("compress", "Oracle", 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_defaults_to_all_models_and_et_100() {
+        let body = parse(r#"{"workloads":["xlisp"]}"#).unwrap();
+        let cells = parse_batch(&body).unwrap();
+        assert_eq!(cells.len(), 8, "7 constrained models + Oracle");
+        assert!(cells.iter().all(|c| c.et == 100));
+        assert_eq!(cells.last().unwrap().model, Model::Oracle);
+    }
+
+    #[test]
+    fn batch_validates_every_axis_upfront() {
+        for (body, needle) in [
+            (r#"{}"#, "missing `workloads`"),
+            (r#"{"workloads":[]}"#, "non-empty"),
+            (r#"{"workloads":["nope"]}"#, "unknown workload"),
+            (r#"{"workloads":["xlisp"],"scale":"huge"}"#, "unknown scale"),
+            (
+                r#"{"workloads":["xlisp"],"models":["warp"]}"#,
+                "unknown model",
+            ),
+            (r#"{"workloads":["xlisp"],"ets":[200000]}"#, "too large"),
+            (
+                r#"{"workloads":["xlisp"],"models":["SP"],"ets":[0]}"#,
+                "at least 1",
+            ),
+            (r#"{"workloads":["xlisp"],"p":1.5}"#, "[0, 1]"),
+            (
+                r#"{"workloads":["xlisp"],"predictor":"psychic"}"#,
+                "unknown predictor",
+            ),
+            (
+                r#"{"workloads":["xlisp"],"latency":"warp"}"#,
+                "unknown latency",
+            ),
+        ] {
+            let err = parse_batch(&parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(needle), "{body}: {}", err.message);
+        }
+        // Oracle alone tolerates et 0 (it ignores resources anyway).
+        let body = parse(r#"{"workloads":["xlisp"],"models":["oracle"],"ets":[0]}"#).unwrap();
+        assert_eq!(parse_batch(&body).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_cell_matches_handle_simulate() {
+        let cache = PreparedCache::new(8, 2);
+        let body =
+            parse(r#"{"workloads":["compress"],"models":["DEE-CD-MF"],"ets":[32]}"#).unwrap();
+        let cells = parse_batch(&body).unwrap();
+        assert_eq!(cells.len(), 1);
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert());
+        assert_eq!(hit, Some(false), "first cell prepares");
+        let single =
+            parse(r#"{"workload":"compress","scale":"tiny","model":"DEE-CD-MF","et":32}"#).unwrap();
+        let (expected, _) =
+            handle_simulate(&cache, &single, far_deadline(), &FaultPlan::inert()).unwrap();
+        let want = &expected.get("results").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            json.get("result").unwrap().to_string(),
+            want.to_string(),
+            "a batch cell is byte-identical to the single-shot endpoint"
+        );
+        assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert());
+        assert_eq!(hit, Some(true), "second run hits the cache");
+        assert_eq!(json.get("cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn batch_cell_failure_is_an_error_member_not_a_panic() {
+        use crate::faults::FaultSpec;
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workloads":["xlisp"],"models":["SP"],"ets":[8]}"#).unwrap();
+        let cells = parse_batch(&body).unwrap();
+        let plan = FaultPlan::new(5)
+            .arm(
+                FaultSite::TracePrepare,
+                FaultSpec {
+                    error_ppm: 1_000_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .with_fuse(1);
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan);
+        assert_eq!(hit, None, "cell failed before the cache answered");
+        let message = json.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains("trace_prepare"), "{message}");
+        assert_eq!(json.get("workload").and_then(Json::as_str), Some("xlisp"));
+        // The fuse burned; the same cell now runs clean.
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan);
+        assert_eq!(hit, Some(false));
+        assert!(json.get("result").is_some());
     }
 }

@@ -32,7 +32,8 @@ pub mod signal;
 pub mod stream;
 
 pub use api::{
-    handle_levo, handle_simulate, handle_tree, levo_json, outcome_json, tree_json, ApiError,
+    handle_levo, handle_simulate, handle_tree, levo_json, outcome_json, parse_batch,
+    run_batch_cell, tree_json, ApiError, BatchCell,
 };
 pub use cache::{CacheKey, PreparedCache, PreparedEntry};
 pub use faults::{FaultPlan, FaultSite, FaultSpec, Injected};

@@ -78,6 +78,12 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Prepared-trace cache misses (preparations performed).
     pub cache_misses: AtomicU64,
+    /// `POST /batch` grids fanned across the worker pool.
+    pub batch_requests: AtomicU64,
+    /// Batch grid cells executed (including per-cell failures).
+    pub batch_cells: AtomicU64,
+    /// Batch grids shed with `503` for exceeding `max_batch_cells`.
+    pub batch_rejected_oversize: AtomicU64,
     /// Highest queue depth observed.
     pub queue_depth_highwater: AtomicU64,
     /// End-to-end request latency (read → response flushed).
@@ -103,6 +109,9 @@ impl Metrics {
             breaker_fast_fails: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_cells: AtomicU64::new(0),
+            batch_rejected_oversize: AtomicU64::new(0),
             queue_depth_highwater: AtomicU64::new(0),
             latency: Histogram::new(),
             started: Instant::now(),
@@ -201,6 +210,21 @@ impl Metrics {
             "dee_prepared_cache_misses_total",
             "Prepared-trace cache misses.",
             load(&self.cache_misses),
+        );
+        counter(
+            "dee_batch_requests_total",
+            "POST /batch grids fanned across the worker pool.",
+            load(&self.batch_requests),
+        );
+        counter(
+            "dee_batch_cells_total",
+            "Batch grid cells executed.",
+            load(&self.batch_cells),
+        );
+        counter(
+            "dee_batch_rejected_oversize_total",
+            "Batch grids shed 503 for exceeding max_batch_cells.",
+            load(&self.batch_rejected_oversize),
         );
         counter(
             "dee_queue_depth_highwater",
@@ -305,5 +329,17 @@ mod tests {
         assert!(text.contains("dee_breaker_trips_total 1"));
         assert!(text.contains("dee_breaker_fast_fails_total 4"));
         assert!(text.contains("dee_read_timeouts_total 5"));
+    }
+
+    #[test]
+    fn render_exposes_batch_counters() {
+        let m = Metrics::new();
+        m.batch_requests.fetch_add(2, Ordering::Relaxed);
+        m.batch_cells.fetch_add(48, Ordering::Relaxed);
+        m.batch_rejected_oversize.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(text.contains("dee_batch_requests_total 2"));
+        assert!(text.contains("dee_batch_cells_total 48"));
+        assert!(text.contains("dee_batch_rejected_oversize_total 1"));
     }
 }

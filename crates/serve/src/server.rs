@@ -25,8 +25,8 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,10 @@ pub struct ServerConfig {
     pub breaker_cooldown: Duration,
     /// How often the supervisor checks for dead workers.
     pub supervisor_interval: Duration,
+    /// Largest `POST /batch` grid accepted; bigger grids are shed with
+    /// `503` before any cell runs (a grid is amplified load: one
+    /// connection, many simulations).
+    pub max_batch_cells: usize,
     /// Fault-injection plan; [`FaultPlan::inert`] in production.
     pub faults: Arc<FaultPlan>,
 }
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_millis(250),
             supervisor_interval: Duration::from_millis(10),
+            max_batch_cells: 256,
             faults: Arc::new(FaultPlan::inert()),
         }
     }
@@ -101,8 +106,48 @@ struct Job {
     accepted: Instant,
 }
 
+/// What the job queue carries. Connections are the unit of backpressure;
+/// batch-help markers are best-effort advertisements that a `/batch` grid
+/// has unclaimed cells (see [`BatchState`]) and are free to be dropped —
+/// the handling worker always drains the grid itself.
+enum Work {
+    /// Serve one accepted connection.
+    Conn(Job),
+    /// Help drain a batch grid's remaining cells.
+    BatchHelp(Arc<BatchState>),
+}
+
+/// A `POST /batch` grid being fanned across the worker pool.
+///
+/// The handling worker builds one, pushes best-effort [`Work::BatchHelp`]
+/// markers onto the job queue, then drains cells itself. Workers claim
+/// cell indices from the atomic injector and write results into per-index
+/// slots, so the response is assembled in grid order no matter which
+/// thread ran which cell or in what order cells finished — the same
+/// indexed-injector design as the sweep pool in `dee-bench` (DESIGN.md
+/// §8). Because the handler always participates until the injector is
+/// exhausted, the batch completes even if every marker is dropped (full
+/// queue, zero spare workers): no deadlock by construction. A marker
+/// popped after completion finds the injector exhausted and is a no-op.
+struct BatchState {
+    cells: Vec<api::BatchCell>,
+    deadline: Instant,
+    /// Cell injector: the next unclaimed cell index.
+    next: AtomicUsize,
+    /// Per-cell result slots, written in any order, read in grid order.
+    results: Vec<Mutex<Option<Json>>>,
+    /// Prepared-cache accounting across cells, for the response summary.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Completed cells; the handler waits on `all_done` until it reaches
+    /// `cells.len()` (helpers may still be finishing claimed cells after
+    /// the injector runs dry).
+    finished: Mutex<usize>,
+    all_done: Condvar,
+}
+
 struct Shared {
-    queue: Bounded<Job>,
+    queue: Bounded<Work>,
     cache: PreparedCache,
     metrics: Metrics,
     stop: AtomicBool,
@@ -114,6 +159,7 @@ struct Shared {
     breaker_threshold: u32,
     breaker_cooldown: Duration,
     supervisor_interval: Duration,
+    max_batch_cells: usize,
     faults: Arc<FaultPlan>,
     /// Worker slots, owned jointly by the supervisor (respawns) and
     /// shutdown (final join). `None` marks a slot being respawned.
@@ -167,6 +213,7 @@ impl Server {
             breaker_threshold: config.breaker_threshold,
             breaker_cooldown: config.breaker_cooldown,
             supervisor_interval: config.supervisor_interval,
+            max_batch_cells: config.max_batch_cells,
             faults: config.faults,
             slots: Mutex::new(Vec::new()),
         });
@@ -234,8 +281,13 @@ impl Server {
         for worker in handles {
             let _ = worker.join();
         }
-        for job in self.shared.queue.drain() {
-            refuse(job.stream, &self.shared.metrics);
+        for work in self.shared.queue.drain() {
+            match work {
+                Work::Conn(job) => refuse(job.stream, &self.shared.metrics),
+                // The handling worker owns batch completion; a drained
+                // marker is just a dropped advertisement.
+                Work::BatchHelp(_) => {}
+            }
         }
     }
 }
@@ -306,11 +358,12 @@ fn enqueue(shared: &Shared, stream: TcpStream) {
         stream,
         accepted: Instant::now(),
     };
-    match shared.queue.try_push(job) {
+    match shared.queue.try_push(Work::Conn(job)) {
         Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
-        Err(TryPushError::Full(job)) | Err(TryPushError::Closed(job)) => {
+        Err(TryPushError::Full(Work::Conn(job))) | Err(TryPushError::Closed(Work::Conn(job))) => {
             refuse(job.stream, &shared.metrics);
         }
+        Err(_) => unreachable!("enqueue only pushes connections"),
     }
 }
 
@@ -427,7 +480,17 @@ enum JobEnd {
 
 fn worker_loop(shared: &Arc<Shared>) {
     let mut breaker = Breaker::new(shared.breaker_threshold, shared.breaker_cooldown);
-    while let Some(job) = shared.queue.pop() {
+    while let Some(work) = shared.queue.pop() {
+        let job = match work {
+            Work::Conn(job) => job,
+            Work::BatchHelp(state) => {
+                // Cell failures are per-cell `error` members, not worker
+                // health signals, so helping bypasses the breaker; the
+                // fault sites inside each cell still fire normally.
+                batch_drain(shared, &state);
+                continue;
+            }
+        };
         if shared.faults.trip(FaultSite::QueuePop).is_some() {
             // Injected dequeue failure: shed the job like overload.
             refuse(job.stream, &shared.metrics);
@@ -584,10 +647,10 @@ fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'st
             text.push_str(&shared.faults.render_metrics());
             (200, TEXT, text)
         }
-        ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") => {
+        ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") | ("POST", "/batch") => {
             handle_api(shared, request, accepted)
         }
-        (_, "/healthz" | "/metrics" | "/simulate" | "/tree" | "/levo") => (
+        (_, "/healthz" | "/metrics" | "/simulate" | "/tree" | "/levo" | "/batch") => (
             405,
             JSON,
             Json::obj(vec![("error", Json::str("method not allowed"))]).to_string(),
@@ -642,11 +705,147 @@ fn handle_api(
             },
         ),
         "/tree" => api::handle_tree(&body),
+        "/batch" => handle_batch(shared, &body, deadline),
         _ => api::handle_levo(&body, deadline),
     };
     match result {
         Ok(json) => (200, JSON, json.to_string()),
         Err(e) => (e.status, JSON, e.to_json().to_string()),
+    }
+}
+
+/// `POST /batch` — fan a `workloads × models × ets` grid across the
+/// worker pool and answer with per-cell results in deterministic grid
+/// order. Reuses the single-shot machinery wholesale: each cell goes
+/// through [`api::prepared_for`]'s sharded cache (so a grid over few
+/// workloads pays each preparation once) and the same fault sites, and
+/// the whole grid shares the request's deadline.
+fn handle_batch(shared: &Shared, body: &Json, deadline: Instant) -> Result<Json, api::ApiError> {
+    let cells = api::parse_batch(body)?;
+    if cells.len() > shared.max_batch_cells {
+        shared
+            .metrics
+            .batch_rejected_oversize
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(api::ApiError {
+            status: 503,
+            message: format!(
+                "batch too large: {} cells (max {})",
+                cells.len(),
+                shared.max_batch_cells
+            ),
+        });
+    }
+    shared
+        .metrics
+        .batch_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let total = cells.len();
+    let state = Arc::new(BatchState {
+        results: (0..total).map(|_| Mutex::new(None)).collect(),
+        cells,
+        deadline,
+        next: AtomicUsize::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        finished: Mutex::new(0),
+        all_done: Condvar::new(),
+    });
+    // Advertise help on the job queue, best-effort: at most one marker
+    // per spare worker, and a full (or closed) queue just means this
+    // worker runs more of the grid itself.
+    let helpers = shared
+        .workers
+        .saturating_sub(1)
+        .min(total.saturating_sub(1));
+    for _ in 0..helpers {
+        match shared.queue.try_push(Work::BatchHelp(Arc::clone(&state))) {
+            Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
+            Err(_) => break,
+        }
+    }
+    batch_drain(shared, &state);
+    let mut finished = state
+        .finished
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    while *finished < total {
+        finished = state
+            .all_done
+            .wait(finished)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(finished);
+    let results: Vec<Json> = state
+        .results
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("batch cell result missing")
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("cells", Json::from(total as u64)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::from(state.hits.load(Ordering::Relaxed))),
+                ("misses", Json::from(state.misses.load(Ordering::Relaxed))),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+    ]))
+}
+
+/// Claims and runs batch cells until the injector is exhausted. Runs on
+/// the handling worker and on any helper that picked up a marker. Each
+/// cell executes under its own `catch_unwind`, so an injected panic (or a
+/// bug) costs exactly that cell — its slot gets an `error` member — and
+/// the worker lives on to claim the next cell.
+fn batch_drain(shared: &Shared, state: &BatchState) {
+    loop {
+        let index = state.next.fetch_add(1, Ordering::Relaxed);
+        if index >= state.cells.len() {
+            return;
+        }
+        let cell = &state.cells[index];
+        let (json, hit) = match catch_unwind(AssertUnwindSafe(|| {
+            api::run_batch_cell(&shared.cache, cell, state.deadline, &shared.faults)
+        })) {
+            Ok(done) => done,
+            Err(payload) => {
+                shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                (
+                    api::batch_cell_error(cell, &panic_message(payload.as_ref())),
+                    None,
+                )
+            }
+        };
+        match hit {
+            Some(true) => {
+                state.hits.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(false) => {
+                state.misses.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        shared.metrics.batch_cells.fetch_add(1, Ordering::Relaxed);
+        *state.results[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(json);
+        let mut finished = state
+            .finished
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *finished += 1;
+        if *finished == state.cells.len() {
+            state.all_done.notify_all();
+        }
     }
 }
 

@@ -381,7 +381,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let server = dee::serve::Server::spawn(config).map_err(|e| e.to_string())?;
             println!(
                 "dee-serve listening on http://{} ({workers} workers); endpoints: \
-                 POST /simulate /tree /levo, GET /healthz /metrics; Ctrl-C to stop",
+                 POST /simulate /tree /levo /batch, GET /healthz /metrics; Ctrl-C to stop",
                 server.addr()
             );
             dee::serve::signal::install();

@@ -1,0 +1,201 @@
+//! Golden-figure suite: locks the paper's Figure 1 and Figure 2 to their
+//! exact published numbers.
+//!
+//! Figures 1 and 2 are the paper's two *constructive* figures — their
+//! content is a deterministic function of `(p, E_T)` with every number
+//! printed in the figure itself, so they admit exact (not statistical)
+//! goldens. Any drift in the tree-construction code — a tie-break change
+//! in the greedy heap, an off-by-one in the triangle bound, a rounding
+//! change in the closed form — fails here with the literal paper value in
+//! the assertion message.
+//!
+//! * **Figure 1** (p = 0.7, E_T = 6): the branch paths chosen by SP, EE,
+//!   and DEE, their cumulative probabilities, and the depths
+//!   `l_SP = 6`, `l_EE = 2`, `l_DEE = 4`.
+//! * **Figure 2** (p = 0.90, E_T = 34): the static DEE tree — main line
+//!   `l = 24`, DEE region height `h_DEE = 4` holding 10 branch paths in
+//!   the triangular region, and the crossover depth
+//!   `c = log_p(1 − p) ≈ 21.85`.
+
+use dee::theory::{ee_depth, log_p_not_p, SpecTree, StaticTree, Strategy, TreeParams};
+
+const FIG1_P: f64 = 0.7;
+const FIG1_ET: u32 = 6;
+
+const FIG2_P: f64 = 0.90;
+const FIG2_ET: u32 = 34;
+
+fn sorted_cps(tree: &SpecTree) -> Vec<f64> {
+    let mut cps: Vec<f64> = tree.paths().iter().map(|p| p.cp).collect();
+    cps.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    cps
+}
+
+#[track_caller]
+fn assert_close(actual: &[f64], expected: &[f64]) {
+    assert_eq!(actual.len(), expected.len(), "{actual:?} vs {expected:?}");
+    for (a, e) in actual.iter().zip(expected) {
+        assert!((a - e).abs() < 1e-9, "{actual:?} vs {expected:?}");
+    }
+}
+
+#[test]
+fn figure_1_depths_are_6_2_4() {
+    let sp = SpecTree::build(Strategy::SinglePath, FIG1_P, FIG1_ET);
+    let ee = SpecTree::build(Strategy::Eager, FIG1_P, FIG1_ET);
+    let dee = SpecTree::build(Strategy::Disjoint, FIG1_P, FIG1_ET);
+    assert_eq!(sp.depth(), 6, "Figure 1: l_SP = E_T = 6");
+    assert_eq!(ee.depth(), 2, "Figure 1: l_EE = 2 (complete levels of 2+4)");
+    assert_eq!(dee.depth(), 4, "Figure 1: l_DEE = 4");
+    // EE's depth also follows the closed form 2^(d+1) - 2 <= E_T.
+    assert_eq!(ee_depth(FIG1_ET), 2);
+}
+
+#[test]
+fn figure_1_single_path_cps_are_powers_of_p() {
+    let sp = SpecTree::build(Strategy::SinglePath, FIG1_P, FIG1_ET);
+    assert_close(
+        &sorted_cps(&sp),
+        &[0.7, 0.49, 0.343, 0.2401, 0.16807, 0.117649],
+    );
+    assert!(
+        sp.paths().iter().all(|p| p.predicted),
+        "SP never leaves the predicted line"
+    );
+}
+
+#[test]
+fn figure_1_eager_cps_cover_both_directions_breadth_first() {
+    let ee = SpecTree::build(Strategy::Eager, FIG1_P, FIG1_ET);
+    assert_close(&sorted_cps(&ee), &[0.7, 0.49, 0.3, 0.21, 0.21, 0.09]);
+    // Level populations 2 + 4: both root paths, then all four children.
+    let at_depth = |d: u32| ee.paths().iter().filter(|p| p.depth == d).count();
+    assert_eq!((at_depth(1), at_depth(2)), (2, 4));
+}
+
+#[test]
+fn figure_1_dee_chooses_the_six_most_probable_paths() {
+    let dee = SpecTree::build(Strategy::Disjoint, FIG1_P, FIG1_ET);
+    // The six highest-cp paths of the infinite tree, as circled in the
+    // figure: four main-line paths, the not-predicted root path (0.3),
+    // and its predicted child (0.21).
+    assert_close(&sorted_cps(&dee), &[0.7, 0.49, 0.343, 0.3, 0.2401, 0.21]);
+    assert_eq!(dee.mainline_len(), 4);
+    // Assignment order: three main-line paths, then the figure's marquee
+    // choice — the 4th resource goes to the not-predicted root path
+    // (cp 0.3) ahead of the 4th main-line path (cp 0.2401).
+    let order: Vec<(u32, bool)> = dee.paths().iter().map(|p| (p.depth, p.predicted)).collect();
+    assert_eq!(
+        order,
+        vec![
+            (1, true),
+            (2, true),
+            (3, true),
+            (1, false),
+            (4, true),
+            (2, true),
+        ]
+    );
+    let fourth = &dee.paths()[3];
+    assert!(!fourth.predicted, "4th resource: not-predicted root path");
+    assert_eq!(fourth.parent, None);
+    assert!((fourth.cp - 0.3).abs() < 1e-12);
+}
+
+#[test]
+fn figure_1_dee_dominates_sp_and_ee_at_the_figure_point() {
+    let dee = SpecTree::build(Strategy::Disjoint, FIG1_P, FIG1_ET).total_cp();
+    let sp = SpecTree::build(Strategy::SinglePath, FIG1_P, FIG1_ET).total_cp();
+    let ee = SpecTree::build(Strategy::Eager, FIG1_P, FIG1_ET).total_cp();
+    // P_tot: SP = 2.058..., EE = 2.0, DEE = 2.2831 (sum of the six cps).
+    assert!((sp - 2.058819).abs() < 1e-6, "{sp}");
+    assert!((ee - 2.0).abs() < 1e-12, "{ee}");
+    assert!((dee - 2.2831).abs() < 1e-12, "{dee}");
+    assert!(dee > sp && dee > ee);
+}
+
+#[test]
+fn figure_2_static_tree_shape_is_l24_h4() {
+    let tree = StaticTree::build(TreeParams {
+        p: FIG2_P,
+        et: FIG2_ET,
+    });
+    assert_eq!(tree.mainline_len(), 24, "Figure 2: l = 24");
+    assert_eq!(tree.h_dee(), 4, "Figure 2: h_DEE = 4");
+    assert_eq!(
+        tree.dee_region_paths(),
+        10,
+        "Figure 2: triangular DEE region holds h(h+1)/2 = 10 paths"
+    );
+    assert_eq!(tree.total_paths(), FIG2_ET, "every resource used");
+    assert!(!tree.is_single_path());
+    assert!(
+        tree.formulas_valid(),
+        "Figure 2 sits inside the paper's validity regime"
+    );
+}
+
+#[test]
+fn figure_2_crossover_depth_is_21_85() {
+    // The paper's c = log_p(1 - p): at p = 0.90 a predicted path's cp
+    // falls below (1 - p) only past ML depth ~21.85, which is what makes
+    // the 24-deep main line worth 4 DEE'd branches.
+    let c = log_p_not_p(FIG2_P);
+    assert!((c - 21.85).abs() < 5e-3, "c = {c}, paper: 21.85");
+    assert!((c - 21.854_345).abs() < 1e-6, "c = {c}");
+}
+
+#[test]
+fn figure_2_coverage_and_path_labels() {
+    let tree = StaticTree::build(TreeParams {
+        p: FIG2_P,
+        et: FIG2_ET,
+    });
+    // DEE path coverage shrinks linearly down the region: 4, 3, 2, 1, 0.
+    let coverage: Vec<u32> = (1..=5).map(|k| tree.coverage_at_level(k)).collect();
+    assert_eq!(coverage, vec![4, 3, 2, 1, 0]);
+    // Main-line labels are p^k: .90, .81, .729, .6561, ...
+    let ml = tree.mainline_cps();
+    assert_eq!(ml.len(), 24);
+    assert_close(&ml[..4], &[0.90, 0.81, 0.729, 0.6561]);
+    // The DEE path at B1 starts at cp = 1 - p = 0.10; at B4, 0.1 * 0.9^3.
+    assert!((tree.dee_path_cp(1, 0) - 0.10).abs() < 1e-12);
+    assert!((tree.dee_path_cp(4, 0) - 0.0729).abs() < 1e-12);
+}
+
+#[test]
+fn figure_2_closed_form_matches_greedy_construction() {
+    // The paper derives (l, h) in closed form; the greedy constructor
+    // maximizes P_tot directly. They must agree at the figure's point —
+    // and across the whole E_T sweep of Figure 5 at p = 0.90.
+    for et in [4, 8, 16, 32, 34, 64, 128, 256] {
+        let params = TreeParams { p: FIG2_P, et };
+        let greedy = StaticTree::build(params);
+        let closed = StaticTree::build_closed_form(params);
+        assert_eq!(
+            (greedy.mainline_len(), greedy.h_dee()),
+            (closed.mainline_len(), closed.h_dee()),
+            "E_T = {et}"
+        );
+    }
+}
+
+#[test]
+fn figure_2_tree_is_the_greedy_top_34_selection() {
+    // Theorem 1 says the static shape is optimal; cross-check it against
+    // the unconstrained greedy SpecTree at the same (p, E_T): identical
+    // multiset of chosen cumulative probabilities.
+    let spec = SpecTree::build(Strategy::Disjoint, FIG2_P, FIG2_ET);
+    let tree = StaticTree::build(TreeParams {
+        p: FIG2_P,
+        et: FIG2_ET,
+    });
+    let mut expected: Vec<f64> = tree.mainline_cps();
+    for k in 1..=tree.h_dee() {
+        for j in 0..tree.coverage_at_level(k) {
+            expected.push(tree.dee_path_cp(k, j));
+        }
+    }
+    expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert_close(&sorted_cps(&spec), &expected);
+}
