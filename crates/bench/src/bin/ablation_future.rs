@@ -17,11 +17,11 @@
 //! Additionally compares Levo's per-row predictor options (2-bit counter
 //! vs speculative PAp, §4.3).
 //!
-//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
 use dee_levo::{Levo, LevoConfig, PredictorKind};
 
@@ -29,7 +29,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("ablation_future"));
+    }
     let p = suite.characteristic_accuracy();
     let et = 100;
 

@@ -9,11 +9,11 @@
 //! *equally slowed* sequential machine, so they isolate the models'
 //! latency tolerance.
 //!
-//! Usage: `ablation_memory [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `ablation_memory [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pct, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 use dee_mem::{annotate_latencies, CacheConfig, MemoryHierarchy};
 
@@ -23,7 +23,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("ablation_memory"));
+    }
     let p = suite.characteristic_accuracy();
     let et = 100;
 

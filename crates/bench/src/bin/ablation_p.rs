@@ -13,11 +13,11 @@
 //! that differ from the trace's measured accuracy, showing how mis-sizing
 //! the static tree costs performance.
 //!
-//! Usage: `ablation_p [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `ablation_p [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_core::{SpecTree, StaticTree, Strategy, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
@@ -49,7 +49,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("ablation_p"));
+    }
     let measured = suite.characteristic_accuracy();
     println!(
         "DEE-CD-MF sensitivity to the assumed tree accuracy (measured p = {}):\n",

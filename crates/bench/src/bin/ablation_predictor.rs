@@ -9,9 +9,9 @@
 //! own measured accuracy. The DEE advantage should survive every
 //! predictor, largest where prediction is worst.
 //!
-//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
-use dee_bench::{f2, pct, pool, scale_from_args, BenchEntry, Suite, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, store_from_args, BenchEntry, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, PreparedTrace, SimConfig};
 use dee_predict::{BranchPredictor, Btfn, Gshare, PapAdaptive, TwoBitCounter};
 
@@ -48,7 +48,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("ablation_predictor"));
+    }
     let et = 100;
 
     println!("Predictor tradeoff at E_T = {et} (harmonic means):\n");

@@ -8,11 +8,11 @@
 //! E_T = 100 and sweeps `h_DEE` directly (with `l = E_T − h(h+1)/2`),
 //! comparing each shape's DEE-CD-MF speedup against the heuristic's pick.
 //!
-//! Usage: `ablation_shape [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `ablation_shape [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
@@ -20,7 +20,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("ablation_shape"));
+    }
     let p = suite.characteristic_accuracy();
     let et = 100u32;
     let heuristic = StaticTree::build(TreeParams {

@@ -2,7 +2,7 @@
 //! five benchmarks, plus the harmonic mean and per-benchmark oracle
 //! speedups.
 //!
-//! Usage: `fig5 [tiny|small|medium|large] [--jobs N]` (default small; the
+//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR]` (default small; the
 //! paper-grade run is `medium`). Writes `results/fig5_<scale>.csv`.
 //!
 //! The DEE tree shape uses the suite's measured characteristic accuracy,
@@ -16,14 +16,18 @@
 use std::sync::Arc;
 
 use dee_bench::plot::{render_panels, write_svg, Panel, Series};
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable, FIG5_RESOURCES};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable, FIG5_RESOURCES};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("fig5"));
+    }
     let p = suite.characteristic_accuracy();
     println!("Figure 5 — speedup vs branch-path resources ({scale:?} scale)");
     println!(

@@ -9,7 +9,7 @@
 //! * DEE-CD-MF @ 32 stays high (paper: 26×, the "Levo could be built with
 //!   only 32 branch paths" observation).
 //!
-//! Usage: `headline [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `headline [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 //!
 //! Each benchmark is prepared once and shared across all nine statistic
 //! points via [`dee_bench::pool`]; output is byte-identical for any
@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 /// The nine (model, E_T) statistic points, in reporting order. The oracle
@@ -38,7 +38,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("headline"));
+    }
     let p = suite.characteristic_accuracy();
 
     eprintln!("simulating...");

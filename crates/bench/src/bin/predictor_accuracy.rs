@@ -11,9 +11,9 @@
 //!   that needs each outcome before the next prediction degrades, while
 //!   PAp with *speculative* history update holds its accuracy.
 //!
-//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
-use dee_bench::{pct, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{pct, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_isa::Program;
 use dee_predict::{
     measure_accuracy, measure_accuracy_delayed, AlwaysTaken, BranchPredictor, Btfn, Gshare,
@@ -49,7 +49,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("predictor_accuracy"));
+    }
 
     println!("Predictor accuracy per benchmark ({scale:?} scale)\n");
     // The sixth SPECint92 benchmark, excluded by the paper as "more

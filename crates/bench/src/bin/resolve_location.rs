@@ -13,9 +13,9 @@
 //! the -MF models spread slightly deeper but stay concentrated at the top
 //! of the tree, which is what makes the DEE paths effective.
 //!
-//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
-use dee_bench::{f2, pct, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pct, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{simulate, Model, SimConfig};
 
@@ -23,7 +23,11 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("resolve_location"));
+    }
     let p = suite.characteristic_accuracy();
     let et = 100;
     let tree = StaticTree::build(TreeParams {

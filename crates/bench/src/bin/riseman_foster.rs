@@ -9,18 +9,22 @@
 //! only with unbounded eager execution. This is exactly the cost explosion
 //! DEE's disjointness is designed to avoid.
 //!
-//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N]`.
+//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N] [--store DIR]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, Suite, TextTable};
+use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
 use dee_ilpsim::{harmonic_mean, riseman_foster};
 
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
-    let suite = Suite::load(scale);
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("riseman_foster"));
+    }
 
     println!("Riseman-Foster sweep: branches bypassed vs harmonic-mean speedup");
     println!("(paper cites 25.65x at infinity for their benchmarks)\n");

@@ -1,0 +1,117 @@
+//! Replay-vs-retrace timing for the trace-artifact store: for every
+//! workload, time a fresh VM trace against a streaming replay of the
+//! same trace from a `dee-store` container, and verify the two are
+//! byte-identical while at it.
+//!
+//! Usage: `store_replay [tiny|small|medium|large] [--store DIR]`.
+//! Without a scale the paper-relevant pair (tiny *and* small) is
+//! measured; without `--store` a scratch store under the system temp
+//! directory is used and removed at exit. Writes
+//! `results/store_replay.csv` — timings are machine-dependent, so the
+//! file is not a committed golden and CI must not diff it.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use dee_bench::{store_from_args, TextTable};
+use dee_store::{ArtifactKey, Store};
+use dee_vm::output_checksum;
+use dee_workloads::{all_workloads, Scale};
+
+fn main() {
+    let scales: Vec<Scale> = match std::env::args().skip(1).find_map(|a| match a.as_str() {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "medium" => Some(Scale::Medium),
+        "large" => Some(Scale::Large),
+        _ => None,
+    }) {
+        Some(scale) => vec![scale],
+        None => vec![Scale::Tiny, Scale::Small],
+    };
+    let (store, scratch) = match store_from_args() {
+        Some(store) => (store, None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("dee_store_replay_{}", std::process::id()));
+            (Store::open(&dir).expect("open scratch store"), Some(dir))
+        }
+    };
+
+    let mut table = TextTable::new(&[
+        "scale",
+        "workload",
+        "records",
+        "bytes",
+        "trace_ms",
+        "replay_ms",
+        "speedup",
+    ]);
+    for &scale in &scales {
+        let tag = format!("{scale:?}").to_ascii_lowercase();
+        for workload in all_workloads(scale) {
+            let trace_start = Instant::now();
+            let fresh = workload
+                .validate()
+                .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
+            let trace_ms = trace_start.elapsed().as_secs_f64() * 1e3;
+
+            let key = ArtifactKey::new(
+                workload.name,
+                &tag,
+                &workload.program.to_listing(),
+                &workload.initial_memory,
+            );
+            let path = store.put(&key, &fresh).expect("publish artifact");
+            let bytes = std::fs::metadata(&path).expect("artifact metadata").len();
+
+            let replay_start = Instant::now();
+            let replayed = store
+                .load(&key)
+                .expect("replay artifact")
+                .expect("artifact published");
+            let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+            // put/load are called directly (not via get_or_record), so
+            // feed the timing counters the summary line reports.
+            let stats = store.stats();
+            stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            stats
+                .trace_nanos
+                .fetch_add((trace_ms * 1e6) as u64, Ordering::Relaxed);
+            stats
+                .replay_nanos
+                .fetch_add((replay_ms * 1e6) as u64, Ordering::Relaxed);
+
+            // The invariant the whole store is built on: replay is
+            // byte-identical to re-tracing.
+            assert_eq!(
+                replayed.records(),
+                fresh.records(),
+                "{key}: records drifted"
+            );
+            assert_eq!(replayed.output(), fresh.output(), "{key}: output drifted");
+            assert_eq!(
+                output_checksum(replayed.output()),
+                output_checksum(fresh.output()),
+                "{key}: checksum drifted"
+            );
+
+            table.row(vec![
+                tag.clone(),
+                workload.name.to_string(),
+                fresh.len().to_string(),
+                bytes.to_string(),
+                format!("{trace_ms:.2}"),
+                format!("{replay_ms:.2}"),
+                format!("{:.1}x", trace_ms / replay_ms.max(1e-6)),
+            ]);
+        }
+    }
+    println!("Record-once / replay-many: VM trace vs store replay");
+    println!("{}", table.render());
+    let path = table.write_csv("store_replay.csv").expect("csv");
+    println!("wrote {}", path.display());
+    eprintln!("{}", store.stats().timing_line("store_replay"));
+    if let Some(dir) = scratch {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

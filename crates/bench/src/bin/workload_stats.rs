@@ -2,28 +2,29 @@
 //! trace length, branch density, taken rate, mean branch-path length, and
 //! 2-bit-counter prediction accuracy (the paper's characteristic `p`).
 //!
-//! Usage: `workload_stats [tiny|small|medium|large]` (default: small).
+//! Usage: `workload_stats [tiny|small|medium|large] [--store DIR]`
+//! (default: small).
 
+use dee_bench::{scale_from_args, store_from_args, Suite};
 use dee_predict::{measure_accuracy, TwoBitCounter};
-use dee_workloads::{all_workloads, Scale};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("medium") => Scale::Medium,
-        Some("large") => Scale::Large,
-        _ => Scale::Small,
-    };
+    let scale = scale_from_args();
+    let store = store_from_args();
+    let suite = Suite::load_with_store(scale, store.as_ref());
+    if let Some(store) = &store {
+        eprintln!("{}", store.stats().timing_line("workload_stats"));
+    }
     println!(
         "{:<10} {:>12} {:>10} {:>8} {:>10} {:>8}",
         "workload", "dyn instrs", "branches", "taken%", "path len", "2bc acc%"
     );
     let mut acc_sum_recip = 0.0;
     let mut count = 0.0;
-    for w in all_workloads(scale) {
-        let trace = w.validate().unwrap_or_else(|e| panic!("{e}"));
+    for entry in &suite.entries {
+        let (w, trace) = (&entry.workload, &entry.trace);
         let mut predictor = TwoBitCounter::new();
-        let report = measure_accuracy(&mut predictor, &trace);
+        let report = measure_accuracy(&mut predictor, trace);
         let acc = report.accuracy();
         acc_sum_recip += 1.0 / acc;
         count += 1.0;

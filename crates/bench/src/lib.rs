@@ -38,6 +38,7 @@ use std::path::Path;
 
 use dee_ilpsim::{harmonic_mean, PreparedTrace};
 use dee_predict::{measure_accuracy, TwoBitCounter};
+use dee_store::{ArtifactKey, Store, StoreSource};
 use dee_vm::Trace;
 use dee_workloads::{all_workloads, Scale, Workload};
 
@@ -75,12 +76,57 @@ impl Suite {
     /// not an experiment outcome.
     #[must_use]
     pub fn load(scale: Scale) -> Self {
+        Suite::load_with_store(scale, None)
+    }
+
+    /// Like [`Suite::load`], but record-once/replay-many when a store is
+    /// given: each workload's raw trace is replayed from its published
+    /// artifact when one exists and is intact, and captured on the VM —
+    /// then published — otherwise. A replayed trace is still validated
+    /// against the workload's reference output; disagreement quarantines
+    /// the artifact and falls back to the VM, so the suite a binary
+    /// computes on is byte-identical with and without `--store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if VM-side workload validation fails — that is a build
+    /// error, not an experiment outcome.
+    #[must_use]
+    pub fn load_with_store(scale: Scale, store: Option<&Store>) -> Self {
+        let scale_tag = format!("{scale:?}").to_ascii_lowercase();
         let entries = all_workloads(scale)
             .into_iter()
             .map(|workload| {
-                let trace = workload
-                    .validate()
-                    .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
+                let trace = match store {
+                    None => workload
+                        .validate()
+                        .unwrap_or_else(|e| panic!("workload validation failed: {e}")),
+                    Some(store) => {
+                        let key = ArtifactKey::new(
+                            workload.name,
+                            &scale_tag,
+                            &workload.program.to_listing(),
+                            &workload.initial_memory,
+                        );
+                        let (trace, source) = store
+                            .get_or_record(&key, || workload.validate())
+                            .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
+                        if source == StoreSource::Disk && trace.output() != workload.expected_output
+                        {
+                            // The container was intact but its content
+                            // disagrees with the reference output —
+                            // quarantine it and re-trace.
+                            store.quarantine_key(&key);
+                            let trace = workload
+                                .validate()
+                                .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
+                            let _ = store.put(&key, &trace);
+                            trace
+                        } else {
+                            trace
+                        }
+                    }
+                };
                 BenchEntry { workload, trace }
             })
             .collect();
@@ -102,15 +148,59 @@ impl Suite {
 }
 
 /// Parses the scale argument shared by the experiment binaries
-/// (`tiny|small|medium|large`, default `small`).
+/// (`tiny|small|medium|large`, default `small`). Flags and their values
+/// (`--jobs N`, `--store DIR`) are skipped, so the scale may appear
+/// anywhere: `fig5 --store traces tiny --jobs 4`.
 #[must_use]
 pub fn scale_from_args() -> Scale {
-    match std::env::args().nth(1).as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("medium") => Scale::Medium,
-        Some("large") => Scale::Large,
-        _ => Scale::Small,
+    scale_from(std::env::args().skip(1))
+}
+
+fn scale_from<I: Iterator<Item = String>>(args: I) -> Scale {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Value-taking flags: skip the value so a directory named
+            // `tiny` never reads as a scale.
+            "--jobs" | "--store" => {
+                args.next();
+            }
+            "tiny" => return Scale::Tiny,
+            "small" => return Scale::Small,
+            "medium" => return Scale::Medium,
+            "large" => return Scale::Large,
+            _ => {}
+        }
     }
+    Scale::Small
+}
+
+/// Parses the `--store DIR` (or `--store=DIR`) flag shared by the
+/// experiment binaries: the trace-artifact store to record to and replay
+/// from. `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or the store cannot be opened.
+#[must_use]
+pub fn store_from_args() -> Option<Store> {
+    store_from(std::env::args().skip(1))
+}
+
+fn store_from<I: Iterator<Item = String>>(args: I) -> Option<Store> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let dir = if arg == "--store" {
+            args.next()
+        } else if let Some(rest) = arg.strip_prefix("--store=") {
+            Some(rest.to_string())
+        } else {
+            continue;
+        };
+        let dir = dir.unwrap_or_else(|| panic!("--store needs a directory"));
+        return Some(Store::open(&dir).unwrap_or_else(|e| panic!("--store {dir}: {e}")));
+    }
+    None
 }
 
 /// A simple fixed-width text table builder for experiment output.
@@ -234,5 +324,91 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f2(1.23456), "1.23");
         assert_eq!(pct(0.905), "90.5%");
+    }
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn scale_parsing_tolerates_flags_anywhere() {
+        assert_eq!(scale_from(args(&["tiny"])), Scale::Tiny);
+        assert_eq!(scale_from(args(&["--jobs", "4", "medium"])), Scale::Medium);
+        assert_eq!(
+            scale_from(args(&["large", "--store", "traces"])),
+            Scale::Large
+        );
+        // A directory that happens to be named like a scale is a flag
+        // value, not a scale.
+        assert_eq!(scale_from(args(&["--store", "tiny"])), Scale::Small);
+        assert_eq!(scale_from(args(&["--store=tiny"])), Scale::Small);
+        assert_eq!(scale_from(args(&[])), Scale::Small);
+    }
+
+    #[test]
+    fn store_parsing_finds_flag_or_returns_none() {
+        assert!(store_from(args(&["tiny", "--jobs", "4"])).is_none());
+        let dir = std::env::temp_dir().join(format!("dee_bench_storeflag_{}", std::process::id()));
+        let store =
+            store_from(args(&["tiny", "--store", dir.to_str().unwrap()])).expect("flag parsed");
+        assert_eq!(store.root(), dir.as_path());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn suite_with_store_replays_identically_and_quarantines_wrong_content() {
+        let dir =
+            std::env::temp_dir().join(format!("dee_bench_suite_store_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let fresh = Suite::load(Scale::Tiny);
+        let recorded = Suite::load_with_store(Scale::Tiny, Some(&store));
+        let replayed = Suite::load_with_store(Scale::Tiny, Some(&store));
+        use std::sync::atomic::Ordering;
+        assert_eq!(store.stats().writes.load(Ordering::Relaxed), 5);
+        assert_eq!(store.stats().disk_hits.load(Ordering::Relaxed), 5);
+        for ((a, b), c) in fresh
+            .entries
+            .iter()
+            .zip(&recorded.entries)
+            .zip(&replayed.entries)
+        {
+            assert_eq!(a.trace.records(), b.trace.records());
+            assert_eq!(a.trace.records(), c.trace.records());
+            assert_eq!(a.trace.output(), c.trace.output());
+            assert_eq!(a.trace.output_checksum(), c.trace.output_checksum());
+        }
+        // Publish a *valid* container holding the wrong trace under
+        // xlisp's key: the checksums pass, but the reference-output
+        // check must quarantine it and fall back to the VM.
+        let xlisp = &replayed.entries[4].workload;
+        assert_eq!(xlisp.name, "xlisp");
+        let key = ArtifactKey::new(
+            xlisp.name,
+            "tiny",
+            &xlisp.program.to_listing(),
+            &xlisp.initial_memory,
+        );
+        let wrong = &replayed.entries[0].trace;
+        store.put(&key, wrong).unwrap();
+        let healed = Suite::load_with_store(Scale::Tiny, Some(&store));
+        assert_eq!(
+            healed.entries[4].trace.output(),
+            xlisp.expected_output.as_slice()
+        );
+        assert_eq!(store.stats().quarantined.load(Ordering::Relaxed), 1);
+        // The heal republished good content: one more pass replays clean.
+        let again = Suite::load_with_store(Scale::Tiny, Some(&store));
+        assert_eq!(
+            again.entries[4].trace.output(),
+            xlisp.expected_output.as_slice()
+        );
+        assert_eq!(store.stats().quarantined.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(dir).ok();
     }
 }

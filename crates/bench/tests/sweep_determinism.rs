@@ -25,18 +25,25 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn run(exe: &str, dir: &Path, jobs: &str) -> String {
+fn run_args(exe: &str, dir: &Path, args: &[&str]) -> (String, String) {
     let output = Command::new(exe)
-        .args(["tiny", "--jobs", jobs])
+        .args(args)
         .current_dir(dir)
         .output()
         .expect("spawn sweep binary");
     assert!(
         output.status.success(),
-        "{exe} --jobs {jobs} failed:\n{}",
+        "{exe} {args:?} failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
-    String::from_utf8(output.stdout).expect("utf-8 stdout")
+    (
+        String::from_utf8(output.stdout).expect("utf-8 stdout"),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn run(exe: &str, dir: &Path, jobs: &str) -> String {
+    run_args(exe, dir, &["tiny", "--jobs", jobs]).0
 }
 
 /// Everything the run wrote under `results/`, sorted by name.
@@ -116,6 +123,52 @@ determinism_test!(
 );
 determinism_test!(riseman_foster_is_byte_deterministic, "riseman_foster");
 determinism_test!(resolve_location_is_byte_deterministic, "resolve_location");
+
+/// The store contract from ISSUE/DESIGN §9: `--store` is invisible in
+/// every output byte. A recording pass (`--jobs 1`, cold store), a
+/// replaying pass (`--jobs 4`, warm store), and a store-less run must
+/// produce identical stdout and identical `results/` files — only the
+/// stderr `dee_store_*` line may reveal which path ran.
+#[test]
+fn headline_store_replay_is_byte_invisible_across_jobs() {
+    let exe = env!("CARGO_BIN_EXE_headline");
+    let store_dir = temp_dir("headline_store_artifacts");
+    let store = store_dir.to_str().expect("utf-8 temp path");
+    let record_dir = temp_dir("headline_store_j1");
+    let replay_dir = temp_dir("headline_store_j4");
+    let plain_dir = temp_dir("headline_store_plain");
+    let (record_out, record_err) =
+        run_args(exe, &record_dir, &["tiny", "--jobs", "1", "--store", store]);
+    let (replay_out, replay_err) =
+        run_args(exe, &replay_dir, &["tiny", "--jobs", "4", "--store", store]);
+    let plain_out = run(exe, &plain_dir, "1");
+    assert_eq!(record_out, plain_out, "--store changed stdout");
+    assert_eq!(record_out, replay_out, "replay or --jobs changed stdout");
+    assert!(
+        record_err.contains("dee_store_headline: hits=0 misses=5 writes=5"),
+        "cold store should record all five workloads:\n{record_err}"
+    );
+    assert!(
+        replay_err.contains("dee_store_headline: hits=5 misses=0 writes=0"),
+        "warm store should replay all five workloads:\n{replay_err}"
+    );
+    let record_files = results_files(&record_dir);
+    for ((name, recorded), (replay_name, replayed)) in
+        record_files.iter().zip(&results_files(&replay_dir))
+    {
+        assert_eq!(name, replay_name, "file sets differ");
+        assert!(recorded == replayed, "results/{name} differs under replay");
+    }
+    for ((name, recorded), (plain_name, plain)) in
+        record_files.iter().zip(&results_files(&plain_dir))
+    {
+        assert_eq!(name, plain_name, "file sets differ");
+        assert!(recorded == plain, "results/{name} differs with --store");
+    }
+    for dir in [store_dir, record_dir, replay_dir, plain_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
 
 /// One xorshift64* step — the same mixer family the serve fault plan
 /// uses; good enough to scramble job durations reproducibly.

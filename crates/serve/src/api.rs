@@ -7,6 +7,7 @@
 //! the integration tests can byte-compare server responses against
 //! locally computed payloads built with the same functions.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +16,8 @@ use dee_ilpsim::{simulate, LatencyModel, Model, PreparedTrace, SimConfig, SimOut
 use dee_isa::parse::parse_program;
 use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
 use dee_predict::{AlwaysTaken, BranchPredictor, Gshare, PapAdaptive, TwoBitCounter};
-use dee_vm::trace_program;
+use dee_store::{ArtifactKey, Store};
+use dee_vm::{trace_program, Trace};
 use dee_workloads::{Scale, Workload};
 
 use crate::cache::{fnv1a, fnv1a_words, CacheKey, PreparedCache, PreparedEntry};
@@ -187,7 +189,77 @@ fn resolve_source(body: &Json) -> Result<Source, ApiError> {
     }
 }
 
+/// The disk-tier artifact key for a request source. Workload labels are
+/// `name/scale`; uploaded programs fall under the `program` pseudo
+/// workload with their content hash as the scale tag. Either way the
+/// digest covers the exact listing and memory image, so a label
+/// collision can never replay the wrong trace.
+fn artifact_key(source: &Source) -> ArtifactKey {
+    let (workload, scale) = match source.label.split_once('/') {
+        Some((workload, scale)) => (workload, scale),
+        None => ("program", source.label.as_str()),
+    };
+    ArtifactKey::new(
+        workload,
+        scale,
+        &source.program.to_listing(),
+        &source.memory,
+    )
+}
+
+/// Produces the raw trace for a prepared-cache miss, consulting the
+/// disk tier first when a store is configured. Store faults degrade
+/// rather than fail: a tripped read skips the disk tier (the trace is
+/// re-run on the VM), a tripped write skips the best-effort publish.
+/// Either way the caller gets a correct trace — only the `dee_store_*`
+/// counters reveal what happened.
+fn trace_for(source: &Source, faults: &FaultPlan, store: Option<&Store>) -> Result<Trace, String> {
+    let Some(store) = store else {
+        return trace_program(&source.program, &source.memory, STEP_LIMIT)
+            .map_err(|e| format!("trace: {e}"));
+    };
+    let key = artifact_key(source);
+    let stats = store.stats();
+    if faults.trip(FaultSite::StoreRead).is_none() {
+        let replay_start = Instant::now();
+        match store.load(&key) {
+            Ok(Some(trace)) => {
+                stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .replay_nanos
+                    .fetch_add(replay_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return Ok(trace);
+            }
+            // A load error already quarantined the artifact (counted in
+            // `quarantined`); both outcomes degrade to re-tracing.
+            Ok(None) | Err(_) => {
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    } else {
+        stats.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let trace_start = Instant::now();
+    let trace = trace_program(&source.program, &source.memory, STEP_LIMIT)
+        .map_err(|e| format!("trace: {e}"))?;
+    stats
+        .trace_nanos
+        .fetch_add(trace_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if faults.trip(FaultSite::StoreWrite).is_some() || store.put(&key, &trace).is_err() {
+        stats.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(trace)
+}
+
 /// Fetches (or prepares and caches) the prepared trace for a request.
+///
+/// On a prepared-cache miss with a store configured, the raw trace is
+/// replayed from the disk tier when an intact artifact exists (and
+/// recorded to it otherwise); the predictor replay still runs either
+/// way. The returned `hit` flag — and therefore the response's `cache`
+/// field — reports the *prepared* cache only: disk-tier activity is
+/// visible exclusively through the `dee_store_*` metrics, so responses
+/// stay byte-identical with and without a store.
 ///
 /// # Errors
 ///
@@ -197,6 +269,7 @@ pub fn prepared_for(
     cache: &PreparedCache,
     body: &Json,
     faults: &FaultPlan,
+    store: Option<&Store>,
 ) -> Result<(Arc<PreparedEntry>, bool, String), ApiError> {
     let source = resolve_source(body)?;
     let predictor_name = str_field(body, "predictor").unwrap_or("twobit");
@@ -219,8 +292,7 @@ pub fn prepared_for(
             if faults.trip(FaultSite::TracePrepare).is_some() {
                 return Err("injected fault: trace_prepare".to_string());
             }
-            let trace = trace_program(&source.program, &source.memory, STEP_LIMIT)
-                .map_err(|e| format!("trace: {e}"))?;
+            let trace = trace_for(&source, faults, store)?;
             let mut predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
             let prepared =
                 PreparedTrace::with_predictor(&source.program, &trace, predictor.as_mut())
@@ -276,8 +348,9 @@ pub fn handle_simulate(
     body: &Json,
     deadline: Instant,
     faults: &FaultPlan,
+    store: Option<&Store>,
 ) -> Result<(Json, bool), ApiError> {
-    let (entry, hit, label) = prepared_for(cache, body, faults)?;
+    let (entry, hit, label) = prepared_for(cache, body, faults, store)?;
     let et = parse_et(body)?;
     let models: Vec<Model> = match str_field(body, "model") {
         None | Some("all") => Model::all_constrained()
@@ -491,6 +564,7 @@ pub fn run_batch_cell(
     cell: &BatchCell,
     deadline: Instant,
     faults: &FaultPlan,
+    store: Option<&Store>,
 ) -> (Json, Option<bool>) {
     let mut source = vec![
         ("workload", Json::str(cell.workload.clone())),
@@ -502,7 +576,7 @@ pub fn run_batch_cell(
     let source = Json::obj(source);
     let mut hit = None;
     let outcome = (|| {
-        let (entry, was_hit, _label) = prepared_for(cache, &source, faults)?;
+        let (entry, was_hit, _label) = prepared_for(cache, &source, faults, store)?;
         hit = Some(was_hit);
         if Instant::now() > deadline {
             return Err(ApiError::deadline());
@@ -663,7 +737,7 @@ mod tests {
         let cache = PreparedCache::new(8, 2);
         let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":16}"#).unwrap();
         let (response, hit) =
-            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
         assert!(!hit);
         assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
         let results = response.get("results").and_then(Json::as_arr).unwrap();
@@ -671,7 +745,7 @@ mod tests {
         assert_eq!(results[0].get("model").and_then(Json::as_str), Some("SP"));
         assert!(results[0].get("cycles").and_then(Json::as_u64).unwrap() > 0);
         let (response, hit) =
-            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
         assert!(hit);
         assert_eq!(response.get("cache").and_then(Json::as_str), Some("hit"));
     }
@@ -682,7 +756,7 @@ mod tests {
         let body =
             parse(r#"{"workload":"compress","scale":"tiny","model":"DEE-CD-MF","et":32}"#).unwrap();
         let (response, _) =
-            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
 
         let w = dee_workloads::compress::build(Scale::Tiny);
         let trace = w.capture_trace().unwrap();
@@ -702,7 +776,7 @@ mod tests {
             parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[42],"model":"oracle"}"#)
                 .unwrap();
         let (response, _) =
-            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap();
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
         let results = response.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(
             results[0].get("model").and_then(Json::as_str),
@@ -723,22 +797,22 @@ mod tests {
         .unwrap();
         let c = parse(r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[1],"model":"SP","et":4,"predictor":"gshare"}"#).unwrap();
         assert!(
-            !handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert())
+            !handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert(), None)
                 .unwrap()
                 .1
         );
         assert!(
-            !handle_simulate(&cache, &b, far_deadline(), &FaultPlan::inert())
+            !handle_simulate(&cache, &b, far_deadline(), &FaultPlan::inert(), None)
                 .unwrap()
                 .1
         );
         assert!(
-            !handle_simulate(&cache, &c, far_deadline(), &FaultPlan::inert())
+            !handle_simulate(&cache, &c, far_deadline(), &FaultPlan::inert(), None)
                 .unwrap()
                 .1
         );
         assert!(
-            handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert())
+            handle_simulate(&cache, &a, far_deadline(), &FaultPlan::inert(), None)
                 .unwrap()
                 .1
         );
@@ -766,6 +840,7 @@ mod tests {
                 &parse(body).unwrap(),
                 far_deadline(),
                 &FaultPlan::inert(),
+                None,
             )
             .unwrap_err();
             assert_eq!(err.status, 400, "{body}");
@@ -782,6 +857,7 @@ mod tests {
             &body,
             Instant::now() - std::time::Duration::from_secs(1),
             &FaultPlan::inert(),
+            None,
         )
         .unwrap_err();
         assert_eq!(err.status, 504);
@@ -824,7 +900,8 @@ mod tests {
         assert!(err.message.contains("too large"), "{}", err.message);
         let cache = PreparedCache::new(8, 2);
         let body = parse(r#"{"workload":"xlisp","et":4000000000}"#).unwrap();
-        let err = handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert()).unwrap_err();
+        let err =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap_err();
         assert_eq!(err.status, 400);
     }
 
@@ -840,7 +917,7 @@ mod tests {
                 ..FaultSpec::default()
             },
         );
-        let err = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap_err();
+        let err = handle_simulate(&cache, &body, far_deadline(), &plan, None).unwrap_err();
         assert_eq!(err.status, 500);
         assert!(err.message.contains("cache_lookup"), "{}", err.message);
     }
@@ -860,14 +937,14 @@ mod tests {
                     },
                 )
                 .with_fuse(1);
-            let err = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap_err();
+            let err = handle_simulate(&cache, &body, far_deadline(), &plan, None).unwrap_err();
             assert_eq!(err.status, 500, "{}", site.name());
             assert!(err.message.contains(site.name()), "{}", err.message);
             // The failed preparation must not leave a poisoned entry: the
             // fuse burned, so the retry prepares cleanly (a miss, then hits).
-            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap();
+            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan, None).unwrap();
             assert!(!hit, "{}: failed insert must not be cached", site.name());
-            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan).unwrap();
+            let (_, hit) = handle_simulate(&cache, &body, far_deadline(), &plan, None).unwrap();
             assert!(hit, "{}", site.name());
             cache.clear();
         }
@@ -978,12 +1055,13 @@ mod tests {
             parse(r#"{"workloads":["compress"],"models":["DEE-CD-MF"],"ets":[32]}"#).unwrap();
         let cells = parse_batch(&body).unwrap();
         assert_eq!(cells.len(), 1);
-        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert());
+        let (json, hit) =
+            run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert(), None);
         assert_eq!(hit, Some(false), "first cell prepares");
         let single =
             parse(r#"{"workload":"compress","scale":"tiny","model":"DEE-CD-MF","et":32}"#).unwrap();
         let (expected, _) =
-            handle_simulate(&cache, &single, far_deadline(), &FaultPlan::inert()).unwrap();
+            handle_simulate(&cache, &single, far_deadline(), &FaultPlan::inert(), None).unwrap();
         let want = &expected.get("results").and_then(Json::as_arr).unwrap()[0];
         assert_eq!(
             json.get("result").unwrap().to_string(),
@@ -991,7 +1069,8 @@ mod tests {
             "a batch cell is byte-identical to the single-shot endpoint"
         );
         assert_eq!(json.get("cache").and_then(Json::as_str), Some("miss"));
-        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert());
+        let (json, hit) =
+            run_batch_cell(&cache, &cells[0], far_deadline(), &FaultPlan::inert(), None);
         assert_eq!(hit, Some(true), "second run hits the cache");
         assert_eq!(json.get("cache").and_then(Json::as_str), Some("hit"));
     }
@@ -1011,14 +1090,102 @@ mod tests {
                 },
             )
             .with_fuse(1);
-        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan);
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan, None);
         assert_eq!(hit, None, "cell failed before the cache answered");
         let message = json.get("error").and_then(Json::as_str).unwrap();
         assert!(message.contains("trace_prepare"), "{message}");
         assert_eq!(json.get("workload").and_then(Json::as_str), Some("xlisp"));
         // The fuse burned; the same cell now runs clean.
-        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan);
+        let (json, hit) = run_batch_cell(&cache, &cells[0], far_deadline(), &plan, None);
         assert_eq!(hit, Some(false));
         assert!(json.get("result").is_some());
+    }
+
+    #[test]
+    fn disk_tier_replays_after_cache_clear_and_keeps_responses_identical() {
+        use std::sync::atomic::Ordering;
+        let dir = std::env::temp_dir().join(format!("dee_api_store_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        let (first, hit) = handle_simulate(
+            &cache,
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+        )
+        .unwrap();
+        assert!(!hit);
+        assert_eq!(store.stats().misses.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().writes.load(Ordering::Relaxed), 1);
+        // A cleared prepared cache models a restart: the miss now replays
+        // the raw trace from disk — visible only in the store counters,
+        // never in the response (which must stay byte-identical).
+        cache.clear();
+        let (second, hit) = handle_simulate(
+            &cache,
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+        )
+        .unwrap();
+        assert!(!hit, "prepared cache was cleared");
+        assert_eq!(second.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(store.stats().disk_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(second.to_string(), first.to_string());
+        // And a store-less run produces the same bytes again.
+        let fresh = PreparedCache::new(8, 2);
+        let (storeless, _) =
+            handle_simulate(&fresh, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
+        assert_eq!(storeless.to_string(), first.to_string());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_faults_degrade_to_retracing_never_fail_the_request() {
+        use crate::faults::FaultSpec;
+        use std::sync::atomic::Ordering;
+        let dir = std::env::temp_dir().join(format!("dee_api_store_faults_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"compress","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        let always = FaultSpec {
+            error_ppm: 1_000_000,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::new(7)
+            .arm(FaultSite::StoreRead, always)
+            .arm(FaultSite::StoreWrite, always);
+        let (hostile, hit) =
+            handle_simulate(&cache, &body, far_deadline(), &plan, Some(&store)).unwrap();
+        assert!(!hit);
+        assert_eq!(
+            store.stats().write_errors.load(Ordering::Relaxed),
+            1,
+            "tripped write skips the publish"
+        );
+        assert_eq!(store.stats().writes.load(Ordering::Relaxed), 0);
+        assert!(!store.contains(&ArtifactKey::new(
+            "compress",
+            "tiny",
+            &dee_workloads::compress::build(Scale::Tiny)
+                .program
+                .to_listing(),
+            &dee_workloads::compress::build(Scale::Tiny).initial_memory,
+        )));
+        // Same bytes as a clean, store-less run: faults only degrade.
+        let fresh = PreparedCache::new(8, 2);
+        let (clean, _) =
+            handle_simulate(&fresh, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
+        assert_eq!(hostile.to_string(), clean.to_string());
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -39,11 +39,15 @@ pub enum FaultSite {
     SocketWrite,
     /// JSON request-body decoding.
     JsonDecode,
+    /// A read (replay) from the disk artifact store.
+    StoreRead,
+    /// A write (publish) to the disk artifact store.
+    StoreWrite,
 }
 
 impl FaultSite {
     /// Number of sites (array sizes).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -56,6 +60,8 @@ impl FaultSite {
         FaultSite::SocketRead,
         FaultSite::SocketWrite,
         FaultSite::JsonDecode,
+        FaultSite::StoreRead,
+        FaultSite::StoreWrite,
     ];
 
     /// Stable snake_case name, used in metrics labels and panic messages.
@@ -71,6 +77,8 @@ impl FaultSite {
             FaultSite::SocketRead => "socket_read",
             FaultSite::SocketWrite => "socket_write",
             FaultSite::JsonDecode => "json_decode",
+            FaultSite::StoreRead => "store_read",
+            FaultSite::StoreWrite => "store_write",
         }
     }
 
@@ -85,6 +93,8 @@ impl FaultSite {
             FaultSite::SocketRead => 6,
             FaultSite::SocketWrite => 7,
             FaultSite::JsonDecode => 8,
+            FaultSite::StoreRead => 9,
+            FaultSite::StoreWrite => 10,
         }
     }
 }
@@ -261,6 +271,22 @@ impl FaultPlan {
                 FaultSite::JsonDecode,
                 FaultSpec {
                     error_ppm: 10_000,
+                    ..FaultSpec::default()
+                },
+            )
+            // Store faults degrade, never fail: a tripped read skips the
+            // disk tier (re-trace), a tripped write skips the publish.
+            .arm(
+                FaultSite::StoreRead,
+                FaultSpec {
+                    error_ppm: 100_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::StoreWrite,
+                FaultSpec {
+                    error_ppm: 100_000,
                     ..FaultSpec::default()
                 },
             )

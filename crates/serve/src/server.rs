@@ -25,6 +25,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -76,6 +77,11 @@ pub struct ServerConfig {
     pub max_batch_cells: usize,
     /// Fault-injection plan; [`FaultPlan::inert`] in production.
     pub faults: Arc<FaultPlan>,
+    /// Optional disk cache tier: a [`dee_store::Store`] directory that
+    /// raw traces are replayed from (and recorded to) on prepared-cache
+    /// misses, so trace work survives restarts. `None` disables the
+    /// tier.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +101,7 @@ impl Default for ServerConfig {
             supervisor_interval: Duration::from_millis(10),
             max_batch_cells: 256,
             faults: Arc::new(FaultPlan::inert()),
+            store_dir: None,
         }
     }
 }
@@ -161,6 +168,8 @@ struct Shared {
     supervisor_interval: Duration,
     max_batch_cells: usize,
     faults: Arc<FaultPlan>,
+    /// Disk cache tier for raw traces; `None` when not configured.
+    store: Option<Arc<dee_store::Store>>,
     /// Worker slots, owned jointly by the supervisor (respawns) and
     /// shutdown (final join). `None` marks a slot being respawned.
     slots: Mutex<Vec<Option<JoinHandle<()>>>>,
@@ -200,6 +209,10 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(dee_store::Store::open(dir)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
             cache: PreparedCache::new(config.cache_entries, config.cache_shards),
@@ -215,6 +228,7 @@ impl Server {
             supervisor_interval: config.supervisor_interval,
             max_batch_cells: config.max_batch_cells,
             faults: config.faults,
+            store,
             slots: Mutex::new(Vec::new()),
         });
         {
@@ -256,6 +270,12 @@ impl Server {
     #[must_use]
     pub fn faults(&self) -> &Arc<FaultPlan> {
         &self.shared.faults
+    }
+
+    /// The disk cache tier, when one was configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<dee_store::Store>> {
+        self.shared.store.as_ref()
     }
 
     /// Worker threads currently alive (respawns land within a
@@ -645,6 +665,9 @@ fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'st
             ];
             let mut text = shared.metrics.render(&gauges);
             text.push_str(&shared.faults.render_metrics());
+            if let Some(store) = &shared.store {
+                text.push_str(&store.stats().render_metrics());
+            }
             (200, TEXT, text)
         }
         ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") | ("POST", "/batch") => {
@@ -693,17 +716,22 @@ fn handle_api(
     }
     let deadline = accepted + budget;
     let result = match request.path() {
-        "/simulate" => api::handle_simulate(&shared.cache, &body, deadline, &shared.faults).map(
-            |(json, hit)| {
-                let counter = if hit {
-                    &shared.metrics.cache_hits
-                } else {
-                    &shared.metrics.cache_misses
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
-                json
-            },
-        ),
+        "/simulate" => api::handle_simulate(
+            &shared.cache,
+            &body,
+            deadline,
+            &shared.faults,
+            shared.store.as_deref(),
+        )
+        .map(|(json, hit)| {
+            let counter = if hit {
+                &shared.metrics.cache_hits
+            } else {
+                &shared.metrics.cache_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            json
+        }),
         "/tree" => api::handle_tree(&body),
         "/batch" => handle_batch(shared, &body, deadline),
         _ => api::handle_levo(&body, deadline),
@@ -812,7 +840,13 @@ fn batch_drain(shared: &Shared, state: &BatchState) {
         }
         let cell = &state.cells[index];
         let (json, hit) = match catch_unwind(AssertUnwindSafe(|| {
-            api::run_batch_cell(&shared.cache, cell, state.deadline, &shared.faults)
+            api::run_batch_cell(
+                &shared.cache,
+                cell,
+                state.deadline,
+                &shared.faults,
+                shared.store.as_deref(),
+            )
         })) {
             Ok(done) => done,
             Err(payload) => {

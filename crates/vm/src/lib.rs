@@ -46,4 +46,5 @@ mod serialize;
 mod trace;
 
 pub use machine::{Machine, RunResult, StepOutcome, VmError, DEFAULT_MEM_WORDS};
+pub use serialize::{TraceReader, RECORD_BYTES, TRACE_FORMAT_VERSION};
 pub use trace::{output_checksum, trace_program, BranchOutcome, Trace, TraceRecord};

@@ -18,7 +18,11 @@
 //!   system), pluggable into the ILP simulator via per-access latencies;
 //! * [`serve`] — the resident simulation server: a worker pool and a
 //!   sharded prepared-trace cache behind a dependency-free HTTP/JSON API
-//!   (`dee serve`).
+//!   (`dee serve`);
+//! * [`store`] — the persistent, checksummed trace-artifact store:
+//!   record-once/replay-many containers with streaming replay, behind
+//!   the bench binaries' `--store`, `dee serve --store`, and the
+//!   `dee trace record|info|verify|ls|gc` subcommands.
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@ pub use dee_levo as levo;
 pub use dee_mem as mem;
 pub use dee_predict as predict;
 pub use dee_serve as serve;
+pub use dee_store as store;
 pub use dee_vm as vm;
 pub use dee_workloads as workloads;
 

@@ -7,8 +7,13 @@
 //! dee unroll <prog.s> [--factor K]        apply the §4.2 loop filter
 //! dee tree [--p P] [--et N]               print the static DEE tree
 //! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
+//! dee trace record <workload> --store DIR [--scale S]  publish an artifact
+//! dee trace info <file.dtrc>              container header/footer summary
+//! dee trace verify <file.dtrc>            full checksum + layout check
+//! dee trace ls --store DIR                list published artifacts
+//! dee trace gc --store DIR                sweep tmp/ + quarantine/
 //! dee replay <prog.s> <file> [--model M] [--et N]  simulate a captured trace
-//! dee serve [--addr H:P] [--workers N]    run the simulation server
+//! dee serve [--addr H:P] [--workers N] [--store DIR]  run the simulation server
 //! ```
 //!
 //! Programs are assembly text (see `dee_isa::parse`); initial memory cells
@@ -44,10 +49,15 @@ const USAGE: &str = "usage:
   dee unroll <prog.s> [--factor K]          print the unrolled program
   dee tree [--p P] [--et N]                 print the static DEE tree
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
+  dee trace record <workload> --store DIR [--scale tiny|small|medium|large]
+  dee trace info <file.dtrc>                container header/footer summary
+  dee trace verify <file.dtrc>              full checksum + layout check
+  dee trace ls --store DIR                  list published artifacts
+  dee trace gc --store DIR                  sweep tmp/ + quarantine/
   dee replay <prog.s> <file> [--model M] [--et N]
   dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]
             [--read-budget-ms MS] [--breaker-threshold N] [--breaker-cooldown-ms MS]
-            [--chaos-seed SEED]";
+            [--chaos-seed SEED] [--store DIR]";
 
 /// Parsed `--flag value` options after the positional arguments.
 struct Options {
@@ -66,6 +76,8 @@ struct Options {
     breaker_threshold: Option<u32>,
     breaker_cooldown_ms: Option<u64>,
     chaos_seed: Option<u64>,
+    store: Option<String>,
+    scale: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -85,6 +97,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         breaker_threshold: None,
         breaker_cooldown_ms: None,
         chaos_seed: None,
+        store: None,
+        scale: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -173,6 +187,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "bad --chaos-seed".to_string())?,
                 )
             }
+            "--store" => options.store = Some(value()?),
+            "--scale" => options.scale = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -189,6 +205,136 @@ fn model_by_name(name: &str) -> Option<Model> {
         .into_iter()
         .chain([Model::Oracle])
         .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+fn workload_scale(name: &str) -> Result<dee::workloads::Scale, String> {
+    use dee::workloads::Scale;
+    match name {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("unknown scale `{other}`")),
+    }
+}
+
+fn workload_by_name(
+    name: &str,
+    scale: dee::workloads::Scale,
+) -> Result<dee::workloads::Workload, String> {
+    match name {
+        "cc1" => Ok(dee::workloads::cc1::build(scale)),
+        "compress" => Ok(dee::workloads::compress::build(scale)),
+        "eqntott" => Ok(dee::workloads::eqntott::build(scale)),
+        "espresso" => Ok(dee::workloads::espresso::build(scale)),
+        "sc" => Ok(dee::workloads::sc::build(scale)),
+        "xlisp" => Ok(dee::workloads::xlisp::build(scale)),
+        other => Err(format!("unknown workload `{other}`")),
+    }
+}
+
+fn open_store(options: &Options) -> Result<dee::store::Store, String> {
+    let dir = options.store.as_deref().ok_or("missing --store DIR")?;
+    dee::store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))
+}
+
+/// `dee trace record <workload> --store DIR [--scale S]` — trace a
+/// workload on the VM (validated against its reference output) and
+/// publish the artifact. Idempotent: an already-published key is left
+/// alone.
+fn trace_record(args: &[String]) -> Result<(), String> {
+    let name = args.get(2).ok_or("missing workload name")?;
+    let options = parse_options(&args[3..])?;
+    let store = open_store(&options)?;
+    let scale_name = options.scale.as_deref().unwrap_or("tiny");
+    let scale = workload_scale(scale_name)?;
+    let workload = workload_by_name(name, scale)?;
+    let key = dee::store::ArtifactKey::new(
+        name,
+        scale_name,
+        &workload.program.to_listing(),
+        &workload.initial_memory,
+    );
+    if store.contains(&key) {
+        println!("already published: {}", key.filename());
+        return Ok(());
+    }
+    let trace = workload.validate()?;
+    let path = store.put(&key, &trace).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
+    println!(
+        "published {} ({} records, {bytes} bytes)",
+        key.filename(),
+        trace.len()
+    );
+    Ok(())
+}
+
+/// `dee trace info <file.dtrc>` — footer-index summary without scanning
+/// the payload.
+fn trace_info(args: &[String]) -> Result<(), String> {
+    let path = args.get(2).ok_or("missing artifact path")?;
+    let info = dee::store::info_file(std::path::Path::new(path))?;
+    let encoded = info.total_encoded();
+    println!("{path}:");
+    println!(
+        "  container v{}, trace format v{}, chunk size {} bytes",
+        info.header.container_version, info.header.trace_format_version, info.header.chunk_size
+    );
+    println!(
+        "  {} chunk(s), {} raw bytes, {} encoded ({:.1}% of raw), {} file bytes",
+        info.chunks.len(),
+        info.total_raw,
+        encoded,
+        if info.total_raw == 0 {
+            100.0
+        } else {
+            100.0 * encoded as f64 / info.total_raw as f64
+        },
+        info.file_len,
+    );
+    Ok(())
+}
+
+/// `dee trace verify <file.dtrc>` — stream the whole artifact through
+/// every checksum and layout check.
+fn trace_verify(args: &[String]) -> Result<(), String> {
+    let path = args.get(2).ok_or("missing artifact path")?;
+    let report = dee::store::verify_file(std::path::Path::new(path))?;
+    println!(
+        "{path}: ok — {} records, {} output words, output checksum {:016x}",
+        report.records, report.output_words, report.output_checksum
+    );
+    Ok(())
+}
+
+/// `dee trace ls --store DIR` — list published artifacts.
+fn trace_ls(args: &[String]) -> Result<(), String> {
+    let options = parse_options(&args[2..])?;
+    let store = open_store(&options)?;
+    let entries = store.list().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("(no artifacts)");
+        return Ok(());
+    }
+    for entry in &entries {
+        println!("{:>12}  {}", entry.bytes, entry.name);
+    }
+    println!("{} artifact(s)", entries.len());
+    Ok(())
+}
+
+/// `dee trace gc --store DIR` — sweep in-flight orphans and quarantined
+/// files.
+fn trace_gc(args: &[String]) -> Result<(), String> {
+    let options = parse_options(&args[2..])?;
+    let store = open_store(&options)?;
+    let report = store.gc().map_err(|e| e.to_string())?;
+    println!(
+        "removed {} tmp orphan(s), {} quarantined file(s)",
+        report.tmp_removed, report.quarantine_removed
+    );
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -299,20 +445,29 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("  degenerate  = {}", tree.is_single_path());
             Ok(())
         }
-        "trace" => {
-            let path = args.get(1).ok_or("missing program path")?;
-            let options = parse_options(&args[2..])?;
-            let out_path = options.output.as_deref().ok_or("missing -o <file>")?;
-            let program = load_program(path)?;
-            let trace = trace_program(&program, &options.memory, 1_000_000_000)
-                .map_err(|e| e.to_string())?;
-            let file = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
-            trace
-                .write_to(std::io::BufWriter::new(file))
-                .map_err(|e| e.to_string())?;
-            println!("captured {} records to {out_path}", trace.len());
-            Ok(())
-        }
+        "trace" => match args.get(1).map(String::as_str) {
+            Some("record") => trace_record(args),
+            Some("info") => trace_info(args),
+            Some("verify") => trace_verify(args),
+            Some("ls") => trace_ls(args),
+            Some("gc") => trace_gc(args),
+            // Legacy form: `dee trace <prog.s> -o <file>` captures a
+            // bare DEETRC1 stream (no container).
+            Some(path) => {
+                let options = parse_options(&args[2..])?;
+                let out_path = options.output.as_deref().ok_or("missing -o <file>")?;
+                let program = load_program(path)?;
+                let trace = trace_program(&program, &options.memory, 1_000_000_000)
+                    .map_err(|e| e.to_string())?;
+                let file = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
+                trace
+                    .write_to(std::io::BufWriter::new(file))
+                    .map_err(|e| e.to_string())?;
+                println!("captured {} records to {out_path}", trace.len());
+                Ok(())
+            }
+            None => Err("missing program path or trace subcommand".into()),
+        },
         "replay" => {
             let prog_path = args.get(1).ok_or("missing program path")?;
             let trace_path = args.get(2).ok_or("missing trace file")?;
@@ -370,6 +525,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if let Some(ms) = options.breaker_cooldown_ms {
                 config.breaker_cooldown = std::time::Duration::from_millis(ms);
+            }
+            if let Some(dir) = &options.store {
+                config.store_dir = Some(dir.into());
+                println!("trace-artifact store: {dir} (disk cache tier enabled)");
             }
             if let Some(seed) = options.chaos_seed {
                 // A hostile plan for resilience drills: every fault site
@@ -478,5 +637,68 @@ mod tests {
             "replay", &prog_s, &trace_s, "--model", "oracle",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn trace_store_subcommands_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dee-cli-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = dir.to_string_lossy().to_string();
+        // record publishes, and re-recording the same key is a no-op.
+        run(&strings(&[
+            "trace", "record", "xlisp", "--store", &store, "--scale", "tiny",
+        ]))
+        .unwrap();
+        run(&strings(&[
+            "trace", "record", "xlisp", "--store", &store, "--scale", "tiny",
+        ]))
+        .unwrap();
+        run(&strings(&["trace", "ls", "--store", &store])).unwrap();
+        let artifact = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "dtrc"))
+            .expect("record published a .dtrc artifact");
+        let artifact_s = artifact.to_string_lossy().to_string();
+        run(&strings(&["trace", "info", &artifact_s])).unwrap();
+        run(&strings(&["trace", "verify", &artifact_s])).unwrap();
+        run(&strings(&["trace", "gc", "--store", &store])).unwrap();
+        // A corrupted artifact fails verification with a typed error
+        // rather than a panic.
+        let mut bytes = std::fs::read(&artifact).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&artifact, bytes).unwrap();
+        assert!(run(&strings(&["trace", "verify", &artifact_s])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_subcommands_reject_bad_arguments() {
+        assert!(run(&strings(&["trace"])).is_err());
+        assert!(run(&strings(&["trace", "record", "xlisp"])).is_err());
+        assert!(run(&strings(&[
+            "trace",
+            "record",
+            "warp9",
+            "--store",
+            "/tmp/dee-cli-bogus"
+        ]))
+        .is_err());
+        assert!(run(&strings(&[
+            "trace",
+            "record",
+            "xlisp",
+            "--store",
+            "/tmp/dee-cli-bogus2",
+            "--scale",
+            "huge"
+        ]))
+        .is_err());
+        assert!(run(&strings(&["trace", "info", "/nonexistent/x.dtrc"])).is_err());
+        assert!(run(&strings(&["trace", "ls"])).is_err());
+        std::fs::remove_dir_all("/tmp/dee-cli-bogus").ok();
+        std::fs::remove_dir_all("/tmp/dee-cli-bogus2").ok();
     }
 }
