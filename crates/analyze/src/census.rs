@@ -1,0 +1,423 @@
+//! Static branch census and the static/dynamic trace cross-check.
+//!
+//! The census is the static half of the paper's DEE-tree inputs: every
+//! conditional branch with its taxonomy (loop-back vs forward), its
+//! reconvergence point (from [`dee_isa::cfg::PostDoms`]), and the static
+//! path length to the next branch. The cross-check turns any `DEETRC1`
+//! replay into a verifier: every dynamic record must be explainable by the
+//! static program — branch PCs must be census members with the recorded
+//! direction possibilities, operands must match the static def/use sets,
+//! and consecutive PCs must follow a static edge. A trace that drifts from
+//! its program (bit rot, version skew, a buggy mutation) produces a typed
+//! [`CrossCheckError`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dee_isa::cfg::Cfg;
+use dee_isa::{Instr, Program};
+use dee_vm::Trace;
+
+/// Classification of a conditional branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchKind {
+    /// Taken edge closes a natural loop (target dominates the branch).
+    LoopBack,
+    /// Taken edge goes backward without closing a natural loop.
+    Retreating,
+    /// Taken edge goes forward.
+    Forward,
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BranchKind::LoopBack => "loop-back",
+            BranchKind::Retreating => "retreating",
+            BranchKind::Forward => "forward",
+        })
+    }
+}
+
+/// Static facts about one conditional branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchInfo {
+    /// The branch address.
+    pub pc: u32,
+    /// The taken target.
+    pub taken_target: u32,
+    /// The not-taken successor (`pc + 1`, or the exit for a final branch).
+    pub fallthrough: u32,
+    /// Taxonomy of the taken edge.
+    pub kind: BranchKind,
+    /// Where taken and not-taken paths rejoin, if before program exit.
+    pub reconvergence: Option<u32>,
+    /// Instructions along the not-taken path until (and including) the next
+    /// conditional branch, capped at the program length.
+    pub static_path_len: u32,
+}
+
+/// What one instruction lets the dynamic successor PC be.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StepKind {
+    /// Falls through to `pc + 1`.
+    Fall,
+    /// Unconditional transfer to a static target.
+    Jump(u32),
+    /// Conditional: taken target or fall-through.
+    Cond { taken: u32 },
+    /// Dynamic target (`jr`): any in-range PC.
+    Indirect,
+    /// Terminates execution (`halt`).
+    Stop,
+}
+
+/// The static branch census of one program.
+#[derive(Clone, Debug)]
+pub struct BranchCensus {
+    len: u32,
+    branches: BTreeMap<u32, BranchInfo>,
+    steps: Vec<StepKind>,
+    defs: Vec<Option<dee_isa::Reg>>,
+    uses: Vec<[Option<dee_isa::Reg>; 2]>,
+}
+
+impl BranchCensus {
+    /// Builds the census from a validated program, using the simulator CFG
+    /// (intraprocedural, like the timing models) for reconvergence and the
+    /// dominator relation for the loop-back taxonomy.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let cfg = Cfg::new(program);
+        let pdoms = cfg.postdominators();
+        let flow = crate::flow::Flow::new(program.instrs());
+        let doms = crate::structure::Doms::compute(&flow);
+
+        let mut branches = BTreeMap::new();
+        let mut steps = Vec::with_capacity(program.len());
+        let mut defs = Vec::with_capacity(program.len());
+        let mut uses = Vec::with_capacity(program.len());
+        for (pc, instr) in program.iter() {
+            defs.push(instr.def());
+            uses.push(instr.uses());
+            match *instr {
+                Instr::Branch { target, .. } => {
+                    let fallthrough = if (pc as usize) + 1 < program.len() {
+                        pc + 1
+                    } else {
+                        cfg.exit()
+                    };
+                    let kind = if target <= pc && doms.dominates(target, pc) {
+                        BranchKind::LoopBack
+                    } else if target <= pc {
+                        BranchKind::Retreating
+                    } else {
+                        BranchKind::Forward
+                    };
+                    branches.insert(
+                        pc,
+                        BranchInfo {
+                            pc,
+                            taken_target: target,
+                            fallthrough,
+                            kind,
+                            reconvergence: pdoms.reconvergence(pc),
+                            static_path_len: static_path_len(program, pc),
+                        },
+                    );
+                    steps.push(StepKind::Cond { taken: target });
+                }
+                Instr::Jump { target } | Instr::Jal { target } => {
+                    steps.push(StepKind::Jump(target))
+                }
+                Instr::Jr { .. } => steps.push(StepKind::Indirect),
+                Instr::Halt => steps.push(StepKind::Stop),
+                _ => steps.push(StepKind::Fall),
+            }
+        }
+        BranchCensus {
+            len: program.len() as u32,
+            branches,
+            steps,
+            defs,
+            uses,
+        }
+    }
+
+    /// Number of instructions in the censused program.
+    #[must_use]
+    pub fn program_len(&self) -> u32 {
+        self.len
+    }
+
+    /// All conditional branches, ascending by address.
+    pub fn branches(&self) -> impl Iterator<Item = &BranchInfo> {
+        self.branches.values()
+    }
+
+    /// The census entry for the branch at `pc`, if one exists.
+    #[must_use]
+    pub fn branch(&self, pc: u32) -> Option<&BranchInfo> {
+        self.branches.get(&pc)
+    }
+
+    /// Number of conditional branches.
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Number of loop-back branches.
+    #[must_use]
+    pub fn num_loop_back(&self) -> usize {
+        self.branches
+            .values()
+            .filter(|b| b.kind == BranchKind::LoopBack)
+            .count()
+    }
+
+    /// Mean static path length over all branches (0 when there are none).
+    #[must_use]
+    pub fn mean_static_path_len(&self) -> f64 {
+        if self.branches.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .branches
+            .values()
+            .map(|b| u64::from(b.static_path_len))
+            .sum();
+        total as f64 / self.branches.len() as f64
+    }
+
+    /// Verifies a dynamic trace against this census.
+    ///
+    /// On success returns per-branch dynamic direction counts (the
+    /// statistics a static DEE tree would be weighted with). Traces may be
+    /// truncated (step limits), so the final record is not required to be a
+    /// `halt`; every *consecutive* pair must still follow a static edge.
+    pub fn verify_trace(&self, trace: &Trace) -> Result<CrossCheck, CrossCheckError> {
+        let records = trace.records();
+        let mut counts: BTreeMap<u32, DirectionCounts> = BTreeMap::new();
+        for (index, rec) in records.iter().enumerate() {
+            if rec.pc >= self.len {
+                return Err(CrossCheckError::PcOutOfRange {
+                    index,
+                    pc: rec.pc,
+                    len: self.len,
+                });
+            }
+            let pc = rec.pc as usize;
+            // Branch membership and direction possibilities.
+            match (self.steps[pc], rec.branch) {
+                (StepKind::Cond { taken }, Some(outcome)) => {
+                    if outcome.target != taken {
+                        return Err(CrossCheckError::TargetMismatch {
+                            index,
+                            pc: rec.pc,
+                            expected: taken,
+                            got: outcome.target,
+                        });
+                    }
+                    let c = counts.entry(rec.pc).or_default();
+                    if outcome.taken {
+                        c.taken += 1;
+                    } else {
+                        c.not_taken += 1;
+                    }
+                }
+                (StepKind::Cond { .. }, None) => {
+                    return Err(CrossCheckError::MissingOutcome { index, pc: rec.pc });
+                }
+                (_, Some(_)) => {
+                    return Err(CrossCheckError::NotABranch { index, pc: rec.pc });
+                }
+                _ => {}
+            }
+            // Operand consistency.
+            if rec.dst != self.defs[pc] || rec.srcs != self.uses[pc] {
+                return Err(CrossCheckError::OperandMismatch { index, pc: rec.pc });
+            }
+            // Successor consistency.
+            if let Some(next) = records.get(index + 1) {
+                let expected: Option<u32> = match self.steps[pc] {
+                    StepKind::Fall => Some(rec.pc + 1),
+                    StepKind::Jump(target) => Some(target),
+                    StepKind::Cond { taken } => {
+                        let outcome = rec.branch.expect("checked above");
+                        Some(if outcome.taken { taken } else { rec.pc + 1 })
+                    }
+                    StepKind::Indirect => None,
+                    StepKind::Stop => {
+                        return Err(CrossCheckError::RecordAfterHalt { index, pc: rec.pc })
+                    }
+                };
+                if let Some(e) = expected {
+                    if next.pc != e {
+                        return Err(CrossCheckError::SuccessorMismatch {
+                            index,
+                            pc: rec.pc,
+                            expected: e,
+                            got: next.pc,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(CrossCheck {
+            records: records.len() as u64,
+            counts,
+        })
+    }
+}
+
+/// Dynamic taken/not-taken totals for one branch.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct DirectionCounts {
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Times it fell through.
+    pub not_taken: u64,
+}
+
+/// A successful cross-check: the dynamic statistics backing the census.
+#[derive(Clone, Debug)]
+pub struct CrossCheck {
+    /// Dynamic records verified.
+    pub records: u64,
+    /// Per-branch direction totals (only branches that executed appear).
+    pub counts: BTreeMap<u32, DirectionCounts>,
+}
+
+/// A typed static/dynamic mismatch. `index` is the dynamic record index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrossCheckError {
+    /// A record's PC is outside the program.
+    PcOutOfRange {
+        /// Dynamic record index.
+        index: usize,
+        /// The offending PC.
+        pc: u32,
+        /// The program length.
+        len: u32,
+    },
+    /// A record carries a branch outcome but the static instruction is not
+    /// a conditional branch.
+    NotABranch {
+        /// Dynamic record index.
+        index: usize,
+        /// The offending PC.
+        pc: u32,
+    },
+    /// The static instruction is a conditional branch but the record has no
+    /// outcome.
+    MissingOutcome {
+        /// Dynamic record index.
+        index: usize,
+        /// The offending PC.
+        pc: u32,
+    },
+    /// The recorded taken-target differs from the static target.
+    TargetMismatch {
+        /// Dynamic record index.
+        index: usize,
+        /// The branch PC.
+        pc: u32,
+        /// Static taken-target.
+        expected: u32,
+        /// Recorded taken-target.
+        got: u32,
+    },
+    /// A record's register operands differ from the static def/use sets.
+    OperandMismatch {
+        /// Dynamic record index.
+        index: usize,
+        /// The offending PC.
+        pc: u32,
+    },
+    /// Consecutive records do not follow a static control-flow edge.
+    SuccessorMismatch {
+        /// Dynamic record index of the first record.
+        index: usize,
+        /// Its PC.
+        pc: u32,
+        /// The only PC the static program allows next.
+        expected: u32,
+        /// The PC the trace actually has next.
+        got: u32,
+    },
+    /// A record follows a `halt`.
+    RecordAfterHalt {
+        /// Dynamic record index of the halt.
+        index: usize,
+        /// The halt's PC.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for CrossCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CrossCheckError::PcOutOfRange { index, pc, len } => {
+                write!(f, "record {index}: pc {pc} outside program of {len}")
+            }
+            CrossCheckError::NotABranch { index, pc } => write!(
+                f,
+                "record {index}: branch outcome at pc {pc}, which is not a conditional branch"
+            ),
+            CrossCheckError::MissingOutcome { index, pc } => write!(
+                f,
+                "record {index}: conditional branch at pc {pc} has no recorded outcome"
+            ),
+            CrossCheckError::TargetMismatch {
+                index,
+                pc,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {index}: branch at pc {pc} records target {got}, census says {expected}"
+            ),
+            CrossCheckError::OperandMismatch { index, pc } => write!(
+                f,
+                "record {index}: operands at pc {pc} disagree with static def/use sets"
+            ),
+            CrossCheckError::SuccessorMismatch {
+                index,
+                pc,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {index}: pc {pc} must be followed by {expected}, trace has {got}"
+            ),
+            CrossCheckError::RecordAfterHalt { index, pc } => {
+                write!(f, "record {index}: records continue after halt at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrossCheckError {}
+
+/// Instructions along the not-taken path from `pc` until (and including)
+/// the next conditional branch, following unconditional control, capped at
+/// the program length (cycles without branches terminate the walk).
+fn static_path_len(program: &Program, pc: u32) -> u32 {
+    let mut len = 0u32;
+    let mut cur = pc as usize + 1;
+    let cap = program.len() as u32;
+    while len < cap {
+        let Some(instr) = program.get(cur as u32) else {
+            break;
+        };
+        len += 1;
+        match *instr {
+            Instr::Branch { .. } => break,
+            Instr::Jump { target } | Instr::Jal { target } => cur = target as usize,
+            Instr::Jr { .. } | Instr::Halt => break,
+            _ => cur += 1,
+        }
+    }
+    len
+}

@@ -1,0 +1,198 @@
+//! The analysis flow graph: a call-aware variant of [`dee_isa::cfg::Cfg`].
+//!
+//! The simulator CFG in `dee_isa` is deliberately *intraprocedural*: `jal`
+//! falls through to its continuation (callees are opaque) because that is the
+//! shape the timing models and reconvergence machinery want. Static analysis
+//! wants the opposite: callee bodies must be reachable (or every function is
+//! "unreachable code") and dataflow must not pretend a call is a no-op. This
+//! module builds that graph:
+//!
+//! - `jal` gets edges to **both** the callee entry and the continuation, so
+//!   callees are reachable and facts flow into them;
+//! - `jr` is an exit edge (returns are resolved dynamically), and the passes
+//!   in [`crate::passes`] treat it as reading every register so values that
+//!   are live across a function boundary are never declared dead;
+//! - statically out-of-range targets are recorded (they become
+//!   `DEE-E005`) and clamped to the synthetic exit node so every other pass
+//!   still runs on a well-formed graph.
+//!
+//! Like `Cfg`, node `len` is a synthetic exit; an instruction at the last
+//! address that can fall through gets an explicit edge to it.
+
+use dee_isa::Instr;
+
+/// A statically out-of-range control-flow target, `(pc, target)`.
+pub type OobTarget = (u32, u32);
+
+/// Call-aware control-flow graph over a raw instruction slice.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    exit: u32,
+    oob: Vec<OobTarget>,
+}
+
+impl Flow {
+    /// Builds the analysis graph. Never fails: malformed targets are
+    /// reported via [`oob_targets`](Flow::oob_targets) and rerouted to the
+    /// exit node.
+    #[must_use]
+    pub fn new(instrs: &[Instr]) -> Self {
+        let n = instrs.len();
+        let exit = n as u32;
+        let mut oob = Vec::new();
+        let mut clamp = |pc: u32, target: u32| -> u32 {
+            if (target as usize) < n {
+                target
+            } else {
+                oob.push((pc, target));
+                exit
+            }
+        };
+        let mut succs: Vec<Vec<u32>> = Vec::with_capacity(n + 1);
+        for (i, instr) in instrs.iter().enumerate() {
+            let pc = i as u32;
+            let fall = if i + 1 < n { pc + 1 } else { exit };
+            let out = match *instr {
+                Instr::Branch { target, .. } => {
+                    let t = clamp(pc, target);
+                    if t == fall {
+                        vec![fall]
+                    } else {
+                        vec![t, fall]
+                    }
+                }
+                Instr::Jump { target } => vec![clamp(pc, target)],
+                Instr::Jal { target } => {
+                    let t = clamp(pc, target);
+                    if t == fall {
+                        vec![fall]
+                    } else {
+                        vec![t, fall]
+                    }
+                }
+                Instr::Jr { .. } | Instr::Halt => vec![exit],
+                _ => vec![fall],
+            };
+            succs.push(out);
+        }
+        succs.push(Vec::new());
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (pc, out) in succs.iter().enumerate() {
+            for &s in out {
+                preds[s as usize].push(pc as u32);
+            }
+        }
+        Flow {
+            succs,
+            preds,
+            exit,
+            oob,
+        }
+    }
+
+    /// Number of real (non-exit) nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.exit as usize
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.exit == 0
+    }
+
+    /// The synthetic exit node index (`== len()`).
+    #[must_use]
+    pub fn exit(&self) -> u32 {
+        self.exit
+    }
+
+    /// Successors of `pc` (the exit node has none).
+    #[must_use]
+    pub fn successors(&self, pc: u32) -> &[u32] {
+        &self.succs[pc as usize]
+    }
+
+    /// Predecessors of `pc`.
+    #[must_use]
+    pub fn predecessors(&self, pc: u32) -> &[u32] {
+        &self.preds[pc as usize]
+    }
+
+    /// Statically out-of-range targets found while building the graph.
+    #[must_use]
+    pub fn oob_targets(&self) -> &[OobTarget] {
+        &self.oob
+    }
+
+    /// Per-instruction reachability from entry (index 0); the trailing
+    /// element is the exit node.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.exit as usize + 1];
+        if self.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(pc) = stack.pop() {
+            for &s in self.successors(pc) {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dee_isa::{BranchCond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn jal_has_both_edges() {
+        // 0: jal 2 / 1: halt / 2: jr ra
+        let instrs = vec![
+            Instr::Jal { target: 2 },
+            Instr::Halt,
+            Instr::Jr { rs: Reg::RA },
+        ];
+        let flow = Flow::new(&instrs);
+        assert_eq!(flow.successors(0), &[2, 1]);
+        assert_eq!(flow.successors(2), &[flow.exit()]);
+        assert!(flow.reachable()[2], "callee body must be reachable");
+    }
+
+    #[test]
+    fn oob_target_clamped_and_recorded() {
+        let instrs = vec![
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs: r(1),
+                rt: r(2),
+                target: 9,
+            },
+            Instr::Halt,
+        ];
+        let flow = Flow::new(&instrs);
+        assert_eq!(flow.oob_targets(), &[(0, 9)]);
+        assert_eq!(flow.successors(0), &[flow.exit(), 1]);
+    }
+
+    #[test]
+    fn trailing_fall_through_reaches_exit() {
+        let instrs = vec![Instr::Halt, Instr::Nop];
+        let flow = Flow::new(&instrs);
+        assert_eq!(flow.successors(1), &[flow.exit()]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Static analysis for toy-ISA programs.
+//!
+//! The paper's static DEE tree (§4) is derived from *static* program
+//! structure plus branch statistics; this crate supplies that static half
+//! and uses it to harden every place programs enter the system:
+//!
+//! - [`flow`]: a call-aware control-flow graph (the analysis twin of the
+//!   simulator's [`dee_isa::cfg::Cfg`]);
+//! - [`structure`]: dominators, natural loops, and reducibility;
+//! - [`dataflow`] + [`passes`]: a generic forward/backward bitset dataflow
+//!   framework with liveness, reaching definitions, and constant-address
+//!   bounds passes;
+//! - [`lint`]: typed diagnostics with stable `DEE-*` codes, rendered as
+//!   text or JSON;
+//! - [`census`]: the static branch census and the static/dynamic
+//!   cross-check that turns trace replay into a verifier.
+//!
+//! The top-level entry points are [`analyze`] for validated programs,
+//! [`analyze_instrs`] for raw instruction slices (which additionally
+//! reports the shape errors [`dee_isa::Program::new`] would refuse), and
+//! [`BranchCensus::build`] for the census.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod census;
+pub mod dataflow;
+pub mod flow;
+pub mod lint;
+pub mod passes;
+pub mod structure;
+
+use dee_isa::{Instr, Program};
+
+pub use census::{BranchCensus, BranchInfo, BranchKind, CrossCheck, CrossCheckError};
+pub use lint::{Diagnostic, Lint, Report, Severity};
+
+/// Tunables for [`analyze_with`] / [`analyze_instrs`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzeConfig {
+    /// Data-memory size in words; constant addresses outside `0..mem_words`
+    /// raise `DEE-E011` / `DEE-E013`.
+    pub mem_words: usize,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            mem_words: dee_vm::DEFAULT_MEM_WORDS,
+        }
+    }
+}
+
+/// Analyses a validated program with default configuration.
+#[must_use]
+pub fn analyze(program: &Program) -> Report {
+    analyze_instrs(program.instrs(), &AnalyzeConfig::default())
+}
+
+/// Analyses a validated program with explicit configuration.
+#[must_use]
+pub fn analyze_with(program: &Program, config: &AnalyzeConfig) -> Report {
+    analyze_instrs(program.instrs(), config)
+}
+
+/// Analyses a raw instruction slice.
+///
+/// Unlike [`analyze`], the input need not satisfy [`Program::new`]'s
+/// invariants: an empty slice, missing `halt`, or out-of-range targets are
+/// reported as `DEE-E002` / `DEE-E004` / `DEE-E005` diagnostics (with the
+/// offending edges rerouted to the synthetic exit so the remaining passes
+/// still run) instead of being unrepresentable.
+#[must_use]
+pub fn analyze_instrs(instrs: &[Instr], config: &AnalyzeConfig) -> Report {
+    use lint::{Diagnostic, Lint};
+
+    if instrs.is_empty() {
+        return Report::new(vec![Diagnostic::global(
+            Lint::EmptyProgram,
+            "the program has no instructions",
+        )]);
+    }
+
+    let mut diags = Vec::new();
+    let flow = flow::Flow::new(instrs);
+
+    // DEE-E005: statically out-of-range control-flow targets.
+    for &(pc, target) in flow.oob_targets() {
+        diags.push(Diagnostic::at(
+            Lint::JumpTargetOutOfRange,
+            pc,
+            format!(
+                "target {target} outside program of {} instructions",
+                instrs.len()
+            ),
+        ));
+    }
+
+    // DEE-E004: no halt anywhere.
+    if !instrs.iter().any(|i| matches!(i, Instr::Halt)) {
+        diags.push(Diagnostic::global(
+            Lint::NoHalt,
+            "the program contains no halt instruction",
+        ));
+    }
+
+    let reachable = flow.reachable();
+
+    // DEE-W012: a reachable final instruction can fall off the end.
+    let last = instrs.len() - 1;
+    let falls_off = !matches!(
+        instrs[last],
+        Instr::Jump { .. } | Instr::Jr { .. } | Instr::Halt
+    );
+    if falls_off && reachable[last] {
+        diags.push(Diagnostic::at(
+            Lint::MissingHalt,
+            last as u32,
+            "execution can run past the last instruction; end with halt (or an unconditional transfer)",
+        ));
+    }
+
+    // DEE-W001: unreachable instructions, one diagnostic per maximal run.
+    let mut pc = 0usize;
+    while pc < instrs.len() {
+        if reachable[pc] {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < instrs.len() && !reachable[pc] {
+            pc += 1;
+        }
+        diags.push(Diagnostic::at(
+            Lint::UnreachableCode,
+            start as u32,
+            format!("{} instruction(s) unreachable from entry", pc - start),
+        ));
+    }
+
+    // DEE-W007: dead stores (pure register writes never read), via liveness.
+    let liveness = passes::Liveness::new(instrs);
+    let live = liveness.solve(&flow);
+    for (i, instr) in instrs.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        // Only pure value-producers: loads can fault and calls have side
+        // effects, so a dead destination there is not the instruction's
+        // only observable effect.
+        let pure = matches!(
+            instr,
+            Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Li { .. }
+        );
+        if !pure {
+            continue;
+        }
+        if let Some(rd) = instr.def() {
+            if !live.output[i].contains(rd.index()) {
+                diags.push(Diagnostic::at(
+                    Lint::DeadStore,
+                    i as u32,
+                    format!("value written to {rd} is never read"),
+                ));
+            }
+        }
+    }
+
+    // DEE-E003: reachable reads with no reaching definition at all.
+    let rdefs = passes::ReachingDefs::new(instrs);
+    let reach = rdefs.solve(&flow);
+    for (i, instr) in instrs.iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        // Note: the return-reads-everything convention is for liveness
+        // only; here only the registers actually encoded in the
+        // instruction matter, `jr`'s target register included.
+        for r in instr.uses().into_iter().flatten() {
+            if !rdefs.any_def_of(&reach.input[i], r) {
+                diags.push(Diagnostic::at(
+                    Lint::UninitializedRegisterRead,
+                    i as u32,
+                    format!("{r} is read but never written on any path from entry"),
+                ));
+            }
+        }
+    }
+
+    // DEE-E011 / DEE-E013: constant-address memory accesses out of bounds.
+    let consts = passes::ConstStates::compute(instrs, &flow);
+    for (i, instr) in instrs.iter().enumerate() {
+        if !reachable[i] || !instr.is_mem() {
+            continue;
+        }
+        if let Some(addr) = consts.const_address(i as u32, instr) {
+            if addr < 0 || addr >= config.mem_words as i64 {
+                let (lint, verb) = match instr {
+                    Instr::Sw { .. } => (Lint::OobConstantStore, "store to"),
+                    _ => (Lint::OobConstantLoad, "load from"),
+                };
+                diags.push(Diagnostic::at(
+                    lint,
+                    i as u32,
+                    format!(
+                        "{verb} constant address {addr} outside data memory of {} words",
+                        config.mem_words
+                    ),
+                ));
+            }
+        }
+    }
+
+    // DEE-W010: irreducible retreating edges.
+    let doms = structure::Doms::compute(&flow);
+    let loops = structure::find_loops(&flow, &doms);
+    for &(src, dst) in &loops.irreducible_edges {
+        diags.push(Diagnostic::at(
+            Lint::IrreducibleLoop,
+            src,
+            format!(
+                "retreating edge to {dst} does not close a natural loop (multiple-entry region)"
+            ),
+        ));
+    }
+
+    Report::new(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dee_isa::{AluOp, BranchCond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn empty_program_is_e002() {
+        let report = analyze_instrs(&[], &AnalyzeConfig::default());
+        assert!(report.has(Lint::EmptyProgram));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn clean_loop_is_clean() {
+        // li r1, 5 / loop: addi r1, r1, -1 / out r1 / bgt r1, r0, loop / halt
+        let instrs = vec![
+            Instr::Li { rd: r(1), imm: 5 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: r(1),
+                rs: r(1),
+                imm: -1,
+            },
+            Instr::Out { rs: r(1) },
+            Instr::Branch {
+                cond: BranchCond::Gt,
+                rs: r(1),
+                rt: Reg::ZERO,
+                target: 1,
+            },
+            Instr::Halt,
+        ];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(report.is_clean(), "unexpected: {:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn uninitialized_read_is_e003() {
+        let instrs = vec![Instr::Out { rs: r(3) }, Instr::Halt];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(report.has(Lint::UninitializedRegisterRead));
+    }
+
+    #[test]
+    fn oob_store_and_load_are_errors() {
+        let cfg = AnalyzeConfig { mem_words: 16 };
+        let instrs = vec![
+            Instr::Li { rd: r(1), imm: 20 },
+            Instr::Sw {
+                rs: Reg::ZERO,
+                base: r(1),
+                offset: 0,
+            },
+            Instr::Lw {
+                rd: r(2),
+                base: r(1),
+                offset: -40,
+            },
+            Instr::Out { rs: r(2) },
+            Instr::Halt,
+        ];
+        let report = analyze_instrs(&instrs, &cfg);
+        assert!(report.has(Lint::OobConstantStore));
+        assert!(report.has(Lint::OobConstantLoad));
+    }
+
+    #[test]
+    fn dead_store_and_unreachable_are_warnings() {
+        let instrs = vec![
+            Instr::Li { rd: r(1), imm: 1 }, // dead: overwritten before use
+            Instr::Li { rd: r(1), imm: 2 },
+            Instr::Out { rs: r(1) },
+            Instr::Halt,
+            Instr::Nop, // unreachable
+        ];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(report.has(Lint::DeadStore));
+        assert!(report.has(Lint::UnreachableCode));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn missing_halt_at_end_is_w012() {
+        let instrs = vec![Instr::Jump { target: 1 }, Instr::Nop];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(report.has(Lint::MissingHalt));
+        assert!(report.has(Lint::NoHalt));
+    }
+
+    #[test]
+    fn oob_target_is_e005_and_analysis_continues() {
+        let instrs = vec![Instr::Jump { target: 99 }, Instr::Halt];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(report.has(Lint::JumpTargetOutOfRange));
+        // pc 1 is unreachable (jump reroutes to exit), and that still gets
+        // reported rather than crashing a downstream pass.
+        assert!(report.has(Lint::UnreachableCode));
+    }
+
+    #[test]
+    fn irreducible_region_is_w010() {
+        // Two mutually-jumping blocks entered from two different sides.
+        // 0: beq r1, r0, @3 ; 1: j @4 (enter A) ; 3: j @5 (enter B)
+        let instrs = vec![
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs: r(1),
+                rt: Reg::ZERO,
+                target: 3,
+            },
+            Instr::Jump { target: 4 },
+            Instr::Halt, // reached via the loop exit below
+            Instr::Jump { target: 5 },
+            // A: 4
+            Instr::Branch {
+                cond: BranchCond::Gt,
+                rs: r(1),
+                rt: Reg::ZERO,
+                target: 5,
+            },
+            // B: 5 jumps back into A
+            Instr::Jump { target: 4 },
+        ];
+        let report = analyze_instrs(&instrs, &AnalyzeConfig::default());
+        assert!(
+            report.has(Lint::IrreducibleLoop),
+            "{:?}",
+            report.diagnostics()
+        );
+    }
+}

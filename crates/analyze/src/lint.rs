@@ -1,0 +1,364 @@
+//! Typed diagnostics: lint codes, severities, and rendered reports.
+//!
+//! Every diagnostic carries a stable code (`DEE-Wnnn` / `DEE-Ennn`) so that
+//! CI gates, the serve API's 422 responses, and golden CSVs can match on
+//! codes rather than message text. Codes are append-only: never renumber.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but executable; rejected only under `--deny warnings`.
+    Warning,
+    /// The program is malformed or guaranteed to fault; execution refused.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The stable lint catalogue.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// `DEE-W001`: instructions no path from entry can execute.
+    UnreachableCode,
+    /// `DEE-E002`: the program has no instructions.
+    EmptyProgram,
+    /// `DEE-E003`: a reachable read of a register no path has written.
+    UninitializedRegisterRead,
+    /// `DEE-E004`: the program contains no `halt` instruction at all.
+    NoHalt,
+    /// `DEE-E005`: a branch/jump/call target outside the program.
+    JumpTargetOutOfRange,
+    /// `DEE-W007`: a register write no path ever reads.
+    DeadStore,
+    /// `DEE-W010`: a retreating edge that closes no natural loop.
+    IrreducibleLoop,
+    /// `DEE-E011`: a store to a constant address outside data memory.
+    OobConstantStore,
+    /// `DEE-W012`: execution can fall off the end of the program.
+    MissingHalt,
+    /// `DEE-E013`: a load from a constant address outside data memory.
+    OobConstantLoad,
+}
+
+impl Lint {
+    /// All lints, in code order.
+    pub const ALL: [Lint; 10] = [
+        Lint::UnreachableCode,
+        Lint::EmptyProgram,
+        Lint::UninitializedRegisterRead,
+        Lint::NoHalt,
+        Lint::JumpTargetOutOfRange,
+        Lint::DeadStore,
+        Lint::IrreducibleLoop,
+        Lint::OobConstantStore,
+        Lint::MissingHalt,
+        Lint::OobConstantLoad,
+    ];
+
+    /// The stable machine-readable code, e.g. `DEE-W001`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::UnreachableCode => "DEE-W001",
+            Lint::EmptyProgram => "DEE-E002",
+            Lint::UninitializedRegisterRead => "DEE-E003",
+            Lint::NoHalt => "DEE-E004",
+            Lint::JumpTargetOutOfRange => "DEE-E005",
+            Lint::DeadStore => "DEE-W007",
+            Lint::IrreducibleLoop => "DEE-W010",
+            Lint::OobConstantStore => "DEE-E011",
+            Lint::MissingHalt => "DEE-W012",
+            Lint::OobConstantLoad => "DEE-E013",
+        }
+    }
+
+    /// The short human-readable name, e.g. `unreachable-code`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnreachableCode => "unreachable-code",
+            Lint::EmptyProgram => "empty-program",
+            Lint::UninitializedRegisterRead => "uninitialized-register-read",
+            Lint::NoHalt => "no-halt",
+            Lint::JumpTargetOutOfRange => "jump-target-out-of-range",
+            Lint::DeadStore => "dead-store",
+            Lint::IrreducibleLoop => "irreducible-loop",
+            Lint::OobConstantStore => "oob-constant-store",
+            Lint::MissingHalt => "missing-halt",
+            Lint::OobConstantLoad => "oob-constant-load",
+        }
+    }
+
+    /// The fixed severity of this lint.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UnreachableCode | Lint::DeadStore | Lint::IrreducibleLoop | Lint::MissingHalt => {
+                Severity::Warning
+            }
+            Lint::EmptyProgram
+            | Lint::UninitializedRegisterRead
+            | Lint::NoHalt
+            | Lint::JumpTargetOutOfRange
+            | Lint::OobConstantStore
+            | Lint::OobConstantLoad => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code(), self.name())
+    }
+}
+
+/// One finding: a lint instance anchored (usually) at an instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The instruction address it is anchored at, when meaningful.
+    pub pc: Option<u32>,
+    /// Human-readable detail (never needed for machine matching).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored at `pc`.
+    #[must_use]
+    pub fn at(lint: Lint, pc: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint,
+            pc: Some(pc),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a program-level diagnostic with no anchor.
+    #[must_use]
+    pub fn global(lint: Lint, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint,
+            pc: None,
+            message: message.into(),
+        }
+    }
+
+    /// The diagnostic's severity (inherited from its lint).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.lint.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{}: {} [{}] @{}: {}",
+                self.severity(),
+                self.lint.name(),
+                self.lint.code(),
+                pc,
+                self.message
+            ),
+            None => write!(
+                f,
+                "{}: {} [{}]: {}",
+                self.severity(),
+                self.lint.name(),
+                self.lint.code(),
+                self.message
+            ),
+        }
+    }
+}
+
+/// The result of analysing one program: all findings, sorted by address
+/// then code.
+#[derive(Clone, Default, Debug)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps raw findings, sorting them into the canonical order.
+    #[must_use]
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by_key(|d| (d.pc.map_or(u64::MAX, u64::from), d.lint));
+        Report { diagnostics }
+    }
+
+    /// All findings, canonical order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of `Error`-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any `Error`-severity finding is present.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is completely clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether a specific lint fired anywhere.
+    #[must_use]
+    pub fn has(&self, lint: Lint) -> bool {
+        self.diagnostics.iter().any(|d| d.lint == lint)
+    }
+
+    /// The distinct codes present, canonical order, deduplicated.
+    #[must_use]
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.lint.code()).collect();
+        codes.dedup();
+        let mut seen = Vec::new();
+        for c in codes {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+
+    /// Renders the report as human-readable text, one finding per line plus
+    /// a summary line.
+    #[must_use]
+    pub fn render_text(&self, label: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{label}: {d}\n"));
+        }
+        out.push_str(&format!(
+            "{label}: {} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    #[must_use]
+    pub fn render_json(&self, label: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\"program\":");
+        push_json_string(&mut out, label);
+        out.push_str(&format!(
+            ",\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"pc\":",
+                d.lint.code(),
+                d.lint.name(),
+                d.severity()
+            ));
+            match d.pc {
+                Some(pc) => out.push_str(&pc.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            push_json_string(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<_> = Lint::ALL.iter().map(|l| l.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Lint::ALL.len());
+        assert_eq!(Lint::UnreachableCode.code(), "DEE-W001");
+        assert_eq!(Lint::UninitializedRegisterRead.code(), "DEE-E003");
+        assert_eq!(Lint::JumpTargetOutOfRange.code(), "DEE-E005");
+        assert_eq!(Lint::DeadStore.code(), "DEE-W007");
+        assert_eq!(Lint::IrreducibleLoop.code(), "DEE-W010");
+        assert_eq!(Lint::OobConstantStore.code(), "DEE-E011");
+        assert_eq!(Lint::MissingHalt.code(), "DEE-W012");
+    }
+
+    #[test]
+    fn report_sorts_and_counts() {
+        let r = Report::new(vec![
+            Diagnostic::at(Lint::DeadStore, 7, "x"),
+            Diagnostic::global(Lint::NoHalt, "y"),
+            Diagnostic::at(Lint::UnreachableCode, 2, "z"),
+        ]);
+        assert_eq!(r.diagnostics()[0].pc, Some(2));
+        assert_eq!(r.diagnostics()[2].pc, None);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 2);
+        assert!(r.has_errors());
+        assert_eq!(r.codes(), vec!["DEE-W001", "DEE-W007", "DEE-E004"]);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = Report::new(vec![Diagnostic::at(Lint::DeadStore, 1, "a\"b\\c\nd")]);
+        let json = r.render_json("p\"q");
+        assert!(json.contains("\"program\":\"p\\\"q\""));
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

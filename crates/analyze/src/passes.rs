@@ -1,0 +1,310 @@
+//! Concrete dataflow passes: liveness, reaching definitions, and
+//! constant-address memory bounds.
+//!
+//! All three run over the call-aware [`Flow`] graph with deliberately
+//! conservative function-boundary conventions, so that lints derived from
+//! them never fire on correct programs:
+//!
+//! - `jr` (return) is treated as **reading every register** — values live
+//!   across a call boundary are never "dead";
+//! - `jal` is treated as **defining every register** for reaching
+//!   definitions — a callee may initialize registers its caller reads — and
+//!   as clobbering every constant for the bounds pass.
+
+use dee_isa::{Instr, Reg};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKill, Meet, Solution};
+use crate::flow::Flow;
+
+/// Live-register analysis (backward, union).
+///
+/// Bit `r` at a point means register `r` may be read before being written
+/// on some path from that point.
+pub struct Liveness {
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Builds the gen/kill sets for `instrs`.
+    #[must_use]
+    pub fn new(instrs: &[Instr]) -> Self {
+        let mut gen = Vec::with_capacity(instrs.len());
+        let mut kill = Vec::with_capacity(instrs.len());
+        for instr in instrs {
+            let mut g = BitSet::new(Reg::COUNT);
+            if matches!(instr, Instr::Jr { .. }) {
+                // Function-boundary barrier: a return hands every register
+                // back to a caller we cannot see.
+                g = BitSet::full(Reg::COUNT);
+                g.remove(Reg::ZERO.index());
+            } else {
+                for r in instr.uses().into_iter().flatten() {
+                    g.insert(r.index());
+                }
+            }
+            let mut k = BitSet::new(Reg::COUNT);
+            if let Some(r) = instr.def() {
+                k.insert(r.index());
+            }
+            gen.push(g);
+            kill.push(k);
+        }
+        Liveness { gen, kill }
+    }
+
+    /// Solves the problem over `flow`.
+    #[must_use]
+    pub fn solve(&self, flow: &Flow) -> Solution {
+        solve(flow, self)
+    }
+}
+
+impl GenKill for Liveness {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn bits(&self) -> usize {
+        Reg::COUNT
+    }
+    fn gen(&self, pc: u32) -> &BitSet {
+        &self.gen[pc as usize]
+    }
+    fn kill(&self, pc: u32) -> &BitSet {
+        &self.kill[pc as usize]
+    }
+}
+
+/// Reaching definitions (forward, union) over definition *sites*.
+///
+/// Each `(pc, reg)` write is a site; `jal` is a pseudo-site for every
+/// register (a callee may write anything before control returns). Bit `d`
+/// at a point means site `d`'s value may still be the register's current
+/// value there.
+pub struct ReachingDefs {
+    /// Definition sites, `(pc, reg)`, in site-index order.
+    sites: Vec<(u32, Reg)>,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Builds site tables and gen/kill sets for `instrs`.
+    #[must_use]
+    pub fn new(instrs: &[Instr]) -> Self {
+        let mut sites: Vec<(u32, Reg)> = Vec::new();
+        let mut site_of: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
+        for (pc, instr) in instrs.iter().enumerate() {
+            if matches!(instr, Instr::Jal { .. }) {
+                for r in Reg::all() {
+                    if r.is_zero() {
+                        continue;
+                    }
+                    site_of[pc].push(sites.len());
+                    sites.push((pc as u32, r));
+                }
+            } else if let Some(r) = instr.def() {
+                site_of[pc].push(sites.len());
+                sites.push((pc as u32, r));
+            }
+        }
+        // Per-register site lists, for kill sets.
+        let mut by_reg: Vec<Vec<usize>> = vec![Vec::new(); Reg::COUNT];
+        for (i, &(_, r)) in sites.iter().enumerate() {
+            by_reg[r.index()].push(i);
+        }
+        let bits = sites.len();
+        let mut gen = Vec::with_capacity(instrs.len());
+        let mut kill = Vec::with_capacity(instrs.len());
+        for (pc, _) in instrs.iter().enumerate() {
+            let mut g = BitSet::new(bits);
+            let mut k = BitSet::new(bits);
+            for &site in &site_of[pc] {
+                g.insert(site);
+                let (_, reg) = sites[site];
+                for &other in &by_reg[reg.index()] {
+                    if other != site {
+                        k.insert(other);
+                    }
+                }
+            }
+            gen.push(g);
+            kill.push(k);
+        }
+        ReachingDefs { sites, gen, kill }
+    }
+
+    /// The definition sites, in bit order.
+    #[must_use]
+    pub fn sites(&self) -> &[(u32, Reg)] {
+        &self.sites
+    }
+
+    /// Solves the problem over `flow`.
+    #[must_use]
+    pub fn solve(&self, flow: &Flow) -> Solution {
+        solve(flow, self)
+    }
+
+    /// Whether any definition of `reg` is present in the fact set `facts`.
+    #[must_use]
+    pub fn any_def_of(&self, facts: &BitSet, reg: Reg) -> bool {
+        facts.iter().any(|site| self.sites[site].1 == reg)
+    }
+}
+
+impl GenKill for ReachingDefs {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn bits(&self) -> usize {
+        self.sites.len()
+    }
+    fn gen(&self, pc: u32) -> &BitSet {
+        &self.gen[pc as usize]
+    }
+    fn kill(&self, pc: u32) -> &BitSet {
+        &self.kill[pc as usize]
+    }
+}
+
+/// A constant-propagation lattice value for one register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Const {
+    /// Known constant on every path reaching this point.
+    Val(i32),
+    /// Not a constant (or unknown).
+    Nac,
+}
+
+impl Const {
+    fn meet(a: Const, b: Const) -> Const {
+        match (a, b) {
+            (Const::Val(x), Const::Val(y)) if x == y => Const::Val(x),
+            _ => Const::Nac,
+        }
+    }
+}
+
+/// Per-instruction constant register states (the in-state of each pc).
+///
+/// `None` means the instruction is unreachable. The entry state is all
+/// `Val(0)`: the VM zero-initializes its register file, so that is ground
+/// truth, not an assumption.
+pub struct ConstStates {
+    states: Vec<Option<[Const; Reg::COUNT]>>,
+}
+
+impl ConstStates {
+    /// Runs conditional-constant-free constant propagation to a fixpoint.
+    #[must_use]
+    pub fn compute(instrs: &[Instr], flow: &Flow) -> Self {
+        let n = instrs.len();
+        let mut states: Vec<Option<[Const; Reg::COUNT]>> = vec![None; n];
+        if n == 0 {
+            return ConstStates { states };
+        }
+        states[0] = Some([Const::Val(0); Reg::COUNT]);
+        let mut worklist = vec![0u32];
+        let mut queued = vec![false; n];
+        queued[0] = true;
+        while let Some(pc) = worklist.pop() {
+            queued[pc as usize] = false;
+            let state = states[pc as usize].expect("queued nodes have a state");
+            let out = transfer(&instrs[pc as usize], pc, state);
+            for &s in flow.successors(pc) {
+                if s == flow.exit() {
+                    continue;
+                }
+                let slot = &mut states[s as usize];
+                let merged = match *slot {
+                    None => out,
+                    Some(prev) => {
+                        let mut m = prev;
+                        for (mi, oi) in m.iter_mut().zip(out.iter()) {
+                            *mi = Const::meet(*mi, *oi);
+                        }
+                        m
+                    }
+                };
+                if *slot != Some(merged) {
+                    *slot = Some(merged);
+                    if !queued[s as usize] {
+                        queued[s as usize] = true;
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+        ConstStates { states }
+    }
+
+    /// The in-state at `pc` (`None` when unreachable).
+    #[must_use]
+    pub fn at(&self, pc: u32) -> Option<&[Const; Reg::COUNT]> {
+        self.states.get(pc as usize).and_then(Option::as_ref)
+    }
+
+    /// The constant word address accessed by the memory instruction at
+    /// `pc`, when its base register is a known constant there.
+    #[must_use]
+    pub fn const_address(&self, pc: u32, instr: &Instr) -> Option<i64> {
+        let state = self.at(pc)?;
+        let (base, offset) = match *instr {
+            Instr::Lw { base, offset, .. } | Instr::Sw { base, offset, .. } => (base, offset),
+            _ => return None,
+        };
+        match state[base.index()] {
+            Const::Val(b) => Some(i64::from(b) + i64::from(offset)),
+            Const::Nac => None,
+        }
+    }
+}
+
+fn transfer(instr: &Instr, pc: u32, mut state: [Const; Reg::COUNT]) -> [Const; Reg::COUNT] {
+    match *instr {
+        Instr::Li { rd, imm } => set(&mut state, rd, Const::Val(imm)),
+        Instr::AluImm { op, rd, rs, imm } => {
+            let v = match state[rs.index()] {
+                Const::Val(a) => Const::Val(op.apply(a, imm)),
+                Const::Nac => Const::Nac,
+            };
+            set(&mut state, rd, v);
+        }
+        Instr::Alu { op, rd, rs, rt } => {
+            let v = match (state[rs.index()], state[rt.index()]) {
+                (Const::Val(a), Const::Val(b)) => Const::Val(op.apply(a, b)),
+                _ => Const::Nac,
+            };
+            set(&mut state, rd, v);
+        }
+        Instr::Lw { rd, .. } => set(&mut state, rd, Const::Nac),
+        Instr::Jal { .. } => {
+            // A call may clobber anything by the time control reaches the
+            // continuation; the callee entry shares the same out-state, so
+            // be uniformly conservative (the return address is still pc+1,
+            // but tracking it buys nothing downstream).
+            for r in Reg::all() {
+                set(&mut state, r, Const::Nac);
+            }
+            let _ = pc;
+        }
+        _ => {}
+    }
+    state
+}
+
+fn set(state: &mut [Const; Reg::COUNT], rd: Reg, v: Const) {
+    if !rd.is_zero() {
+        state[rd.index()] = v;
+    } else {
+        state[Reg::ZERO.index()] = Const::Val(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Control-flow structure: dominators, natural loops, reducibility.
+//!
+//! The forward mirror of the post-dominator machinery in
+//! [`dee_isa::cfg`]: the same Cooper–Harvey–Kennedy iterative scheme, run
+//! from the entry over the call-aware [`Flow`] graph. On top of the
+//! dominator tree we classify back edges, collect natural loops (the input
+//! to the static DEE tree's loop taxonomy), and decide reducibility: a
+//! retreating edge whose target does not dominate its source makes the
+//! graph irreducible, which is exactly the shape that defeats loop-based
+//! speculation heuristics (hence the `DEE-W010` lint).
+
+use crate::flow::Flow;
+
+/// Immediate-dominator tree for a [`Flow`] graph.
+#[derive(Clone, Debug)]
+pub struct Doms {
+    idom: Vec<Option<u32>>,
+    order: Vec<u32>,
+}
+
+impl Doms {
+    /// Computes dominators from the entry (pc 0) with the iterative
+    /// Cooper–Harvey–Kennedy algorithm over a reverse-postorder walk.
+    #[must_use]
+    pub fn compute(flow: &Flow) -> Self {
+        let n = flow.len() + 1; // include the synthetic exit
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        if flow.is_empty() {
+            return Doms {
+                idom,
+                order: Vec::new(),
+            };
+        }
+
+        // Reverse postorder from the entry; unreachable nodes are skipped
+        // and keep `idom == None`.
+        let order = reverse_postorder(flow);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &pc) in order.iter().enumerate() {
+            rpo_index[pc as usize] = i;
+        }
+
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &pc in order.iter().skip(1) {
+                let mut new_idom: Option<u32> = None;
+                for &p in flow.predecessors(pc) {
+                    if idom[p as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[pc as usize] != Some(ni) {
+                        idom[pc as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Doms { idom, order }
+    }
+
+    /// The immediate dominator of `pc` (`None` for the entry and for
+    /// unreachable nodes).
+    #[must_use]
+    pub fn idom(&self, pc: u32) -> Option<u32> {
+        match self.idom.get(pc as usize).copied().flatten() {
+            Some(d) if pc != 0 => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `pc` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, pc: u32) -> bool {
+        self.idom.get(pc as usize).is_some_and(Option::is_some)
+    }
+
+    /// Whether `a` dominates `b` (reflexively). Unreachable nodes are
+    /// dominated by nothing and dominate nothing.
+    #[must_use]
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == 0 {
+                return false;
+            }
+            match self.idom[cur as usize] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// The reverse-postorder node sequence used by the solver (reachable
+    /// nodes only).
+    #[must_use]
+    pub fn reverse_postorder(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+fn intersect(idom: &[Option<u32>], rpo_index: &[usize], a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while a != b {
+        while rpo_index[a as usize] > rpo_index[b as usize] {
+            a = idom[a as usize].expect("processed node has an idom");
+        }
+        while rpo_index[b as usize] > rpo_index[a as usize] {
+            b = idom[b as usize].expect("processed node has an idom");
+        }
+    }
+    a
+}
+
+fn reverse_postorder(flow: &Flow) -> Vec<u32> {
+    let n = flow.len() + 1;
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut post = Vec::new();
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (pc, ref mut next)) = stack.last_mut() {
+        let succs = flow.successors(pc);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if state[s as usize] == 0 {
+                state[s as usize] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[pc as usize] = 2;
+            post.push(pc);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// A natural loop: a back edge's target plus every node that can reach the
+/// back edge's source without passing through the header.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every node in `body`).
+    pub header: u32,
+    /// Sources of the back edges closing this loop.
+    pub back_edges: Vec<u32>,
+    /// All nodes in the loop, ascending, including the header.
+    pub body: Vec<u32>,
+}
+
+/// The loop structure of a flow graph.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// Natural loops, one per distinct header, ascending by header.
+    pub loops: Vec<NaturalLoop>,
+    /// Retreating edges `(src, dst)` that are not natural back edges; the
+    /// graph is reducible iff this is empty.
+    pub irreducible_edges: Vec<(u32, u32)>,
+}
+
+impl LoopForest {
+    /// Whether the graph is reducible.
+    #[must_use]
+    pub fn is_reducible(&self) -> bool {
+        self.irreducible_edges.is_empty()
+    }
+
+    /// The innermost loop (smallest body) containing `pc`, if any.
+    #[must_use]
+    pub fn innermost_containing(&self, pc: u32) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.body.binary_search(&pc).is_ok())
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+/// Finds natural loops and irreducible retreating edges.
+///
+/// An edge `u → v` is *retreating* when `v` is an ancestor of `u` in the
+/// depth-first spanning tree (equivalently, `v`'s DFS interval encloses
+/// `u`'s); it is a *natural back edge* when additionally `v` dominates `u`.
+/// Reducibility — every retreating edge is a back edge — is independent of
+/// the DFS order chosen.
+#[must_use]
+pub fn find_loops(flow: &Flow, doms: &Doms) -> LoopForest {
+    use std::collections::BTreeMap;
+
+    // DFS intervals (entry/exit times) to classify retreating edges.
+    let n = flow.len() + 1;
+    let mut discover = vec![u32::MAX; n];
+    let mut finish = vec![u32::MAX; n];
+    let mut clock = 0u32;
+    if !flow.is_empty() {
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        discover[0] = clock;
+        clock += 1;
+        while let Some(&mut (pc, ref mut next)) = stack.last_mut() {
+            let succs = flow.successors(pc);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if discover[s as usize] == u32::MAX {
+                    discover[s as usize] = clock;
+                    clock += 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                finish[pc as usize] = clock;
+                clock += 1;
+                stack.pop();
+            }
+        }
+    }
+    let is_ancestor = |v: u32, u: u32| -> bool {
+        discover[v as usize] <= discover[u as usize] && finish[u as usize] <= finish[v as usize]
+    };
+
+    let mut back_edges: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    let mut irreducible = Vec::new();
+    for pc in 0..flow.len() as u32 {
+        if discover[pc as usize] == u32::MAX {
+            continue; // unreachable
+        }
+        for &s in flow.successors(pc) {
+            if s == flow.exit() || discover[s as usize] == u32::MAX {
+                continue;
+            }
+            if is_ancestor(s, pc) {
+                if doms.dominates(s, pc) {
+                    back_edges.entry(s).or_default().push(pc);
+                } else {
+                    irreducible.push((pc, s));
+                }
+            }
+        }
+    }
+
+    let mut loops = Vec::new();
+    for (header, sources) in back_edges {
+        let mut body = vec![header];
+        let mut seen = vec![false; n];
+        seen[header as usize] = true;
+        let mut stack = Vec::new();
+        for &src in &sources {
+            if !seen[src as usize] {
+                seen[src as usize] = true;
+                stack.push(src);
+            }
+        }
+        while let Some(pc) = stack.pop() {
+            body.push(pc);
+            for &p in flow.predecessors(pc) {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        body.sort_unstable();
+        loops.push(NaturalLoop {
+            header,
+            back_edges: sources,
+            body,
+        });
+    }
+    LoopForest {
+        loops,
+        irreducible_edges: irreducible,
+    }
+}

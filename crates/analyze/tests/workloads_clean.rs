@@ -1,0 +1,39 @@
+//! The five shipped workloads must be lint-clean at every scale, and their
+//! dynamic traces must verify against the static branch census.
+
+use dee_analyze::{analyze, BranchCensus};
+use dee_workloads::{all_workloads, Scale};
+
+#[test]
+fn workloads_have_no_diagnostics_at_any_scale() {
+    for scale in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
+        let mut workloads = all_workloads(scale);
+        workloads.push(dee_workloads::sc::build(scale));
+        for w in workloads {
+            let report = analyze(&w.program);
+            assert!(
+                report.is_clean(),
+                "{} @ {scale:?} not lint-clean:\n{}",
+                w.name,
+                report.render_text(w.name)
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_traces_verify_against_census() {
+    for w in all_workloads(Scale::Tiny) {
+        let census = BranchCensus::build(&w.program);
+        let trace = w.capture_trace().expect("workload traces");
+        let check = census
+            .verify_trace(&trace)
+            .unwrap_or_else(|e| panic!("{}: cross-check failed: {e}", w.name));
+        assert_eq!(check.records, trace.records().len() as u64);
+        // Every dynamic branch pc is a census member (by construction of a
+        // passing verify), and the census covers at least those pcs.
+        for pc in check.counts.keys() {
+            assert!(census.branch(*pc).is_some());
+        }
+    }
+}

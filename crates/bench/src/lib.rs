@@ -89,14 +89,26 @@ impl Suite {
     ///
     /// # Panics
     ///
-    /// Panics if VM-side workload validation fails — that is a build
-    /// error, not an experiment outcome.
+    /// Panics if VM-side workload validation fails, or if a workload
+    /// carries `Error`-severity static-analysis lints — both are build
+    /// errors, not experiment outcomes.
     #[must_use]
     pub fn load_with_store(scale: Scale, store: Option<&Store>) -> Self {
         let scale_tag = format!("{scale:?}").to_ascii_lowercase();
         let entries = all_workloads(scale)
             .into_iter()
             .map(|workload| {
+                // Static gate: refuse to trace a program the analyzer can
+                // prove malformed. Keeps every bench binary's failure mode
+                // a diagnostic listing instead of a mid-run VM fault.
+                let report = dee_analyze::analyze(&workload.program);
+                assert!(
+                    !report.has_errors(),
+                    "workload {} rejected by static analysis:\n{}",
+                    workload.name,
+                    report.render_text(workload.name)
+                );
+                let census = dee_analyze::BranchCensus::build(&workload.program);
                 let trace = match store {
                     None => workload
                         .validate()
@@ -111,11 +123,16 @@ impl Suite {
                         let (trace, source) = store
                             .get_or_record(&key, || workload.validate())
                             .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
-                        if source == StoreSource::Disk && trace.output() != workload.expected_output
-                        {
-                            // The container was intact but its content
-                            // disagrees with the reference output —
-                            // quarantine it and re-trace.
+                        // A replayed artifact must both reproduce the
+                        // reference output and survive the static/dynamic
+                        // cross-check (every record explainable by the
+                        // program's branch census). Either failure means
+                        // the container was intact but its content has
+                        // drifted — quarantine it and re-trace.
+                        let stale = source == StoreSource::Disk
+                            && (trace.output() != workload.expected_output
+                                || census.verify_trace(&trace).is_err());
+                        if stale {
                             store.quarantine_key(&key);
                             let trace = workload
                                 .validate()

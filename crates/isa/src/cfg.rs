@@ -57,6 +57,12 @@ impl Cfg {
         let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
         let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
         for (pc, instr) in program.iter() {
+            // The fall-through successor: the next instruction, or — for an
+            // instruction at the last address — the virtual exit. Falling
+            // off the end of the program is thus a well-defined CFG edge,
+            // never an out-of-range node: the VM raises `PcOutOfRange`
+            // there, and dee-analyze flags the shape as `DEE-W012
+            // missing-halt`.
             let fall = if (pc as usize) + 1 < n { pc + 1 } else { exit };
             let ss: Vec<u32> = match *instr {
                 Instr::Branch { target, .. } => {
@@ -318,6 +324,43 @@ mod tests {
         // Body and branch itself are control-dependent on the back edge.
         let cd = pd.control_dependents(&cfg, 2);
         assert_eq!(cd, vec![1, 2]);
+    }
+
+    #[test]
+    fn trailing_non_terminator_falls_through_to_exit() {
+        // A program whose last instruction is not a terminator: the
+        // fall-through past the end must be an explicit edge to the virtual
+        // exit, for every successor-producing shape.
+        use crate::Instr;
+        // 0: halt / 1: nop  (1 is unreachable but must still be well-formed)
+        let p = Program::new(vec![Instr::Halt, Instr::Nop]).unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.exit(), 2);
+        assert_eq!(cfg.successors(1), &[2]);
+        assert!(cfg.predecessors(2).contains(&1));
+
+        // 0: halt / 1: beq r1, r0, @0 — a final branch gets [target, exit].
+        let p = Program::new(vec![
+            Instr::Halt,
+            Instr::Branch {
+                cond: crate::BranchCond::Eq,
+                rs: Reg::new(1),
+                rt: Reg::ZERO,
+                target: 0,
+            },
+        ])
+        .unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.successors(1), &[0, 2]);
+
+        // 0: halt / 1: jal @0 — a final call falls through to the exit.
+        let p = Program::new(vec![Instr::Halt, Instr::Jal { target: 0 }]).unwrap();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.successors(1), &[2]);
+
+        // Post-dominators stay well-defined on these graphs.
+        let pd = cfg.postdominators();
+        assert_eq!(pd.ipdom(1), Some(2));
     }
 
     #[test]

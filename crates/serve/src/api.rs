@@ -35,10 +35,13 @@ const MAX_ET: u64 = 100_000;
 /// A handler failure carrying the HTTP status to answer with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
-    /// HTTP status code (400, 404, 500, 504).
+    /// HTTP status code (400, 404, 422, 500, 504).
     pub status: u16,
     /// Human-readable message, returned as `{"error": ...}`.
     pub message: String,
+    /// Machine-readable `DEE-*` diagnostic codes; non-empty only for
+    /// static-analysis rejections, where they are returned as `"codes"`.
+    pub codes: Vec<String>,
 }
 
 impl ApiError {
@@ -48,6 +51,28 @@ impl ApiError {
         ApiError {
             status: 400,
             message: message.into(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// A `500 Internal Server Error`.
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 500,
+            message: message.into(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// A `422 Unprocessable Entity` error: the request parsed, but static
+    /// analysis proved the program wrong. Carries the diagnostic codes.
+    #[must_use]
+    pub fn unprocessable(message: impl Into<String>, codes: Vec<String>) -> Self {
+        ApiError {
+            status: 422,
+            message: message.into(),
+            codes,
         }
     }
 
@@ -57,13 +82,21 @@ impl ApiError {
         ApiError {
             status: 504,
             message: "deadline exceeded".into(),
+            codes: Vec::new(),
         }
     }
 
     /// The error as a JSON body.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![("error", Json::str(self.message.clone()))])
+        let mut members = vec![("error", Json::str(self.message.clone()))];
+        if !self.codes.is_empty() {
+            members.push((
+                "codes",
+                Json::Arr(self.codes.iter().map(|c| Json::str(c.clone())).collect()),
+            ));
+        }
+        Json::obj(members)
     }
 }
 
@@ -143,7 +176,22 @@ struct Source {
     label: String,
 }
 
-fn resolve_source(body: &Json) -> Result<Source, ApiError> {
+/// Resolves the program + memory a request simulates. This is the single
+/// place program-shape validation happens on the request path: the
+/// assembler rejects syntax (`400`), and `dee-analyze` rejects programs
+/// that parse but are statically wrong (`422`, with the `DEE-E*` codes in
+/// the response). The structural guards downstream — `Machine`'s memory
+/// geometry and step budgets — stay where they are; everything about the
+/// *program text* is decided here, once.
+fn resolve_source(body: &Json, faults: &FaultPlan) -> Result<Source, ApiError> {
+    // The fault site guards the whole gate, so hostile plans exercise the
+    // 422 path even when the storm traffic is workload-only.
+    if faults.trip(FaultSite::AnalyzeReject).is_some() {
+        return Err(ApiError::unprocessable(
+            "injected fault: analyze_reject",
+            Vec::new(),
+        ));
+    }
     match (str_field(body, "workload"), str_field(body, "program")) {
         (Some(_), Some(_)) => Err(ApiError::bad_request(
             "give either `workload` or `program`, not both",
@@ -155,6 +203,9 @@ fn resolve_source(body: &Json) -> Result<Source, ApiError> {
                     "`memory` only applies to uploaded programs",
                 ));
             }
+            // Shipped workloads are proven lint-clean by the bench gate
+            // and `workloads_clean` tests; re-analyzing them per request
+            // would only burn worker time.
             let workload = workload_by_name(name, scale)?;
             Ok(Source {
                 label: format!("{name}/{scale:?}").to_ascii_lowercase(),
@@ -165,6 +216,26 @@ fn resolve_source(body: &Json) -> Result<Source, ApiError> {
         (None, Some(source_text)) => {
             let program = parse_program(source_text)
                 .map_err(|e| ApiError::bad_request(format!("program: {e}")))?;
+            let report = dee_analyze::analyze(&program);
+            if report.has_errors() {
+                let mut codes: Vec<String> = Vec::new();
+                for d in report.diagnostics() {
+                    let code = d.lint.code();
+                    if d.lint.severity() == dee_analyze::Severity::Error
+                        && !codes.iter().any(|c| c == code)
+                    {
+                        codes.push(code.to_string());
+                    }
+                }
+                return Err(ApiError::unprocessable(
+                    format!(
+                        "program rejected by static analysis ({} error(s)): {}",
+                        report.error_count(),
+                        codes.join(", ")
+                    ),
+                    codes,
+                ));
+            }
             let memory = match body.get("memory") {
                 None => Vec::new(),
                 Some(Json::Arr(items)) => items
@@ -271,15 +342,12 @@ pub fn prepared_for(
     faults: &FaultPlan,
     store: Option<&Store>,
 ) -> Result<(Arc<PreparedEntry>, bool, String), ApiError> {
-    let source = resolve_source(body)?;
+    let source = resolve_source(body, faults)?;
     let predictor_name = str_field(body, "predictor").unwrap_or("twobit");
     // Validate the predictor name before the (expensive) miss path.
     predictor_by_name(predictor_name)?;
     if faults.trip(FaultSite::CacheLookup).is_some() {
-        return Err(ApiError {
-            status: 500,
-            message: "injected fault: cache_lookup".into(),
-        });
+        return Err(ApiError::internal("injected fault: cache_lookup"));
     }
     let key = CacheKey {
         program: fnv1a(source.program.to_listing().as_bytes()),
@@ -305,10 +373,7 @@ pub fn prepared_for(
                 prepared,
             })
         })
-        .map_err(|message| ApiError {
-            status: 500,
-            message,
-        })?;
+        .map_err(ApiError::internal)?;
     Ok((entry, hit, label))
 }
 
@@ -668,10 +733,11 @@ pub fn levo_json(report: &LevoReport) -> Json {
 ///
 /// # Errors
 ///
-/// `400` for bad configs or sources, `500` when the machine faults, `504`
-/// past the deadline.
-pub fn handle_levo(body: &Json, deadline: Instant) -> Result<Json, ApiError> {
-    let source = resolve_source(body)?;
+/// `400` for bad configs or sources, `422` when static analysis rejects
+/// an uploaded program, `500` when the machine faults, `504` past the
+/// deadline.
+pub fn handle_levo(body: &Json, deadline: Instant, faults: &FaultPlan) -> Result<Json, ApiError> {
+    let source = resolve_source(body, faults)?;
     let mut config = LevoConfig::default();
     if let Some(paths) = body.get("dee_paths") {
         config.dee_paths = paths
@@ -712,10 +778,7 @@ pub fn handle_levo(body: &Json, deadline: Instant) -> Result<Json, ApiError> {
     }
     let report = Levo::new(config)
         .run(&source.program, &source.memory)
-        .map_err(|e| ApiError {
-            status: 500,
-            message: e.to_string(),
-        })?;
+        .map_err(|e| ApiError::internal(e.to_string()))?;
     let mut json = levo_json(&report);
     if let Json::Obj(members) = &mut json {
         members.insert(0, ("source".to_string(), Json::str(source.label)));
@@ -906,6 +969,75 @@ mod tests {
     }
 
     #[test]
+    fn uploaded_program_with_static_errors_is_422_with_codes() {
+        let cache = PreparedCache::new(8, 2);
+        // Parses fine, but reads r1 with no reaching definition anywhere:
+        // the assembler accepts it, the analyzer proves it wrong.
+        let body = parse(r#"{"program":"out r1\nhalt\n","model":"SP","et":4}"#).unwrap();
+        let err =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap_err();
+        assert_eq!(err.status, 422, "{}", err.message);
+        assert!(
+            err.codes.iter().any(|c| c == "DEE-E003"),
+            "codes: {:?}",
+            err.codes
+        );
+        let rendered = err.to_json().to_string();
+        assert!(rendered.contains("\"codes\""), "{rendered}");
+        assert!(rendered.contains("DEE-E003"), "{rendered}");
+        // The same gate guards the levo endpoint — one validator, not two.
+        let err = handle_levo(&body, far_deadline(), &FaultPlan::inert()).unwrap_err();
+        assert_eq!(err.status, 422);
+    }
+
+    #[test]
+    fn uploaded_program_with_oob_constant_store_is_422() {
+        let cache = PreparedCache::new(8, 2);
+        // Stores to address 2^20, one past the top of VM memory.
+        let body =
+            parse(r#"{"program":"li r1, 1048576\nsw r1, 0(r1)\nhalt\n","model":"SP","et":4}"#)
+                .unwrap();
+        let err =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap_err();
+        assert_eq!(err.status, 422, "{}", err.message);
+        assert!(
+            err.codes.iter().any(|c| c == "DEE-E011"),
+            "codes: {:?}",
+            err.codes
+        );
+    }
+
+    #[test]
+    fn clean_uploaded_program_passes_the_analyze_gate() {
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(
+            r#"{"program":"lw r1, 0(zero)\nout r1\nhalt\n","memory":[9],"model":"SP","et":4}"#,
+        )
+        .unwrap();
+        let (response, _) =
+            handle_simulate(&cache, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
+        assert!(response.get("results").is_some());
+    }
+
+    #[test]
+    fn injected_analyze_reject_fault_surfaces_as_422() {
+        use crate::faults::FaultSpec;
+        let cache = PreparedCache::new(8, 2);
+        let body = parse(r#"{"workload":"xlisp","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        let plan = FaultPlan::new(5).arm(
+            FaultSite::AnalyzeReject,
+            FaultSpec {
+                error_ppm: 1_000_000,
+                ..FaultSpec::default()
+            },
+        );
+        let err = handle_simulate(&cache, &body, far_deadline(), &plan, None).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("analyze_reject"), "{}", err.message);
+        assert!(err.codes.is_empty());
+    }
+
+    #[test]
     fn injected_cache_lookup_fault_surfaces_as_500() {
         use crate::faults::FaultSpec;
         let cache = PreparedCache::new(8, 2);
@@ -953,7 +1085,7 @@ mod tests {
     #[test]
     fn levo_runs_and_matches_direct_call() {
         let body = parse(r#"{"workload":"xlisp","scale":"tiny","dee_paths":3}"#).unwrap();
-        let response = handle_levo(&body, far_deadline()).unwrap();
+        let response = handle_levo(&body, far_deadline(), &FaultPlan::inert()).unwrap();
         let w = dee_workloads::xlisp::build(Scale::Tiny);
         let report = Levo::new(LevoConfig::default())
             .run(&w.program, &w.initial_memory)
@@ -975,7 +1107,12 @@ mod tests {
     #[test]
     fn levo_rejects_invalid_config() {
         let body = parse(r#"{"workload":"xlisp","n":0}"#).unwrap();
-        assert_eq!(handle_levo(&body, far_deadline()).unwrap_err().status, 400);
+        assert_eq!(
+            handle_levo(&body, far_deadline(), &FaultPlan::inert())
+                .unwrap_err()
+                .status,
+            400
+        );
     }
 
     #[test]

@@ -43,11 +43,14 @@ pub enum FaultSite {
     StoreRead,
     /// A write (publish) to the disk artifact store.
     StoreWrite,
+    /// The static-analysis gate on request program sources (a spurious
+    /// `422` rejection).
+    AnalyzeReject,
 }
 
 impl FaultSite {
     /// Number of sites (array sizes).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -62,6 +65,7 @@ impl FaultSite {
         FaultSite::JsonDecode,
         FaultSite::StoreRead,
         FaultSite::StoreWrite,
+        FaultSite::AnalyzeReject,
     ];
 
     /// Stable snake_case name, used in metrics labels and panic messages.
@@ -79,6 +83,7 @@ impl FaultSite {
             FaultSite::JsonDecode => "json_decode",
             FaultSite::StoreRead => "store_read",
             FaultSite::StoreWrite => "store_write",
+            FaultSite::AnalyzeReject => "analyze_reject",
         }
     }
 
@@ -95,6 +100,7 @@ impl FaultSite {
             FaultSite::JsonDecode => 8,
             FaultSite::StoreRead => 9,
             FaultSite::StoreWrite => 10,
+            FaultSite::AnalyzeReject => 11,
         }
     }
 }
@@ -287,6 +293,13 @@ impl FaultPlan {
                 FaultSite::StoreWrite,
                 FaultSpec {
                     error_ppm: 100_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::AnalyzeReject,
+                FaultSpec {
+                    error_ppm: 10_000,
                     ..FaultSpec::default()
                 },
             )

@@ -138,6 +138,7 @@ pub fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -223,6 +224,7 @@ mod tests {
     fn status_reasons_cover_emitted_codes() {
         for (code, reason) in [
             (408, "Request Timeout"),
+            (422, "Unprocessable Entity"),
             (500, "Internal Server Error"),
             (503, "Service Unavailable"),
         ] {

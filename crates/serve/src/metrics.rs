@@ -84,6 +84,9 @@ pub struct Metrics {
     pub batch_cells: AtomicU64,
     /// Batch grids shed with `503` for exceeding `max_batch_cells`.
     pub batch_rejected_oversize: AtomicU64,
+    /// Requests answered `422` because static analysis rejected the
+    /// submitted program.
+    pub analyze_rejects: AtomicU64,
     /// Highest queue depth observed.
     pub queue_depth_highwater: AtomicU64,
     /// End-to-end request latency (read → response flushed).
@@ -112,6 +115,7 @@ impl Metrics {
             batch_requests: AtomicU64::new(0),
             batch_cells: AtomicU64::new(0),
             batch_rejected_oversize: AtomicU64::new(0),
+            analyze_rejects: AtomicU64::new(0),
             queue_depth_highwater: AtomicU64::new(0),
             latency: Histogram::new(),
             started: Instant::now(),
@@ -225,6 +229,11 @@ impl Metrics {
             "dee_batch_rejected_oversize_total",
             "Batch grids shed 503 for exceeding max_batch_cells.",
             load(&self.batch_rejected_oversize),
+        );
+        counter(
+            "dee_analyze_rejects_total",
+            "Requests answered 422 after static analysis rejected the program.",
+            load(&self.analyze_rejects),
         );
         counter(
             "dee_queue_depth_highwater",
@@ -341,5 +350,13 @@ mod tests {
         assert!(text.contains("dee_batch_requests_total 2"));
         assert!(text.contains("dee_batch_cells_total 48"));
         assert!(text.contains("dee_batch_rejected_oversize_total 1"));
+    }
+
+    #[test]
+    fn render_exposes_analyze_rejects() {
+        let m = Metrics::new();
+        m.analyze_rejects.fetch_add(7, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(text.contains("dee_analyze_rejects_total 7"));
     }
 }

@@ -734,11 +734,19 @@ fn handle_api(
         }),
         "/tree" => api::handle_tree(&body),
         "/batch" => handle_batch(shared, &body, deadline),
-        _ => api::handle_levo(&body, deadline),
+        _ => api::handle_levo(&body, deadline, &shared.faults),
     };
     match result {
         Ok(json) => (200, JSON, json.to_string()),
-        Err(e) => (e.status, JSON, e.to_json().to_string()),
+        Err(e) => {
+            if e.status == 422 {
+                shared
+                    .metrics
+                    .analyze_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            (e.status, JSON, e.to_json().to_string())
+        }
     }
 }
 
@@ -762,6 +770,7 @@ fn handle_batch(shared: &Shared, body: &Json, deadline: Instant) -> Result<Json,
                 cells.len(),
                 shared.max_batch_cells
             ),
+            codes: Vec::new(),
         });
     }
     shared

@@ -94,6 +94,18 @@ impl Trace {
         self.records.iter().filter(|r| r.is_cond_branch()).count()
     }
 
+    /// Iterates `(pc, outcome)` for every dynamic conditional branch, in
+    /// execution order.
+    ///
+    /// This is the static/dynamic cross-check hook: `dee-analyze`'s branch
+    /// census consumes these pairs to verify that every dynamic branch is a
+    /// static census member with a matching taken-target.
+    pub fn branch_outcomes(&self) -> impl Iterator<Item = (u32, BranchOutcome)> + '_ {
+        self.records
+            .iter()
+            .filter_map(|r| r.branch.map(|b| (r.pc, b)))
+    }
+
     /// Fraction of dynamic conditional branches that were taken, or `None`
     /// when the trace has no branches.
     #[must_use]
@@ -210,6 +222,17 @@ mod tests {
         asm.halt();
         let p = asm.assemble().unwrap();
         trace_program(&p, &[], 10_000).unwrap()
+    }
+
+    #[test]
+    fn branch_outcomes_yields_every_dynamic_branch() {
+        let t = countdown_trace(3);
+        let outcomes: Vec<_> = t.branch_outcomes().collect();
+        assert_eq!(outcomes.len(), t.num_cond_branches());
+        // The countdown branch sits at pc 2 and is taken twice, then falls
+        // through.
+        assert!(outcomes.iter().all(|&(pc, b)| pc == 2 && b.target == 1));
+        assert_eq!(outcomes.iter().filter(|&&(_, b)| b.taken).count(), 2);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+# Dot product with data-dependent saturation — the program from
+# `examples/custom_assembly.rs` as a standalone listing, so it can be fed
+# to the CLI directly:
+#
+#   dee analyze examples/asm/dot_product.s --deny warnings
+#   dee run     examples/asm/dot_product.s
+#
+# Inputs live at word addresses 100.. (a[]) and 200.. (b[]); memory is
+# zero-filled when run without an image, so the result is then 0.
+        li   r1, 0          # i
+        li   r2, 64         # n
+        li   r3, 0          # acc
+        li   r10, 100       # a[] base
+        li   r11, 200       # b[] base
+loop:   add  r4, r10, r1
+        lw   r5, 0(r4)
+        add  r4, r11, r1
+        lw   r6, 0(r4)
+        mul  r7, r5, r6
+        add  r3, r3, r7
+        slti r8, r3, 10000  # saturate rarely
+        bne  r8, r0, next
+        li   r3, 10000
+next:   addi r1, r1, 1
+        blt  r1, r2, loop
+        out  r3
+        halt

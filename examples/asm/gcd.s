@@ -1,0 +1,18 @@
+# Euclid's algorithm by repeated subtraction: gcd(252, 105) = 21.
+# A two-branch loop nest with an internal swap path — small enough to
+# read, structured enough to exercise the loop detector:
+#
+#   dee analyze examples/asm/gcd.s --deny warnings
+#   dee run     examples/asm/gcd.s
+        li   r1, 252
+        li   r2, 105
+loop:   beq  r2, r0, done
+        blt  r1, r2, swap
+        sub  r1, r1, r2
+        j    loop
+swap:   mv   r3, r1
+        mv   r1, r2
+        mv   r2, r3
+        j    loop
+done:   out  r1
+        halt

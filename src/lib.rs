@@ -22,7 +22,11 @@
 //! * [`store`] — the persistent, checksummed trace-artifact store:
 //!   record-once/replay-many containers with streaming replay, behind
 //!   the bench binaries' `--store`, `dee serve --store`, and the
-//!   `dee trace record|info|verify|ls|gc` subcommands.
+//!   `dee trace record|info|verify|ls|gc` subcommands;
+//! * [`analyze`] — static analysis over toy-ISA programs: CFG dataflow
+//!   (liveness, reaching definitions, constant bounds), typed `DEE-*`
+//!   lints, and the static branch census that cross-checks dynamic traces
+//!   (`dee analyze`).
 //!
 //! # Quickstart
 //!
@@ -39,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dee_analyze as analyze;
 pub use dee_core as theory;
 pub use dee_ilpsim as ilpsim;
 pub use dee_isa as isa;

@@ -44,6 +44,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dee run <prog.s> [--mem a=v,...]          run on the functional VM
+  dee analyze <prog.s|workload> [--scale S] [--json] [--deny warnings]
+                                            static lints + branch census
   dee sim <prog.s> [--model M] [--et N] [--mem a=v,...]
   dee levo <prog.s> [--dee-paths N] [--mem a=v,...]
   dee unroll <prog.s> [--factor K]          print the unrolled program
@@ -78,6 +80,8 @@ struct Options {
     chaos_seed: Option<u64>,
     store: Option<String>,
     scale: Option<String>,
+    json: bool,
+    deny_warnings: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -99,6 +103,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chaos_seed: None,
         store: None,
         scale: None,
+        json: false,
+        deny_warnings: false,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -189,6 +195,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--store" => options.store = Some(value()?),
             "--scale" => options.scale = Some(value()?),
+            "--json" => options.json = true,
+            "--deny" => match value()?.as_str() {
+                "warnings" => options.deny_warnings = true,
+                other => return Err(format!("`--deny` understands `warnings`, not `{other}`")),
+            },
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -355,6 +366,43 @@ fn run(args: &[String]) -> Result<(), String> {
                 trace.num_cond_branches(),
                 trace.mean_path_len()
             );
+            Ok(())
+        }
+        "analyze" => {
+            let target = args.get(1).ok_or("missing program path or workload name")?;
+            let options = parse_options(&args[2..])?;
+            // A known workload name analyses the generated program at
+            // `--scale` (default tiny); anything else is an assembly path.
+            let workload_names = ["cc1", "compress", "eqntott", "espresso", "sc", "xlisp"];
+            let program = if workload_names.contains(&target.as_str()) {
+                let scale = workload_scale(options.scale.as_deref().unwrap_or("tiny"))?;
+                workload_by_name(target, scale)?.program
+            } else {
+                load_program(target)?
+            };
+            let report = dee::analyze::analyze(&program);
+            if options.json {
+                println!("{}", report.render_json(target));
+            } else {
+                print!("{}", report.render_text(target));
+                let census = dee::analyze::BranchCensus::build(&program);
+                println!(
+                    "{target}: {} instruction(s), {} conditional branch(es) \
+                     ({} loop-back), mean static path {:.2}",
+                    program.len(),
+                    census.num_branches(),
+                    census.num_loop_back(),
+                    census.mean_static_path_len()
+                );
+            }
+            let gate_failed = report.has_errors() || (options.deny_warnings && !report.is_clean());
+            if gate_failed {
+                // Diagnostics have been printed; the nonzero exit is the
+                // verdict, and the usage text would only bury it.
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                std::process::exit(1);
+            }
             Ok(())
         }
         "sim" => {
