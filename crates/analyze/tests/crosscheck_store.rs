@@ -18,7 +18,7 @@ fn temp_store(tag: &str) -> Store {
 }
 
 fn key_for(w: &Workload) -> ArtifactKey {
-    ArtifactKey::new(w.name, "tiny", &w.program.to_listing(), &w.initial_memory)
+    ArtifactKey::new(&w.name, "tiny", &w.program.to_listing(), &w.initial_memory)
 }
 
 #[test]

@@ -1,21 +1,19 @@
-//! The five shipped workloads must be lint-clean at every scale, and their
-//! dynamic traces must verify against the static branch census.
+//! Every registered workload must be lint-clean at every scale, and its
+//! dynamic trace must verify against the static branch census.
 
 use dee_analyze::{analyze, BranchCensus};
-use dee_workloads::{all_workloads, Scale};
+use dee_workloads::{Scale, WorkloadRegistry};
 
 #[test]
 fn workloads_have_no_diagnostics_at_any_scale() {
     for scale in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
-        let mut workloads = all_workloads(scale);
-        workloads.push(dee_workloads::sc::build(scale));
-        for w in workloads {
+        for w in WorkloadRegistry::builtin().build_all(scale) {
             let report = analyze(&w.program);
             assert!(
                 report.is_clean(),
                 "{} @ {scale:?} not lint-clean:\n{}",
                 w.name,
-                report.render_text(w.name)
+                report.render_text(&w.name)
             );
         }
     }
@@ -23,7 +21,7 @@ fn workloads_have_no_diagnostics_at_any_scale() {
 
 #[test]
 fn workload_traces_verify_against_census() {
-    for w in all_workloads(Scale::Tiny) {
+    for w in WorkloadRegistry::builtin().build_all(Scale::Tiny) {
         let census = BranchCensus::build(&w.program);
         let trace = w.capture_trace().expect("workload traces");
         let check = census

@@ -17,11 +17,13 @@
 //! Additionally compares Levo's per-row predictor options (2-bit counter
 //! vs speculative PAp, §4.3).
 //!
-//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
+use dee_bench::{
+    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+};
 use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
 use dee_levo::{Levo, LevoConfig, PredictorKind};
 
@@ -30,7 +32,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("ablation_future"));
     }
@@ -175,7 +179,7 @@ fn main() {
     );
     let mut pred = TextTable::new(&["benchmark", "ipc 2bc", "ipc pap-spec"]);
     for (entry, &(two_bit, pap)) in suite.entries.iter().zip(&levo_flat) {
-        pred.row(vec![entry.workload.name.into(), f2(two_bit), f2(pap)]);
+        pred.row(vec![entry.workload.name.clone(), f2(two_bit), f2(pap)]);
     }
     println!("{}", pred.render());
 

@@ -2,7 +2,7 @@
 //! five benchmarks, plus the harmonic mean and per-benchmark oracle
 //! speedups.
 //!
-//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR]` (default small; the
+//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]` (default small; the
 //! paper-grade run is `medium`). Writes `results/fig5_<scale>.csv`.
 //!
 //! The DEE tree shape uses the suite's measured characteristic accuracy,
@@ -16,7 +16,10 @@
 use std::sync::Arc;
 
 use dee_bench::plot::{render_panels, write_svg, Panel, Series};
-use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable, FIG5_RESOURCES};
+use dee_bench::{
+    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+    FIG5_RESOURCES,
+};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 fn main() {
@@ -24,7 +27,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("fig5"));
     }
@@ -93,7 +98,7 @@ fn main() {
 
     let mut csv = TextTable::new(&["benchmark", "model", "et", "speedup"]);
     for (b, entry) in suite.entries.iter().enumerate() {
-        let name = entry.workload.name;
+        let name = entry.workload.name.as_str();
         let mut header: Vec<&str> = vec!["model"];
         let et_labels: Vec<String> = FIG5_RESOURCES.iter().map(u32::to_string).collect();
         header.extend(et_labels.iter().map(String::as_str));
@@ -150,12 +155,12 @@ fn main() {
         .zip(oracles.iter().zip(paper_oracle.iter()))
     {
         oracle_table.row(vec![
-            entry.workload.name.into(),
+            entry.workload.name.clone(),
             f2(*oracle),
             (*paper).into(),
         ]);
         csv.row(vec![
-            entry.workload.name.into(),
+            entry.workload.name.clone(),
             "Oracle".into(),
             "0".into(),
             format!("{oracle:.4}"),

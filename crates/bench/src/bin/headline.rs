@@ -9,7 +9,7 @@
 //! * DEE-CD-MF @ 32 stays high (paper: 26×, the "Levo could be built with
 //!   only 32 branch paths" observation).
 //!
-//! Usage: `headline [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `headline [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
 //!
 //! Each benchmark is prepared once and shared across all nine statistic
 //! points via [`dee_bench::pool`]; output is byte-identical for any
@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
+use dee_bench::{
+    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 /// The nine (model, E_T) statistic points, in reporting order. The oracle
@@ -39,7 +41,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("headline"));
     }

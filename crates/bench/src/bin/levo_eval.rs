@@ -79,7 +79,7 @@ fn main() {
             pct(large.dee_covered as f64 / large.mispredicts as f64)
         };
         t.row(vec![
-            w.name.into(),
+            w.name.clone(),
             f2(base.ipc()),
             f2(small.ipc()),
             f2(large.ipc()),

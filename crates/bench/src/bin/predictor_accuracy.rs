@@ -11,9 +11,11 @@
 //!   that needs each outcome before the next prediction degrades, while
 //!   PAp with *speculative* history update holds its accuracy.
 //!
-//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
 
-use dee_bench::{pct, pool, scale_from_args, store_from_args, Suite, TextTable};
+use dee_bench::{
+    pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+};
 use dee_isa::Program;
 use dee_predict::{
     measure_accuracy, measure_accuracy_delayed, AlwaysTaken, BranchPredictor, Btfn, Gshare,
@@ -50,7 +52,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("predictor_accuracy"));
     }

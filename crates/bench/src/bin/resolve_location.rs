@@ -13,9 +13,11 @@
 //! the -MF models spread slightly deeper but stay concentrated at the top
 //! of the tree, which is what makes the DEE paths effective.
 //!
-//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
 
-use dee_bench::{f2, pct, pool, scale_from_args, store_from_args, Suite, TextTable};
+use dee_bench::{
+    f2, pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+};
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{simulate, Model, SimConfig};
 
@@ -24,7 +26,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("resolve_location"));
     }
@@ -71,7 +75,7 @@ fn main() {
         for (k, &c) in hist.iter().enumerate() {
             agg[k] += c;
         }
-        t.row(stat_row(entry.workload.name, hist, h));
+        t.row(stat_row(&entry.workload.name, hist, h));
     }
     t.row(stat_row("ALL", &agg, h));
     println!("{}", t.render());

@@ -9,11 +9,13 @@
 //! only with unbounded eager execution. This is exactly the cost explosion
 //! DEE's disjointness is designed to avoid.
 //!
-//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
 
 use std::sync::Arc;
 
-use dee_bench::{f2, pool, scale_from_args, store_from_args, Suite, TextTable};
+use dee_bench::{
+    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+};
 use dee_ilpsim::{harmonic_mean, riseman_foster};
 
 fn main() {
@@ -21,7 +23,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
-    let suite = Suite::load_with_store(scale, store.as_ref());
+    let workloads = workloads_from_args();
+    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+        .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("riseman_foster"));
     }

@@ -56,7 +56,7 @@ fn main() {
             let trace_ms = trace_start.elapsed().as_secs_f64() * 1e3;
 
             let key = ArtifactKey::new(
-                workload.name,
+                &workload.name,
                 &tag,
                 &workload.program.to_listing(),
                 &workload.initial_memory,

@@ -9,11 +9,14 @@
 //! path length between branches — the static half of the paper's §4 DEE
 //! tree inputs.
 //!
+//! Covers every registered workload — the paper five plus `synacor` and
+//! `sc` — not just the default suite.
+//!
 //! Usage: `workload_lint [tiny|small|medium|large]`.
 
 use dee_analyze::{analyze, BranchCensus};
 use dee_bench::{f2, scale_from_args, TextTable};
-use dee_workloads::all_workloads;
+use dee_workloads::WorkloadRegistry;
 
 fn main() {
     let scale = scale_from_args();
@@ -31,10 +34,10 @@ fn main() {
         "mean_static_path",
     ]);
     let mut dirty = 0usize;
-    for w in all_workloads(scale) {
+    for w in WorkloadRegistry::builtin().build_all(scale) {
         let report = analyze(&w.program);
         if !report.is_clean() {
-            eprint!("{}", report.render_text(w.name));
+            eprint!("{}", report.render_text(&w.name));
             dirty += report.diagnostics().len();
         }
         let census = BranchCensus::build(&w.program);

@@ -40,7 +40,7 @@ use dee_ilpsim::{harmonic_mean, PreparedTrace};
 use dee_predict::{measure_accuracy, TwoBitCounter};
 use dee_store::{ArtifactKey, Store, StoreSource};
 use dee_vm::Trace;
-use dee_workloads::{all_workloads, Scale, Workload};
+use dee_workloads::{all_workloads, Scale, Workload, WorkloadRegistry, PAPER_WORKLOADS};
 
 /// A validated workload with its captured trace.
 pub struct BenchEntry {
@@ -94,8 +94,41 @@ impl Suite {
     /// errors, not experiment outcomes.
     #[must_use]
     pub fn load_with_store(scale: Scale, store: Option<&Store>) -> Self {
+        Suite::from_workloads(all_workloads(scale), scale, store)
+    }
+
+    /// Builds a suite over a caller-chosen workload set, resolved through
+    /// the builtin [`WorkloadRegistry`] — any mix of the paper five and
+    /// the other registered workloads (`synacor`, `sc`), in the order
+    /// given.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first name the registry does not know.
+    ///
+    /// # Panics
+    ///
+    /// As [`Suite::load_with_store`], on validation or lint failure.
+    pub fn load_selected(
+        scale: Scale,
+        names: &[impl AsRef<str>],
+        store: Option<&Store>,
+    ) -> Result<Self, String> {
+        let workloads = WorkloadRegistry::builtin().build_many(names, scale)?;
+        Ok(Suite::from_workloads(workloads, scale, store))
+    }
+
+    /// The shared trace-capture path: every workload — built-in or
+    /// generated — goes through the same lint gate, store replay,
+    /// quarantine, and validation.
+    ///
+    /// # Panics
+    ///
+    /// As [`Suite::load_with_store`].
+    #[must_use]
+    pub fn from_workloads(workloads: Vec<Workload>, scale: Scale, store: Option<&Store>) -> Self {
         let scale_tag = format!("{scale:?}").to_ascii_lowercase();
-        let entries = all_workloads(scale)
+        let entries = workloads
             .into_iter()
             .map(|workload| {
                 // Static gate: refuse to trace a program the analyzer can
@@ -106,7 +139,7 @@ impl Suite {
                     !report.has_errors(),
                     "workload {} rejected by static analysis:\n{}",
                     workload.name,
-                    report.render_text(workload.name)
+                    report.render_text(&workload.name)
                 );
                 let census = dee_analyze::BranchCensus::build(&workload.program);
                 let trace = match store {
@@ -115,7 +148,7 @@ impl Suite {
                         .unwrap_or_else(|e| panic!("workload validation failed: {e}")),
                     Some(store) => {
                         let key = ArtifactKey::new(
-                            workload.name,
+                            &workload.name,
                             &scale_tag,
                             &workload.program.to_listing(),
                             &workload.initial_memory,
@@ -166,8 +199,8 @@ impl Suite {
 
 /// Parses the scale argument shared by the experiment binaries
 /// (`tiny|small|medium|large`, default `small`). Flags and their values
-/// (`--jobs N`, `--store DIR`) are skipped, so the scale may appear
-/// anywhere: `fig5 --store traces tiny --jobs 4`.
+/// (`--jobs N`, `--store DIR`, `--workloads LIST`) are skipped, so the
+/// scale may appear anywhere: `fig5 --store traces tiny --jobs 4`.
 #[must_use]
 pub fn scale_from_args() -> Scale {
     scale_from(std::env::args().skip(1))
@@ -179,7 +212,7 @@ fn scale_from<I: Iterator<Item = String>>(args: I) -> Scale {
         match arg.as_str() {
             // Value-taking flags: skip the value so a directory named
             // `tiny` never reads as a scale.
-            "--jobs" | "--store" => {
+            "--jobs" | "--store" | "--workloads" => {
                 args.next();
             }
             "tiny" => return Scale::Tiny,
@@ -218,6 +251,52 @@ fn store_from<I: Iterator<Item = String>>(args: I) -> Option<Store> {
         return Some(Store::open(&dir).unwrap_or_else(|e| panic!("--store {dir}: {e}")));
     }
     None
+}
+
+/// Parses the `--workloads a,b,c` (or `--workloads=a,b,c`) flag shared by
+/// the experiment binaries: which registered workloads a suite covers.
+/// Defaults to the paper five so committed goldens are unaffected;
+/// `--workloads all` selects every builtin registration.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or names an unknown workload.
+#[must_use]
+pub fn workloads_from_args() -> Vec<String> {
+    workloads_from(std::env::args().skip(1))
+}
+
+fn workloads_from<I: Iterator<Item = String>>(args: I) -> Vec<String> {
+    let registry = WorkloadRegistry::builtin();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let list = if arg == "--workloads" {
+            args.next()
+        } else if let Some(rest) = arg.strip_prefix("--workloads=") {
+            Some(rest.to_string())
+        } else {
+            continue;
+        };
+        let list = list.unwrap_or_else(|| panic!("--workloads needs a comma-separated list"));
+        if list == "all" {
+            return registry.names().iter().map(|n| (*n).to_string()).collect();
+        }
+        let names: Vec<String> = list
+            .split(',')
+            .filter(|n| !n.is_empty())
+            .map(str::to_string)
+            .collect();
+        for name in &names {
+            assert!(
+                registry.contains(name),
+                "--workloads: unknown workload `{name}` (known: {})",
+                registry.names().join(", ")
+            );
+        }
+        assert!(!names.is_empty(), "--workloads list is empty");
+        return names;
+    }
+    PAPER_WORKLOADS.iter().map(|n| (*n).to_string()).collect()
 }
 
 /// A simple fixed-width text table builder for experiment output.
@@ -366,6 +445,34 @@ mod tests {
     }
 
     #[test]
+    fn workloads_parsing_defaults_to_the_paper_five() {
+        assert_eq!(workloads_from(args(&["tiny"])), PAPER_WORKLOADS.to_vec());
+        assert_eq!(
+            workloads_from(args(&["--workloads", "synacor,cc1"])),
+            vec!["synacor", "cc1"]
+        );
+        assert_eq!(workloads_from(args(&["--workloads=xlisp"])), vec!["xlisp"]);
+        let all = workloads_from(args(&["--workloads", "all"]));
+        assert!(all.contains(&"synacor".to_string()));
+        assert!(all.len() > PAPER_WORKLOADS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn workloads_parsing_rejects_unknown_names() {
+        workloads_from(args(&["--workloads", "gcc"]));
+    }
+
+    #[test]
+    fn selected_suite_builds_registry_workloads() {
+        let suite =
+            Suite::load_selected(Scale::Tiny, &["synacor", "compress"], None).expect("known names");
+        assert_eq!(suite.entries.len(), 2);
+        assert_eq!(suite.entries[0].workload.name, "synacor");
+        assert!(Suite::load_selected(Scale::Tiny, &["nope"], None).is_err());
+    }
+
+    #[test]
     fn store_parsing_finds_flag_or_returns_none() {
         assert!(store_from(args(&["tiny", "--jobs", "4"])).is_none());
         let dir = std::env::temp_dir().join(format!("dee_bench_storeflag_{}", std::process::id()));
@@ -406,7 +513,7 @@ mod tests {
         let xlisp = &replayed.entries[4].workload;
         assert_eq!(xlisp.name, "xlisp");
         let key = ArtifactKey::new(
-            xlisp.name,
+            &xlisp.name,
             "tiny",
             &xlisp.program.to_listing(),
             &xlisp.initial_memory,

@@ -123,6 +123,7 @@ determinism_test!(
 );
 determinism_test!(riseman_foster_is_byte_deterministic, "riseman_foster");
 determinism_test!(resolve_location_is_byte_deterministic, "resolve_location");
+determinism_test!(genspace_is_byte_deterministic, "genspace");
 
 /// The store contract from ISSUE/DESIGN §9: `--store` is invisible in
 /// every output byte. A recording pass (`--jobs 1`, cold store), a

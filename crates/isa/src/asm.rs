@@ -122,10 +122,15 @@ impl Assembler {
             if *idx == usize::MAX {
                 return Err(AsmError::DuplicateLabel(label.clone()));
             }
-            let &target = self
-                .labels
-                .get(label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            // `@N` is an absolute-address target (the listing form) unless
+            // shadowed by an explicit label of that name.
+            let target = match self.labels.get(label) {
+                Some(&t) => t,
+                None => label
+                    .strip_prefix('@')
+                    .and_then(|addr| addr.parse::<u32>().ok())
+                    .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?,
+            };
             match &mut instrs[*idx] {
                 Instr::Branch { target: t, .. }
                 | Instr::Jump { target: t }

@@ -432,5 +432,18 @@ mod tests {
         }
         let reparsed = parse_program(&source).unwrap();
         assert_eq!(reparsed, original);
+
+        // The raw listing also round-trips: `@N` targets resolve as
+        // absolute addresses and the `N:` address prefixes parse as
+        // (unused) labels.
+        let direct = parse_program(&original.to_listing()).unwrap();
+        assert_eq!(direct, original);
+    }
+
+    #[test]
+    fn at_targets_resolve_as_absolute_addresses() {
+        let p = parse_program("beq r0, r0, @2\nhalt\nout r0\nhalt\n").unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(parse_program("j @99\nhalt\n").is_err()); // out of range
     }
 }

@@ -133,20 +133,10 @@ fn scale_by_name(name: &str) -> Result<Scale, ApiError> {
     }
 }
 
-/// Every servable workload, for upfront validation of batch grids
-/// (checking a name must not build the workload — that is the cell's job).
-const WORKLOAD_NAMES: [&str; 6] = ["cc1", "compress", "eqntott", "espresso", "sc", "xlisp"];
-
 fn workload_by_name(name: &str, scale: Scale) -> Result<Workload, ApiError> {
-    match name {
-        "cc1" => Ok(dee_workloads::cc1::build(scale)),
-        "compress" => Ok(dee_workloads::compress::build(scale)),
-        "eqntott" => Ok(dee_workloads::eqntott::build(scale)),
-        "espresso" => Ok(dee_workloads::espresso::build(scale)),
-        "sc" => Ok(dee_workloads::sc::build(scale)),
-        "xlisp" => Ok(dee_workloads::xlisp::build(scale)),
-        other => Err(ApiError::bad_request(format!("unknown workload `{other}`"))),
-    }
+    dee_workloads::WorkloadRegistry::builtin()
+        .build(name, scale)
+        .ok_or_else(|| ApiError::bad_request(format!("unknown workload `{name}`")))
 }
 
 fn model_by_name(name: &str) -> Option<Model> {
@@ -501,6 +491,9 @@ pub struct BatchCell {
 ///
 /// `400` for missing/invalid axes or options.
 pub fn parse_batch(body: &Json) -> Result<Vec<BatchCell>, ApiError> {
+    // Upfront name validation must not build the workload — that is the
+    // cell's job — so only the registry's name table is consulted here.
+    let registry = dee_workloads::WorkloadRegistry::builtin();
     let workloads: Vec<String> = match body.get("workloads") {
         None => return Err(ApiError::bad_request("missing `workloads` array")),
         Some(Json::Arr(items)) if !items.is_empty() => items
@@ -509,7 +502,7 @@ pub fn parse_batch(body: &Json) -> Result<Vec<BatchCell>, ApiError> {
                 let name = v
                     .as_str()
                     .ok_or_else(|| ApiError::bad_request("`workloads` must hold strings"))?;
-                if !WORKLOAD_NAMES.contains(&name) {
+                if !registry.contains(name) {
                     return Err(ApiError::bad_request(format!("unknown workload `{name}`")));
                 }
                 Ok(name.to_string())

@@ -20,7 +20,7 @@ fn scratch_store(tag: &str) -> (Store, PathBuf) {
 
 fn key_for(workload: &Workload) -> ArtifactKey {
     ArtifactKey::new(
-        workload.name,
+        &workload.name,
         "tiny",
         &workload.program.to_listing(),
         &workload.initial_memory,
@@ -102,7 +102,7 @@ fn republish_is_idempotent_and_keys_separate_scales() {
     // A different scale is a different key — both coexist.
     let small = dee_workloads::xlisp::build(Scale::Small);
     let small_key = ArtifactKey::new(
-        small.name,
+        &small.name,
         "small",
         &small.program.to_listing(),
         &small.initial_memory,

@@ -507,7 +507,7 @@ pub fn build(scale: Scale) -> Workload {
     let tokens = reference_tokenize(&source);
     let expected_output = reference_evaluate(&tokens, &syms);
     Workload {
-        name: "cc1",
+        name: "cc1".to_string(),
         program,
         initial_memory,
         expected_output,

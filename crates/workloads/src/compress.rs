@@ -210,7 +210,7 @@ pub fn build(scale: Scale) -> Workload {
 
     let expected_output = reference_compress(&text);
     Workload {
-        name: "compress",
+        name: "compress".to_string(),
         program,
         initial_memory,
         expected_output,

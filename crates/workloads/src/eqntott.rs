@@ -325,7 +325,7 @@ pub fn build(scale: Scale) -> Workload {
 
     let expected_output = reference_output(&terms, &sterms);
     Workload {
-        name: "eqntott",
+        name: "eqntott".to_string(),
         program,
         initial_memory,
         expected_output,

@@ -462,7 +462,7 @@ pub fn build(scale: Scale) -> Workload {
 
     let expected_output = reference_minimize(&cubes);
     Workload {
-        name: "espresso",
+        name: "espresso".to_string(),
         program,
         initial_memory,
         expected_output,

@@ -50,8 +50,12 @@ pub mod cc1;
 pub mod compress;
 pub mod eqntott;
 pub mod espresso;
+pub mod registry;
 pub mod sc;
+pub mod synacor;
 pub mod xlisp;
+
+pub use registry::{WorkloadRegistry, PAPER_WORKLOADS};
 
 use dee_isa::Program;
 use dee_vm::{trace_program, Trace, VmError};
@@ -85,8 +89,9 @@ impl Scale {
 /// output it must produce.
 #[derive(Clone, Debug)]
 pub struct Workload {
-    /// Short name matching the paper ("cc1", "compress", ...).
-    pub name: &'static str,
+    /// Short name matching the paper ("cc1", "compress", ...), or a
+    /// generated identifier for synthetic programs (see `dee-gen`).
+    pub name: String,
     /// The assembled program.
     pub program: Program,
     /// Input data image, loaded at word 0.
@@ -128,16 +133,14 @@ impl Workload {
     }
 }
 
-/// Builds all five workloads at the given scale, in the paper's order.
+/// Builds the paper's five workloads at the given scale, in the paper's
+/// order. The full builtin set (including the post-paper additions) lives
+/// in [`WorkloadRegistry::builtin`].
 #[must_use]
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    vec![
-        cc1::build(scale),
-        compress::build(scale),
-        eqntott::build(scale),
-        espresso::build(scale),
-        xlisp::build(scale),
-    ]
+    WorkloadRegistry::builtin()
+        .build_many(&PAPER_WORKLOADS, scale)
+        .expect("paper workloads are registered")
 }
 
 /// A tiny deterministic PRNG (xorshift32) used by the input generators, so
@@ -177,7 +180,7 @@ mod tests {
     #[test]
     fn all_workloads_present_and_named() {
         let suite = all_workloads(Scale::Tiny);
-        let names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        let names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(
             names,
             vec!["cc1", "compress", "eqntott", "espresso", "xlisp"]

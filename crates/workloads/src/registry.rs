@@ -1,0 +1,166 @@
+//! Name → constructor registry for workloads.
+//!
+//! The paper's evaluation is a fixed five-benchmark array; everything
+//! downstream (the bench `Suite`, the trace store, the CLI) used to
+//! hard-code that list. The registry makes the workload set an open,
+//! uniform namespace instead: builtins, the interpreter-on-interpreter
+//! workload ([`crate::synacor`]), and `dee-gen` synthetic programs all
+//! register through the same `name → build(Scale)` interface, so no
+//! consumer needs special cases for where a workload came from.
+
+use crate::{cc1, compress, eqntott, espresso, sc, synacor, xlisp, Scale, Workload};
+
+/// The paper's benchmark set, in the paper's order (SPECint92 minus `sc`,
+/// which §5 excluded as too predictable).
+pub const PAPER_WORKLOADS: [&str; 5] = ["cc1", "compress", "eqntott", "espresso", "xlisp"];
+
+/// A workload constructor: builds the program + input image at a scale.
+pub type WorkloadCtor = Box<dyn Fn(Scale) -> Workload + Send + Sync>;
+
+/// An extensible name → constructor table.
+///
+/// Insertion order is preserved: [`WorkloadRegistry::names`] and
+/// [`WorkloadRegistry::build_all`] enumerate in registration order, so the
+/// builtin registry keeps the paper's ordering for the first five entries.
+#[derive(Default)]
+pub struct WorkloadRegistry {
+    entries: Vec<(String, WorkloadCtor)>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkloadRegistry::default()
+    }
+
+    /// The builtin set: the paper's five, then the post-paper additions —
+    /// `synacor` (the bytecode-interpreter workload) and `sc` (implemented
+    /// but excluded from the paper's suite).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut registry = WorkloadRegistry::new();
+        registry.register("cc1", cc1::build);
+        registry.register("compress", compress::build);
+        registry.register("eqntott", eqntott::build);
+        registry.register("espresso", espresso::build);
+        registry.register("xlisp", xlisp::build);
+        registry.register("synacor", synacor::build);
+        registry.register("sc", sc::build);
+        registry
+    }
+
+    /// Registers a constructor under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — duplicate names would make
+    /// lookups ambiguous, which is a build error, not a runtime condition.
+    pub fn register<F>(&mut self, name: impl Into<String>, build: F) -> &mut Self
+    where
+        F: Fn(Scale) -> Workload + Send + Sync + 'static,
+    {
+        let name = name.into();
+        assert!(
+            !self.contains(&name),
+            "workload `{name}` is already registered"
+        );
+        self.entries.push((name, Box::new(build)));
+        self
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Builds the named workload at `scale`, or `None` if unregistered.
+    #[must_use]
+    pub fn build(&self, name: &str, scale: Scale) -> Option<Workload> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ctor)| ctor(scale))
+    }
+
+    /// Builds each named workload in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unregistered name.
+    pub fn build_many(
+        &self,
+        names: &[impl AsRef<str>],
+        scale: Scale,
+    ) -> Result<Vec<Workload>, String> {
+        names
+            .iter()
+            .map(|name| {
+                let name = name.as_ref();
+                self.build(name, scale)
+                    .ok_or_else(|| format!("unknown workload `{name}`"))
+            })
+            .collect()
+    }
+
+    /// Builds every registered workload, in registration order.
+    #[must_use]
+    pub fn build_all(&self, scale: Scale) -> Vec<Workload> {
+        self.entries.iter().map(|(_, ctor)| ctor(scale)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_leads_with_the_paper_suite() {
+        let registry = WorkloadRegistry::builtin();
+        let names = registry.names();
+        assert_eq!(&names[..5], &PAPER_WORKLOADS);
+        assert!(registry.contains("synacor"));
+        assert!(registry.contains("sc"));
+    }
+
+    #[test]
+    fn build_many_matches_direct_construction() {
+        let registry = WorkloadRegistry::builtin();
+        let via_registry = registry
+            .build_many(&["xlisp", "compress"], Scale::Tiny)
+            .unwrap();
+        assert_eq!(via_registry[0].name, "xlisp");
+        assert_eq!(via_registry[1].name, "compress");
+        assert_eq!(
+            via_registry[0].program,
+            crate::xlisp::build(Scale::Tiny).program
+        );
+    }
+
+    #[test]
+    fn unknown_names_error_and_custom_registration_works() {
+        let mut registry = WorkloadRegistry::builtin();
+        assert!(registry.build("warp9", Scale::Tiny).is_none());
+        assert!(registry.build_many(&["cc1", "warp9"], Scale::Tiny).is_err());
+        registry.register("alias-xlisp", |scale| {
+            let mut w = crate::xlisp::build(scale);
+            w.name = "alias-xlisp".to_string();
+            w
+        });
+        let w = registry.build("alias-xlisp", Scale::Tiny).unwrap();
+        assert_eq!(w.name, "alias-xlisp");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        WorkloadRegistry::builtin().register("cc1", crate::cc1::build);
+    }
+}

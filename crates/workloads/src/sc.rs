@@ -191,7 +191,7 @@ pub fn build(scale: Scale) -> Workload {
 
     let expected_output = reference_recalc(rows, cols, passes, &grid);
     Workload {
-        name: "sc",
+        name: "sc".to_string(),
         program,
         initial_memory,
         expected_output,

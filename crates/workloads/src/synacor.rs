@@ -1,0 +1,668 @@
+//! `synacor` — a Synacor-style bytecode interpreter running *on* the toy
+//! ISA: interpreter-on-interpreter.
+//!
+//! The five SPECint92-alikes are direct algorithm ports; this sixth
+//! workload stresses DEE with the classic pattern they lack — interpreter
+//! dispatch. A small register VM in the Synacor challenge's architecture
+//! style (eight 15-bit virtual registers, a value/register operand
+//! encoding split at 32768, arithmetic mod 32768, an operand stack,
+//! `call`/`ret`) is implemented in toy-ISA assembly. Its fetch loop
+//! dispatches every bytecode opcode through a register-indirect `jr` into
+//! a branch ladder, and its operand decoder branches on literal-vs-register
+//! encodings — both data-dependent in ways a per-PC 2-bit counter
+//! struggles with, because many bytecode sites alias onto one host PC.
+//!
+//! The guest bytecode program computes a checksum of `gcd` values over a
+//! 15-bit LCG stream (recursive Euclid via `call`/`ret`, `mod`-driven) and
+//! a small bucket histogram via `rmem`/`wmem`, then dumps both.
+//!
+//! The pure-Rust reference is a second, independent interpreter of the
+//! same bytecode ([`run_bytecode`]); the workload validates the toy-ISA
+//! interpreter's output against it, so an encoding or semantics bug in
+//! either shows up as a mismatch.
+
+use std::collections::HashMap;
+
+use dee_isa::{Assembler, Program, Reg};
+
+use crate::{Scale, Workload};
+
+/// Values `>= OPERAND_LIMIT` encode virtual registers `0..8`.
+const OPERAND_LIMIT: i32 = 32768;
+/// All guest arithmetic is mod 32768 (15-bit), as in the Synacor machine.
+const MODULUS: i32 = 32768;
+
+/// Host word address of the eight virtual registers.
+const VREG_BASE: i32 = 8;
+/// Host word address of guest address 0 (code and data share one space).
+const CODE_BASE: i32 = 64;
+/// Host word address of the guest call/operand stack (grows upward).
+const VSTACK_BASE: i32 = 49152;
+/// Guest address of the histogram scratch area.
+const SCRATCH: i32 = 2048;
+
+// Guest opcodes (Synacor numbering; `in` = 20 is unsupported).
+const OP_HALT: i32 = 0;
+const OP_SET: i32 = 1;
+const OP_PUSH: i32 = 2;
+const OP_POP: i32 = 3;
+const OP_EQ: i32 = 4;
+const OP_GT: i32 = 5;
+const OP_JMP: i32 = 6;
+const OP_JT: i32 = 7;
+const OP_JF: i32 = 8;
+const OP_ADD: i32 = 9;
+const OP_MULT: i32 = 10;
+const OP_MOD: i32 = 11;
+const OP_AND: i32 = 12;
+const OP_OR: i32 = 13;
+const OP_NOT: i32 = 14;
+const OP_RMEM: i32 = 15;
+const OP_WMEM: i32 = 16;
+const OP_CALL: i32 = 17;
+const OP_RET: i32 = 18;
+const OP_OUT: i32 = 19;
+const OP_NOOP: i32 = 21;
+/// One past the largest understood opcode.
+const OP_COUNT: i32 = 22;
+
+/// Encodes guest register `k` as an operand.
+const fn vreg(k: i32) -> i32 {
+    OPERAND_LIMIT + k
+}
+
+/// `gcd` pair count per scale (the guest program's outer-loop bound).
+#[must_use]
+pub fn pair_count(scale: Scale) -> i32 {
+    match scale {
+        Scale::Tiny => 25,
+        Scale::Small => 170,
+        Scale::Medium => 700,
+        Scale::Large => 5000,
+    }
+}
+
+/// A two-pass label assembler for guest bytecode: jump targets may be
+/// referenced before they are defined.
+struct ByteAsm {
+    code: Vec<i32>,
+    labels: HashMap<&'static str, i32>,
+    fixups: Vec<(usize, &'static str)>,
+}
+
+impl ByteAsm {
+    fn new() -> Self {
+        ByteAsm {
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    fn label(&mut self, name: &'static str) {
+        let here = self.code.len() as i32;
+        assert!(
+            self.labels.insert(name, here).is_none(),
+            "guest label `{name}` defined twice"
+        );
+    }
+
+    fn emit(&mut self, words: &[i32]) {
+        self.code.extend_from_slice(words);
+    }
+
+    /// Emits `words` followed by a label-valued operand.
+    fn emit_to(&mut self, words: &[i32], target: &'static str) {
+        self.code.extend_from_slice(words);
+        self.fixups.push((self.code.len(), target));
+        self.code.push(0);
+    }
+
+    fn finish(mut self) -> Vec<i32> {
+        for (at, name) in &self.fixups {
+            let addr = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("guest label `{name}` never defined"));
+            self.code[*at] = addr;
+        }
+        self.code
+    }
+}
+
+/// Assembles the guest bytecode program for `n` LCG-driven `gcd` pairs.
+///
+/// Guest registers: `r0` = loop index, `r1` = bound, `r2` = checksum,
+/// `r3`/`r4` = `gcd` arguments (result in `r3`), `r5` = scratch,
+/// `r6` = LCG state, `r7` = histogram cell.
+#[must_use]
+pub fn guest_bytecode(n: i32) -> Vec<i32> {
+    assert!((1..MODULUS).contains(&n), "pair count must fit 15 bits");
+    let mut asm = ByteAsm::new();
+    asm.emit(&[OP_NOOP]);
+    asm.emit(&[OP_SET, vreg(6), 9551]); // LCG seed
+    asm.emit(&[OP_SET, vreg(0), 1]);
+    asm.emit(&[OP_SET, vreg(2), 0]);
+    asm.emit(&[OP_SET, vreg(1), n]);
+
+    asm.label("loop");
+    asm.emit(&[OP_GT, vreg(5), vreg(0), vreg(1)]);
+    asm.emit_to(&[OP_JT, vreg(5)], "finish");
+    // Two fresh 15-bit LCG draws become the gcd arguments.
+    asm.emit(&[OP_MULT, vreg(6), vreg(6), 5]);
+    asm.emit(&[OP_ADD, vreg(6), vreg(6), 7]);
+    asm.emit(&[OP_SET, vreg(3), vreg(6)]);
+    asm.emit(&[OP_MULT, vreg(6), vreg(6), 5]);
+    asm.emit(&[OP_ADD, vreg(6), vreg(6), 7]);
+    asm.emit(&[OP_SET, vreg(4), vreg(6)]);
+    asm.emit_to(&[OP_CALL], "gcd");
+    asm.emit(&[OP_ADD, vreg(2), vreg(2), vreg(3)]);
+    // Histogram bucket (gcd & 7) | 8 — exercises and/or — at
+    // SCRATCH+8..SCRATCH+15 via rmem/wmem.
+    asm.emit(&[OP_AND, vreg(5), vreg(3), 7]);
+    asm.emit(&[OP_OR, vreg(5), vreg(5), 8]);
+    asm.emit(&[OP_ADD, vreg(5), vreg(5), SCRATCH]);
+    asm.emit(&[OP_RMEM, vreg(7), vreg(5)]);
+    asm.emit(&[OP_ADD, vreg(7), vreg(7), 1]);
+    asm.emit(&[OP_WMEM, vreg(5), vreg(7)]);
+    asm.emit(&[OP_ADD, vreg(0), vreg(0), 1]);
+    asm.emit_to(&[OP_JMP], "loop");
+
+    // Recursive Euclid: r3 = gcd(r3, r4), r5 saved across the recursion.
+    asm.label("gcd");
+    asm.emit_to(&[OP_JF, vreg(4)], "gcd_done");
+    asm.emit(&[OP_PUSH, vreg(5)]);
+    asm.emit(&[OP_MOD, vreg(5), vreg(3), vreg(4)]);
+    asm.emit(&[OP_SET, vreg(3), vreg(4)]);
+    asm.emit(&[OP_SET, vreg(4), vreg(5)]);
+    asm.emit(&[OP_POP, vreg(5)]);
+    asm.emit_to(&[OP_CALL], "gcd");
+    asm.emit(&[OP_RET]);
+    asm.label("gcd_done");
+    asm.emit(&[OP_RET]);
+
+    asm.label("finish");
+    asm.emit(&[OP_OUT, vreg(2)]);
+    asm.emit(&[OP_NOT, vreg(5), vreg(2)]);
+    asm.emit(&[OP_OUT, vreg(5)]);
+    asm.emit(&[OP_SET, vreg(0), 8]);
+    asm.label("dump");
+    asm.emit(&[OP_EQ, vreg(5), vreg(0), 16]);
+    asm.emit_to(&[OP_JT, vreg(5)], "end");
+    asm.emit(&[OP_ADD, vreg(5), vreg(0), SCRATCH]);
+    asm.emit(&[OP_RMEM, vreg(7), vreg(5)]);
+    asm.emit(&[OP_OUT, vreg(7)]);
+    asm.emit(&[OP_ADD, vreg(0), vreg(0), 1]);
+    asm.emit_to(&[OP_JMP], "dump");
+    asm.label("end");
+    asm.emit(&[OP_OUT, vreg(1)]);
+    asm.emit(&[OP_HALT]);
+    asm.finish()
+}
+
+/// Reference interpreter: runs guest bytecode directly in Rust.
+///
+/// Guest memory is a unified 15-bit address space holding the code image
+/// (zero-filled beyond it), exactly as the toy-ISA interpreter maps it at
+/// `CODE_BASE`.
+///
+/// # Panics
+///
+/// Panics on malformed bytecode (unknown opcode, out-of-range operand,
+/// `ret`/`pop` on an empty stack) — the guest program is built by
+/// [`guest_bytecode`], so these are build errors.
+#[must_use]
+pub fn run_bytecode(code: &[i32]) -> Vec<i32> {
+    let mut mem = vec![0i32; MODULUS as usize];
+    mem[..code.len()].copy_from_slice(code);
+    let mut vregs = [0i32; 8];
+    let mut stack: Vec<i32> = Vec::new();
+    let mut out = Vec::new();
+    let mut ip = 0usize;
+    let dest = |raw: i32| (raw - OPERAND_LIMIT) as usize;
+    loop {
+        let op = mem[ip];
+        let raw1 = mem.get(ip + 1).copied().unwrap_or(0);
+        let raw2 = mem.get(ip + 2).copied().unwrap_or(0);
+        let raw3 = mem.get(ip + 3).copied().unwrap_or(0);
+        let value = |raw: i32| -> i32 {
+            if raw < OPERAND_LIMIT {
+                raw
+            } else {
+                vregs[(raw - OPERAND_LIMIT) as usize]
+            }
+        };
+        match op {
+            OP_HALT => return out,
+            OP_SET => {
+                let v = value(raw2);
+                vregs[dest(raw1)] = v;
+                ip += 3;
+            }
+            OP_PUSH => {
+                stack.push(value(raw1));
+                ip += 2;
+            }
+            OP_POP => {
+                vregs[dest(raw1)] = stack.pop().expect("guest pop on empty stack");
+                ip += 2;
+            }
+            OP_EQ | OP_GT | OP_ADD | OP_MULT | OP_MOD | OP_AND | OP_OR => {
+                let b = value(raw2);
+                let c = value(raw3);
+                vregs[dest(raw1)] = match op {
+                    OP_EQ => i32::from(b == c),
+                    OP_GT => i32::from(b > c),
+                    OP_ADD => (b + c) % MODULUS,
+                    OP_MULT => ((i64::from(b) * i64::from(c)) % i64::from(MODULUS)) as i32,
+                    OP_MOD => {
+                        assert!(c != 0, "guest mod by zero");
+                        b % c
+                    }
+                    OP_AND => b & c,
+                    _ => b | c,
+                };
+                ip += 4;
+            }
+            OP_NOT => {
+                let v = !value(raw2) & (MODULUS - 1);
+                vregs[dest(raw1)] = v;
+                ip += 3;
+            }
+            OP_RMEM => {
+                let addr = value(raw2) as usize;
+                vregs[dest(raw1)] = mem[addr];
+                ip += 3;
+            }
+            OP_WMEM => {
+                let addr = value(raw1) as usize;
+                let v = value(raw2);
+                mem[addr] = v;
+                ip += 3;
+            }
+            OP_JMP => ip = value(raw1) as usize,
+            OP_JT | OP_JF => {
+                let cond = value(raw1);
+                let target = value(raw2) as usize;
+                let jump = (op == OP_JT) == (cond != 0);
+                ip = if jump { target } else { ip + 3 };
+            }
+            OP_CALL => {
+                let target = value(raw1) as usize;
+                stack.push((ip + 2) as i32);
+                ip = target;
+            }
+            OP_RET => ip = stack.pop().expect("guest ret on empty stack") as usize,
+            OP_OUT => {
+                out.push(value(raw1));
+                ip += 2;
+            }
+            OP_NOOP => ip += 1,
+            other => panic!("guest opcode {other} at {ip} is not implemented"),
+        }
+    }
+}
+
+/// Emits the toy-ISA interpreter. `table` is the host address of the
+/// dispatch ladder, resolved by assembling twice (the layout is
+/// deterministic, so the second pass sees the same address it embeds).
+fn emit_interpreter(table: u32) -> (Program, u32) {
+    let mut asm = Assembler::new();
+    // Host register map.
+    let r_ip = Reg::new(1); // guest instruction pointer (host absolute)
+    let r_vsp = Reg::new(2); // guest stack pointer (host absolute)
+    let r_op = Reg::new(3); // fetched opcode
+    let r_a = Reg::new(4); // operand value (rdval result)
+    let r_b = Reg::new(5); // first operand of two-value ops
+    let r_d = Reg::new(6); // destination vreg host address (rddst result)
+    let r_t1 = Reg::new(7);
+    let r_t2 = Reg::new(8);
+    let r_code = Reg::new(20); // CODE_BASE
+    let r_vreg = Reg::new(21); // VREG_BASE
+    let r_lim = Reg::new(22); // OPERAND_LIMIT
+    let r_mask = Reg::new(23); // MODULUS - 1
+    let r_tbl = Reg::new(24); // dispatch-ladder base
+
+    asm.li(r_code, CODE_BASE);
+    asm.li(r_vreg, VREG_BASE);
+    asm.li(r_lim, OPERAND_LIMIT);
+    asm.li(r_mask, MODULUS - 1);
+    asm.li(r_tbl, table as i32);
+    asm.mv(r_ip, r_code);
+    asm.li(r_vsp, VSTACK_BASE);
+
+    // Fetch/dispatch. The `beq` on opcode 0 doubles as the ladder's static
+    // reachability anchor: the analyzer gives `jr` only an exit edge, so
+    // without it every ladder entry (and so every handler) would be
+    // statically unreachable. Entry k of the ladder is an always-taken
+    // branch to handler k; `jr` lands on entry `op` at run time.
+    asm.label("main");
+    asm.lw(r_op, r_ip, 0);
+    asm.addi(r_ip, r_ip, 1);
+    asm.slti(r_t2, r_op, OP_COUNT);
+    asm.beq_label(r_t2, Reg::ZERO, "h_halt"); // defensive: bad opcode
+    asm.add(r_t1, r_tbl, r_op);
+    asm.beq_label(r_op, Reg::ZERO, "table");
+    asm.jr(r_t1);
+
+    let found_table = asm.here();
+    asm.label("table");
+    let handlers = [
+        "h_halt", "h_set", "h_push", "h_pop", "h_eq", "h_gt", "h_jmp", "h_jt", "h_jf", "h_add",
+        "h_mult", "h_mod", "h_and", "h_or", "h_not", "h_rmem", "h_wmem", "h_call", "h_ret",
+        "h_out", "h_halt", // opcode 20 (`in`) is unsupported
+        "main",   // noop
+    ];
+    for handler in handlers {
+        asm.bge_label(Reg::ZERO, Reg::ZERO, handler);
+    }
+
+    // dst ← value
+    asm.label("h_set");
+    asm.call_label("rddst");
+    asm.call_label("rdval");
+    asm.sw(r_a, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_push");
+    asm.call_label("rdval");
+    asm.sw(r_a, r_vsp, 0);
+    asm.addi(r_vsp, r_vsp, 1);
+    asm.j_label("main");
+
+    asm.label("h_pop");
+    asm.call_label("rddst");
+    asm.addi(r_vsp, r_vsp, -1);
+    asm.lw(r_t1, r_vsp, 0);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    // Three-operand ALU ops share a prologue shape: dst, then two values
+    // (first parked in r_b while the second lands in r_a).
+    let alu_prologue = |asm: &mut Assembler| {
+        asm.call_label("rddst");
+        asm.call_label("rdval");
+        asm.mv(r_b, r_a);
+        asm.call_label("rdval");
+    };
+
+    asm.label("h_eq");
+    alu_prologue(&mut asm);
+    asm.seq(r_t1, r_b, r_a);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_gt");
+    alu_prologue(&mut asm);
+    asm.slt(r_t1, r_a, r_b); // b > c  ⇔  c < b
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_jmp");
+    asm.call_label("rdval");
+    asm.add(r_ip, r_a, r_code);
+    asm.j_label("main");
+
+    asm.label("h_jt");
+    asm.call_label("rdval");
+    asm.mv(r_b, r_a);
+    asm.call_label("rdval");
+    asm.beq_label(r_b, Reg::ZERO, "main");
+    asm.add(r_ip, r_a, r_code);
+    asm.j_label("main");
+
+    asm.label("h_jf");
+    asm.call_label("rdval");
+    asm.mv(r_b, r_a);
+    asm.call_label("rdval");
+    asm.bne_label(r_b, Reg::ZERO, "main");
+    asm.add(r_ip, r_a, r_code);
+    asm.j_label("main");
+
+    asm.label("h_add");
+    alu_prologue(&mut asm);
+    asm.add(r_t1, r_b, r_a);
+    asm.and(r_t1, r_t1, r_mask);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_mult");
+    alu_prologue(&mut asm);
+    asm.mul(r_t1, r_b, r_a);
+    asm.and(r_t1, r_t1, r_mask);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_mod");
+    alu_prologue(&mut asm);
+    asm.rem(r_t1, r_b, r_a);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_and");
+    alu_prologue(&mut asm);
+    asm.and(r_t1, r_b, r_a);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_or");
+    alu_prologue(&mut asm);
+    asm.or(r_t1, r_b, r_a);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_not");
+    asm.call_label("rddst");
+    asm.call_label("rdval");
+    asm.xor(r_t1, r_a, r_mask); // 15-bit complement
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_rmem");
+    asm.call_label("rddst");
+    asm.call_label("rdval");
+    asm.add(r_t1, r_a, r_code);
+    asm.lw(r_t1, r_t1, 0);
+    asm.sw(r_t1, r_d, 0);
+    asm.j_label("main");
+
+    asm.label("h_wmem");
+    asm.call_label("rdval");
+    asm.mv(r_b, r_a); // guest address
+    asm.call_label("rdval"); // value
+    asm.add(r_t1, r_b, r_code);
+    asm.sw(r_a, r_t1, 0);
+    asm.j_label("main");
+
+    asm.label("h_call");
+    asm.call_label("rdval");
+    asm.sub(r_t1, r_ip, r_code); // guest return address
+    asm.sw(r_t1, r_vsp, 0);
+    asm.addi(r_vsp, r_vsp, 1);
+    asm.add(r_ip, r_a, r_code);
+    asm.j_label("main");
+
+    asm.label("h_ret");
+    asm.addi(r_vsp, r_vsp, -1);
+    asm.lw(r_t1, r_vsp, 0);
+    asm.add(r_ip, r_t1, r_code);
+    asm.j_label("main");
+
+    asm.label("h_out");
+    asm.call_label("rdval");
+    asm.out(r_a);
+    asm.j_label("main");
+
+    asm.label("h_halt");
+    asm.halt();
+
+    // rdval: fetch the next operand word and decode it — a literal below
+    // OPERAND_LIMIT, otherwise a virtual-register read. This single host
+    // branch aliases every operand of every guest instruction.
+    asm.label("rdval");
+    asm.lw(r_a, r_ip, 0);
+    asm.addi(r_ip, r_ip, 1);
+    asm.blt_label(r_a, r_lim, "rdval_done");
+    asm.sub(r_a, r_a, r_lim);
+    asm.add(r_a, r_a, r_vreg);
+    asm.lw(r_a, r_a, 0);
+    asm.label("rdval_done");
+    asm.ret();
+
+    // rddst: fetch a destination operand (always register-encoded in
+    // well-formed bytecode) as a host address.
+    asm.label("rddst");
+    asm.lw(r_d, r_ip, 0);
+    asm.addi(r_ip, r_ip, 1);
+    asm.addi(r_d, r_d, VREG_BASE - OPERAND_LIMIT);
+    asm.ret();
+
+    (asm.assemble().expect("synacor assembles"), found_table)
+}
+
+/// Assembles the interpreter, resolving the dispatch-table address by
+/// running the emitter twice.
+fn interpreter_program() -> Program {
+    let (_, table) = emit_interpreter(0);
+    let (program, found) = emit_interpreter(table);
+    assert_eq!(table, found, "interpreter layout must be deterministic");
+    program
+}
+
+/// Builds the workload at `scale`.
+///
+/// The host program is scale-independent; the guest bytecode (loaded at
+/// `CODE_BASE` in the initial memory image) carries the scale.
+#[must_use]
+pub fn build(scale: Scale) -> Workload {
+    let bytecode = guest_bytecode(pair_count(scale));
+    let expected_output = run_bytecode(&bytecode);
+    let mut initial_memory = vec![0i32; CODE_BASE as usize + bytecode.len()];
+    initial_memory[CODE_BASE as usize..].copy_from_slice(&bytecode);
+    Workload {
+        name: "synacor".to_string(),
+        program: interpreter_program(),
+        initial_memory,
+        expected_output,
+        step_limit: 200_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_interpreter_runs_a_trivial_program() {
+        // out 7; set r0, 40; add r0, r0, 2; out r0; halt
+        let code = vec![
+            OP_OUT,
+            7,
+            OP_SET,
+            vreg(0),
+            40,
+            OP_ADD,
+            vreg(0),
+            vreg(0),
+            2,
+            OP_OUT,
+            vreg(0),
+            OP_HALT,
+        ];
+        assert_eq!(run_bytecode(&code), vec![7, 42]);
+    }
+
+    #[test]
+    fn reference_arithmetic_is_mod_32768() {
+        let code = vec![
+            OP_SET,
+            vreg(1),
+            32000,
+            OP_ADD,
+            vreg(1),
+            vreg(1),
+            1000,
+            OP_OUT,
+            vreg(1),
+            OP_MULT,
+            vreg(1),
+            vreg(1),
+            3,
+            OP_OUT,
+            vreg(1),
+            OP_NOT,
+            vreg(1),
+            0,
+            OP_OUT,
+            vreg(1),
+            OP_HALT,
+        ];
+        assert_eq!(run_bytecode(&code), vec![232, 696, 32767]);
+    }
+
+    #[test]
+    fn guest_program_checksum_is_gcd_sum_mod_32768() {
+        // Independent recomputation of the guest program's outputs, without
+        // any interpreter: LCG pairs, Euclid, histogram.
+        let n = pair_count(Scale::Tiny);
+        let mut x: i64 = 9551;
+        let mut sum: i64 = 0;
+        let mut hist = [0i32; 8];
+        fn gcd(a: i64, b: i64) -> i64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        for _ in 0..n {
+            x = (x * 5 + 7) % 32768;
+            let a = x;
+            x = (x * 5 + 7) % 32768;
+            let b = x;
+            let g = gcd(a, b);
+            sum = (sum + g) % 32768;
+            hist[(g & 7) as usize] += 1;
+        }
+        let out = run_bytecode(&guest_bytecode(n));
+        assert_eq!(out[0], sum as i32);
+        assert_eq!(out[1], !(sum as i32) & 32767);
+        assert_eq!(&out[2..10], &hist);
+        assert_eq!(out[10], n);
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn interpreter_matches_reference_tiny() {
+        let w = build(Scale::Tiny);
+        let trace = w.validate().expect("runs and validates");
+        assert!(trace.len() > 10_000, "nontrivial dynamic length");
+    }
+
+    #[test]
+    fn interpreter_matches_reference_small() {
+        build(Scale::Small).validate().expect("runs and validates");
+    }
+
+    #[test]
+    fn dispatch_is_register_indirect() {
+        let w = build(Scale::Tiny);
+        let static_jrs = w
+            .program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, dee_isa::Instr::Jr { .. }))
+            .count();
+        assert!(static_jrs >= 3, "dispatch jr plus two subroutine rets");
+        let trace = w.capture_trace().unwrap();
+        let density = trace.num_cond_branches() as f64 / trace.len() as f64;
+        assert!(density > 0.10, "interpreters are branchy, got {density:.3}");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = build(Scale::Tiny).capture_trace().unwrap().len();
+        let small = build(Scale::Small).capture_trace().unwrap().len();
+        assert!(small > 2 * tiny);
+    }
+}

@@ -134,7 +134,7 @@ pub fn build(scale: Scale) -> Workload {
     let initial_memory = vec![n];
     let expected_output = vec![reference_count(n), n];
     Workload {
-        name: "xlisp",
+        name: "xlisp".to_string(),
         program,
         initial_memory,
         expected_output,

@@ -7,7 +7,12 @@
 //! * [`isa`] — the toy MIPS-R3000-like instruction set, assembler, and
 //!   control-dependence analyses;
 //! * [`vm`] — the functional interpreter and dynamic trace capture;
-//! * [`workloads`] — five SPECint92-like benchmark programs;
+//! * [`workloads`] — the benchmark registry: five SPECint92-like
+//!   programs, the `synacor` bytecode-interpreter workload, and any
+//!   generated program registered at runtime;
+//! * [`gen`] — the seeded workload-space generator: deterministic toy-ISA
+//!   programs from an eight-knob [`gen::GenSpec`], each carrying its
+//!   spec+seed header so every artifact is regenerable (`dee gen`);
 //! * [`predict`] — branch predictors (2-bit counter, PAp, gshare, static);
 //! * [`theory`] — DEE theory: optimal resource assignment and the static
 //!   tree heuristic (`dee-core`);
@@ -45,6 +50,7 @@
 
 pub use dee_analyze as analyze;
 pub use dee_core as theory;
+pub use dee_gen as gen;
 pub use dee_ilpsim as ilpsim;
 pub use dee_isa as isa;
 pub use dee_levo as levo;
@@ -58,6 +64,7 @@ pub use dee_workloads as workloads;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use dee_core::{StaticTree, TreeParams};
+    pub use dee_gen::{generate, GenSpec};
     pub use dee_ilpsim::{simulate, LatencyModel, Model, PreparedTrace, SimConfig, SimOutcome};
     pub use dee_isa::{Assembler, Instr, Program, Reg};
     pub use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
@@ -65,5 +72,5 @@ pub mod prelude {
     pub use dee_predict::{BranchPredictor, TwoBitCounter};
     pub use dee_serve::{Server, ServerConfig};
     pub use dee_vm::{Trace, TraceRecord};
-    pub use dee_workloads::{Scale, Workload};
+    pub use dee_workloads::{Scale, Workload, WorkloadRegistry};
 }

@@ -6,6 +6,8 @@
 //! dee levo <prog.s> [--dee-paths N]       run on the Levo machine model
 //! dee unroll <prog.s> [--factor K]        apply the §4.2 loop filter
 //! dee tree [--p P] [--et N]               print the static DEE tree
+//! dee gen <spec|default> [--seed N] [-o F] generate a seeded program
+//! dee gen sweep [--et N] [--seed N]       preview speedup vs the pred knob
 //! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
 //! dee trace record <workload> --store DIR [--scale S]  publish an artifact
 //! dee trace info <file.dtrc>              container header/footer summary
@@ -50,6 +52,11 @@ const USAGE: &str = "usage:
   dee levo <prog.s> [--dee-paths N] [--mem a=v,...]
   dee unroll <prog.s> [--factor K]          print the unrolled program
   dee tree [--p P] [--et N]                 print the static DEE tree
+  dee gen <spec|default> [--seed N] [-o FILE]
+                                            generate a seeded program
+                                            (knobs: pred spread depth calls
+                                             jr alias blocks iters)
+  dee gen sweep [--et N] [--seed N]         preview speedup vs the pred knob
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
   dee trace record <workload> --store DIR [--scale tiny|small|medium|large]
   dee trace info <file.dtrc>                container header/footer summary
@@ -80,6 +87,7 @@ struct Options {
     chaos_seed: Option<u64>,
     store: Option<String>,
     scale: Option<String>,
+    seed: u64,
     json: bool,
     deny_warnings: bool,
 }
@@ -103,6 +111,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chaos_seed: None,
         store: None,
         scale: None,
+        seed: 1,
         json: false,
         deny_warnings: false,
     };
@@ -195,6 +204,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--store" => options.store = Some(value()?),
             "--scale" => options.scale = Some(value()?),
+            "--seed" => options.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
             "--json" => options.json = true,
             "--deny" => match value()?.as_str() {
                 "warnings" => options.deny_warnings = true,
@@ -233,15 +243,22 @@ fn workload_by_name(
     name: &str,
     scale: dee::workloads::Scale,
 ) -> Result<dee::workloads::Workload, String> {
-    match name {
-        "cc1" => Ok(dee::workloads::cc1::build(scale)),
-        "compress" => Ok(dee::workloads::compress::build(scale)),
-        "eqntott" => Ok(dee::workloads::eqntott::build(scale)),
-        "espresso" => Ok(dee::workloads::espresso::build(scale)),
-        "sc" => Ok(dee::workloads::sc::build(scale)),
-        "xlisp" => Ok(dee::workloads::xlisp::build(scale)),
-        other => Err(format!("unknown workload `{other}`")),
-    }
+    let registry = dee::workloads::WorkloadRegistry::builtin();
+    registry.build(name, scale).ok_or_else(|| {
+        format!(
+            "unknown workload `{name}` (known: {})",
+            registry.names().join(", ")
+        )
+    })
+}
+
+/// `gen:<spec>` names a generated workload anywhere a builtin name is
+/// accepted; the seed comes from `--seed` (default 1).
+fn generated_workload(spec_text: &str, seed: u64) -> Result<dee::workloads::Workload, String> {
+    let spec = dee::gen::GenSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    Ok(dee::gen::generate(&spec, seed)
+        .map_err(|e| e.to_string())?
+        .workload)
 }
 
 fn open_store(options: &Options) -> Result<dee::store::Store, String> {
@@ -259,9 +276,12 @@ fn trace_record(args: &[String]) -> Result<(), String> {
     let store = open_store(&options)?;
     let scale_name = options.scale.as_deref().unwrap_or("tiny");
     let scale = workload_scale(scale_name)?;
-    let workload = workload_by_name(name, scale)?;
+    let workload = match name.strip_prefix("gen:") {
+        Some(spec_text) => generated_workload(spec_text, options.seed)?,
+        None => workload_by_name(name, scale)?,
+    };
     let key = dee::store::ArtifactKey::new(
-        name,
+        &workload.name,
         scale_name,
         &workload.program.to_listing(),
         &workload.initial_memory,
@@ -348,6 +368,93 @@ fn trace_gc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `dee gen <spec|default> [--seed N] [-o FILE]` — generate a seeded
+/// program and emit its listing. The listing leads with the `# dee-gen v1`
+/// spec+seed header, so the file alone regenerates the program (and its
+/// input memory) bit-for-bit; stdout stays pure listing so it can be
+/// piped, with the summary on stderr.
+fn gen_program(args: &[String]) -> Result<(), String> {
+    let spec_text = args
+        .get(1)
+        .ok_or("missing gen spec (try `dee gen default`)")?;
+    let options = parse_options(&args[2..])?;
+    let spec = dee::gen::GenSpec::parse(spec_text).map_err(|e| e.to_string())?;
+    let generated = dee::gen::generate(&spec, options.seed).map_err(|e| e.to_string())?;
+    let listing = generated.listing();
+    let prepared = PreparedTrace::new(&generated.workload.program, &generated.trace);
+    let summary = format!(
+        "{}: {} instruction(s), {} dynamic, {} branch(es), 2-bit accuracy {:.1}%",
+        generated.name(),
+        generated.workload.program.len(),
+        generated.trace.len(),
+        generated.trace.num_cond_branches(),
+        prepared.accuracy() * 100.0
+    );
+    match options.output.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &listing).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+            println!("{summary}");
+        }
+        None => {
+            print!("{listing}");
+            eprintln!("{summary}");
+        }
+    }
+    Ok(())
+}
+
+/// `dee gen sweep [--et N] [--seed N]` — a quick serial preview of the
+/// workload-space axis: one small generated program per `pred` step,
+/// measured 2-bit accuracy, and SP / DEE-CD-MF / oracle speedups. The
+/// full seeded grid (with `--jobs` and the committed golden CSV) is the
+/// `genspace` bench binary.
+fn gen_sweep(args: &[String]) -> Result<(), String> {
+    let options = parse_options(&args[2..])?;
+    println!(
+        "pred-knob preview: seed {}, E_T = {} (full grid: `genspace` in crates/bench)",
+        options.seed, options.et
+    );
+    println!(
+        "{:>5} {:>9} {:>8} {:>10} {:>8} {:>8}",
+        "pred", "accuracy", "SP", "DEE-CD-MF", "Oracle", "DEE/SP"
+    );
+    for pred in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let spec = dee::gen::GenSpec {
+            pred,
+            spread: 0.02,
+            depth: 2,
+            calls: 0.2,
+            jr: 0.1,
+            alias: 0.5,
+            blocks: 12,
+            iters: 48,
+        };
+        let generated = dee::gen::generate(&spec, options.seed).map_err(|e| e.to_string())?;
+        let prepared = PreparedTrace::new(&generated.workload.program, &generated.trace);
+        let p = prepared.accuracy();
+        let shape_p = p.clamp(0.5, 0.9999);
+        let speedup = |model| {
+            simulate(
+                &prepared,
+                &SimConfig::new(model, options.et).with_p(shape_p),
+            )
+            .speedup()
+        };
+        let (sp, dee, oracle) = (
+            speedup(Model::Sp),
+            speedup(Model::DeeCdMf),
+            speedup(Model::Oracle),
+        );
+        println!(
+            "{pred:>5} {:>8.1}% {sp:>8.2} {dee:>10.2} {oracle:>8.2} {:>8.2}",
+            p * 100.0,
+            dee / sp
+        );
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("no command given".into());
@@ -371,10 +478,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => {
             let target = args.get(1).ok_or("missing program path or workload name")?;
             let options = parse_options(&args[2..])?;
-            // A known workload name analyses the generated program at
-            // `--scale` (default tiny); anything else is an assembly path.
-            let workload_names = ["cc1", "compress", "eqntott", "espresso", "sc", "xlisp"];
-            let program = if workload_names.contains(&target.as_str()) {
+            // A registered workload name analyses the built program at
+            // `--scale` (default tiny); `gen:<spec>` analyses a generated
+            // program at `--seed`; anything else is an assembly path.
+            let program = if let Some(spec_text) = target.strip_prefix("gen:") {
+                generated_workload(spec_text, options.seed)?.program
+            } else if dee::workloads::WorkloadRegistry::builtin().contains(target) {
                 let scale = workload_scale(options.scale.as_deref().unwrap_or("tiny"))?;
                 workload_by_name(target, scale)?.program
             } else {
@@ -493,6 +602,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("  degenerate  = {}", tree.is_single_path());
             Ok(())
         }
+        "gen" => match args.get(1).map(String::as_str) {
+            Some("sweep") => gen_sweep(args),
+            Some(_) => gen_program(args),
+            None => Err("missing gen spec (try `dee gen default`)".into()),
+        },
         "trace" => match args.get(1).map(String::as_str) {
             Some("record") => trace_record(args),
             Some("info") => trace_info(args),
@@ -685,6 +799,86 @@ mod tests {
             "replay", &prog_s, &trace_s, "--model", "oracle",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn gen_writes_a_regenerable_listing() {
+        let dir = std::env::temp_dir().join(format!("dee-cli-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("g.s").to_string_lossy().to_string();
+        run(&strings(&[
+            "gen",
+            "pred=0.9,blocks=4,iters=8",
+            "--seed",
+            "7",
+            "-o",
+            &out,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let regenerated = dee::gen::from_listing(&text).unwrap();
+        assert_eq!(regenerated.seed, 7);
+        assert_eq!(regenerated.listing(), text);
+        // The emitted listing is plain assembly: every other file-taking
+        // subcommand accepts it.
+        run(&strings(&["run", &out])).unwrap();
+        run(&strings(&["analyze", &out, "--deny", "warnings"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_spec_names_work_anywhere_workload_names_do() {
+        // analyze accepts `gen:<spec>` targets and registry names
+        // (including the interpreter workload) interchangeably.
+        run(&strings(&[
+            "analyze",
+            "gen:pred=0.95,blocks=4,iters=8",
+            "--seed",
+            "3",
+            "--deny",
+            "warnings",
+        ]))
+        .unwrap();
+        run(&strings(&["analyze", "synacor", "--scale", "tiny"])).unwrap();
+    }
+
+    #[test]
+    fn gen_rejects_bad_specs() {
+        assert!(run(&strings(&["gen"])).is_err());
+        assert!(run(&strings(&["gen", "pred=2"])).is_err());
+        assert!(run(&strings(&["gen", "warp=1"])).is_err());
+        assert!(run(&strings(&["gen", "default", "--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn gen_sweep_previews_the_pred_axis() {
+        run(&strings(&["gen", "sweep", "--et", "16", "--seed", "2"])).unwrap();
+    }
+
+    #[test]
+    fn generated_workloads_record_into_the_store() {
+        let dir = std::env::temp_dir().join(format!("dee-cli-genstore-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = dir.to_string_lossy().to_string();
+        let args = strings(&[
+            "trace",
+            "record",
+            "gen:pred=0.8,blocks=4,iters=8",
+            "--store",
+            &store,
+            "--seed",
+            "5",
+        ]);
+        run(&args).unwrap();
+        // Same spec+seed → same key → idempotent re-record.
+        run(&args).unwrap();
+        let artifacts = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "dtrc"))
+            .count();
+        assert_eq!(artifacts, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
