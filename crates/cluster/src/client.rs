@@ -1,0 +1,217 @@
+//! A minimal HTTP/1.1 client for peer traffic.
+//!
+//! Speaks exactly the dialect `dee serve` answers: one request per
+//! connection, `Connection: close`, `Content-Length` framing. Hand-rolled
+//! on `std::net` like everything else in the workspace — no external
+//! crates. Every peer call goes through [`peer_request`], which is also
+//! where the [`FaultSite::PartitionPeer`] chaos site lives: an armed plan
+//! can make any peer look connection-refused without touching the network,
+//! which is how the soak tests partition node pairs deterministically.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dee_serve::{FaultPlan, FaultSite};
+
+/// Upper bound on a peer response (status line + headers + body). Peer
+/// bodies are simulation JSON or artifact containers; anything past this
+/// is a protocol violation, not data.
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// A parsed peer response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value (empty when the peer omitted it).
+    pub content_type: String,
+    /// Response body bytes, verbatim.
+    pub body: Vec<u8>,
+}
+
+/// Connection + per-I/O timeouts for peer calls.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerTimeouts {
+    /// TCP connect budget.
+    pub connect: Duration,
+    /// Read/write budget for the whole exchange (applied per syscall).
+    pub io: Duration,
+}
+
+impl Default for PeerTimeouts {
+    fn default() -> Self {
+        PeerTimeouts {
+            connect: Duration::from_millis(500),
+            io: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Sends one request to `addr` and reads the full response, visiting the
+/// `PartitionPeer` fault site first: an injected error behaves exactly
+/// like a refused connection, so callers cannot tell chaos from a real
+/// partition (that is the point).
+///
+/// # Errors
+///
+/// `ConnectionRefused` on an injected partition; otherwise transport
+/// errors (connect timeout, reset, malformed response) as `io::Error`.
+pub fn peer_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeouts: PeerTimeouts,
+    faults: &FaultPlan,
+) -> io::Result<PeerResponse> {
+    if faults.trip(FaultSite::PartitionPeer).is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("injected partition: peer {addr} unreachable"),
+        ));
+    }
+    request(addr, method, path, body, timeouts)
+}
+
+/// [`peer_request`] without a fault plan, for traffic that must never be
+/// chaos-injected (liveness probes deciding ring re-admission).
+///
+/// # Errors
+///
+/// Transport errors as `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeouts: PeerTimeouts,
+) -> io::Result<PeerResponse> {
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("peer addr: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
+    stream.set_read_timeout(Some(timeouts.io))?;
+    stream.set_write_timeout(Some(timeouts.io))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        raw.extend_from_slice(&chunk[..n]);
+        if raw.len() > MAX_RESPONSE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "peer response exceeds size bound",
+            ));
+        }
+    }
+    parse_response(&raw)
+}
+
+/// Parses a full `Connection: close` response capture.
+fn parse_response(raw: &[u8]) -> io::Result<PeerResponse> {
+    let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, detail.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("peer response missing header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("peer response head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty status line"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("peer response is not HTTP/1.x"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status code"))?;
+    let mut content_type = String::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-type") {
+            content_type = value.to_string();
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| bad("unparseable content-length"))?,
+            );
+        }
+    }
+    let body = raw[head_end + 4..].to_vec();
+    if let Some(expected) = content_length {
+        if body.len() != expected {
+            return Err(bad("peer response body truncated"));
+        }
+    }
+    Ok(PeerResponse {
+        status,
+        content_type,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}";
+        let res = parse_response(raw).unwrap();
+        assert_eq!(res.status, 200);
+        assert_eq!(res.content_type, "application/json");
+        assert_eq!(res.body, b"{}");
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(parse_response(raw).is_err());
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(parse_response(b"SMTP nope\r\n\r\n").is_err());
+        assert!(parse_response(b"no terminator at all").is_err());
+    }
+
+    #[test]
+    fn injected_partition_reads_as_connection_refused() {
+        use dee_serve::FaultSpec;
+        let plan = FaultPlan::new(0).arm(
+            FaultSite::PartitionPeer,
+            FaultSpec {
+                error_ppm: 1_000_000,
+                ..FaultSpec::default()
+            },
+        );
+        let err = peer_request(
+            "127.0.0.1:1",
+            "GET",
+            "/healthz",
+            b"",
+            PeerTimeouts::default(),
+            &plan,
+        )
+        .expect_err("partition must fire");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+}

@@ -1,0 +1,251 @@
+//! `LocalCluster`: N in-process `dee serve` nodes + gateway + anti-entropy
+//! agent, with kill/respawn seams for chaos tests and the `dee cluster`
+//! CLI.
+//!
+//! Each node gets its own store directory (`<root>/node-<i>`) and a stable
+//! port: nodes initially bind port 0, the chosen address is recorded, and
+//! a respawn re-binds the *same* address — so the gateway's ring (which
+//! hashes peer positions, not liveness) stays valid across the kill, and
+//! the dead-peer prober re-admits the node the moment its `/healthz`
+//! answers again.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dee_serve::{FaultPlan, Server, ServerConfig};
+
+use crate::client::PeerTimeouts;
+use crate::gateway::{Gateway, GatewayConfig};
+use crate::sync::SyncAgent;
+
+/// Tuning knobs for [`LocalCluster::launch`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Replica set size per key.
+    pub replication: usize,
+    /// Root directory for per-node stores (`<root>/node-<i>`).
+    pub store_root: PathBuf,
+    /// Gateway bind address; port 0 picks a free port.
+    pub gateway_addr: String,
+    /// Worker threads per node.
+    pub node_workers: usize,
+    /// Gateway worker threads.
+    pub gateway_workers: usize,
+    /// Anti-entropy round interval; `None` runs no agent.
+    pub sync_interval: Option<Duration>,
+    /// Hedge budget passed to the gateway (see [`GatewayConfig::hedge_ms`]).
+    pub hedge_ms: Option<u64>,
+    /// Fault plan for the *cluster* sites (gateway forwarding, sync
+    /// transport). Node-internal sites get inert plans; single-node chaos
+    /// is `dee serve --chaos-seed`'s job.
+    pub faults: Arc<FaultPlan>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            replication: 2,
+            store_root: std::env::temp_dir().join("dee-cluster"),
+            gateway_addr: "127.0.0.1:0".to_string(),
+            node_workers: 2,
+            gateway_workers: 4,
+            sync_interval: Some(Duration::from_millis(50)),
+            hedge_ms: Some(0),
+            faults: Arc::new(FaultPlan::inert()),
+        }
+    }
+}
+
+/// A running local cluster.
+pub struct LocalCluster {
+    nodes: Vec<Option<Server>>,
+    addrs: Vec<SocketAddr>,
+    store_dirs: Vec<PathBuf>,
+    node_workers: usize,
+    gateway: Option<Gateway>,
+    sync: Option<SyncAgent>,
+}
+
+impl LocalCluster {
+    /// Spawns the nodes, the gateway fronting them, and (optionally) the
+    /// anti-entropy agent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn/store-open failures; rejects `nodes == 0`.
+    pub fn launch(config: ClusterConfig) -> io::Result<LocalCluster> {
+        if config.nodes == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cluster needs at least one node",
+            ));
+        }
+        let mut nodes = Vec::with_capacity(config.nodes);
+        let mut addrs = Vec::with_capacity(config.nodes);
+        let mut store_dirs = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let store_dir = config.store_root.join(format!("node-{i}"));
+            std::fs::create_dir_all(&store_dir)?;
+            let server = Server::spawn(node_config(
+                "127.0.0.1:0",
+                i,
+                config.node_workers,
+                &store_dir,
+            ))?;
+            addrs.push(server.addr());
+            nodes.push(Some(server));
+            store_dirs.push(store_dir);
+        }
+        let peers: Vec<String> = addrs.iter().map(SocketAddr::to_string).collect();
+        let gateway = Gateway::spawn(GatewayConfig {
+            addr: config.gateway_addr.clone(),
+            peers: peers.clone(),
+            replication: config.replication,
+            workers: config.gateway_workers,
+            hedge_ms: config.hedge_ms,
+            faults: Arc::clone(&config.faults),
+            ..GatewayConfig::default()
+        })?;
+        let sync = match config.sync_interval {
+            Some(interval) => Some(SyncAgent::spawn(
+                peers,
+                interval,
+                PeerTimeouts::default(),
+                Arc::clone(&config.faults),
+            )?),
+            None => None,
+        };
+        Ok(LocalCluster {
+            nodes,
+            addrs,
+            store_dirs,
+            node_workers: config.node_workers,
+            gateway: Some(gateway),
+            sync,
+        })
+    }
+
+    /// The gateway's bound address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`shutdown`](Self::shutdown) consumed the
+    /// gateway (impossible through the public API — shutdown takes
+    /// `self`).
+    #[must_use]
+    pub fn gateway_addr(&self) -> SocketAddr {
+        self.gateway
+            .as_ref()
+            .expect("gateway runs until shutdown")
+            .addr()
+    }
+
+    /// The gateway handle, for metrics and dead-peer inspection.
+    #[must_use]
+    pub fn gateway(&self) -> &Gateway {
+        self.gateway.as_ref().expect("gateway runs until shutdown")
+    }
+
+    /// Node `i`'s bound address (stable across kill/respawn).
+    #[must_use]
+    pub fn node_addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    /// Node `i`'s store directory.
+    #[must_use]
+    pub fn node_store_dir(&self, i: usize) -> &PathBuf {
+        &self.store_dirs[i]
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Always `false`: launch rejects zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Whether node `i` is currently running.
+    #[must_use]
+    pub fn node_alive(&self, i: usize) -> bool {
+        self.nodes[i].is_some()
+    }
+
+    /// Kills node `i` (orderly shutdown; store directory and address are
+    /// kept for respawn). No-op when already dead.
+    pub fn kill_node(&mut self, i: usize) {
+        if let Some(server) = self.nodes[i].take() {
+            server.shutdown();
+        }
+    }
+
+    /// Respawns node `i` on its original address. The port was freed by
+    /// [`kill_node`](Self::kill_node), but the OS may lag a moment —
+    /// retry briefly before giving up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure after retries.
+    pub fn respawn_node(&mut self, i: usize) -> io::Result<()> {
+        if self.nodes[i].is_some() {
+            return Ok(());
+        }
+        let addr = self.addrs[i].to_string();
+        let mut last_err = None;
+        for _ in 0..20 {
+            match Server::spawn(node_config(
+                &addr,
+                i,
+                self.node_workers,
+                &self.store_dirs[i],
+            )) {
+                Ok(server) => {
+                    self.nodes[i] = Some(server);
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("respawn failed")))
+    }
+
+    /// Orderly stop: sync agent first (drains in-flight replication),
+    /// then the gateway, then every node.
+    pub fn shutdown(mut self) {
+        if let Some(sync) = self.sync.take() {
+            sync.stop();
+        }
+        if let Some(gateway) = self.gateway.take() {
+            gateway.shutdown();
+        }
+        for node in &mut self.nodes {
+            if let Some(server) = node.take() {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+fn node_config(addr: &str, index: usize, workers: usize, store_dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        node_id: format!("node-{index}"),
+        store_dir: Some(store_dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}

@@ -1,0 +1,41 @@
+//! # dee-cluster — sharded, self-healing multi-node serve tier
+//!
+//! Composes the pieces the earlier layers already proved out — the
+//! `dee serve` node (PR 1), the seeded fault-injection discipline (PR 2),
+//! and the content-addressed artifact store (PR 4) — into a cluster:
+//!
+//! - [`ring`] — a hand-rolled consistent-hash ring with seeded virtual
+//!   nodes; key placement is a pure function of the seed, so every
+//!   gateway configured alike routes identically.
+//! - [`client`] — the minimal HTTP/1.1 peer client, and the home of the
+//!   `PartitionPeer` chaos site.
+//! - [`gateway`] — the front tier: hedged requests under a latency
+//!   percentile budget, per-route retry token buckets, bounded-queue
+//!   admission control, and dead-peer tracking with probe re-admission.
+//! - [`sync`] — anti-entropy: Merkle-style digest exchange over the
+//!   `DEESTOR1` per-chunk checksums, with fail-closed verified repair and
+//!   a drain barrier on shutdown.
+//! - [`cluster`] — `LocalCluster`, the N-node in-process launcher behind
+//!   `dee cluster` and the chaos soaks.
+//!
+//! The correctness oracle throughout is the determinism the paper's DEE
+//! tree guarantees by construction: the same request must produce the
+//! same bytes on every replica, so tests can demand that every response
+//! the gateway ever returns is byte-identical to a single node's output —
+//! replica divergence, torn replication, or routing bugs all surface as a
+//! byte mismatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod gateway;
+pub mod ring;
+pub mod sync;
+
+pub use client::{peer_request, request, PeerResponse, PeerTimeouts};
+pub use cluster::{ClusterConfig, LocalCluster};
+pub use gateway::{Gateway, GatewayConfig, GatewayMetrics};
+pub use ring::HashRing;
+pub use sync::{sync_round, RoundReport, SyncAgent, SyncStats};

@@ -1,0 +1,152 @@
+//! Consistent-hash ring with seeded virtual nodes.
+//!
+//! Every node contributes `vnodes` points on a 64-bit circle; a key is
+//! routed to the first point clockwise of its hash, and its replica set
+//! is the next R *distinct* nodes continuing clockwise. Virtual nodes
+//! smooth the load split (a single point per node makes arc lengths — and
+//! therefore key shares — wildly uneven), and seeding the point hashes
+//! makes the whole layout a pure function of `(seed, node count, vnodes)`:
+//! two gateways configured alike route every key identically, which the
+//! byte-identity oracle in the cluster tests leans on.
+//!
+//! The ring is immutable. Membership changes (a node dying mid-soak, a
+//! respawn re-admitting it) are handled *above* the ring by the gateway's
+//! liveness map: dead nodes are skipped in replica order rather than
+//! removed from the ring, so a respawned node slots back into exactly the
+//! arcs it owned before — no rebalancing churn, no key movement.
+
+/// A 64-bit mixer (splitmix64 finalizer); same construction as the fault
+/// plan's roll so point placement is seed-stable across platforms.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// An immutable consistent-hash ring over node indices `0..nodes`.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, node)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `nodes` nodes with `vnodes` points each, placed
+    /// by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` or `vnodes` is zero — an empty ring cannot
+    /// route anything and constructing one is always a configuration bug.
+    #[must_use]
+    pub fn new(nodes: usize, vnodes: usize, seed: u64) -> Self {
+        assert!(nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                let point = mix(seed ^ mix((node as u64) << 32 | v as u64));
+                points.push((point, node));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, nodes }
+    }
+
+    /// Number of (physical) nodes on the ring.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The first `r` distinct nodes clockwise of `key`'s position —
+    /// primary first. Capped at the node count: asking for more replicas
+    /// than nodes returns every node exactly once.
+    #[must_use]
+    pub fn replicas_for(&self, key: u64, r: usize) -> Vec<usize> {
+        let want = r.clamp(1, self.nodes);
+        let start = self.points.partition_point(|&(point, _)| point < key) % self.points.len();
+        let mut order = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&node) {
+                order.push(node);
+                if order.len() == want {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary node for `key`.
+    #[must_use]
+    pub fn primary_for(&self, key: u64) -> usize {
+        self.replicas_for(key, 1)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_layout() {
+        let a = HashRing::new(5, 32, 0xDEE);
+        let b = HashRing::new(5, 32, 0xDEE);
+        for key in (0..1000u64).map(mix) {
+            assert_eq!(a.replicas_for(key, 3), b.replicas_for(key, 3));
+        }
+    }
+
+    #[test]
+    fn different_seed_moves_keys() {
+        let a = HashRing::new(5, 32, 1);
+        let b = HashRing::new(5, 32, 2);
+        let moved = (0..1000u64)
+            .map(mix)
+            .filter(|&k| a.primary_for(k) != b.primary_for(k))
+            .count();
+        assert!(moved > 100, "reseeding should reshuffle ownership: {moved}");
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_primary_first() {
+        let ring = HashRing::new(4, 16, 7);
+        for key in (0..500u64).map(mix) {
+            let reps = ring.replicas_for(key, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.primary_for(key));
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_node_count() {
+        let ring = HashRing::new(2, 8, 9);
+        let reps = ring.replicas_for(12345, 5);
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn load_split_is_roughly_even() {
+        let ring = HashRing::new(3, 64, 0xBEEF);
+        let mut counts = [0usize; 3];
+        for key in (0..30_000u64).map(mix) {
+            counts[ring.primary_for(key)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (5_000..=15_000).contains(&c),
+                "virtual nodes should smooth the split: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Anti-entropy: digest exchange and read-repair between node stores.
+//!
+//! Every round, the agent pulls `GET /store/digest` from each peer — a
+//! Merkle-style listing folded from the per-chunk `DEESTOR1` checksums
+//! already in every artifact, so digesting never decompresses a payload —
+//! takes the union, and repairs each peer that is missing an artifact by
+//! fetching the bytes from a holder and `PUT`ting them back. The receiving
+//! node's verified install (write to `tmp/`, re-checksum everything,
+//! rename) makes repair fail-closed: a torn fetch can delay convergence
+//! but never corrupt a store. Artifact bytes are deterministic, so two
+//! holders of a name can only disagree on digest through corruption;
+//! conflicting names are counted and skipped, never "resolved" by
+//! overwriting.
+//!
+//! **Drain barrier**: [`SyncAgent::stop`] flips the stop flag and *joins*
+//! the round thread. The round checks the flag only between artifacts, so
+//! an in-flight fetch+install always completes (or fails cleanly) before
+//! the agent exits — a SIGTERM mid-sync can cut the round short but can
+//! never leave a half-published artifact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dee_serve::json::parse as parse_json;
+use dee_serve::FaultPlan;
+
+use crate::client::{peer_request, PeerTimeouts};
+
+/// Outcome counters for one [`sync_round`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Artifacts installed onto peers this round.
+    pub installed: usize,
+    /// Installs attempted but refused or failed (peer down mid-transfer,
+    /// verification failure on the receiving store).
+    pub failed: usize,
+    /// Peers whose digest listing was unreachable this round.
+    pub unreachable: usize,
+    /// Names advertised with conflicting digests (skipped — repair never
+    /// overwrites).
+    pub conflicts: usize,
+    /// `true` when the round ended early because the stop flag was set.
+    pub drained: bool,
+}
+
+/// Cumulative counters across an agent's lifetime.
+#[derive(Debug, Default)]
+pub struct SyncStats {
+    /// Completed rounds.
+    pub rounds: AtomicU64,
+    /// Total artifacts installed onto peers.
+    pub installed: AtomicU64,
+    /// Total failed install attempts.
+    pub failed: AtomicU64,
+    /// Total unreachable-peer observations.
+    pub unreachable: AtomicU64,
+}
+
+/// One peer's digest listing: `(name, digest)` pairs.
+type Listing = Vec<(String, String)>;
+
+/// Fetches and decodes one peer's `GET /store/digest`.
+fn fetch_listing(
+    peer: &str,
+    timeouts: PeerTimeouts,
+    faults: &FaultPlan,
+) -> Result<Listing, String> {
+    let response = peer_request(peer, "GET", "/store/digest", b"", timeouts, faults)
+        .map_err(|e| format!("digest fetch from {peer}: {e}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "digest fetch from {peer}: HTTP {}",
+            response.status
+        ));
+    }
+    let text = std::str::from_utf8(&response.body)
+        .map_err(|_| format!("digest listing from {peer} is not UTF-8"))?;
+    let json = parse_json(text).map_err(|e| format!("digest listing from {peer}: {e}"))?;
+    let Some(dee_serve::Json::Arr(entries)) = json.get("entries") else {
+        return Err(format!("digest listing from {peer} has no entries array"));
+    };
+    let mut listing = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let (Some(name), Some(digest)) = (
+            entry.get("name").and_then(dee_serve::Json::as_str),
+            entry.get("digest").and_then(dee_serve::Json::as_str),
+        ) else {
+            return Err(format!("digest listing from {peer} has a malformed entry"));
+        };
+        listing.push((name.to_string(), digest.to_string()));
+    }
+    Ok(listing)
+}
+
+/// Runs one anti-entropy round over `peers`. `stop` is consulted between
+/// artifacts only — see the module docs for the drain contract.
+pub fn sync_round(
+    peers: &[String],
+    timeouts: PeerTimeouts,
+    faults: &FaultPlan,
+    stop: &AtomicBool,
+) -> RoundReport {
+    let mut report = RoundReport::default();
+    // Phase 1: who has what. Unreachable peers sit the round out — they
+    // are neither repaired nor used as sources.
+    let mut listings: Vec<Option<Listing>> = Vec::with_capacity(peers.len());
+    for peer in peers {
+        if stop.load(Ordering::SeqCst) {
+            report.drained = true;
+            return report;
+        }
+        match fetch_listing(peer, timeouts, faults) {
+            Ok(listing) => listings.push(Some(listing)),
+            Err(_) => {
+                report.unreachable += 1;
+                listings.push(None);
+            }
+        }
+    }
+    // Phase 2: the union. name -> (digest, holders); a digest mismatch
+    // flags the name as conflicted and takes it out of repair entirely.
+    let mut union: Vec<(String, String, Vec<usize>)> = Vec::new();
+    let mut conflicted: Vec<String> = Vec::new();
+    for (peer_index, listing) in listings.iter().enumerate() {
+        let Some(listing) = listing else { continue };
+        for (name, digest) in listing {
+            if conflicted.contains(name) {
+                continue;
+            }
+            match union.iter_mut().find(|(n, _, _)| n == name) {
+                Some((_, known, holders)) => {
+                    if known == digest {
+                        holders.push(peer_index);
+                    } else {
+                        report.conflicts += 1;
+                        conflicted.push(name.clone());
+                    }
+                }
+                None => union.push((name.clone(), digest.clone(), vec![peer_index])),
+            }
+        }
+    }
+    union.retain(|(name, _, _)| !conflicted.contains(name));
+    // Deterministic repair order regardless of which peer answered first.
+    union.sort_by(|a, b| a.0.cmp(&b.0));
+    // Phase 3: repair. Every reachable peer missing a name gets the bytes
+    // from the first holder that can still serve them.
+    for (name, _, holders) in &union {
+        for (peer_index, peer) in peers.iter().enumerate() {
+            if listings[peer_index].is_none() || holders.contains(&peer_index) {
+                continue;
+            }
+            if stop.load(Ordering::SeqCst) {
+                report.drained = true;
+                return report;
+            }
+            let mut bytes = None;
+            for &holder in holders {
+                let path = format!("/store/artifact/{name}");
+                match peer_request(&peers[holder], "GET", &path, b"", timeouts, faults) {
+                    Ok(res) if res.status == 200 => {
+                        bytes = Some(res.body);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+            let Some(bytes) = bytes else {
+                report.failed += 1;
+                continue;
+            };
+            let path = format!("/store/artifact/{name}");
+            match peer_request(peer, "PUT", &path, &bytes, timeouts, faults) {
+                Ok(res) if res.status == 200 => report.installed += 1,
+                _ => report.failed += 1,
+            }
+        }
+    }
+    report
+}
+
+/// A background anti-entropy agent running [`sync_round`] on an interval.
+pub struct SyncAgent {
+    stop: Arc<AtomicBool>,
+    stats: Arc<SyncStats>,
+    handle: JoinHandle<()>,
+}
+
+impl SyncAgent {
+    /// Spawns the agent over `peers`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failure.
+    pub fn spawn(
+        peers: Vec<String>,
+        interval: Duration,
+        timeouts: PeerTimeouts,
+        faults: Arc<FaultPlan>,
+    ) -> std::io::Result<SyncAgent> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SyncStats::default());
+        let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("dee-cluster-sync".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::SeqCst) {
+                    let report = sync_round(&peers, timeouts, &faults, &thread_stop);
+                    thread_stats.rounds.fetch_add(1, Ordering::Relaxed);
+                    thread_stats
+                        .installed
+                        .fetch_add(report.installed as u64, Ordering::Relaxed);
+                    thread_stats
+                        .failed
+                        .fetch_add(report.failed as u64, Ordering::Relaxed);
+                    thread_stats
+                        .unreachable
+                        .fetch_add(report.unreachable as u64, Ordering::Relaxed);
+                    if report.drained {
+                        return;
+                    }
+                    // Sleep in small slices so stop stays responsive
+                    // without cutting an artifact transfer (those finish
+                    // inside sync_round regardless).
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !thread_stop.load(Ordering::SeqCst) {
+                        let slice = Duration::from_millis(10).min(interval - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })?;
+        Ok(SyncAgent {
+            stop,
+            stats,
+            handle,
+        })
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<SyncStats> {
+        &self.stats
+    }
+
+    /// Signals the agent and **joins it** — the drain barrier. Any
+    /// artifact transfer in flight when the flag flips completes before
+    /// this returns; only whole-artifact boundaries observe the stop.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}

@@ -199,9 +199,8 @@ impl PreparedCache {
         {
             let mut shard = state.lock();
             loop {
-                if shard.entries.contains_key(&key) {
-                    let tick = self.next_tick();
-                    let (last_used, entry) = shard.entries.get_mut(&key).expect("just checked");
+                let tick = self.next_tick();
+                if let Some((last_used, entry)) = shard.entries.get_mut(&key) {
                     *last_used = tick;
                     return Ok((Arc::clone(entry), true));
                 }

@@ -46,11 +46,23 @@ pub enum FaultSite {
     /// The static-analysis gate on request program sources (a spurious
     /// `422` rejection).
     AnalyzeReject,
+    /// A cluster peer becoming unreachable (gateway forward or
+    /// anti-entropy fetch behaves as if the connection was refused).
+    PartitionPeer,
+    /// A replica dropping out of the routing ring (the gateway treats
+    /// the chosen replica as dead and fails over to the next one).
+    ReplicaLoss,
+    /// A peer answering its store-digest exchange with a stale (empty)
+    /// listing, delaying anti-entropy convergence by a round.
+    StalePeerStore,
+    /// A delay injected ahead of the gateway's hedge decision, forcing
+    /// the primary attempt over its latency budget.
+    GatewayHedgeDelay,
 }
 
 impl FaultSite {
     /// Number of sites (array sizes).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -66,6 +78,10 @@ impl FaultSite {
         FaultSite::StoreRead,
         FaultSite::StoreWrite,
         FaultSite::AnalyzeReject,
+        FaultSite::PartitionPeer,
+        FaultSite::ReplicaLoss,
+        FaultSite::StalePeerStore,
+        FaultSite::GatewayHedgeDelay,
     ];
 
     /// Stable snake_case name, used in metrics labels and panic messages.
@@ -84,6 +100,10 @@ impl FaultSite {
             FaultSite::StoreRead => "store_read",
             FaultSite::StoreWrite => "store_write",
             FaultSite::AnalyzeReject => "analyze_reject",
+            FaultSite::PartitionPeer => "partition_peer",
+            FaultSite::ReplicaLoss => "replica_loss",
+            FaultSite::StalePeerStore => "stale_peer_store",
+            FaultSite::GatewayHedgeDelay => "gateway_hedge_delay",
         }
     }
 
@@ -101,6 +121,10 @@ impl FaultSite {
             FaultSite::StoreRead => 9,
             FaultSite::StoreWrite => 10,
             FaultSite::AnalyzeReject => 11,
+            FaultSite::PartitionPeer => 12,
+            FaultSite::ReplicaLoss => 13,
+            FaultSite::StalePeerStore => 14,
+            FaultSite::GatewayHedgeDelay => 15,
         }
     }
 }
@@ -300,6 +324,47 @@ impl FaultPlan {
                 FaultSite::AnalyzeReject,
                 FaultSpec {
                     error_ppm: 10_000,
+                    ..FaultSpec::default()
+                },
+            )
+    }
+
+    /// The cluster-level storm: [`hostile`](Self::hostile) plus the four
+    /// cluster sites armed. Partition and replica-loss faults are errors
+    /// (the gateway and anti-entropy treat them as unreachable peers and
+    /// must fail over); a stale peer store degrades a digest exchange to
+    /// an empty listing; the hedge-delay site only delays, pushing the
+    /// primary attempt over its latency budget so hedges actually fire
+    /// mid-soak.
+    #[must_use]
+    pub fn cluster_hostile(seed: u64) -> Self {
+        Self::hostile(seed)
+            .arm(
+                FaultSite::PartitionPeer,
+                FaultSpec {
+                    error_ppm: 60_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::ReplicaLoss,
+                FaultSpec {
+                    error_ppm: 40_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::StalePeerStore,
+                FaultSpec {
+                    error_ppm: 100_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::GatewayHedgeDelay,
+                FaultSpec {
+                    delay_ppm: 80_000,
+                    delay_ms: 2,
                     ..FaultSpec::default()
                 },
             )
@@ -508,7 +573,7 @@ mod tests {
 
     #[test]
     fn hostile_plan_fires_on_every_site_except_write_errors() {
-        let plan = FaultPlan::hostile(0xC0FFEE);
+        let plan = FaultPlan::cluster_hostile(0xC0FFEE);
         for site in FaultSite::ALL {
             let mut outcomes = Vec::new();
             for _ in 0..4000 {
@@ -519,12 +584,29 @@ mod tests {
                 "hostile plan never fired at {}",
                 site.name()
             );
-            if site == FaultSite::SocketWrite {
+            if site == FaultSite::SocketWrite || site == FaultSite::GatewayHedgeDelay {
                 assert!(
                     outcomes.iter().all(|o| matches!(o, Ok(None))),
-                    "socket writes must only be delayed, never failed"
+                    "{} must only be delayed, never failed",
+                    site.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn plain_hostile_leaves_cluster_sites_unarmed() {
+        let plan = FaultPlan::hostile(0xC0FFEE);
+        for site in [
+            FaultSite::PartitionPeer,
+            FaultSite::ReplicaLoss,
+            FaultSite::StalePeerStore,
+            FaultSite::GatewayHedgeDelay,
+        ] {
+            for _ in 0..500 {
+                assert_eq!(plan.trip(site), None, "{} armed in hostile()", site.name());
+            }
+            assert_eq!(plan.arrivals_at(site), 0, "unarmed sites must not count");
         }
     }
 

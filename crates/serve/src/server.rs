@@ -82,6 +82,9 @@ pub struct ServerConfig {
     /// misses, so trace work survives restarts. `None` disables the
     /// tier.
     pub store_dir: Option<PathBuf>,
+    /// Stable identity this node reports on `GET /node`, used by cluster
+    /// peers to tell replicas apart across restarts and respawns.
+    pub node_id: String,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +105,7 @@ impl Default for ServerConfig {
             max_batch_cells: 256,
             faults: Arc::new(FaultPlan::inert()),
             store_dir: None,
+            node_id: "node-0".to_string(),
         }
     }
 }
@@ -170,6 +174,7 @@ struct Shared {
     faults: Arc<FaultPlan>,
     /// Disk cache tier for raw traces; `None` when not configured.
     store: Option<Arc<dee_store::Store>>,
+    node_id: String,
     /// Worker slots, owned jointly by the supervisor (respawns) and
     /// shutdown (final join). `None` marks a slot being respawned.
     slots: Mutex<Vec<Option<JoinHandle<()>>>>,
@@ -229,6 +234,7 @@ impl Server {
             max_batch_cells: config.max_batch_cells,
             faults: config.faults,
             store,
+            node_id: config.node_id,
             slots: Mutex::new(Vec::new()),
         });
         {
@@ -380,10 +386,13 @@ fn enqueue(shared: &Shared, stream: TcpStream) {
     };
     match shared.queue.try_push(Work::Conn(job)) {
         Ok(depth) => shared.metrics.observe_queue_depth(depth as u64),
-        Err(TryPushError::Full(Work::Conn(job))) | Err(TryPushError::Closed(Work::Conn(job))) => {
-            refuse(job.stream, &shared.metrics);
+        Err(TryPushError::Full(work)) | Err(TryPushError::Closed(work)) => {
+            // Only connections are enqueued here; shed whatever came back
+            // rather than staking the accept thread on that invariant.
+            if let Work::Conn(job) = work {
+                refuse(job.stream, &shared.metrics);
+            }
         }
-        Err(_) => unreachable!("enqueue only pushes connections"),
     }
 }
 
@@ -543,6 +552,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 const JSON: &str = "application/json";
 const TEXT: &str = "text/plain; charset=utf-8";
+const OCTET: &str = "application/octet-stream";
+
+/// Builds a `{"error": message}` response body.
+fn err_json(status: u16, message: impl Into<String>) -> (u16, &'static str, Vec<u8>) {
+    let body = Json::obj(vec![("error", Json::str(message.into()))]);
+    (status, JSON, body.to_string().into_bytes())
+}
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -583,25 +599,17 @@ fn serve_job(shared: &Shared, job: Job) -> JobEnd {
                         ("error", Json::str("internal: simulation job panicked")),
                         ("detail", Json::str(panic_message(payload.as_ref()))),
                     ]);
-                    (500, JSON, body.to_string())
+                    (500, JSON, body.to_string().into_bytes())
                 }
             }
         }
         Err(HttpError::BadRequest(message)) => {
             fully_read = false;
-            (
-                400,
-                JSON,
-                Json::obj(vec![("error", Json::str(message))]).to_string(),
-            )
+            err_json(400, message)
         }
         Err(HttpError::TooLarge) => {
             fully_read = false;
-            (
-                413,
-                JSON,
-                Json::obj(vec![("error", Json::str("payload too large"))]).to_string(),
-            )
+            err_json(413, "payload too large")
         }
         Err(HttpError::Io(e)) => {
             // Answer rather than vanish: if the transport is genuinely
@@ -610,17 +618,9 @@ fn serve_job(shared: &Shared, job: Job) -> JobEnd {
             fully_read = false;
             if e.kind() == std::io::ErrorKind::TimedOut {
                 shared.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
-                (
-                    408,
-                    JSON,
-                    Json::obj(vec![("error", Json::str("request read timed out"))]).to_string(),
-                )
+                err_json(408, "request read timed out")
             } else {
-                (
-                    400,
-                    JSON,
-                    Json::obj(vec![("error", Json::str("request read failed"))]).to_string(),
-                )
+                err_json(400, "request read failed")
             }
         }
     };
@@ -629,7 +629,7 @@ fn serve_job(shared: &Shared, job: Job) -> JobEnd {
     }
     shared.metrics.count_response(status);
     let mut guarded = reader.into_inner();
-    let write_ok = write_response(&mut guarded, status, content_type, body.as_bytes()).is_ok();
+    let write_ok = write_response(&mut guarded, status, content_type, &body).is_ok();
     let stream = guarded.into_inner();
     if !fully_read && write_ok {
         lingering_close(stream);
@@ -646,16 +646,30 @@ fn serve_job(shared: &Shared, job: Job) -> JobEnd {
     }
 }
 
-fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'static str, String) {
+fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'static str, Vec<u8>) {
     if shared.faults.trip(FaultSite::JobExecute).is_some() {
-        return (
-            500,
-            JSON,
-            Json::obj(vec![("error", Json::str("injected fault: job_execute"))]).to_string(),
-        );
+        return err_json(500, "injected fault: job_execute");
     }
-    match (request.method.as_str(), request.path()) {
-        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
+    let path = request.path();
+    if let Some(name) = path.strip_prefix("/store/artifact/") {
+        return handle_artifact(shared, request, name);
+    }
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => (200, TEXT, b"ok\n".to_vec()),
+        ("GET", "/node") => {
+            let artifacts = shared
+                .store
+                .as_ref()
+                .and_then(|s| s.list().ok())
+                .map_or(0, |entries| entries.len());
+            let body = Json::obj(vec![
+                ("node_id", Json::str(shared.node_id.clone())),
+                ("artifacts", Json::from(artifacts as u64)),
+                ("workers_alive", Json::from(shared.workers_alive() as u64)),
+            ]);
+            (200, JSON, body.to_string().into_bytes())
+        }
+        ("GET", "/store/digest") => handle_digest(shared),
         ("GET", "/metrics") => {
             let gauges = [
                 ("dee_queue_depth", shared.queue.len() as u64),
@@ -668,21 +682,88 @@ fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'st
             if let Some(store) = &shared.store {
                 text.push_str(&store.stats().render_metrics());
             }
-            (200, TEXT, text)
+            (200, TEXT, text.into_bytes())
         }
         ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") | ("POST", "/batch") => {
-            handle_api(shared, request, accepted)
+            let (status, content_type, body) = handle_api(shared, request, accepted);
+            (status, content_type, body.into_bytes())
         }
-        (_, "/healthz" | "/metrics" | "/simulate" | "/tree" | "/levo" | "/batch") => (
-            405,
-            JSON,
-            Json::obj(vec![("error", Json::str("method not allowed"))]).to_string(),
-        ),
-        _ => (
-            404,
-            JSON,
-            Json::obj(vec![("error", Json::str("not found"))]).to_string(),
-        ),
+        (
+            _,
+            "/healthz" | "/metrics" | "/node" | "/store/digest" | "/simulate" | "/tree" | "/levo"
+            | "/batch",
+        ) => err_json(405, "method not allowed"),
+        _ => err_json(404, "not found"),
+    }
+}
+
+/// `GET /store/digest` — the anti-entropy exchange: every published
+/// artifact's name, size, and content digest (folded per-chunk `DEESTOR1`
+/// checksums), plus a fold over the whole listing so two converged peers
+/// can agree in one comparison. An armed [`FaultSite::StalePeerStore`]
+/// answers with an empty listing — the signature of a peer that missed a
+/// publish — which delays convergence by a round without corrupting
+/// anything.
+fn handle_digest(shared: &Shared) -> (u16, &'static str, Vec<u8>) {
+    let Some(store) = &shared.store else {
+        return err_json(404, "no store configured");
+    };
+    let entries = if shared.faults.trip(FaultSite::StalePeerStore).is_some() {
+        Vec::new()
+    } else {
+        match store.digest_listing() {
+            Ok(entries) => entries,
+            Err(e) => return err_json(500, format!("digest listing failed: {e}")),
+        }
+    };
+    let fold = dee_store::fold_digests(&entries);
+    let listing: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("name", Json::str(e.name.clone())),
+                ("bytes", Json::from(e.bytes)),
+                ("digest", Json::str(format!("{:016x}", e.digest))),
+            ])
+        })
+        .collect();
+    let body = Json::obj(vec![
+        ("node_id", Json::str(shared.node_id.clone())),
+        ("fold", Json::str(format!("{fold:016x}"))),
+        ("entries", Json::Arr(listing)),
+    ]);
+    (200, JSON, body.to_string().into_bytes())
+}
+
+/// `GET`/`PUT /store/artifact/<name>` — raw container bytes for
+/// replication. Names are validated before touching the filesystem, and
+/// `PUT` goes through [`dee_store::Store::install_artifact`]'s verified
+/// install, so a peer can neither traverse paths nor publish bytes that
+/// fail checksum verification.
+fn handle_artifact(shared: &Shared, request: &Request, name: &str) -> (u16, &'static str, Vec<u8>) {
+    let Some(store) = &shared.store else {
+        return err_json(404, "no store configured");
+    };
+    if !dee_store::valid_artifact_name(name) {
+        return err_json(400, "invalid artifact name");
+    }
+    match request.method.as_str() {
+        "GET" => match store.artifact_bytes(name) {
+            Ok(Some(bytes)) => (200, OCTET, bytes),
+            Ok(None) => err_json(404, "artifact not found"),
+            Err(e) => err_json(500, format!("artifact read failed: {e}")),
+        },
+        "PUT" => match store.install_artifact(name, &request.body) {
+            Ok(installed) => {
+                let body = Json::obj(vec![("installed", Json::Bool(installed))]);
+                (200, JSON, body.to_string().into_bytes())
+            }
+            Err(dee_store::StoreError::Corrupt { detail, .. }) => {
+                err_json(422, format!("artifact failed verification: {detail}"))
+            }
+            Err(e) => err_json(500, format!("artifact install failed: {e}")),
+        },
+        _ => err_json(405, "method not allowed"),
     }
 }
 
@@ -820,7 +901,12 @@ fn handle_batch(shared: &Shared, body: &Json, deadline: Instant) -> Result<Json,
             slot.lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .take()
-                .expect("batch cell result missing")
+                .unwrap_or_else(|| {
+                    // A cell whose slot was never written (worker killed
+                    // by an unhandled panic mid-cell) degrades to an
+                    // error member instead of panicking the handler.
+                    Json::obj(vec![("error", Json::str("internal: cell result missing"))])
+                })
         })
         .collect();
     Ok(Json::obj(vec![

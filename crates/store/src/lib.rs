@@ -39,8 +39,9 @@ pub use checksum::checksum64;
 pub use compress::{compress, decompress};
 pub use container::{ContainerInfo, ContainerReader, ContainerWriter, DEFAULT_CHUNK_SIZE};
 pub use store::{
-    fnv1a, fnv1a_words, info_file, verify_file, ArtifactKey, GcReport, Store, StoreEntry,
-    StoreError, StoreReader, StoreSource, StoreStats, VerifyReport, ARTIFACT_EXT,
+    digest_file, fnv1a, fnv1a_words, fold_digests, info_file, valid_artifact_name, verify_file,
+    ArtifactKey, DigestEntry, GcReport, Store, StoreEntry, StoreError, StoreReader, StoreSource,
+    StoreStats, VerifyReport, ARTIFACT_EXT,
 };
 
 #[cfg(test)]
@@ -217,6 +218,88 @@ mod tests {
         assert_eq!(report.quarantine_removed, 1);
         assert_eq!(store.gc().unwrap(), GcReport::default(), "gc is idempotent");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn digest_listing_agrees_across_stores_and_detects_content() {
+        let dir_a = scratch("digest_a");
+        let dir_b = scratch("digest_b");
+        let store_a = Store::open(&dir_a).unwrap();
+        let store_b = Store::open(&dir_b).unwrap();
+        let (trace_1, key_1) = sample_trace(21);
+        let (trace_2, key_2) = sample_trace(22);
+        store_a.put(&key_1, &trace_1).unwrap();
+        store_a.put(&key_2, &trace_2).unwrap();
+        store_b.put(&key_1, &trace_1).unwrap();
+        let list_a = store_a.digest_listing().unwrap();
+        let list_b = store_b.digest_listing().unwrap();
+        assert_eq!(list_a.len(), 2);
+        assert_eq!(list_b.len(), 1);
+        let in_a = list_a.iter().find(|e| e.name == key_1.filename()).unwrap();
+        assert_eq!(
+            in_a, &list_b[0],
+            "same artifact content must digest identically on both stores"
+        );
+        assert_ne!(fold_digests(&list_a), fold_digests(&list_b));
+        store_b.put(&key_2, &trace_2).unwrap();
+        assert_eq!(
+            fold_digests(&store_b.digest_listing().unwrap()),
+            fold_digests(&list_a),
+            "converged stores fold to the same digest"
+        );
+        // Corrupting payload bytes changes (or hides) the digest.
+        let path = store_a.path_for(&key_1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0xFF; // inside the first chunk frame
+        std::fs::write(&path, &bytes).unwrap();
+        let relisted = store_a.digest_listing().unwrap();
+        let entry = relisted.iter().find(|e| e.name == key_1.filename());
+        assert!(
+            entry.is_none() || entry.unwrap().digest != in_a.digest,
+            "content change must change the advertised digest"
+        );
+        std::fs::remove_dir_all(dir_a).ok();
+        std::fs::remove_dir_all(dir_b).ok();
+    }
+
+    #[test]
+    fn install_artifact_round_trips_and_is_fail_closed() {
+        let dir_src = scratch("install_src");
+        let dir_dst = scratch("install_dst");
+        let src = Store::open(&dir_src).unwrap();
+        let dst = Store::open(&dir_dst).unwrap();
+        let (trace, key) = sample_trace(17);
+        src.put(&key, &trace).unwrap();
+        let name = key.filename();
+        let bytes = src.artifact_bytes(&name).unwrap().expect("published");
+        assert!(dst.install_artifact(&name, &bytes).unwrap());
+        assert!(
+            !dst.install_artifact(&name, &bytes).unwrap(),
+            "re-install is an idempotent no-op"
+        );
+        let replayed = dst.load(&key).unwrap().expect("installed");
+        assert_eq!(replayed.output(), trace.output());
+        // Corrupt bytes are rejected before publish, leaving no trace.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        let (_, other_key) = sample_trace(18);
+        let err = dst
+            .install_artifact(&other_key.filename(), &bad)
+            .expect_err("corrupt sync bytes must be refused");
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(!dst.contains(&other_key));
+        let tmp_orphans = std::fs::read_dir(dir_dst.join("tmp")).unwrap().count();
+        assert_eq!(tmp_orphans, 0, "failed install leaves no tmp orphan");
+        // Hostile names never touch the filesystem.
+        for name in ["../escape.dtrc", "UPPER.dtrc", "x/y.dtrc", "", "plain"] {
+            assert!(!valid_artifact_name(name), "{name}");
+            assert!(dst.artifact_bytes(name).is_err());
+            assert!(dst.install_artifact(name, &bytes).is_err());
+        }
+        assert!(valid_artifact_name(&name));
+        std::fs::remove_dir_all(dir_src).ok();
+        std::fs::remove_dir_all(dir_dst).ok();
     }
 
     #[test]

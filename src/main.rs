@@ -16,6 +16,8 @@
 //! dee trace gc --store DIR                sweep tmp/ + quarantine/
 //! dee replay <prog.s> <file> [--model M] [--et N]  simulate a captured trace
 //! dee serve [--addr H:P] [--workers N] [--store DIR]  run the simulation server
+//! dee gateway --peers H:P,H:P,... [--replication R]   front a cluster of nodes
+//! dee cluster [--nodes N] [--replication R] [--store DIR]  local cluster launcher
 //! ```
 //!
 //! Programs are assembly text (see `dee_isa::parse`); initial memory cells
@@ -66,7 +68,12 @@ const USAGE: &str = "usage:
   dee replay <prog.s> <file> [--model M] [--et N]
   dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]
             [--read-budget-ms MS] [--breaker-threshold N] [--breaker-cooldown-ms MS]
-            [--chaos-seed SEED] [--store DIR]";
+            [--chaos-seed SEED] [--store DIR]
+  dee gateway --peers HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--replication R]
+            [--workers N] [--queue-capacity Q] [--hedge-ms MS|off|auto]
+            [--chaos-seed SEED]
+  dee cluster [--nodes N] [--replication R] [--store DIR] [--addr HOST:PORT]
+            [--hedge-ms MS|off|auto] [--chaos-seed SEED]";
 
 /// Parsed `--flag value` options after the positional arguments.
 struct Options {
@@ -90,6 +97,10 @@ struct Options {
     seed: u64,
     json: bool,
     deny_warnings: bool,
+    peers: Vec<String>,
+    replication: Option<usize>,
+    nodes: Option<usize>,
+    hedge_ms: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -114,6 +125,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 1,
         json: false,
         deny_warnings: false,
+        peers: Vec::new(),
+        replication: None,
+        nodes: None,
+        hedge_ms: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -202,6 +217,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "bad --chaos-seed".to_string())?,
                 )
             }
+            "--peers" => {
+                options.peers = value()?
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+            }
+            "--replication" => {
+                options.replication = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "bad --replication".to_string())?,
+                )
+            }
+            "--nodes" => {
+                options.nodes = Some(value()?.parse().map_err(|_| "bad --nodes".to_string())?)
+            }
+            "--hedge-ms" => options.hedge_ms = Some(value()?),
             "--store" => options.store = Some(value()?),
             "--scale" => options.scale = Some(value()?),
             "--seed" => options.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
@@ -214,6 +247,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+/// `--hedge-ms` accepts `off` (never hedge), `auto`/`0` (adaptive p90
+/// budget), or a fixed millisecond count.
+fn parse_hedge_ms(raw: &str) -> Result<Option<u64>, String> {
+    match raw {
+        "off" => Ok(None),
+        "auto" => Ok(Some(0)),
+        n => n
+            .parse()
+            .map(Some)
+            .map_err(|_| "bad --hedge-ms (want `off`, `auto`, or milliseconds)".to_string()),
+    }
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -714,6 +760,96 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("bye");
             Ok(())
         }
+        "gateway" => {
+            let options = parse_options(&args[1..])?;
+            if options.peers.is_empty() {
+                return Err("gateway needs --peers HOST:PORT,HOST:PORT,...".into());
+            }
+            let mut config = dee::cluster::GatewayConfig {
+                addr: options.addr.unwrap_or_else(|| "127.0.0.1:7378".to_string()),
+                peers: options.peers,
+                ..dee::cluster::GatewayConfig::default()
+            };
+            if let Some(r) = options.replication {
+                config.replication = r;
+            }
+            if let Some(workers) = options.workers {
+                config.workers = workers;
+            }
+            if let Some(capacity) = options.queue_capacity {
+                config.queue_capacity = capacity;
+            }
+            if let Some(raw) = &options.hedge_ms {
+                config.hedge_ms = parse_hedge_ms(raw)?;
+            }
+            if let Some(seed) = options.chaos_seed {
+                config.faults = std::sync::Arc::new(dee::serve::FaultPlan::cluster_hostile(seed));
+                println!("chaos mode: cluster-hostile fault plan armed with seed {seed}");
+            }
+            let peers = config.peers.len();
+            let replication = config.replication;
+            let gateway = dee::cluster::Gateway::spawn(config).map_err(|e| e.to_string())?;
+            println!(
+                "dee-gateway listening on http://{} fronting {peers} peer(s), \
+                 replication {replication}; Ctrl-C to stop",
+                gateway.addr()
+            );
+            dee::serve::signal::install();
+            while !dee::serve::signal::interrupted() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            println!("shutting down (draining forwarded requests)...");
+            gateway.shutdown();
+            println!("bye");
+            Ok(())
+        }
+        "cluster" => {
+            let options = parse_options(&args[1..])?;
+            let mut config = dee::cluster::ClusterConfig::default();
+            if let Some(n) = options.nodes {
+                config.nodes = n;
+            }
+            if let Some(r) = options.replication {
+                config.replication = r;
+            }
+            if let Some(dir) = &options.store {
+                config.store_root = dir.into();
+            }
+            if let Some(addr) = options.addr {
+                config.gateway_addr = addr;
+            } else {
+                config.gateway_addr = "127.0.0.1:7378".to_string();
+            }
+            if let Some(raw) = &options.hedge_ms {
+                config.hedge_ms = parse_hedge_ms(raw)?;
+            }
+            if let Some(seed) = options.chaos_seed {
+                config.faults = std::sync::Arc::new(dee::serve::FaultPlan::cluster_hostile(seed));
+                println!("chaos mode: cluster-hostile fault plan armed with seed {seed}");
+            }
+            println!(
+                "launching {} node(s), replication {}, stores under {}",
+                config.nodes,
+                config.replication,
+                config.store_root.display()
+            );
+            let cluster = dee::cluster::LocalCluster::launch(config).map_err(|e| e.to_string())?;
+            for i in 0..cluster.len() {
+                println!("  node-{i} listening on http://{}", cluster.node_addr(i));
+            }
+            println!(
+                "dee-gateway listening on http://{}; Ctrl-C to stop",
+                cluster.gateway_addr()
+            );
+            dee::serve::signal::install();
+            while !dee::serve::signal::interrupted() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            println!("shutting down (sync drain, then gateway, then nodes)...");
+            cluster.shutdown();
+            println!("bye");
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -760,6 +896,43 @@ mod tests {
         assert_eq!(options.chaos_seed, Some(12345));
         assert!(parse_options(&strings(&["--chaos-seed", "abc"])).is_err());
         assert!(parse_options(&strings(&["--breaker-threshold"])).is_err());
+    }
+
+    #[test]
+    fn options_parse_cluster_flags() {
+        let options = parse_options(&strings(&[
+            "--peers",
+            "127.0.0.1:7377, 127.0.0.1:7380,",
+            "--replication",
+            "3",
+            "--nodes",
+            "5",
+            "--hedge-ms",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(options.peers, vec!["127.0.0.1:7377", "127.0.0.1:7380"]);
+        assert_eq!(options.replication, Some(3));
+        assert_eq!(options.nodes, Some(5));
+        assert_eq!(options.hedge_ms.as_deref(), Some("25"));
+        assert!(parse_options(&strings(&["--replication", "two"])).is_err());
+        assert!(parse_options(&strings(&["--nodes"])).is_err());
+    }
+
+    #[test]
+    fn hedge_budget_understands_off_auto_and_fixed() {
+        assert_eq!(parse_hedge_ms("off").unwrap(), None);
+        assert_eq!(parse_hedge_ms("auto").unwrap(), Some(0));
+        assert_eq!(parse_hedge_ms("0").unwrap(), Some(0));
+        assert_eq!(parse_hedge_ms("40").unwrap(), Some(40));
+        assert!(parse_hedge_ms("fast").is_err());
+        assert!(parse_hedge_ms("-1").is_err());
+    }
+
+    #[test]
+    fn gateway_without_peers_is_an_error() {
+        assert!(run(&strings(&["gateway"])).is_err());
+        assert!(run(&strings(&["gateway", "--peers", ","])).is_err());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The cluster chaos soak: a 3-node `LocalCluster` under the
+//! `cluster_hostile` fault plan, with a node killed and respawned
+//! mid-run.
+//!
+//! The oracle is the determinism the DEE tree guarantees by
+//! construction: the same request produces the same bytes on every
+//! replica, so *every* 200 the gateway ever returns — through hedges,
+//! failovers, retries, partitions, and a node restart — must be
+//! byte-identical to a single standalone node's answer for the same
+//! body. Any replica divergence, torn replication, or routing bug
+//! surfaces as a byte mismatch, and the soak demands zero.
+//!
+//! After the soak: the respawned node must be back in the ring (the
+//! dead-peer prober re-admits it), and anti-entropy must converge all
+//! three stores to an identical digest fold.
+//!
+//! Honors `DEE_CHAOS_SEED` (one seed instead of the built-in pair) and
+//! `DEE_CHAOS_ITERS` (requests per seed) — CI runs seeds 42 and 1995.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dee::cluster::{peer_request, request, ClusterConfig, LocalCluster, PeerTimeouts};
+use dee::serve::json::parse as parse_json;
+use dee::serve::{FaultPlan, Json, Server, ServerConfig};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dee_cluster_chaos_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A unique request body per (seed, iteration): unique bodies miss every
+/// cache on every node, so the node-local `"cache"` field is uniformly
+/// `"miss"` and responses are comparable byte-for-byte across machines.
+fn body_for(seed: u64, i: usize) -> String {
+    let value = (seed as i32).wrapping_mul(1009).wrapping_add(i as i32 * 7);
+    format!(
+        "{{\"program\":\"lw r1, 0(zero)\\nout r1\\nhalt\\n\",\"memory\":[{value}],\"model\":\"SP\",\"et\":4}}"
+    )
+}
+
+fn post(addr: &str, body: &str) -> std::io::Result<dee::cluster::PeerResponse> {
+    peer_request(
+        addr,
+        "POST",
+        "/simulate",
+        body.as_bytes(),
+        PeerTimeouts::default(),
+        &FaultPlan::inert(),
+    )
+}
+
+/// One node's digest fold (hex string) and entry count, un-injected.
+fn digest_fold(addr: &str) -> Option<(String, usize)> {
+    let response = request(addr, "GET", "/store/digest", b"", PeerTimeouts::default()).ok()?;
+    if response.status != 200 {
+        return None;
+    }
+    let json = parse_json(std::str::from_utf8(&response.body).ok()?).ok()?;
+    let fold = json.get("fold").and_then(Json::as_str)?.to_string();
+    let Some(Json::Arr(entries)) = json.get("entries") else {
+        return None;
+    };
+    Some((fold, entries.len()))
+}
+
+#[test]
+fn three_node_soak_with_kill_and_respawn_returns_single_node_bytes() {
+    let seeds: Vec<u64> = match env_u64("DEE_CHAOS_SEED") {
+        Some(seed) => vec![seed],
+        None => vec![42, 1995],
+    };
+    let iters = env_u64("DEE_CHAOS_ITERS").unwrap_or(40) as usize;
+
+    for seed in seeds {
+        let root = scratch(&format!("seed{seed}"));
+        let mut cluster = LocalCluster::launch(ClusterConfig {
+            nodes: 3,
+            replication: 2,
+            store_root: root.join("cluster"),
+            sync_interval: Some(Duration::from_millis(25)),
+            hedge_ms: Some(0),
+            faults: Arc::new(FaultPlan::cluster_hostile(seed)),
+            ..ClusterConfig::default()
+        })
+        .expect("launch cluster");
+        let gateway = cluster.gateway_addr().to_string();
+
+        // The single-node oracle: same server stack, no cluster, no chaos.
+        let reference = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            store_dir: Some(root.join("reference")),
+            ..ServerConfig::default()
+        })
+        .expect("spawn reference node");
+        let reference_addr = reference.addr().to_string();
+
+        let kill_at = iters / 3;
+        let respawn_at = (2 * iters) / 3;
+        let mut ok = 0usize;
+        let mut degraded = 0usize;
+        for i in 0..iters {
+            if i == kill_at {
+                cluster.kill_node(1);
+            }
+            if i == respawn_at {
+                cluster.respawn_node(1).expect("respawn node-1");
+            }
+            let body = body_for(seed, i);
+            let expected = post(&reference_addr, &body).expect("reference reachable");
+            assert_eq!(expected.status, 200, "oracle must answer");
+            match post(&gateway, &body) {
+                Ok(response) if response.status == 200 => {
+                    assert_eq!(
+                        response.body, expected.body,
+                        "seed {seed} request {i}: gateway bytes diverged from the \
+                         single-node oracle"
+                    );
+                    ok += 1;
+                }
+                // Shed (503) or all replicas unreachable (502) are honest
+                // degraded answers under chaos — never wrong bytes.
+                Ok(_) | Err(_) => degraded += 1,
+            }
+        }
+        assert!(
+            ok * 2 > iters,
+            "seed {seed}: only {ok}/{iters} requests succeeded ({degraded} degraded) — \
+             the cluster is not riding through the chaos"
+        );
+
+        // Ring re-admission: the prober must see node-1's /healthz again.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cluster.gateway().dead_peers().is_empty() {
+            assert!(
+                Instant::now() < deadline,
+                "seed {seed}: respawned node was never re-admitted to the ring; \
+                 still dead: {:?}",
+                cluster.gateway().dead_peers()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Anti-entropy convergence: all three digest folds equal, with
+        // every artifact the soak created present everywhere.
+        let peers: Vec<String> = (0..cluster.len())
+            .map(|i| cluster.node_addr(i).to_string())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let folds: Vec<Option<(String, usize)>> =
+                peers.iter().map(|p| digest_fold(p)).collect();
+            if let [Some(a), Some(b), Some(c)] = &folds[..] {
+                if a == b && b == c && a.1 > 0 {
+                    break;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "seed {seed}: anti-entropy never converged; folds: {folds:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let hedges = cluster
+            .gateway()
+            .metrics()
+            .hedges
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let retries = cluster
+            .gateway()
+            .metrics()
+            .retries
+            .load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "seed {seed}: {ok}/{iters} ok, {degraded} degraded, \
+             {hedges} hedges, {retries} retries"
+        );
+
+        reference.shutdown();
+        cluster.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,292 @@
+//! Anti-entropy convergence and gateway hedging determinism.
+//!
+//! The convergence half is a seeded property test: artifacts are
+//! published to random non-empty subsets of three node stores, then
+//! anti-entropy rounds run under a seeded partition schedule (some
+//! rounds with `PartitionPeer` armed hot, then healed). The claim under
+//! test: once partitions heal, every node converges to the *same*
+//! digest listing — the union of everything published — within a
+//! bounded number of rounds, and repair never invents or corrupts an
+//! artifact along the way.
+//!
+//! The hedging half pins the gateway's core safety property: hedged
+//! requests are a latency tactic, not a semantics change. The same
+//! request sequence through an aggressively-hedging gateway and a
+//! never-hedging gateway must produce byte-identical responses,
+//! because every replica computes the same answer by construction.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dee::cluster::{peer_request, request, sync_round, PeerTimeouts, SyncAgent};
+use dee::cluster::{ClusterConfig, LocalCluster};
+use dee::serve::json::parse as parse_json;
+use dee::serve::{FaultPlan, FaultSite, FaultSpec, Json, Server, ServerConfig};
+use dee::store::{ArtifactKey, Store};
+use dee::vm::trace_program;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dee_cluster_conv_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// splitmix64 — the repo-wide seeded-PRNG idiom.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Publishes a tiny but real artifact (traced program) under a unique key.
+fn publish(store: &Store, index: usize) -> String {
+    let listing = format!("li r1, {index}\nout r1\nhalt\n");
+    let program = dee::isa::parse::parse_program(&listing).expect("valid program");
+    let trace = trace_program(&program, &[], 1_000_000).expect("traceable");
+    let key = ArtifactKey::new("prop", "tiny", &listing, &[]);
+    store.put(&key, &trace).expect("publish");
+    key.filename()
+}
+
+// &PathBuf (not &Path) so `dirs.iter().map(spawn_node)` works unchanged.
+#[allow(clippy::ptr_arg)]
+fn spawn_node(dir: &PathBuf) -> Server {
+    Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind node")
+}
+
+/// One node's digest listing via HTTP: (fold, sorted entry names).
+fn digest_of(addr: &str) -> (String, Vec<String>) {
+    let response =
+        request(addr, "GET", "/store/digest", b"", PeerTimeouts::default()).expect("digest fetch");
+    assert_eq!(response.status, 200, "digest endpoint answers");
+    let text = std::str::from_utf8(&response.body).expect("utf-8 digest");
+    let json = parse_json(text).expect("digest json");
+    let fold = json
+        .get("fold")
+        .and_then(Json::as_str)
+        .expect("fold field")
+        .to_string();
+    let Some(Json::Arr(entries)) = json.get("entries") else {
+        panic!("entries array missing");
+    };
+    let mut names: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            e.get("name")
+                .and_then(Json::as_str)
+                .expect("name")
+                .to_string()
+        })
+        .collect();
+    names.sort();
+    (fold, names)
+}
+
+#[test]
+fn seeded_partition_schedules_converge_to_the_published_union() {
+    for &seed in &[0xA11CEu64, 0xB0B, 1995] {
+        let root = scratch(&format!("prop{seed}"));
+        let dirs: Vec<PathBuf> = (0..3).map(|i| root.join(format!("node-{i}"))).collect();
+        let stores: Vec<Store> = dirs
+            .iter()
+            .map(|d| Store::open(d.clone()).expect("open store"))
+            .collect();
+
+        // Seeded publish schedule: 6 artifacts, each to a random
+        // non-empty subset of nodes.
+        let mut expected: Vec<String> = Vec::new();
+        for index in 0..6 {
+            let roll = mix(seed ^ (index as u64));
+            let mut subset = (roll % 7) as usize + 1; // 1..=7, bits = nodes
+            subset &= 0b111;
+            if subset == 0 {
+                subset = 0b001;
+            }
+            let mut name = None;
+            for (bit, store) in stores.iter().enumerate() {
+                if subset & (1 << bit) != 0 {
+                    name = Some(publish(store, index + (seed as usize % 1000) * 100));
+                }
+            }
+            expected.push(name.expect("published somewhere"));
+        }
+        expected.sort();
+        expected.dedup();
+        drop(stores); // servers own the directories from here
+
+        let nodes: Vec<Server> = dirs.iter().map(spawn_node).collect();
+        let peers: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+        let stop = AtomicBool::new(false);
+
+        // Partitioned phase: a hot PartitionPeer site drops roughly a
+        // third of peer calls. Rounds still make partial progress.
+        let partitioned = FaultPlan::new(seed).arm(
+            FaultSite::PartitionPeer,
+            FaultSpec {
+                error_ppm: 333_333,
+                ..FaultSpec::default()
+            },
+        );
+        for _ in 0..4 {
+            sync_round(&peers, PeerTimeouts::default(), &partitioned, &stop);
+        }
+
+        // Healed phase: inert plan; must converge within a few rounds.
+        let healed = FaultPlan::inert();
+        let mut converged = false;
+        for _ in 0..50 {
+            sync_round(&peers, PeerTimeouts::default(), &healed, &stop);
+            let listings: Vec<(String, Vec<String>)> = peers.iter().map(|p| digest_of(p)).collect();
+            if listings.iter().all(|(fold, names)| {
+                *fold == listings[0].0 && *names == expected && !fold.is_empty()
+            }) {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "seed {seed}: nodes never converged to the union");
+
+        for node in nodes {
+            node.shutdown();
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn hedging_never_changes_response_bytes() {
+    // Two independent clusters over the same request sequence: one
+    // hedging on a 1ms budget (every slow simulate hedges), one with
+    // hedging off entirely.
+    let root_a = scratch("hedge_on");
+    let root_b = scratch("hedge_off");
+    let launch = |root: &PathBuf, hedge_ms: Option<u64>| {
+        LocalCluster::launch(ClusterConfig {
+            nodes: 3,
+            replication: 2,
+            store_root: root.clone(),
+            sync_interval: None,
+            hedge_ms,
+            ..ClusterConfig::default()
+        })
+        .expect("launch cluster")
+    };
+    let hedging = launch(&root_a, Some(1));
+    let plain = launch(&root_b, None);
+
+    // A program slow enough (~150k trace records) that a 1ms budget
+    // always expires before the primary answers.
+    for i in 0..6 {
+        let body = format!(
+            "{{\"program\":\"li r1, 25000\\nloop: addi r1, r1, -1\\nbne r1, zero, loop\\nlw r2, 0(zero)\\nout r2\\nhalt\\n\",\"memory\":[{i}],\"model\":\"SP\",\"et\":4}}"
+        );
+        let send = |addr: std::net::SocketAddr| {
+            peer_request(
+                &addr.to_string(),
+                "POST",
+                "/simulate",
+                body.as_bytes(),
+                PeerTimeouts::default(),
+                &FaultPlan::inert(),
+            )
+            .expect("gateway reachable")
+        };
+        let hedged = send(hedging.gateway_addr());
+        let unhedged = send(plain.gateway_addr());
+        assert_eq!(hedged.status, 200, "hedged request succeeds");
+        assert_eq!(unhedged.status, 200, "unhedged request succeeds");
+        assert_eq!(
+            hedged.body, unhedged.body,
+            "request {i}: hedged and unhedged responses must be byte-identical"
+        );
+    }
+
+    let metrics_a = hedging.gateway().metrics();
+    let fired = metrics_a.hedges.load(Ordering::Relaxed)
+        + metrics_a.hedges_suppressed.load(Ordering::Relaxed);
+    assert!(
+        fired > 0,
+        "1ms budget over a slow program must trigger the hedge path"
+    );
+    let metrics_b = plain.gateway().metrics();
+    assert_eq!(
+        metrics_b.hedges.load(Ordering::Relaxed),
+        0,
+        "hedge-off gateway must never hedge"
+    );
+
+    hedging.shutdown();
+    plain.shutdown();
+    std::fs::remove_dir_all(&root_a).ok();
+    std::fs::remove_dir_all(&root_b).ok();
+}
+
+#[test]
+fn sync_shutdown_drains_inflight_replication() {
+    let root = scratch("drain");
+    let dirs: Vec<PathBuf> = (0..2).map(|i| root.join(format!("node-{i}"))).collect();
+    let source = Store::open(dirs[0].clone()).expect("open source store");
+    let mut published = Vec::new();
+    for i in 0..4 {
+        published.push(publish(&source, 9000 + i));
+    }
+    published.sort();
+    drop(source);
+
+    let nodes: Vec<Server> = dirs.iter().map(spawn_node).collect();
+    let peers: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+
+    // A long interval: the agent's very first round does all the work,
+    // and stop() lands while that round may still be in flight.
+    let agent = SyncAgent::spawn(
+        peers.clone(),
+        Duration::from_secs(60),
+        PeerTimeouts::default(),
+        Arc::new(FaultPlan::inert()),
+    )
+    .expect("spawn agent");
+    // Give the round a head start so stop() races real transfers.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while agent.stats().installed.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "first repair never happened");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = Arc::clone(agent.stats());
+    agent.stop(); // drain barrier: joins the round thread
+
+    // Whatever landed on node-1 must be complete, verified artifacts —
+    // never a torn file — and nothing may be left staged in tmp/.
+    let receiver = Store::open(dirs[1].clone()).expect("open receiver store");
+    let listing = receiver.digest_listing().expect("listable");
+    for entry in &listing {
+        assert!(
+            published.contains(&entry.name),
+            "unexpected artifact {} appeared",
+            entry.name
+        );
+    }
+    assert!(
+        stats.installed.load(Ordering::Relaxed) as usize >= listing.len().min(1),
+        "installed counter undercounts"
+    );
+    let tmp = dirs[1].join("tmp");
+    if tmp.exists() {
+        let staged = std::fs::read_dir(&tmp).expect("tmp readable").count();
+        assert_eq!(staged, 0, "drain left a half-published artifact in tmp/");
+    }
+
+    for node in nodes {
+        node.shutdown();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}

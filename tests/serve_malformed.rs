@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dee::serve::{FaultPlan, Server, ServerConfig};
+use dee::store::ARTIFACT_EXT;
 
 fn spawn() -> Server {
     Server::spawn(ServerConfig {
@@ -20,6 +21,19 @@ fn spawn() -> Server {
         ..ServerConfig::default()
     })
     .expect("bind on port 0")
+}
+
+fn spawn_with_store(tag: &str) -> (Server, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dee_malformed_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind on port 0");
+    (server, dir)
 }
 
 /// Sends raw bytes, half-closes the write side, and returns the parsed
@@ -47,8 +61,12 @@ fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> u16 {
 }
 
 fn post_body(addr: std::net::SocketAddr, body: &[u8]) -> u16 {
+    request(addr, "POST", "/simulate", body)
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> u16 {
     let mut raw = format!(
-        "POST /simulate HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )
     .into_bytes();
@@ -231,6 +249,110 @@ fn pathological_json_shapes_get_400() {
             String::from_utf8_lossy(body)
         );
     }
+    assert!(healthy(addr));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_numbers_get_400_not_a_panic() {
+    // Regression for the JSON number scanner: its digit-run slice is
+    // decoded fallibly now, and every broken number shape must come back
+    // as a 400 parse error.
+    let server = spawn();
+    let addr = server.addr();
+    for body in [
+        &br#"{"et":-}"#[..],
+        br#"{"et":1.2.3}"#,
+        br#"{"et":1e}"#,
+        br#"{"et":--5}"#,
+        br#"{"et":+1}"#,
+        br#"{"et":.5}"#,
+        br#"{"et":1e+-2}"#,
+    ] {
+        assert_eq!(
+            post_body(addr, body),
+            400,
+            "{:?}",
+            String::from_utf8_lossy(body)
+        );
+    }
+    assert!(healthy(addr));
+    server.shutdown();
+}
+
+#[test]
+fn hostile_artifact_names_never_touch_the_filesystem() {
+    // Regression for the replication endpoints: traversal and
+    // out-of-alphabet names are rejected up front with 400, with or
+    // without a configured store.
+    let (server, dir) = spawn_with_store("names");
+    let addr = server.addr();
+    let hostile = [
+        "..%2F..%2Fetc%2Fpasswd",
+        "..",
+        "x..y.dtrc",
+        "UPPER.dtrc",
+        "name%00.dtrc",
+        "no-extension",
+        ".hidden.dtrc",
+    ];
+    for name in hostile {
+        let path = format!("/store/artifact/{name}");
+        assert_eq!(request(addr, "GET", &path, b""), 400, "{name}");
+        assert_eq!(request(addr, "PUT", &path, b"junk"), 400, "{name}");
+    }
+    // A well-formed name that simply does not exist is 404, not an error.
+    let path = format!("/store/artifact/absent-tiny-v1-0000000000000000.{ARTIFACT_EXT}");
+    assert_eq!(request(addr, "GET", &path, b""), 404);
+    assert!(healthy(addr));
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupt_artifact_uploads_are_refused_verified() {
+    // A PUT whose bytes fail container verification must be 422 and leave
+    // nothing behind — the fail-closed install contract over the wire.
+    let (server, dir) = spawn_with_store("corrupt");
+    let addr = server.addr();
+    let name = format!("evil-tiny-v1-00000000deadbeef.{ARTIFACT_EXT}");
+    let path = format!("/store/artifact/{name}");
+    assert_eq!(
+        request(addr, "PUT", &path, b"not a DEESTOR1 container"),
+        422
+    );
+    assert_eq!(request(addr, "PUT", &path, b""), 422);
+    assert_eq!(
+        request(addr, "GET", &path, b""),
+        404,
+        "refused upload must not be published"
+    );
+    assert!(!dir.join(&name).exists());
+    assert!(healthy(addr));
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn peer_endpoints_answer_without_a_store() {
+    // Nodes without a disk tier refuse peer traffic coherently instead of
+    // panicking: 404 for state they do not have.
+    let server = spawn();
+    let addr = server.addr();
+    assert_eq!(request(addr, "GET", "/store/digest", b""), 404);
+    assert_eq!(
+        request(
+            addr,
+            "GET",
+            &format!("/store/artifact/x-tiny-v1-0000000000000000.{ARTIFACT_EXT}"),
+            b""
+        ),
+        404
+    );
+    // /node works storeless (zero artifacts) — identity is not optional.
+    assert_eq!(request(addr, "GET", "/node", b""), 200);
+    assert_eq!(request(addr, "POST", "/node", b""), 405);
+    assert_eq!(request(addr, "POST", "/store/digest", b""), 405);
     assert!(healthy(addr));
     server.shutdown();
 }
