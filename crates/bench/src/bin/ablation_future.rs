@@ -17,12 +17,13 @@
 //! Additionally compares Levo's per-row predictor options (2-bit counter
 //! vs speculative PAp, §4.3).
 //!
-//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
+//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
+    TextTable,
 };
 use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
 use dee_levo::{Levo, LevoConfig, PredictorKind};
@@ -32,8 +33,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("ablation_future"));

@@ -9,11 +9,11 @@
 //! own measured accuracy. The DEE advantage should survive every
 //! predictor, largest where prediction is worst.
 //!
-//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
+//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
 
 use dee_bench::{
-    f2, pct, pool, scale_from_args, store_from_args, workloads_from_args, BenchEntry, Suite,
-    TextTable,
+    engine_from_args, f2, pct, pool, scale_from_args, store_from_args, workloads_from_args,
+    BenchEntry, Suite, TextTable,
 };
 use dee_ilpsim::{harmonic_mean, simulate, Model, PreparedTrace, SimConfig};
 use dee_predict::{BranchPredictor, Btfn, Gshare, PapAdaptive, TwoBitCounter};
@@ -52,8 +52,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("ablation_predictor"));

@@ -2,7 +2,7 @@
 //! five benchmarks, plus the harmonic mean and per-benchmark oracle
 //! speedups.
 //!
-//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]` (default small; the
+//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]` (default small; the
 //! paper-grade run is `medium`). Writes `results/fig5_<scale>.csv`.
 //!
 //! The DEE tree shape uses the suite's measured characteristic accuracy,
@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use dee_bench::plot::{render_panels, write_svg, Panel, Series};
 use dee_bench::{
-    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
-    FIG5_RESOURCES,
+    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
+    TextTable, FIG5_RESOURCES,
 };
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
@@ -27,8 +27,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("fig5"));

@@ -19,10 +19,10 @@
 //! reproduces the program). Output is byte-identical for any `--jobs`;
 //! `results/genspace_tiny.csv` is a committed golden.
 //!
-//! Usage: `genspace [tiny|small|medium|large] [--jobs N] [--store DIR]`.
+//! Usage: `genspace [tiny|small|medium|large] [--jobs N] [--store DIR] [--engine decoded|interp]`.
 
-use dee_bench::{f2, pct, pool, scale_from_args, store_from_args, TextTable};
-use dee_gen::{generate, GenSpec};
+use dee_bench::{engine_from_args, f2, pct, pool, scale_from_args, store_from_args, TextTable};
+use dee_gen::{generate_with, GenSpec};
 use dee_ilpsim::{simulate, Model, PreparedTrace, SimConfig};
 use dee_store::{ArtifactKey, StoreSource};
 use dee_workloads::Scale;
@@ -78,6 +78,7 @@ fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
     let store = store_from_args();
+    let engine = engine_from_args();
     let scale_tag = format!("{scale:?}").to_ascii_lowercase();
 
     let points: Vec<(f64, u64)> = PREDS
@@ -99,7 +100,7 @@ fn main() {
                 let scale_tag = scale_tag.clone();
                 move || {
                     let spec = spec_at(pred, scale);
-                    let g = generate(&spec, seed)
+                    let g = generate_with(&spec, seed, engine)
                         .unwrap_or_else(|e| panic!("pred={pred} seed={seed}: {e}"));
                     // Same record-once/replay-many contract as the suite:
                     // the artifact key binds name, scale tag, listing, and

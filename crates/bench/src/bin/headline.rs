@@ -9,7 +9,7 @@
 //! * DEE-CD-MF @ 32 stays high (paper: 26×, the "Levo could be built with
 //!   only 32 branch paths" observation).
 //!
-//! Usage: `headline [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
+//! Usage: `headline [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
 //!
 //! Each benchmark is prepared once and shared across all nine statistic
 //! points via [`dee_bench::pool`]; output is byte-identical for any
@@ -18,7 +18,8 @@
 use std::sync::Arc;
 
 use dee_bench::{
-    f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
+    TextTable,
 };
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
@@ -41,8 +42,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("headline"));

@@ -11,10 +11,11 @@
 //!   that needs each outcome before the next prediction degrades, while
 //!   PAp with *speculative* history update holds its accuracy.
 //!
-//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST]`.
+//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
 
 use dee_bench::{
-    pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
+    engine_from_args, pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
+    TextTable,
 };
 use dee_isa::Program;
 use dee_predict::{
@@ -52,8 +53,9 @@ fn main() {
     let jobs = pool::jobs_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("predictor_accuracy"));

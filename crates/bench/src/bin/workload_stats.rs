@@ -2,17 +2,18 @@
 //! trace length, branch density, taken rate, mean branch-path length, and
 //! 2-bit-counter prediction accuracy (the paper's characteristic `p`).
 //!
-//! Usage: `workload_stats [tiny|small|medium|large] [--store DIR] [--workloads LIST]`
+//! Usage: `workload_stats [tiny|small|medium|large] [--store DIR] [--workloads LIST] [--engine decoded|interp]`
 //! (default: small).
 
-use dee_bench::{scale_from_args, store_from_args, workloads_from_args, Suite};
+use dee_bench::{engine_from_args, scale_from_args, store_from_args, workloads_from_args, Suite};
 use dee_predict::{measure_accuracy, TwoBitCounter};
 
 fn main() {
     let scale = scale_from_args();
     let store = store_from_args();
+    let engine = engine_from_args();
     let workloads = workloads_from_args();
-    let suite = Suite::load_selected(scale, &workloads, store.as_ref())
+    let suite = Suite::load_selected_with(scale, &workloads, store.as_ref(), engine)
         .unwrap_or_else(|e| panic!("--workloads: {e}"));
     if let Some(store) = &store {
         eprintln!("{}", store.stats().timing_line("workload_stats"));

@@ -39,7 +39,7 @@ use std::path::Path;
 use dee_ilpsim::{harmonic_mean, PreparedTrace};
 use dee_predict::{measure_accuracy, TwoBitCounter};
 use dee_store::{ArtifactKey, Store, StoreSource};
-use dee_vm::Trace;
+use dee_vm::{Engine, Trace};
 use dee_workloads::{all_workloads, Scale, Workload, WorkloadRegistry, PAPER_WORKLOADS};
 
 /// A validated workload with its captured trace.
@@ -94,7 +94,7 @@ impl Suite {
     /// errors, not experiment outcomes.
     #[must_use]
     pub fn load_with_store(scale: Scale, store: Option<&Store>) -> Self {
-        Suite::from_workloads(all_workloads(scale), scale, store)
+        Suite::from_workloads(all_workloads(scale), scale, store, Engine::default())
     }
 
     /// Builds a suite over a caller-chosen workload set, resolved through
@@ -114,19 +114,44 @@ impl Suite {
         names: &[impl AsRef<str>],
         store: Option<&Store>,
     ) -> Result<Self, String> {
+        Suite::load_selected_with(scale, names, store, Engine::default())
+    }
+
+    /// [`Suite::load_selected`] with an explicit trace-capture engine
+    /// (`--engine decoded|interp`). Both engines produce byte-identical
+    /// suites; the choice only changes capture speed.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first name the registry does not know.
+    ///
+    /// # Panics
+    ///
+    /// As [`Suite::load_with_store`], on validation or lint failure.
+    pub fn load_selected_with(
+        scale: Scale,
+        names: &[impl AsRef<str>],
+        store: Option<&Store>,
+        engine: Engine,
+    ) -> Result<Self, String> {
         let workloads = WorkloadRegistry::builtin().build_many(names, scale)?;
-        Ok(Suite::from_workloads(workloads, scale, store))
+        Ok(Suite::from_workloads(workloads, scale, store, engine))
     }
 
     /// The shared trace-capture path: every workload — built-in or
     /// generated — goes through the same lint gate, store replay,
-    /// quarantine, and validation.
+    /// quarantine, and validation, traced by the selected engine.
     ///
     /// # Panics
     ///
     /// As [`Suite::load_with_store`].
     #[must_use]
-    pub fn from_workloads(workloads: Vec<Workload>, scale: Scale, store: Option<&Store>) -> Self {
+    pub fn from_workloads(
+        workloads: Vec<Workload>,
+        scale: Scale,
+        store: Option<&Store>,
+        engine: Engine,
+    ) -> Self {
         let scale_tag = format!("{scale:?}").to_ascii_lowercase();
         let entries = workloads
             .into_iter()
@@ -144,7 +169,7 @@ impl Suite {
                 let census = dee_analyze::BranchCensus::build(&workload.program);
                 let trace = match store {
                     None => workload
-                        .validate()
+                        .validate_with(engine)
                         .unwrap_or_else(|e| panic!("workload validation failed: {e}")),
                     Some(store) => {
                         let key = ArtifactKey::new(
@@ -154,7 +179,7 @@ impl Suite {
                             &workload.initial_memory,
                         );
                         let (trace, source) = store
-                            .get_or_record(&key, || workload.validate())
+                            .get_or_record(&key, || workload.validate_with(engine))
                             .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
                         // A replayed artifact must both reproduce the
                         // reference output and survive the static/dynamic
@@ -168,7 +193,7 @@ impl Suite {
                         if stale {
                             store.quarantine_key(&key);
                             let trace = workload
-                                .validate()
+                                .validate_with(engine)
                                 .unwrap_or_else(|e| panic!("workload validation failed: {e}"));
                             let _ = store.put(&key, &trace);
                             trace
@@ -199,8 +224,9 @@ impl Suite {
 
 /// Parses the scale argument shared by the experiment binaries
 /// (`tiny|small|medium|large`, default `small`). Flags and their values
-/// (`--jobs N`, `--store DIR`, `--workloads LIST`) are skipped, so the
-/// scale may appear anywhere: `fig5 --store traces tiny --jobs 4`.
+/// (`--jobs N`, `--store DIR`, `--workloads LIST`, `--engine E`) are
+/// skipped, so the scale may appear anywhere:
+/// `fig5 --store traces tiny --jobs 4`.
 #[must_use]
 pub fn scale_from_args() -> Scale {
     scale_from(std::env::args().skip(1))
@@ -212,7 +238,7 @@ fn scale_from<I: Iterator<Item = String>>(args: I) -> Scale {
         match arg.as_str() {
             // Value-taking flags: skip the value so a directory named
             // `tiny` never reads as a scale.
-            "--jobs" | "--store" | "--workloads" => {
+            "--jobs" | "--store" | "--workloads" | "--engine" => {
                 args.next();
             }
             "tiny" => return Scale::Tiny,
@@ -251,6 +277,35 @@ fn store_from<I: Iterator<Item = String>>(args: I) -> Option<Store> {
         return Some(Store::open(&dir).unwrap_or_else(|e| panic!("--store {dir}: {e}")));
     }
     None
+}
+
+/// Parses the `--engine decoded|interp` (or `--engine=E`) flag shared by
+/// the experiment binaries: which trace-capture engine the suite uses.
+/// Defaults to the pre-decoded fast path; `interp` selects the reference
+/// interpreter. Both produce byte-identical suites.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or names an unknown engine.
+#[must_use]
+pub fn engine_from_args() -> Engine {
+    engine_from(std::env::args().skip(1))
+}
+
+fn engine_from<I: Iterator<Item = String>>(args: I) -> Engine {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--engine" {
+            args.next()
+        } else if let Some(rest) = arg.strip_prefix("--engine=") {
+            Some(rest.to_string())
+        } else {
+            continue;
+        };
+        let value = value.unwrap_or_else(|| panic!("--engine needs `decoded` or `interp`"));
+        return value.parse().unwrap_or_else(|e| panic!("--engine: {e}"));
+    }
+    Engine::default()
 }
 
 /// Parses the `--workloads a,b,c` (or `--workloads=a,b,c`) flag shared by
@@ -442,6 +497,37 @@ mod tests {
         assert_eq!(scale_from(args(&["--store", "tiny"])), Scale::Small);
         assert_eq!(scale_from(args(&["--store=tiny"])), Scale::Small);
         assert_eq!(scale_from(args(&[])), Scale::Small);
+        assert_eq!(
+            scale_from(args(&["--engine", "interp", "medium"])),
+            Scale::Medium
+        );
+    }
+
+    #[test]
+    fn engine_parsing_defaults_to_decoded() {
+        assert_eq!(engine_from(args(&["tiny"])), Engine::Decoded);
+        assert_eq!(engine_from(args(&["--engine", "interp"])), Engine::Interp);
+        assert_eq!(engine_from(args(&["--engine=decoded"])), Engine::Decoded);
+        assert_eq!(
+            engine_from(args(&["tiny", "--jobs", "4", "--engine", "interp"])),
+            Engine::Interp
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--engine")]
+    fn engine_parsing_rejects_unknown_engines() {
+        engine_from(args(&["--engine", "warp"]));
+    }
+
+    #[test]
+    fn suites_identical_across_engines() {
+        let a = Suite::load_selected_with(Scale::Tiny, &["xlisp"], None, Engine::Interp)
+            .expect("known");
+        let b = Suite::load_selected_with(Scale::Tiny, &["xlisp"], None, Engine::Decoded)
+            .expect("known");
+        assert_eq!(a.entries[0].trace.records(), b.entries[0].trace.records());
+        assert_eq!(a.entries[0].trace.output(), b.entries[0].trace.output());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod spec;
 
 pub use spec::{parse_header, render_header, GenSpec, SpecError, HEADER_TAG};
 
-use dee_vm::{trace_program, Trace};
+use dee_vm::{trace_program_with, Engine, Trace};
 use dee_workloads::{Workload, WorkloadRegistry};
 
 use std::fmt;
@@ -165,6 +165,16 @@ pub fn workload_name(spec: &GenSpec, seed: u64) -> String {
 /// [`GenError::Spec`] for out-of-range knobs; [`GenError::Runtime`] if
 /// the emitted program faults or overruns its budget (a generator bug).
 pub fn generate(spec: &GenSpec, seed: u64) -> Result<Generated, GenError> {
+    generate_with(spec, seed, Engine::default())
+}
+
+/// [`generate`] with an explicit trace-capture engine. Both engines
+/// produce byte-identical traces, so this only changes generation speed.
+///
+/// # Errors
+///
+/// Same contract as [`generate`].
+pub fn generate_with(spec: &GenSpec, seed: u64, engine: Engine) -> Result<Generated, GenError> {
     spec.validate()?;
     let probe = emit::emit(spec, seed, &[]);
     let emitted = emit::emit(spec, seed, &probe.tables);
@@ -180,7 +190,7 @@ pub fn generate(spec: &GenSpec, seed: u64) -> Result<Generated, GenError> {
     // program once (it executes far less), plus setup slack.
     let step_limit = 2 * (emitted.program.len() as u64 + 8) * (emitted.inner_iterations + 4) + 1024;
 
-    let trace = trace_program(&emitted.program, &initial_memory, step_limit)
+    let trace = trace_program_with(engine, &emitted.program, &initial_memory, step_limit)
         .map_err(|e| GenError::Runtime(format!("{} (seed {seed}): {e}", spec.canonical())))?;
     let workload = Workload {
         name: workload_name(spec, seed),

@@ -9,10 +9,12 @@
 use std::collections::BTreeMap;
 
 use dee_core::{ee_depth, StaticTree, TreeParams};
-use dee_vm::TraceRecord;
 
 use crate::model::{LatencyModel, Model, SimConfig};
-use crate::prepare::{InstrClass, PreparedTrace};
+use crate::prepare::{
+    InstrClass, PreparedTrace, META_CLASS_SHIFT, META_DST_SHIFT, META_HAS_READ, META_HAS_WRITE,
+    META_IS_COND, META_MISPREDICT, META_REG_MASK, META_REG_SLOTS, META_SRC2_SHIFT,
+};
 use crate::stats::SimOutcome;
 
 /// Maximum tree level tracked in the resolve-location histogram.
@@ -63,24 +65,46 @@ fn latency_of(latency: &LatencyModel, class: InstrClass) -> u32 {
     }
 }
 
-/// Latency of dynamic record `i`: the attached memory-system latency when
-/// present (for memory records), else the configured class latency.
-fn record_latency(prepared: &PreparedTrace, latency: &LatencyModel, i: usize) -> u32 {
-    let class = prepared.class_of[prepared.trace.records()[i].pc as usize];
-    if class == InstrClass::Mem {
-        if let Some(mem) = &prepared.mem_latency {
+/// Per-class latencies as a table indexed by the meta class field, so the
+/// hot loops resolve a record's latency with one load.
+fn latency_table(latency: &LatencyModel) -> [u32; 4] {
+    [latency.alu, latency.mul_div, latency.mem, latency.branch]
+}
+
+/// Latency of record `i` with packed meta `m`: the attached memory-system
+/// latency when present (for memory records), else the class latency.
+#[inline]
+fn meta_latency(m: u32, table: &[u32; 4], mem_override: Option<&[u32]>, i: usize) -> u32 {
+    if m & (META_HAS_READ | META_HAS_WRITE) != 0 {
+        if let Some(mem) = mem_override {
             return mem[i].max(1);
         }
     }
-    latency_of(latency, class)
+    table[(m >> META_CLASS_SHIFT) as usize & 3]
 }
 
 /// Ideal sequential machine time: one instruction at a time, each taking
-/// its full latency.
+/// its full latency. O(1) from the prepared per-class counts; only an
+/// attached memory-latency vector forces a per-record pass.
 fn sequential_cycles(prepared: &PreparedTrace, latency: &LatencyModel) -> u64 {
-    (0..prepared.trace.len())
-        .map(|i| u64::from(record_latency(prepared, latency, i)))
-        .sum()
+    if let Some(mem) = prepared.mem_latency.as_deref() {
+        let table = latency_table(latency);
+        return prepared
+            .meta
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| u64::from(meta_latency(m, &table, Some(mem), i)))
+            .sum();
+    }
+    [
+        InstrClass::Alu,
+        InstrClass::MulDiv,
+        InstrClass::Mem,
+        InstrClass::Branch,
+    ]
+    .into_iter()
+    .map(|class| prepared.class_counts[class as usize] * u64::from(latency_of(latency, class)))
+    .sum()
 }
 
 /// Greedy in-order issue under an explicit PE limit: the earliest cycle at
@@ -131,19 +155,20 @@ impl PeSchedule {
 /// result for infinitely many bypassed jumps).
 #[must_use]
 pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
-    let records = prepared.trace.records();
-    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
-    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    let n = prepared.trace.len();
+    let mut reg_time = [0u32; META_REG_SLOTS];
+    let mut mem_time = vec![0u32; prepared.mem_words];
+    let mut reads = prepared.read_addrs.iter();
+    let mut writes = prepared.write_addrs.iter();
     // Resolve times of all conditional branches seen so far.
     let mut branch_resolves: Vec<u32> = Vec::new();
     let mut total = 0u32;
-    for rec in records {
-        let mut ready = 0u32;
-        for src in rec.srcs.into_iter().flatten() {
-            ready = ready.max(reg_time[src.index()]);
-        }
-        if let Some(addr) = rec.mem_read {
-            ready = ready.max(mem_time[addr as usize]);
+    for &m in &prepared.meta {
+        let mut ready = reg_time[(m & META_REG_MASK) as usize]
+            .max(reg_time[((m >> META_SRC2_SHIFT) & META_REG_MASK) as usize]);
+        if m & META_HAS_READ != 0 {
+            let addr = *reads.next().expect("read stream matches meta") as usize;
+            ready = ready.max(mem_time[addr]);
         }
         // All but the last `bypassed` earlier branches must have resolved.
         let k = branch_resolves.len();
@@ -151,13 +176,12 @@ pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
             ready = ready.max(branch_resolves[k - 1 - bypassed as usize]);
         }
         let exec = ready + 1;
-        if let Some(dst) = rec.dst {
-            reg_time[dst.index()] = exec;
+        reg_time[((m >> META_DST_SHIFT) & META_REG_MASK) as usize] = exec;
+        if m & META_HAS_WRITE != 0 {
+            let addr = *writes.next().expect("write stream matches meta") as usize;
+            mem_time[addr] = exec;
         }
-        if let Some(addr) = rec.mem_write {
-            mem_time[addr as usize] = exec;
-        }
-        if rec.is_cond_branch() {
+        if m & META_IS_COND != 0 {
             branch_resolves.push(exec);
         }
         total = total.max(exec);
@@ -165,66 +189,59 @@ pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
     SimOutcome::new(
         Model::Oracle,
         bypassed,
-        records.len() as u64,
-        records.len() as u64,
+        n as u64,
+        n as u64,
         u64::from(total),
-        prepared.trace.num_cond_branches() as u64,
+        prepared.num_branches(),
         prepared.num_mispredicts(),
         vec![0; LEVEL_HISTOGRAM_CAP],
     )
 }
 
-fn max_mem_addr(records: &[TraceRecord]) -> usize {
-    records
-        .iter()
-        .flat_map(|r| [r.mem_read, r.mem_write])
-        .flatten()
-        .max()
-        .map_or(0, |a| a as usize + 1)
-}
-
 /// Data-flow limit: unit latency, register renaming, memory flow deps,
 /// branches impose nothing (EE with unlimited resources).
 fn simulate_oracle(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
-    let records = prepared.trace.records();
+    let n = prepared.trace.len();
     // Availability times: the last cycle the producer occupies; consumers
     // issue the cycle after.
-    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
-    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    let mut reg_time = [0u32; META_REG_SLOTS];
+    let mut mem_time = vec![0u32; prepared.mem_words];
+    let table = latency_table(&config.latency);
+    let mem_override = prepared.mem_latency.as_deref();
+    let mut reads = prepared.read_addrs.iter();
+    let mut writes = prepared.write_addrs.iter();
     let mut total = 0u32;
-    for (i, rec) in records.iter().enumerate() {
-        let lat = record_latency(prepared, &config.latency, i);
-        let mut ready = 0u32;
-        for src in rec.srcs.into_iter().flatten() {
-            ready = ready.max(reg_time[src.index()]);
-        }
-        if let Some(addr) = rec.mem_read {
-            ready = ready.max(mem_time[addr as usize]);
+    for (i, &m) in prepared.meta.iter().enumerate() {
+        let lat = meta_latency(m, &table, mem_override, i);
+        let mut ready = reg_time[(m & META_REG_MASK) as usize]
+            .max(reg_time[((m >> META_SRC2_SHIFT) & META_REG_MASK) as usize]);
+        if m & META_HAS_READ != 0 {
+            let addr = *reads.next().expect("read stream matches meta") as usize;
+            ready = ready.max(mem_time[addr]);
         }
         let exec = ready + 1;
         let done = exec + lat - 1;
-        if let Some(dst) = rec.dst {
-            reg_time[dst.index()] = done;
-        }
-        if let Some(addr) = rec.mem_write {
-            mem_time[addr as usize] = done;
+        reg_time[((m >> META_DST_SHIFT) & META_REG_MASK) as usize] = done;
+        if m & META_HAS_WRITE != 0 {
+            let addr = *writes.next().expect("write stream matches meta") as usize;
+            mem_time[addr] = done;
         }
         total = total.max(done);
     }
     SimOutcome::new(
         Model::Oracle,
         0,
-        records.len() as u64,
+        n as u64,
         sequential_cycles(prepared, &config.latency),
         u64::from(total),
-        prepared.trace.num_cond_branches() as u64,
+        prepared.num_branches(),
         prepared.num_mispredicts(),
         vec![0; LEVEL_HISTOGRAM_CAP],
     )
 }
 
 fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
-    let records = prepared.trace.records();
+    let n = prepared.trace.len();
     let model = config.model;
 
     // Window depth in real branch paths, and the DEE coverage shape
@@ -248,8 +265,16 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
     let penalties = model != Model::Ee; // EE covers both sides of every branch
     let mut pe = config.max_pe.map(PeSchedule::new);
 
-    let mut reg_time = [0u32; dee_isa::Reg::COUNT];
-    let mut mem_time = vec![0u32; max_mem_addr(records)];
+    let mut reg_time = [0u32; META_REG_SLOTS];
+    let mut mem_time = vec![0u32; prepared.mem_words];
+    let table = latency_table(&config.latency);
+    let mem_override = prepared.mem_latency.as_deref();
+    let mut reads = prepared.read_addrs.iter();
+    let mut writes = prepared.write_addrs.iter();
+    // Branch-path index of the current record: advances past each
+    // conditional branch, reproducing the prepare-time numbering without
+    // streaming a separate per-record column.
+    let mut path = 0u32;
     let mut retire: Vec<u32> = Vec::with_capacity(prepared.num_paths as usize);
     let mut barriers: Vec<Barrier> = Vec::new();
     let mut global_floor = 0u32;
@@ -263,9 +288,7 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
     let mut recent_branch_exec: std::collections::VecDeque<u32> =
         std::collections::VecDeque::with_capacity(window as usize + 1);
 
-    for (i, rec) in records.iter().enumerate() {
-        let path = prepared.path_of[i];
-
+    for (i, &m) in prepared.meta.iter().enumerate() {
         // Window entry: the tree covers `window` consecutive real paths.
         let entry = if path < window {
             1
@@ -274,14 +297,13 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
         };
 
         // Minimal data dependences.
-        let mut ready = 0u32;
-        for src in rec.srcs.into_iter().flatten() {
-            ready = ready.max(reg_time[src.index()]);
+        let mut ready = reg_time[(m & META_REG_MASK) as usize]
+            .max(reg_time[((m >> META_SRC2_SHIFT) & META_REG_MASK) as usize]);
+        if m & META_HAS_READ != 0 {
+            let addr = *reads.next().expect("read stream matches meta") as usize;
+            ready = ready.max(mem_time[addr]);
         }
-        if let Some(addr) = rec.mem_read {
-            ready = ready.max(mem_time[addr as usize]);
-        }
-        let lat = record_latency(prepared, &config.latency, i);
+        let lat = meta_latency(m, &table, mem_override, i);
         let mut exec = (ready + 1).max(entry).max(global_floor);
 
         // Active misprediction barriers.
@@ -308,7 +330,7 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
             }
         }
 
-        let is_branch = rec.is_cond_branch();
+        let is_branch = m & META_IS_COND != 0;
         if is_branch && serialized {
             exec = exec.max(prev_branch_exec + 1);
         }
@@ -325,11 +347,10 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
         // The instruction occupies its unit through `done`; consumers and
         // retirement see the completion time.
         let done = exec + lat - 1;
-        if let Some(dst) = rec.dst {
-            reg_time[dst.index()] = done;
-        }
-        if let Some(addr) = rec.mem_write {
-            mem_time[addr as usize] = done;
+        reg_time[((m >> META_DST_SHIFT) & META_REG_MASK) as usize] = done;
+        if m & META_HAS_WRITE != 0 {
+            let addr = *writes.next().expect("write stream matches meta") as usize;
+            mem_time[addr] = done;
         }
         path_max_exec = path_max_exec.max(done);
         total = total.max(done);
@@ -346,7 +367,7 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
                 recent_branch_exec.pop_front();
             }
 
-            if penalties && prepared.mispredict[i] {
+            if penalties && m & META_MISPREDICT != 0 {
                 // Tree level at resolution: one plus the number of older
                 // branches still unresolved when this one resolves — "as
                 // branches resolve at the top of the tree, the tree moves
@@ -367,7 +388,7 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
                 });
 
                 let end_pos = if model.is_cd() {
-                    cd_region_end(prepared, config, i, rec)
+                    cd_region_end(prepared, config, i)
                 } else {
                     u32::MAX
                 };
@@ -378,16 +399,17 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
                     cov_paths: cov,
                 });
             }
+            path += 1;
         }
     }
 
     SimOutcome::new(
         model,
         config.et,
-        records.len() as u64,
+        n as u64,
         sequential_cycles(prepared, &config.latency),
         u64::from(total),
-        prepared.trace.num_cond_branches() as u64,
+        prepared.num_branches(),
         prepared.num_mispredicts(),
         histogram,
     )
@@ -402,7 +424,9 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
 /// restrictive (`u32::MAX`). Otherwise the penalty ends at the first dynamic
 /// occurrence of the branch's reconvergence point at the same call depth
 /// (scan capped at `max_cd_scan`).
-fn cd_region_end(prepared: &PreparedTrace, config: &SimConfig, i: usize, rec: &TraceRecord) -> u32 {
+fn cd_region_end(prepared: &PreparedTrace, config: &SimConfig, i: usize) -> u32 {
+    let records = prepared.trace.records();
+    let rec = &records[i];
     let outcome = rec.branch.expect("mispredicted record is a branch");
     // Mispredicted: the predicted direction is the opposite of the actual.
     let predicted_taken = !outcome.taken;
@@ -417,7 +441,6 @@ fn cd_region_end(prepared: &PreparedTrace, config: &SimConfig, i: usize, rec: &T
     let Some(join_pc) = prepared.reconv[rec.pc as usize] else {
         return u32::MAX; // reconverges only at program exit
     };
-    let records = prepared.trace.records();
     let limit = records.len().min(i + 1 + config.max_cd_scan as usize);
     for (j, other) in records.iter().enumerate().take(limit).skip(i + 1) {
         if other.pc == join_pc && other.depth == rec.depth {

@@ -2,7 +2,7 @@ use std::borrow::Cow;
 
 use dee_isa::cfg::Cfg;
 use dee_isa::{AluOp, Instr, Program};
-use dee_predict::{mispredict_flags, BranchPredictor, TwoBitCounter};
+use dee_predict::{BranchPredictor, TwoBitCounter};
 use dee_vm::Trace;
 
 /// A trace annotated with everything the models need: per-record
@@ -19,13 +19,8 @@ use dee_vm::Trace;
 #[derive(Clone, Debug)]
 pub struct PreparedTrace<'a> {
     pub(crate) trace: Cow<'a, Trace>,
-    /// Per record: true iff it is a mispredicted conditional branch.
-    pub(crate) mispredict: Vec<bool>,
     /// Per static pc: the branch's reconvergence point, if any.
     pub(crate) reconv: Vec<Option<u32>>,
-    /// Per record: its branch-path index (paths end at conditional
-    /// branches).
-    pub(crate) path_of: Vec<u32>,
     /// Number of branch paths.
     pub(crate) num_paths: u32,
     /// Per static pc: starting down the branch's *taken* side, can control
@@ -36,11 +31,32 @@ pub struct PreparedTrace<'a> {
     pub(crate) loops_back_taken: Vec<bool>,
     /// Same, for the fall-through side.
     pub(crate) loops_back_fall: Vec<bool>,
-    /// Per static pc: the latency class of the instruction.
-    pub(crate) class_of: Vec<InstrClass>,
+    /// Per dynamic record: every field the hot simulate loops touch, fused
+    /// into one u32 (see the `META_*` constants): source and destination
+    /// register slots, memory-access and conditional-branch flags, the
+    /// latency class, and the mispredict flag. One 4-byte load per record
+    /// per cell instead of re-matching the ~40-byte `TraceRecord`.
+    pub(crate) meta: Vec<u32>,
+    /// Effective word addresses of loads, in record order (records with
+    /// the `META_HAS_READ` bit consume one entry each).
+    pub(crate) read_addrs: Vec<u32>,
+    /// Effective word addresses of stores, in record order (records with
+    /// the `META_HAS_WRITE` bit consume one entry each).
+    pub(crate) write_addrs: Vec<u32>,
+    /// One past the highest memory word the trace touches, precomputed so
+    /// every simulate call sizes its memory-time table without an extra
+    /// full pass over the records.
+    pub(crate) mem_words: usize,
+    /// Dynamic record count per latency class (indexed by `InstrClass as
+    /// usize`), giving O(1) sequential-machine cycles per latency model.
+    pub(crate) class_counts: [u64; 4],
     /// Optional per-record memory-access latencies (e.g. from a cache
     /// model); overrides the configured `mem` latency per access.
     pub(crate) mem_latency: Option<Vec<u32>>,
+    /// Cached count of dynamic conditional branches.
+    num_branches: u64,
+    /// Cached count of mispredicted dynamic branches.
+    num_mispredicts: u64,
     /// Measured accuracy of the predictor used for the flags.
     accuracy: f64,
 }
@@ -61,7 +77,83 @@ impl<'a> PreparedTrace<'a> {
         trace: &'a Trace,
         predictor: &mut dyn BranchPredictor,
     ) -> Self {
-        let mispredict = mispredict_flags(predictor, trace);
+        // The per-static-pc latency classes, resolved up front so the
+        // fused pass below can pack them per dynamic record.
+        let class_of: Vec<InstrClass> = program
+            .instrs()
+            .iter()
+            .map(|instr| match instr {
+                Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
+                    AluOp::Mul | AluOp::Div | AluOp::Rem => InstrClass::MulDiv,
+                    _ => InstrClass::Alu,
+                },
+                Instr::Lw { .. } | Instr::Sw { .. } => InstrClass::Mem,
+                Instr::Branch { .. } | Instr::Jr { .. } => InstrClass::Branch,
+                _ => InstrClass::Alu,
+            })
+            .collect();
+
+        // One linear pass fuses the record array into the packed `meta`
+        // column plus the load/store address streams, and extracts the
+        // conditional-branch stream (record index, static pc, outcome)
+        // the predictor replays. Compared to replaying over the full
+        // record array, the predictor update loop touches memory
+        // linearly, and the accuracy count falls out of the same stream
+        // instead of a second full pass.
+        let records = trace.records();
+        let n = records.len();
+        let mut meta = Vec::with_capacity(n);
+        let mut read_addrs: Vec<u32> = Vec::new();
+        let mut write_addrs: Vec<u32> = Vec::new();
+        let mut mem_words = 0usize;
+        let mut class_counts = [0u64; 4];
+        let mut branch_idx: Vec<u32> = Vec::new();
+        let mut branch_pc: Vec<u32> = Vec::new();
+        let mut branch_taken: Vec<bool> = Vec::new();
+        for record in records {
+            let class = class_of[record.pc as usize];
+            class_counts[class as usize] += 1;
+            let mut m = record.srcs[0].map_or(META_READ_SINK, |r| r.index() as u32)
+                | record.srcs[1].map_or(META_READ_SINK, |r| r.index() as u32) << META_SRC2_SHIFT
+                | record.dst.map_or(META_WRITE_SINK, |r| r.index() as u32) << META_DST_SHIFT
+                | (class as u32) << META_CLASS_SHIFT;
+            if let Some(addr) = record.mem_read {
+                m |= META_HAS_READ;
+                read_addrs.push(addr);
+                mem_words = mem_words.max(addr as usize + 1);
+            }
+            if let Some(addr) = record.mem_write {
+                m |= META_HAS_WRITE;
+                write_addrs.push(addr);
+                mem_words = mem_words.max(addr as usize + 1);
+            }
+            if let Some(outcome) = record.branch {
+                m |= META_IS_COND;
+                branch_idx.push(meta.len() as u32);
+                branch_pc.push(record.pc);
+                branch_taken.push(outcome.taken);
+            }
+            meta.push(m);
+        }
+        let mut wrong = 0u64;
+        for ((&i, &pc), &taken) in branch_idx.iter().zip(&branch_pc).zip(&branch_taken) {
+            if predictor.predict(pc) != taken {
+                meta[i as usize] |= META_MISPREDICT;
+                wrong += 1;
+            }
+            predictor.resolve(pc, taken);
+        }
+        let num_branches = branch_idx.len() as u64;
+        let accuracy = if num_branches == 0 {
+            1.0
+        } else {
+            1.0 - wrong as f64 / num_branches as f64
+        };
+        let num_paths = match records.last() {
+            None => 0,
+            Some(last) if last.is_cond_branch() => num_branches as u32,
+            Some(_) => num_branches as u32 + 1,
+        };
 
         let cfg = Cfg::new(program);
         let postdoms = cfg.postdominators();
@@ -79,62 +171,20 @@ impl<'a> PreparedTrace<'a> {
             loops_back_fall[pc as usize] = reaches_without(&cfg, fall, pc, stop);
         }
 
-        let mut path_of = Vec::with_capacity(trace.len());
-        let mut path = 0u32;
-        for record in trace.records() {
-            path_of.push(path);
-            if record.is_cond_branch() {
-                path += 1;
-            }
-        }
-        // A trailing partial path (records after the last branch) is
-        // already numbered `path`; count it if present.
-        let num_paths = match path_of.last() {
-            Some(&last) => last + 1,
-            None => 0,
-        };
-
-        let branches = mispredict
-            .iter()
-            .zip(trace.records())
-            .filter(|(_, r)| r.is_cond_branch());
-        let (mut total, mut wrong) = (0u64, 0u64);
-        for (&miss, _) in branches {
-            total += 1;
-            if miss {
-                wrong += 1;
-            }
-        }
-        let accuracy = if total == 0 {
-            1.0
-        } else {
-            1.0 - wrong as f64 / total as f64
-        };
-
-        let class_of = program
-            .instrs()
-            .iter()
-            .map(|instr| match instr {
-                Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
-                    AluOp::Mul | AluOp::Div | AluOp::Rem => InstrClass::MulDiv,
-                    _ => InstrClass::Alu,
-                },
-                Instr::Lw { .. } | Instr::Sw { .. } => InstrClass::Mem,
-                Instr::Branch { .. } | Instr::Jr { .. } => InstrClass::Branch,
-                _ => InstrClass::Alu,
-            })
-            .collect();
-
         PreparedTrace {
             trace: Cow::Borrowed(trace),
-            mispredict,
             reconv,
-            path_of,
             num_paths,
             loops_back_taken,
             loops_back_fall,
-            class_of,
+            meta,
+            read_addrs,
+            write_addrs,
+            mem_words,
+            class_counts,
             mem_latency: None,
+            num_branches,
+            num_mispredicts: wrong,
             accuracy,
         }
     }
@@ -193,14 +243,18 @@ impl<'a> PreparedTrace<'a> {
     pub fn into_owned(self) -> PreparedTrace<'static> {
         PreparedTrace {
             trace: Cow::Owned(self.trace.into_owned()),
-            mispredict: self.mispredict,
             reconv: self.reconv,
-            path_of: self.path_of,
             num_paths: self.num_paths,
             loops_back_taken: self.loops_back_taken,
             loops_back_fall: self.loops_back_fall,
-            class_of: self.class_of,
+            meta: self.meta,
+            read_addrs: self.read_addrs,
+            write_addrs: self.write_addrs,
+            mem_words: self.mem_words,
+            class_counts: self.class_counts,
             mem_latency: self.mem_latency,
+            num_branches: self.num_branches,
+            num_mispredicts: self.num_mispredicts,
             accuracy: self.accuracy,
         }
     }
@@ -218,12 +272,43 @@ impl<'a> PreparedTrace<'a> {
         self.num_paths
     }
 
+    /// Number of dynamic conditional branches in the trace.
+    #[must_use]
+    pub fn num_branches(&self) -> u64 {
+        self.num_branches
+    }
+
     /// Number of mispredicted dynamic branches.
     #[must_use]
     pub fn num_mispredicts(&self) -> u64 {
-        self.mispredict.iter().filter(|&&m| m).count() as u64
+        self.num_mispredicts
     }
 }
+
+/// Bit layout of the packed per-record `meta` word.
+///
+/// Register fields hold 6-bit *slots* into a [`META_REG_SLOTS`]-entry
+/// availability table: real registers occupy slots `0..Reg::COUNT`;
+/// absent sources read the always-zero slot [`META_READ_SINK`] and an
+/// absent destination writes the never-read slot [`META_WRITE_SINK`], so
+/// the simulate loops have no per-operand branches at all.
+pub(crate) const META_REG_MASK: u32 = 0x3F;
+pub(crate) const META_SRC2_SHIFT: u32 = 6;
+pub(crate) const META_DST_SHIFT: u32 = 12;
+pub(crate) const META_HAS_READ: u32 = 1 << 18;
+pub(crate) const META_HAS_WRITE: u32 = 1 << 19;
+pub(crate) const META_IS_COND: u32 = 1 << 20;
+pub(crate) const META_MISPREDICT: u32 = 1 << 21;
+pub(crate) const META_CLASS_SHIFT: u32 = 22;
+
+/// Size of the register availability tables in the simulate loops.
+pub(crate) const META_REG_SLOTS: usize = 64;
+
+/// Slot absent sources read: nothing ever writes it, so it stays zero.
+pub(crate) const META_READ_SINK: u32 = 63;
+
+/// Slot absent destinations write: nothing ever reads it.
+pub(crate) const META_WRITE_SINK: u32 = 62;
 
 /// Latency class of a static instruction (see
 /// [`LatencyModel`](crate::LatencyModel)).
@@ -289,9 +374,64 @@ mod tests {
     fn path_indices_advance_at_branches() {
         let (p, t) = countdown(3);
         let prepared = PreparedTrace::new(&p, &t);
-        // records: li, addi, bgt, addi, bgt, addi, bgt, halt
-        assert_eq!(prepared.path_of, vec![0, 0, 0, 1, 1, 2, 2, 3]);
+        // records: li, addi, bgt, addi, bgt, addi, bgt, halt — the
+        // trailing halt opens a fourth (partial) path.
         assert_eq!(prepared.num_paths(), 4);
+        let cond_flags: Vec<bool> = prepared
+            .meta
+            .iter()
+            .map(|&m| m & META_IS_COND != 0)
+            .collect();
+        assert_eq!(
+            cond_flags,
+            vec![false, false, true, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn num_paths_counts_trailing_branch_exactly() {
+        // A trace that *ends* on the conditional branch: no trailing
+        // partial path beyond it.
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, 1);
+        asm.beq_label(r1, Reg::ZERO, "skip");
+        asm.label("skip");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        // records: li, beq, halt — halt trails the branch, so 2 paths.
+        assert_eq!(prepared.num_paths(), 2);
+    }
+
+    #[test]
+    fn meta_packs_operands_and_sinks() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 7); // dst r1, no srcs
+        asm.sw(r1, Reg::ZERO, 3); // src r1, mem write, no dst
+        asm.lw(r2, Reg::ZERO, 3); // mem read, dst r2
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[0, 0, 0, 0], 100).unwrap();
+        let prepared = PreparedTrace::new(&p, &t);
+        let m0 = prepared.meta[0];
+        assert_eq!(m0 & META_REG_MASK, META_READ_SINK, "li reads nothing");
+        assert_eq!((m0 >> META_DST_SHIFT) & META_REG_MASK, 1);
+        let m1 = prepared.meta[1];
+        assert_eq!(m1 & META_REG_MASK, 1, "sw reads r1");
+        assert_eq!(
+            (m1 >> META_DST_SHIFT) & META_REG_MASK,
+            META_WRITE_SINK,
+            "sw writes no register"
+        );
+        assert_ne!(m1 & META_HAS_WRITE, 0);
+        let m2 = prepared.meta[2];
+        assert_ne!(m2 & META_HAS_READ, 0);
+        assert_eq!(prepared.read_addrs, vec![3]);
+        assert_eq!(prepared.write_addrs, vec![3]);
+        assert_eq!(prepared.mem_words, 4);
     }
 
     #[test]

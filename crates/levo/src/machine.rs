@@ -3,7 +3,7 @@ use std::fmt;
 
 use dee_isa::{Instr, Program, Reg};
 use dee_predict::{BranchPredictor, PapAdaptive, TwoBitCounter};
-use dee_vm::DEFAULT_MEM_WORDS;
+use dee_vm::{DecodedProgram, DEFAULT_MEM_WORDS};
 
 use crate::config::LevoConfig;
 
@@ -12,6 +12,12 @@ use crate::config::LevoConfig;
 struct Instance {
     pc: u32,
     instr: Instr,
+    /// Pre-decoded `instr.def()`, filled at dispatch so the per-cycle ROB
+    /// operand scans compare a cached field instead of re-matching the
+    /// instruction for every older instance.
+    def: Option<Reg>,
+    /// Pre-decoded `matches!(instr, Instr::Sw { .. })`, for the same scans.
+    is_sw: bool,
     /// Successor assumed at dispatch (prediction for branches and `jr`).
     predicted_next: u32,
     /// Cycle the instance entered the machine (DEE paths start executing
@@ -149,6 +155,9 @@ enum Operand {
 struct Engine<'a> {
     config: &'a LevoConfig,
     program: &'a Program,
+    /// Pre-decoded per-pc tables (defs, store flags) shared by every
+    /// instance dispatched from that row.
+    decoded: DecodedProgram,
     // Architectural (retired) state.
     regs: [i32; Reg::COUNT],
     mem: Vec<i32>,
@@ -181,6 +190,7 @@ impl<'a> Engine<'a> {
         Engine {
             config,
             program,
+            decoded: DecodedProgram::compile(program),
             regs,
             mem,
             reg_time: [0; Reg::COUNT],
@@ -248,7 +258,7 @@ impl<'a> Engine<'a> {
         }
         for k in (0..limit).rev() {
             let inst = &self.rob[k];
-            if inst.instr.def() == Some(reg) {
+            if inst.def == Some(reg) {
                 return match inst.exec {
                     Some(e) if e.cycle < cycle => Operand::Ready(e.value.unwrap_or(0)),
                     _ => Operand::NotReady,
@@ -267,7 +277,7 @@ impl<'a> Engine<'a> {
         }
         for k in (0..limit).rev() {
             let inst = &self.rob[k];
-            if inst.instr.def() == Some(reg) {
+            if inst.def == Some(reg) {
                 return match inst.exec {
                     Some(e) if e.cycle < cycle => Some((e.value.unwrap_or(0), e.cycle)),
                     _ => None,
@@ -281,7 +291,7 @@ impl<'a> Engine<'a> {
     fn mem_operand_timed(&self, addr: u32, limit: usize, cycle: u64) -> Option<(i32, u64)> {
         for k in (0..limit).rev() {
             let inst = &self.rob[k];
-            if matches!(inst.instr, Instr::Sw { .. }) {
+            if inst.is_sw {
                 match inst.exec {
                     Some(e) if e.cycle < cycle => {
                         if e.addr == Some(addr) {
@@ -304,7 +314,7 @@ impl<'a> Engine<'a> {
     fn mem_operand(&self, addr: u32, limit: usize, cycle: u64) -> Operand {
         for k in (0..limit).rev() {
             let inst = &self.rob[k];
-            if matches!(inst.instr, Instr::Sw { .. }) {
+            if inst.is_sw {
                 match inst.exec {
                     Some(e) if e.cycle < cycle => {
                         if e.addr == Some(addr) {
@@ -483,7 +493,7 @@ impl<'a> Engine<'a> {
             .rob
             .iter()
             .take(base)
-            .any(|i| matches!(i.instr, Instr::Sw { .. }) && !i.executed_before(cycle + 1));
+            .any(|i| i.is_sw && !i.executed_before(cycle + 1));
 
         for _ in 0..limit {
             if pc < self.w0 || pc >= self.w0 + self.config.n as u32 {
@@ -623,6 +633,8 @@ impl<'a> Engine<'a> {
             self.rob.push_back(Instance {
                 pc,
                 instr,
+                def: self.decoded.def_of(pc),
+                is_sw: self.decoded.is_store(pc),
                 predicted_next: exec.actual_next,
                 dispatch_cycle: cycle + 1,
                 exec: Some(exec),
@@ -671,7 +683,7 @@ impl<'a> Engine<'a> {
                 }
                 _ => {}
             }
-            if let Some(d) = inst.instr.def() {
+            if let Some(d) = inst.def {
                 self.regs[d.index()] = exec.value.unwrap_or(0);
                 self.reg_time[d.index()] = exec.cycle;
             }
@@ -729,6 +741,8 @@ impl<'a> Engine<'a> {
             self.rob.push_back(Instance {
                 pc,
                 instr,
+                def: self.decoded.def_of(pc),
+                is_sw: self.decoded.is_store(pc),
                 predicted_next,
                 dispatch_cycle: self.cycle,
                 exec: None,

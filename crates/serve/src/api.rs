@@ -17,7 +17,7 @@ use dee_isa::parse::parse_program;
 use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
 use dee_predict::{AlwaysTaken, BranchPredictor, Gshare, PapAdaptive, TwoBitCounter};
 use dee_store::{ArtifactKey, Store};
-use dee_vm::{trace_program, Trace};
+use dee_vm::{trace_program_with, Engine, Trace};
 use dee_workloads::{Scale, Workload};
 
 use crate::cache::{fnv1a, fnv1a_words, CacheKey, PreparedCache, PreparedEntry};
@@ -268,6 +268,21 @@ fn artifact_key(source: &Source) -> ArtifactKey {
     )
 }
 
+/// Captures the raw trace on the VM. The miss path runs the pre-decoded
+/// engine; a tripped [`FaultSite::DecodeCompile`] degrades the capture to
+/// the reference interpreter. Both engines produce byte-identical traces,
+/// so only the `dee_faults_injected_total{site="decode_compile"}` counter
+/// reveals the degradation.
+fn capture_trace(source: &Source, faults: &FaultPlan) -> Result<Trace, String> {
+    let engine = if faults.trip(FaultSite::DecodeCompile).is_some() {
+        Engine::Interp
+    } else {
+        Engine::Decoded
+    };
+    trace_program_with(engine, &source.program, &source.memory, STEP_LIMIT)
+        .map_err(|e| format!("trace: {e}"))
+}
+
 /// Produces the raw trace for a prepared-cache miss, consulting the
 /// disk tier first when a store is configured. Store faults degrade
 /// rather than fail: a tripped read skips the disk tier (the trace is
@@ -276,8 +291,7 @@ fn artifact_key(source: &Source) -> ArtifactKey {
 /// counters reveal what happened.
 fn trace_for(source: &Source, faults: &FaultPlan, store: Option<&Store>) -> Result<Trace, String> {
     let Some(store) = store else {
-        return trace_program(&source.program, &source.memory, STEP_LIMIT)
-            .map_err(|e| format!("trace: {e}"));
+        return capture_trace(source, faults);
     };
     let key = artifact_key(source);
     let stats = store.stats();
@@ -301,8 +315,7 @@ fn trace_for(source: &Source, faults: &FaultPlan, store: Option<&Store>) -> Resu
         stats.misses.fetch_add(1, Ordering::Relaxed);
     }
     let trace_start = Instant::now();
-    let trace = trace_program(&source.program, &source.memory, STEP_LIMIT)
-        .map_err(|e| format!("trace: {e}"))?;
+    let trace = capture_trace(source, faults)?;
     stats
         .trace_nanos
         .fetch_add(trace_start.elapsed().as_nanos() as u64, Ordering::Relaxed);

@@ -58,11 +58,14 @@ pub enum FaultSite {
     /// A delay injected ahead of the gateway's hedge decision, forcing
     /// the primary attempt over its latency budget.
     GatewayHedgeDelay,
+    /// Lowering a request program into the pre-decoded engine form on the
+    /// miss path; a tripped site degrades the capture to the interpreter.
+    DecodeCompile,
 }
 
 impl FaultSite {
     /// Number of sites (array sizes).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -82,6 +85,7 @@ impl FaultSite {
         FaultSite::ReplicaLoss,
         FaultSite::StalePeerStore,
         FaultSite::GatewayHedgeDelay,
+        FaultSite::DecodeCompile,
     ];
 
     /// Stable snake_case name, used in metrics labels and panic messages.
@@ -104,6 +108,7 @@ impl FaultSite {
             FaultSite::ReplicaLoss => "replica_loss",
             FaultSite::StalePeerStore => "stale_peer_store",
             FaultSite::GatewayHedgeDelay => "gateway_hedge_delay",
+            FaultSite::DecodeCompile => "decode_compile",
         }
     }
 
@@ -125,6 +130,7 @@ impl FaultSite {
             FaultSite::ReplicaLoss => 13,
             FaultSite::StalePeerStore => 14,
             FaultSite::GatewayHedgeDelay => 15,
+            FaultSite::DecodeCompile => 16,
         }
     }
 }
@@ -324,6 +330,15 @@ impl FaultPlan {
                 FaultSite::AnalyzeReject,
                 FaultSpec {
                     error_ppm: 10_000,
+                    ..FaultSpec::default()
+                },
+            )
+            // A tripped decode-compile degrades the miss path to the
+            // interpreter; the response bytes must not change.
+            .arm(
+                FaultSite::DecodeCompile,
+                FaultSpec {
+                    error_ppm: 100_000,
                     ..FaultSpec::default()
                 },
             )

@@ -225,6 +225,11 @@ impl Machine {
         &self.output
     }
 
+    /// The full data memory, for state digesting.
+    pub(crate) fn mem_slice(&self) -> &[i32] {
+        &self.mem
+    }
+
     fn effective_addr(&self, pc: u32, base: Reg, offset: i32) -> Result<u32, VmError> {
         let addr = i64::from(self.reg(base)) + i64::from(offset);
         if addr < 0 || addr as usize >= self.mem.len() {

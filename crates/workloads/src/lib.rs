@@ -58,7 +58,7 @@ pub mod xlisp;
 pub use registry::{WorkloadRegistry, PAPER_WORKLOADS};
 
 use dee_isa::Program;
-use dee_vm::{trace_program, Trace, VmError};
+use dee_vm::{trace_program, trace_program_with, Engine, Trace, VmError};
 
 /// Input-size scale for a workload.
 ///
@@ -114,13 +114,32 @@ impl Workload {
         trace_program(&self.program, &self.initial_memory, self.step_limit)
     }
 
+    /// [`capture_trace`](Self::capture_trace) through the selected engine;
+    /// both engines produce byte-identical traces.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`capture_trace`](Self::capture_trace).
+    pub fn capture_trace_with(&self, engine: Engine) -> Result<Trace, VmError> {
+        trace_program_with(engine, &self.program, &self.initial_memory, self.step_limit)
+    }
+
     /// Runs the workload and validates its output against the reference.
     ///
     /// # Errors
     ///
     /// Returns the VM error, or a validation message on output mismatch.
     pub fn validate(&self) -> Result<Trace, String> {
-        let trace = self.capture_trace().map_err(|e| e.to_string())?;
+        self.validate_with(Engine::Interp)
+    }
+
+    /// [`validate`](Self::validate) through the selected engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`validate`](Self::validate).
+    pub fn validate_with(&self, engine: Engine) -> Result<Trace, String> {
+        let trace = self.capture_trace_with(engine).map_err(|e| e.to_string())?;
         if trace.output() != self.expected_output.as_slice() {
             return Err(format!(
                 "{}: output mismatch ({} words produced, {} expected)",

@@ -9,7 +9,7 @@
 //! dee gen <spec|default> [--seed N] [-o F] generate a seeded program
 //! dee gen sweep [--et N] [--seed N]       preview speedup vs the pred knob
 //! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
-//! dee trace record <workload> --store DIR [--scale S]  publish an artifact
+//! dee trace record <workload> --store DIR [--scale S] [--engine E]  publish an artifact
 //! dee trace info <file.dtrc>              container header/footer summary
 //! dee trace verify <file.dtrc>            full checksum + layout check
 //! dee trace ls --store DIR                list published artifacts
@@ -61,6 +61,7 @@ const USAGE: &str = "usage:
   dee gen sweep [--et N] [--seed N]         preview speedup vs the pred knob
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
   dee trace record <workload> --store DIR [--scale tiny|small|medium|large]
+            [--engine decoded|interp]
   dee trace info <file.dtrc>                container header/footer summary
   dee trace verify <file.dtrc>              full checksum + layout check
   dee trace ls --store DIR                  list published artifacts
@@ -94,6 +95,7 @@ struct Options {
     chaos_seed: Option<u64>,
     store: Option<String>,
     scale: Option<String>,
+    engine: dee::vm::Engine,
     seed: u64,
     json: bool,
     deny_warnings: bool,
@@ -122,6 +124,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chaos_seed: None,
         store: None,
         scale: None,
+        engine: dee::vm::Engine::default(),
         seed: 1,
         json: false,
         deny_warnings: false,
@@ -237,6 +240,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--hedge-ms" => options.hedge_ms = Some(value()?),
             "--store" => options.store = Some(value()?),
             "--scale" => options.scale = Some(value()?),
+            "--engine" => options.engine = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => options.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
             "--json" => options.json = true,
             "--deny" => match value()?.as_str() {
@@ -312,10 +316,12 @@ fn open_store(options: &Options) -> Result<dee::store::Store, String> {
     dee::store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))
 }
 
-/// `dee trace record <workload> --store DIR [--scale S]` — trace a
-/// workload on the VM (validated against its reference output) and
-/// publish the artifact. Idempotent: an already-published key is left
-/// alone.
+/// `dee trace record <workload> --store DIR [--scale S] [--engine E]` —
+/// trace a workload on the VM (validated against its reference output)
+/// and publish the artifact. Idempotent: an already-published key is left
+/// alone. `--engine decoded` (the default) uses the pre-decoded fast
+/// path; `--engine interp` the reference interpreter — the artifact bytes
+/// are identical either way.
 fn trace_record(args: &[String]) -> Result<(), String> {
     let name = args.get(2).ok_or("missing workload name")?;
     let options = parse_options(&args[3..])?;
@@ -336,7 +342,7 @@ fn trace_record(args: &[String]) -> Result<(), String> {
         println!("already published: {}", key.filename());
         return Ok(());
     }
-    let trace = workload.validate()?;
+    let trace = workload.validate_with(options.engine)?;
     let path = store.put(&key, &trace).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
     println!(

@@ -162,3 +162,109 @@ fn corrupt_artifact_is_quarantined_and_request_succeeds_anyway() {
     server.shutdown();
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// A tripped `decode_compile` site degrades the miss-path capture from
+/// the pre-decoded engine to the reference interpreter — visibly only in
+/// the fault metric, never in the response bytes.
+#[test]
+fn decode_compile_fault_degrades_to_interpreter_with_identical_bytes() {
+    use std::sync::Arc;
+
+    use dee::serve::faults::FaultSpec;
+    use dee::serve::{FaultPlan, FaultSite, Server, ServerConfig};
+
+    let dir = scratch_dir("decode_fault");
+
+    // Clean run: decoded-engine miss path.
+    let server = spawn_with_store(&dir);
+    let (status, clean_body) = post(server.addr(), "/simulate", BODY);
+    assert_eq!(status, 200, "{clean_body}");
+    assert_eq!(
+        scrape(
+            server.addr(),
+            "dee_faults_injected_total{site=\"decode_compile\"}"
+        ),
+        0
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Degraded run: the first (and only, via the fuse) decode-compile
+    // arrival trips, so the capture falls back to the interpreter.
+    let dir = scratch_dir("decode_fault_armed");
+    let plan = FaultPlan::new(1)
+        .arm(
+            FaultSite::DecodeCompile,
+            FaultSpec {
+                error_ppm: 1_000_000,
+                ..FaultSpec::default()
+            },
+        )
+        .with_fuse(1);
+    let server = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store_dir: Some(dir.clone()),
+        faults: Arc::new(plan),
+        ..ServerConfig::default()
+    })
+    .expect("bind on port 0");
+    let (status, degraded_body) = post(server.addr(), "/simulate", BODY);
+    assert_eq!(status, 200, "{degraded_body}");
+    assert_eq!(
+        degraded_body, clean_body,
+        "interpreter fallback changed response bytes"
+    );
+    assert_eq!(
+        scrape(
+            server.addr(),
+            "dee_faults_injected_total{site=\"decode_compile\"}"
+        ),
+        1
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Records published by the server replay chunk-by-chunk through
+/// `StoreReader`, and the streamed records match a fresh decoded-engine
+/// capture record for record.
+#[test]
+fn store_reader_streams_records_matching_decoded_capture() {
+    use dee::store::{ArtifactKey, Store};
+    use dee::vm::{trace_program_with, Engine};
+    use dee::workloads::Scale;
+
+    let dir = scratch_dir("stream_replay");
+    let server = spawn_with_store(&dir);
+    let (status, body) = post(server.addr(), "/simulate", BODY);
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+
+    let w = dee::workloads::xlisp::build(Scale::Tiny);
+    let reference = trace_program_with(
+        Engine::Decoded,
+        &w.program,
+        &w.initial_memory,
+        1_000_000_000,
+    )
+    .expect("xlisp runs on the decoded engine");
+
+    let store = Store::open(&dir).expect("store opens");
+    let key = ArtifactKey::new("xlisp", "tiny", &w.program.to_listing(), &w.initial_memory);
+    let mut reader = store
+        .open_reader(&key)
+        .expect("artifact readable")
+        .expect("artifact published by the server");
+    assert_eq!(reader.record_count(), reference.len() as u64);
+    let mut streamed = Vec::with_capacity(reference.len());
+    while let Some(record) = reader.next_record().expect("chunk intact") {
+        streamed.push(record);
+    }
+    assert_eq!(
+        streamed.as_slice(),
+        reference.records(),
+        "streamed records diverge from the decoded capture"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
