@@ -17,13 +17,13 @@
 //! Additionally compares Levo's per-row predictor options (2-bit counter
 //! vs speculative PAp, §4.3).
 //!
-//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `ablation_future [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_ilpsim::{harmonic_mean, simulate, LatencyModel, Model, SimConfig};
 use dee_levo::{Levo, LevoConfig, PredictorKind};
@@ -31,6 +31,8 @@ use dee_levo::{Levo, LevoConfig, PredictorKind};
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -51,7 +53,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
     let num_b = prepared.len();
@@ -189,4 +191,5 @@ fn main() {
         .write_csv(&format!("ablation_future_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
+    enforce_max_rss(max_rss);
 }

@@ -9,13 +9,13 @@
 //! *equally slowed* sequential machine, so they isolate the models'
 //! latency tolerance.
 //!
-//! Usage: `ablation_memory [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `ablation_memory [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    engine_from_args, f2, pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pct, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 use dee_mem::{annotate_latencies, CacheConfig, MemoryHierarchy};
@@ -25,6 +25,8 @@ const MISS_PENALTY: u32 = 10;
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -104,7 +106,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
     let models = [Model::Sp, Model::SpCdMf, Model::DeeCdMf, Model::Oracle];
@@ -152,4 +154,5 @@ fn main() {
         .write_csv(&format!("ablation_memory_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
+    enforce_max_rss(max_rss);
 }

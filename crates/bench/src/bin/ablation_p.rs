@@ -13,13 +13,13 @@
 //! that differ from the trace's measured accuracy, showing how mis-sizing
 //! the static tree costs performance.
 //!
-//! Usage: `ablation_p [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `ablation_p [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_core::{SpecTree, StaticTree, Strategy, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
@@ -51,6 +51,8 @@ fn main() {
 
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -74,7 +76,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
     let assumed_ps = [0.60, 0.75, measured, 0.95, 0.99];
@@ -119,4 +121,5 @@ fn main() {
         .write_csv(&format!("ablation_p_sensitivity_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {} and {}", path.display(), spath.display());
+    enforce_max_rss(max_rss);
 }

@@ -9,18 +9,18 @@
 //! own measured accuracy. The DEE advantage should survive every
 //! predictor, largest where prediction is worst.
 //!
-//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `ablation_predictor [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use dee_bench::{
-    engine_from_args, f2, pct, pool, scale_from_args, store_from_args, workloads_from_args,
-    BenchEntry, Suite, TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pct, pool,
+    scale_from_args, store_from_args, workloads_from_args, BenchEntry, Suite, TextTable,
 };
-use dee_ilpsim::{harmonic_mean, simulate, Model, PreparedTrace, SimConfig};
+use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 use dee_predict::{BranchPredictor, Btfn, Gshare, PapAdaptive, TwoBitCounter};
 
 /// Prepares one entry under one predictor kind; the prepared trace is
 /// shared by the SP-CD-MF and DEE-CD-MF simulations of the cell.
-fn run_cell(kind: &str, entry: &BenchEntry, et: u32) -> (f64, f64, f64) {
+fn run_cell(kind: &str, entry: &BenchEntry, et: u32, chunk: usize) -> (f64, f64, f64) {
     let mut predictor: Box<dyn BranchPredictor> = match kind {
         "btfn" => {
             let targets: Vec<(u32, u32)> = entry
@@ -39,8 +39,7 @@ fn run_cell(kind: &str, entry: &BenchEntry, et: u32) -> (f64, f64, f64) {
         "pap-spec" => Box::new(PapAdaptive::with_config(2, true)),
         _ => Box::new(Gshare::default()),
     };
-    let prepared =
-        PreparedTrace::with_predictor(&entry.workload.program, &entry.trace, predictor.as_mut());
+    let prepared = entry.prepare_chunked_with(chunk, predictor.as_mut());
     let p = prepared.accuracy();
     let sp = simulate(&prepared, &SimConfig::new(Model::SpCdMf, et).with_p(p)).speedup();
     let dee = simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p)).speedup();
@@ -50,6 +49,8 @@ fn run_cell(kind: &str, entry: &BenchEntry, et: u32) -> (f64, f64, f64) {
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -74,7 +75,7 @@ fn main() {
         jobs,
         cells
             .iter()
-            .map(|&(kind, entry)| move || run_cell(kind, entry, et))
+            .map(|&(kind, entry)| move || run_cell(kind, entry, et, chunk))
             .collect(),
     );
 
@@ -103,4 +104,5 @@ fn main() {
         .write_csv(&format!("ablation_predictor_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
+    enforce_max_rss(max_rss);
 }

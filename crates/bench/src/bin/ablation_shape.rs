@@ -8,13 +8,13 @@
 //! E_T = 100 and sweeps `h_DEE` directly (with `l = E_T − h(h+1)/2`),
 //! comparing each shape's DEE-CD-MF speedup against the heuristic's pick.
 //!
-//! Usage: `ablation_shape [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `ablation_shape [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
@@ -22,6 +22,8 @@ use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -53,7 +55,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
     let hs: Vec<u32> = [0u32, 2, 4, 6, 8, 10, 11, 12, 13]
@@ -119,4 +121,5 @@ fn main() {
         .write_csv(&format!("ablation_shape_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
+    enforce_max_rss(max_rss);
 }

@@ -2,7 +2,7 @@
 //! five benchmarks, plus the harmonic mean and per-benchmark oracle
 //! speedups.
 //!
-//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]` (default small; the
+//! Usage: `fig5 [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]` (default small; the
 //! paper-grade run is `medium`). Writes `results/fig5_<scale>.csv`.
 //!
 //! The DEE tree shape uses the suite's measured characteristic accuracy,
@@ -17,14 +17,16 @@ use std::sync::Arc;
 
 use dee_bench::plot::{render_panels, write_svg, Panel, Series};
 use dee_bench::{
-    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable, FIG5_RESOURCES,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable, FIG5_RESOURCES,
 };
 use dee_ilpsim::{harmonic_mean, simulate, Model, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -50,7 +52,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
 
@@ -218,4 +220,5 @@ fn main() {
     let svg = render_panels(&panels, &FIG5_RESOURCES);
     let svg_path = write_svg(&format!("fig5_{scale:?}.svg").to_lowercase(), &svg).expect("svg");
     println!("wrote {}", svg_path.display());
+    enforce_max_rss(max_rss);
 }

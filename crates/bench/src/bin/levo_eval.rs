@@ -7,10 +7,10 @@
 //! model — every configuration is validated to produce bit-identical
 //! program output.
 //!
-//! Usage: `levo_eval [tiny|small|medium|large] [--jobs N]` (default small;
-//! Levo is a detailed model, so large scales take a while).
+//! Usage: `levo_eval [tiny|small|medium|large] [--jobs N] [--max-rss BYTES]`
+//! (default small; Levo is a detailed model, so large scales take a while).
 
-use dee_bench::{f2, pct, pool, scale_from_args, TextTable};
+use dee_bench::{enforce_max_rss, f2, max_rss_from_args, pct, pool, scale_from_args, TextTable};
 use dee_levo::{Levo, LevoConfig};
 use dee_workloads::{all_workloads, Scale, Workload};
 
@@ -30,6 +30,7 @@ fn run_validated(w: &Workload, config: LevoConfig, what: &str) -> dee_levo::Levo
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let max_rss = max_rss_from_args();
     let workloads = all_workloads(scale);
 
     println!("Levo machine model ({scale:?} scale)\n");
@@ -165,4 +166,5 @@ fn main() {
         .expect("csv");
     println!("wrote {}", path.display());
     let _ = Scale::all(); // keep Scale in scope for docs
+    enforce_max_rss(max_rss);
 }

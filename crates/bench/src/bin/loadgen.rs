@@ -8,6 +8,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
 //!         [--workers W] [--retries R] [--seed S] [--csv] [--gateway NODES]
+//!         [--range]
 //! ```
 //!
 //! `--gateway NODES` drives the sweep through a `dee-cluster` gateway
@@ -21,6 +22,15 @@
 //! The sweep cycles models and `E_T` values over two tiny workloads, so
 //! after the two cold preparations every request hits the cache; with the
 //! default 100 requests the steady-state hit rate is 98%.
+//!
+//! `--range` switches the sweep to seeded `POST /simulate_range` requests
+//! over the `compress`/tiny trace. Unless `--addr` points at a running
+//! server, an in-process one is spawned over a temporary store
+//! pre-populated with `DEESNAP1` checkpoints, so most requests warm-start
+//! from a snapshot; the summary reports the snapshot-seek hit rate
+//! scraped from the `dee_snap_*` metrics next to the latency percentiles,
+//! and the row lands in `results/snap_range.csv` (machine-dependent
+//! numbers — a report, not a golden).
 //!
 //! Transient `503`/`504` responses (queue full, open breaker, deadline
 //! slip) are retried with seeded jittered exponential backoff, so a burst
@@ -53,6 +63,7 @@ struct Args {
     seed: u64,
     csv: bool,
     gateway: Option<usize>,
+    range: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         csv: false,
         gateway: None,
+        range: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = argv.iter();
@@ -93,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
             "--gateway" => {
                 args.gateway = Some(value()?.parse().map_err(|_| "bad --gateway".to_string())?);
             }
+            "--range" => args.range = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -101,6 +114,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.gateway == Some(0) {
         return Err("--gateway needs at least one node".into());
+    }
+    if args.range && args.gateway.is_some() {
+        return Err("--range drives a single node; drop --gateway".into());
     }
     Ok(args)
 }
@@ -184,6 +200,57 @@ fn sweep_body(i: usize) -> String {
     format!(r#"{{"workload":"{workload}","scale":"tiny","model":"{model}","et":{et}}}"#)
 }
 
+/// The `--range` mode's fixed workload and checkpoint stride. One tiny
+/// trace is enough to exercise the seek/replay path; the stride is small
+/// relative to the trace so most seeded ranges find a snapshot below
+/// their start.
+const RANGE_WORKLOAD: &str = "compress";
+const RANGE_STRIDE: u64 = 1024;
+
+/// Records the `--range` workload's trace into `dir` and cuts `DEESNAP1`
+/// checkpoints at [`RANGE_STRIDE`], so a server spawned over the
+/// directory can warm-start `/simulate_range` requests. Returns the
+/// trace length (the bound for seeded ranges).
+fn publish_range_fixture(dir: &std::path::Path) -> u64 {
+    let store = dee_store::Store::open(dir).expect("open fixture store");
+    let workload = dee_workloads::WorkloadRegistry::builtin()
+        .build_many(&[RANGE_WORKLOAD], dee_workloads::Scale::Tiny)
+        .expect("known workload")
+        .remove(0);
+    let trace = workload
+        .validate_with(dee_vm::Engine::default())
+        .expect("workload validates");
+    let key = dee_store::ArtifactKey::new(
+        &workload.name,
+        "tiny",
+        &workload.program.to_listing(),
+        &workload.initial_memory,
+    );
+    store.put(&key, &trace).expect("publish trace");
+    dee_snap::publish_checkpoints(
+        &store,
+        &key,
+        &workload.program,
+        &workload.initial_memory,
+        RANGE_STRIDE,
+    )
+    .expect("publish checkpoints");
+    trace.len() as u64
+}
+
+/// The i-th seeded `/simulate_range` body: a deterministic (start, end)
+/// window over the fixture trace, cycling the four request predictors so
+/// every snapshot blob gets restored.
+fn range_body(i: usize, seed: u64, trace_len: u64) -> String {
+    let mut rng = Rng::new(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let start = rng.next() % trace_len.saturating_sub(1).max(1);
+    let end = (start + 1 + rng.next() % 512).min(trace_len);
+    let predictor = ["twobit", "gshare", "pap", "taken"][i % 4];
+    format!(
+        r#"{{"workload":"{RANGE_WORKLOAD}","scale":"tiny","model":"SP","et":8,"predictor":"{predictor}","start":{start},"end":{end}}}"#
+    )
+}
+
 /// Pulls one counter value out of the Prometheus text exposition.
 fn scrape(metrics: &str, name: &str) -> u64 {
     metrics
@@ -226,6 +293,7 @@ fn main() {
     // Spawn an in-process server (or cluster) unless one was pointed at.
     let mut spawned: Option<Server> = None;
     let mut spawned_cluster: Option<(LocalCluster, std::path::PathBuf)> = None;
+    let mut spawned_store: Option<std::path::PathBuf> = None;
     let addr = match (&args.addr, args.gateway) {
         (Some(addr), _) => addr.clone(),
         (None, Some(nodes)) => {
@@ -249,6 +317,14 @@ fn main() {
                 config.workers = args.workers;
             }
             config.queue_capacity = config.queue_capacity.max(args.concurrency * 4);
+            if args.range {
+                let dir =
+                    std::env::temp_dir().join(format!("dee_loadgen_range_{}", std::process::id()));
+                std::fs::remove_dir_all(&dir).ok();
+                publish_range_fixture(&dir);
+                config.store_dir = Some(dir.clone());
+                spawned_store = Some(dir);
+            }
             let server = Server::spawn(config).expect("spawn server");
             let addr = server.addr().to_string();
             spawned = Some(server);
@@ -259,6 +335,21 @@ fn main() {
     let (status, _) = get(&addr, "/healthz").expect("healthz");
     assert_eq!(status, 200, "server not healthy");
 
+    // Range windows are seeded off the fixture trace's length; a local
+    // capture is authoritative for a remote server too, since traces are
+    // deterministic.
+    let range_len = if args.range {
+        dee_workloads::WorkloadRegistry::builtin()
+            .build_many(&[RANGE_WORKLOAD], dee_workloads::Scale::Tiny)
+            .expect("known workload")
+            .remove(0)
+            .validate_with(dee_vm::Engine::default())
+            .expect("workload validates")
+            .len() as u64
+    } else {
+        0
+    };
+
     let next = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let handles: Vec<_> = (0..args.concurrency)
@@ -267,20 +358,31 @@ fn main() {
             let next = Arc::clone(&next);
             let total = args.requests;
             let retries = args.retries;
+            let range = args.range;
+            let seed = args.seed;
             // Distinct deterministic jitter stream per client thread.
             let mut rng = Rng::new(args.seed.wrapping_add(client as u64 * 0x9E37_79B9));
             std::thread::spawn(move || {
                 let mut tally = Tally::default();
+                let path = if range {
+                    "/simulate_range"
+                } else {
+                    "/simulate"
+                };
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         return tally;
                     }
-                    let body = sweep_body(i);
+                    let body = if range {
+                        range_body(i, seed, range_len)
+                    } else {
+                        sweep_body(i)
+                    };
                     let begin = Instant::now();
                     let mut attempt = 0u32;
                     loop {
-                        match post(&addr, "/simulate", &body) {
+                        match post(&addr, path, &body) {
                             Ok((200, _)) => {
                                 tally.latencies_us.push(
                                     u64::try_from(begin.elapsed().as_micros()).unwrap_or(u64::MAX),
@@ -395,6 +497,69 @@ fn main() {
         if let Some((cluster, store_root)) = spawned_cluster {
             cluster.shutdown();
             std::fs::remove_dir_all(&store_root).ok();
+        }
+        if errors + abandoned > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Range mode: report the snapshot-seek counters instead of the
+    // prepared-cache ones, and land the machine-dependent sample in
+    // `results/snap_range.csv`.
+    if args.range {
+        let seek_hits = scrape(&metrics, "dee_snap_seek_hits_total");
+        let seek_misses = scrape(&metrics, "dee_snap_seek_misses_total");
+        let decode_failures = scrape(&metrics, "dee_snap_decode_failures_total");
+        let seeks = seek_hits + seek_misses;
+        let seek_hit_rate = if seeks > 0 {
+            seek_hits as f64 / seeks as f64
+        } else {
+            0.0
+        };
+        let mut table = TextTable::new(&[
+            "requests",
+            "ok",
+            "retried",
+            "abandoned",
+            "errors",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "seek_hits",
+            "seek_misses",
+            "seek_hit_rate",
+            "decode_failures",
+        ]);
+        table.row(vec![
+            args.requests.to_string(),
+            ok.to_string(),
+            retried.to_string(),
+            abandoned.to_string(),
+            errors.to_string(),
+            format!("{rps:.1}"),
+            percentile(&latencies_us, 0.50).to_string(),
+            percentile(&latencies_us, 0.99).to_string(),
+            seek_hits.to_string(),
+            seek_misses.to_string(),
+            format!("{:.1}%", 100.0 * seek_hit_rate),
+            decode_failures.to_string(),
+        ]);
+        println!(
+            "{} /simulate_range requests ({} concurrent clients, seed {}) against {addr} in {:.2}s",
+            args.requests,
+            args.concurrency,
+            args.seed,
+            wall.as_secs_f64()
+        );
+        print!("{}", table.render());
+        let path = table.write_csv("snap_range.csv").expect("write csv");
+        println!("wrote {} (machine-dependent; not a golden)", path.display());
+        if let Some(server) = spawned {
+            server.shutdown();
+        }
+        if let Some(dir) = spawned_store {
+            std::fs::remove_dir_all(&dir).ok();
         }
         if errors + abandoned > 0 {
             std::process::exit(1);

@@ -11,11 +11,11 @@
 //!   that needs each outcome before the next prediction degrades, while
 //!   PAp with *speculative* history update holds its accuracy.
 //!
-//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `predictor_accuracy [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--max-rss BYTES]`.
 
 use dee_bench::{
-    engine_from_args, pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    enforce_max_rss, engine_from_args, max_rss_from_args, pct, pool, scale_from_args,
+    store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_isa::Program;
 use dee_predict::{
@@ -51,6 +51,7 @@ fn make_predictor(kind: &str, program: &Program) -> Box<dyn BranchPredictor> {
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -160,4 +161,5 @@ fn main() {
         .write_csv(&format!("predictor_delay_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {} and {}", path.display(), dpath.display());
+    enforce_max_rss(max_rss);
 }

@@ -13,11 +13,11 @@
 //! the -MF models spread slightly deeper but stay concentrated at the top
 //! of the tree, which is what makes the DEE paths effective.
 //!
-//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `resolve_location [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use dee_bench::{
-    engine_from_args, f2, pct, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pct, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_core::{StaticTree, TreeParams};
 use dee_ilpsim::{simulate, Model, SimConfig};
@@ -25,6 +25,8 @@ use dee_ilpsim::{simulate, Model, SimConfig};
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -66,7 +68,7 @@ fn main() {
             .iter()
             .map(|entry| {
                 move || {
-                    let prepared = entry.prepare();
+                    let prepared = entry.prepare_chunked(chunk);
                     simulate(&prepared, &SimConfig::new(Model::DeeCdMf, et).with_p(p))
                         .resolve_level_histogram
                 }
@@ -98,6 +100,7 @@ fn main() {
         .write_csv(&format!("resolve_location_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("\nwrote {}", path.display());
+    enforce_max_rss(max_rss);
 }
 
 fn stat_row(name: &str, hist: &[u64], h: u32) -> Vec<String> {

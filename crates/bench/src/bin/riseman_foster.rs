@@ -9,19 +9,21 @@
 //! only with unbounded eager execution. This is exactly the cost explosion
 //! DEE's disjointness is designed to avoid.
 //!
-//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp]`.
+//! Usage: `riseman_foster [tiny|small|medium|large] [--jobs N] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--chunk-records N] [--max-rss BYTES]`.
 
 use std::sync::Arc;
 
 use dee_bench::{
-    engine_from_args, f2, pool, scale_from_args, store_from_args, workloads_from_args, Suite,
-    TextTable,
+    chunk_records_from_args, enforce_max_rss, engine_from_args, f2, max_rss_from_args, pool,
+    scale_from_args, store_from_args, workloads_from_args, Suite, TextTable,
 };
 use dee_ilpsim::{harmonic_mean, riseman_foster};
 
 fn main() {
     let scale = scale_from_args();
     let jobs = pool::jobs_from_args();
+    let chunk = chunk_records_from_args();
+    let max_rss = max_rss_from_args();
     eprintln!("loading suite at {scale:?}...");
     let store = store_from_args();
     let engine = engine_from_args();
@@ -43,7 +45,7 @@ fn main() {
         suite
             .entries
             .iter()
-            .map(|e| move || Arc::new(e.prepare()))
+            .map(|e| move || Arc::new(e.prepare_chunked(chunk)))
             .collect(),
     );
     let caps = [0u32, 1, 2, 4, 8, 16, 64, 256, 4096, u32::MAX];
@@ -81,4 +83,5 @@ fn main() {
         .write_csv(&format!("riseman_foster_{scale:?}.csv").to_lowercase())
         .expect("csv");
     println!("wrote {}", path.display());
+    enforce_max_rss(max_rss);
 }

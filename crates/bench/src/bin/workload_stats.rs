@@ -2,14 +2,18 @@
 //! trace length, branch density, taken rate, mean branch-path length, and
 //! 2-bit-counter prediction accuracy (the paper's characteristic `p`).
 //!
-//! Usage: `workload_stats [tiny|small|medium|large] [--store DIR] [--workloads LIST] [--engine decoded|interp]`
+//! Usage: `workload_stats [tiny|small|medium|large] [--store DIR] [--workloads LIST] [--engine decoded|interp] [--max-rss BYTES]`
 //! (default: small).
 
-use dee_bench::{engine_from_args, scale_from_args, store_from_args, workloads_from_args, Suite};
+use dee_bench::{
+    enforce_max_rss, engine_from_args, max_rss_from_args, scale_from_args, store_from_args,
+    workloads_from_args, Suite,
+};
 use dee_predict::{measure_accuracy, TwoBitCounter};
 
 fn main() {
     let scale = scale_from_args();
+    let max_rss = max_rss_from_args();
     let store = store_from_args();
     let engine = engine_from_args();
     let workloads = workloads_from_args();
@@ -45,4 +49,5 @@ fn main() {
         "harmonic-mean accuracy: {:.2}%",
         100.0 * count / acc_sum_recip
     );
+    enforce_max_rss(max_rss);
 }

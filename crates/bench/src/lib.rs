@@ -37,9 +37,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use dee_ilpsim::{harmonic_mean, PreparedTrace};
-use dee_predict::{measure_accuracy, TwoBitCounter};
+use dee_predict::{measure_accuracy, BranchPredictor, TwoBitCounter};
 use dee_store::{ArtifactKey, Store, StoreSource};
-use dee_vm::{Engine, Trace};
+use dee_vm::{Engine, Trace, TraceChunks, DEFAULT_CHUNK_RECORDS};
 use dee_workloads::{all_workloads, Scale, Workload, WorkloadRegistry, PAPER_WORKLOADS};
 
 /// A validated workload with its captured trace.
@@ -54,8 +54,35 @@ impl BenchEntry {
     /// Prepares the trace for simulation (predictor replay + CFG
     /// analysis).
     #[must_use]
-    pub fn prepare(&self) -> PreparedTrace<'_> {
+    pub fn prepare(&self) -> PreparedTrace {
         PreparedTrace::new(&self.workload.program, &self.trace)
+    }
+
+    /// Streamed preparation: the records flow through
+    /// [`PreparedTrace::from_source`] in `chunk_records`-sized chunks
+    /// (the sweep binaries' `--chunk-records` flag), byte-identical to
+    /// [`prepare`](Self::prepare) at every chunk size.
+    #[must_use]
+    pub fn prepare_chunked(&self, chunk_records: usize) -> PreparedTrace {
+        self.prepare_chunked_with(chunk_records, &mut TwoBitCounter::new())
+    }
+
+    /// [`prepare_chunked`](Self::prepare_chunked) with a caller-supplied
+    /// predictor.
+    #[must_use]
+    pub fn prepare_chunked_with(
+        &self,
+        chunk_records: usize,
+        predictor: &mut dyn BranchPredictor,
+    ) -> PreparedTrace {
+        let mut source = TraceChunks::new(&self.trace);
+        PreparedTrace::from_source(
+            &self.workload.program,
+            &mut source,
+            chunk_records,
+            predictor,
+        )
+        .expect("in-memory chunk source cannot fail")
     }
 }
 
@@ -224,9 +251,9 @@ impl Suite {
 
 /// Parses the scale argument shared by the experiment binaries
 /// (`tiny|small|medium|large`, default `small`). Flags and their values
-/// (`--jobs N`, `--store DIR`, `--workloads LIST`, `--engine E`) are
-/// skipped, so the scale may appear anywhere:
-/// `fig5 --store traces tiny --jobs 4`.
+/// (`--jobs N`, `--store DIR`, `--workloads LIST`, `--engine E`,
+/// `--chunk-records N`, `--max-rss BYTES`) are skipped, so the scale may
+/// appear anywhere: `fig5 --store traces tiny --jobs 4`.
 #[must_use]
 pub fn scale_from_args() -> Scale {
     scale_from(std::env::args().skip(1))
@@ -238,7 +265,7 @@ fn scale_from<I: Iterator<Item = String>>(args: I) -> Scale {
         match arg.as_str() {
             // Value-taking flags: skip the value so a directory named
             // `tiny` never reads as a scale.
-            "--jobs" | "--store" | "--workloads" | "--engine" => {
+            "--jobs" | "--store" | "--workloads" | "--engine" | "--chunk-records" | "--max-rss" => {
                 args.next();
             }
             "tiny" => return Scale::Tiny,
@@ -306,6 +333,126 @@ fn engine_from<I: Iterator<Item = String>>(args: I) -> Engine {
         return value.parse().unwrap_or_else(|e| panic!("--engine: {e}"));
     }
     Engine::default()
+}
+
+/// Parses the `--chunk-records N` (or `--chunk-records=N`) flag shared by
+/// the experiment binaries: how many records the streaming prepare path
+/// pulls per chunk. Defaults to [`dee_vm::DEFAULT_CHUNK_RECORDS`]; the
+/// prepared traces — and so every golden — are byte-identical at any
+/// chunk size.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or the value is not a positive
+/// integer.
+#[must_use]
+pub fn chunk_records_from_args() -> usize {
+    chunk_records_from(std::env::args().skip(1))
+}
+
+fn chunk_records_from<I: Iterator<Item = String>>(args: I) -> usize {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--chunk-records" {
+            args.next()
+        } else if let Some(rest) = arg.strip_prefix("--chunk-records=") {
+            Some(rest.to_string())
+        } else {
+            continue;
+        };
+        let value = value.unwrap_or_else(|| panic!("--chunk-records needs a record count"));
+        let chunk: usize = value.parse().unwrap_or_else(|_| {
+            panic!("--chunk-records expects a positive integer, got {value:?}")
+        });
+        assert!(
+            chunk >= 1,
+            "--chunk-records expects a positive integer, got 0"
+        );
+        return chunk;
+    }
+    DEFAULT_CHUNK_RECORDS
+}
+
+/// Parses the `--max-rss BYTES` (or `--max-rss=BYTES`) flag shared by the
+/// experiment binaries: a peak-resident-set budget the run must stay
+/// under, checked by [`enforce_max_rss`] once the sweep finishes. Accepts
+/// a plain byte count or a `K`/`M`/`G` suffix (powers of 1024). `None`
+/// when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag has no value or the value is malformed.
+#[must_use]
+pub fn max_rss_from_args() -> Option<u64> {
+    max_rss_from(std::env::args().skip(1))
+}
+
+fn max_rss_from<I: Iterator<Item = String>>(args: I) -> Option<u64> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--max-rss" {
+            args.next()
+        } else if let Some(rest) = arg.strip_prefix("--max-rss=") {
+            Some(rest.to_string())
+        } else {
+            continue;
+        };
+        let value = value.unwrap_or_else(|| panic!("--max-rss needs a byte budget"));
+        return Some(
+            parse_byte_size(&value)
+                .unwrap_or_else(|| panic!("--max-rss expects BYTES or <N>K|M|G, got {value:?}")),
+        );
+    }
+    None
+}
+
+fn parse_byte_size(value: &str) -> Option<u64> {
+    let v = value.trim();
+    let (digits, shift) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 10),
+        b'm' | b'M' => (&v[..v.len() - 1], 20),
+        b'g' | b'G' => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0 || n == 0)
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the proc filesystem is
+/// unavailable.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Enforces the `--max-rss` budget at the end of a sweep: prints the
+/// measured peak next to the limit on stderr, and fails loudly when the
+/// peak exceeds it. A platform without `VmHWM` reporting logs that the
+/// guard could not run instead of passing silently.
+///
+/// # Panics
+///
+/// Panics when the peak resident set exceeds `limit`.
+pub fn enforce_max_rss(limit: Option<u64>) {
+    let Some(limit) = limit else { return };
+    match peak_rss_bytes() {
+        Some(peak) => {
+            eprintln!("dee_bench_max_rss: peak_bytes={peak} limit_bytes={limit}");
+            assert!(
+                peak <= limit,
+                "peak RSS {peak} bytes exceeds --max-rss {limit} bytes"
+            );
+        }
+        None => eprintln!("dee_bench_max_rss: VmHWM unavailable; --max-rss not enforced"),
+    }
 }
 
 /// Parses the `--workloads a,b,c` (or `--workloads=a,b,c`) flag shared by
@@ -528,6 +675,61 @@ mod tests {
             .expect("known");
         assert_eq!(a.entries[0].trace.records(), b.entries[0].trace.records());
         assert_eq!(a.entries[0].trace.output(), b.entries[0].trace.output());
+    }
+
+    #[test]
+    fn chunk_records_parsing_defaults_and_forms() {
+        assert_eq!(chunk_records_from(args(&["tiny"])), DEFAULT_CHUNK_RECORDS);
+        assert_eq!(chunk_records_from(args(&["--chunk-records", "4093"])), 4093);
+        assert_eq!(chunk_records_from(args(&["--chunk-records=7"])), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn chunk_records_parsing_rejects_zero() {
+        chunk_records_from(args(&["--chunk-records", "0"]));
+    }
+
+    #[test]
+    fn max_rss_parsing_handles_suffixes() {
+        assert_eq!(max_rss_from(args(&["tiny"])), None);
+        assert_eq!(max_rss_from(args(&["--max-rss", "1048576"])), Some(1 << 20));
+        assert_eq!(max_rss_from(args(&["--max-rss=512K"])), Some(512 << 10));
+        assert_eq!(max_rss_from(args(&["--max-rss", "64M"])), Some(64 << 20));
+        assert_eq!(max_rss_from(args(&["--max-rss", "2G"])), Some(2 << 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "--max-rss expects")]
+    fn max_rss_parsing_rejects_garbage() {
+        max_rss_from(args(&["--max-rss", "lots"]));
+    }
+
+    #[test]
+    fn peak_rss_reads_and_guard_passes_under_a_huge_limit() {
+        // VmHWM is Linux-specific; where present it must be sane, and the
+        // guard must accept a limit far above any real peak.
+        if let Some(peak) = peak_rss_bytes() {
+            assert!(peak > 0);
+            enforce_max_rss(Some(u64::MAX));
+        }
+        enforce_max_rss(None);
+    }
+
+    #[test]
+    fn chunked_prepare_is_byte_identical_at_any_chunk_size() {
+        let suite = Suite::load_selected(Scale::Tiny, &["compress"], None).expect("known");
+        let entry = &suite.entries[0];
+        let whole = entry.prepare();
+        for chunk in [1usize, 4093, DEFAULT_CHUNK_RECORDS] {
+            let streamed = entry.prepare_chunked(chunk);
+            assert_eq!(streamed.len(), whole.len());
+            assert_eq!(streamed.output(), whole.output());
+            assert_eq!(streamed.num_paths(), whole.num_paths());
+            assert_eq!(streamed.num_branches(), whole.num_branches());
+            assert_eq!(streamed.num_mispredicts(), whole.num_mispredicts());
+            assert!((streamed.accuracy() - whole.accuracy()).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dee_core::{ee_depth, StaticTree, TreeParams};
 use crate::model::{LatencyModel, Model, SimConfig};
 use crate::prepare::{
     InstrClass, PreparedTrace, META_CLASS_SHIFT, META_DST_SHIFT, META_HAS_READ, META_HAS_WRITE,
-    META_IS_COND, META_MISPREDICT, META_REG_MASK, META_REG_SLOTS, META_SRC2_SHIFT,
+    META_IS_COND, META_MISPREDICT, META_REG_MASK, META_REG_SLOTS, META_SRC2_SHIFT, META_TAKEN,
 };
 use crate::stats::SimOutcome;
 
@@ -155,7 +155,7 @@ impl PeSchedule {
 /// result for infinitely many bypassed jumps).
 #[must_use]
 pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
-    let n = prepared.trace.len();
+    let n = prepared.len;
     let mut reg_time = [0u32; META_REG_SLOTS];
     let mut mem_time = vec![0u32; prepared.mem_words];
     let mut reads = prepared.read_addrs.iter();
@@ -201,7 +201,7 @@ pub fn riseman_foster(prepared: &PreparedTrace, bypassed: u32) -> SimOutcome {
 /// Data-flow limit: unit latency, register renaming, memory flow deps,
 /// branches impose nothing (EE with unlimited resources).
 fn simulate_oracle(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
-    let n = prepared.trace.len();
+    let n = prepared.len;
     // Availability times: the last cycle the producer occupies; consumers
     // issue the cycle after.
     let mut reg_time = [0u32; META_REG_SLOTS];
@@ -241,7 +241,7 @@ fn simulate_oracle(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
 }
 
 fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutcome {
-    let n = prepared.trace.len();
+    let n = prepared.len;
     let model = config.model;
 
     // Window depth in real branch paths, and the DEE coverage shape
@@ -425,25 +425,25 @@ fn simulate_constrained(prepared: &PreparedTrace, config: &SimConfig) -> SimOutc
 /// occurrence of the branch's reconvergence point at the same call depth
 /// (scan capped at `max_cd_scan`).
 fn cd_region_end(prepared: &PreparedTrace, config: &SimConfig, i: usize) -> u32 {
-    let records = prepared.trace.records();
-    let rec = &records[i];
-    let outcome = rec.branch.expect("mispredicted record is a branch");
-    // Mispredicted: the predicted direction is the opposite of the actual.
-    let predicted_taken = !outcome.taken;
+    let pc = prepared.pcs[i] as usize;
+    // Mispredicted: the predicted direction is the opposite of the actual
+    // direction packed into the meta word.
+    let predicted_taken = prepared.meta[i] & META_TAKEN == 0;
     let loops_back = if predicted_taken {
-        prepared.loops_back_taken[rec.pc as usize]
+        prepared.loops_back_taken[pc]
     } else {
-        prepared.loops_back_fall[rec.pc as usize]
+        prepared.loops_back_fall[pc]
     };
     if loops_back {
         return u32::MAX;
     }
-    let Some(join_pc) = prepared.reconv[rec.pc as usize] else {
+    let Some(join_pc) = prepared.reconv[pc] else {
         return u32::MAX; // reconverges only at program exit
     };
-    let limit = records.len().min(i + 1 + config.max_cd_scan as usize);
-    for (j, other) in records.iter().enumerate().take(limit).skip(i + 1) {
-        if other.pc == join_pc && other.depth == rec.depth {
+    let depth = prepared.depths[i];
+    let limit = prepared.len.min(i + 1 + config.max_cd_scan as usize);
+    for j in i + 1..limit {
+        if prepared.pcs[j] == join_pc && prepared.depths[j] == depth {
             return j as u32;
         }
     }
@@ -456,11 +456,8 @@ mod tests {
     use dee_isa::{Assembler, Program, Reg};
     use dee_vm::{trace_program, Trace};
 
-    fn prep(program: &Program, trace: &Trace) -> PreparedTrace<'static> {
-        // Leak for test convenience (tiny traces).
-        let trace: &'static Trace = Box::leak(Box::new(trace.clone()));
-        let prepared = PreparedTrace::new(program, trace);
-        prepared
+    fn prep(program: &Program, trace: &Trace) -> PreparedTrace {
+        PreparedTrace::new(program, trace)
     }
 
     /// A dependence chain: every instruction depends on the previous one.

@@ -81,21 +81,20 @@ mod stats;
 
 pub use engine::{riseman_foster, simulate};
 pub use model::{LatencyModel, Model, SimConfig};
-pub use prepare::PreparedTrace;
+pub use prepare::{PreparedTrace, PreparedTraceBuilder};
 pub use stats::{harmonic_mean, SimOutcome};
 
 /// Send/Sync audit (DESIGN.md §8): the sweep pool in `dee-bench` and the
 /// `/batch` fan-out in `dee-serve` share one [`PreparedTrace`] per workload
 /// across worker threads and move configs/outcomes between them. Every
-/// type here is plain owned data (or `Cow` over it) with no interior
-/// mutability — [`simulate`] takes `&PreparedTrace` and builds all mutable
-/// state locally — so these bounds hold structurally; this assertion turns
-/// an accidental `Rc`/`RefCell`/raw-pointer regression into a compile
-/// error rather than a data race.
+/// type here is plain owned data with no interior mutability —
+/// [`simulate`] takes `&PreparedTrace` and builds all mutable state
+/// locally — so these bounds hold structurally; this assertion turns an
+/// accidental `Rc`/`RefCell`/raw-pointer regression into a compile error
+/// rather than a data race.
 const _SEND_SYNC_AUDIT: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<PreparedTrace<'static>>();
-    assert_send_sync::<PreparedTrace<'_>>();
+    assert_send_sync::<PreparedTrace>();
     assert_send_sync::<SimConfig>();
     assert_send_sync::<Model>();
     assert_send_sync::<LatencyModel>();

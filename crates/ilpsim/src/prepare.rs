@@ -1,9 +1,7 @@
-use std::borrow::Cow;
-
 use dee_isa::cfg::Cfg;
 use dee_isa::{AluOp, Instr, Program};
 use dee_predict::{BranchPredictor, TwoBitCounter};
-use dee_vm::Trace;
+use dee_vm::{Trace, TraceChunkSource, TraceRecord};
 
 /// A trace annotated with everything the models need: per-record
 /// misprediction flags (from a predictor replay), per-static-branch
@@ -12,13 +10,17 @@ use dee_vm::Trace;
 ///
 /// Preparing once and simulating many configurations amortizes the
 /// predictor replay and CFG analysis across the whole parameter sweep.
-/// The trace is held behind a [`Cow`]: the usual constructors borrow the
-/// caller's trace, while [`into_owned`](Self::into_owned) detaches the
-/// lifetime so prepared traces can live in long-lived caches (e.g. the
-/// `dee-serve` prepared-trace cache).
+/// The representation is *columnar*: instead of holding the 40-byte
+/// [`TraceRecord`]s, the models' hot loops read three dense per-record
+/// columns (`meta`, `pcs`, `depths`, ~12 bytes/record) plus the load and
+/// store address streams. Nothing here borrows the input trace, so a
+/// prepared trace can be built incrementally from bounded chunks (see
+/// [`PreparedTraceBuilder`]) and the full record vector never needs to
+/// exist in memory at all.
 #[derive(Clone, Debug)]
-pub struct PreparedTrace<'a> {
-    pub(crate) trace: Cow<'a, Trace>,
+pub struct PreparedTrace {
+    /// Number of dynamic records.
+    pub(crate) len: usize,
     /// Per static pc: the branch's reconvergence point, if any.
     pub(crate) reconv: Vec<Option<u32>>,
     /// Number of branch paths.
@@ -34,9 +36,14 @@ pub struct PreparedTrace<'a> {
     /// Per dynamic record: every field the hot simulate loops touch, fused
     /// into one u32 (see the `META_*` constants): source and destination
     /// register slots, memory-access and conditional-branch flags, the
-    /// latency class, and the mispredict flag. One 4-byte load per record
-    /// per cell instead of re-matching the ~40-byte `TraceRecord`.
+    /// latency class, the branch direction, and the mispredict flag. One
+    /// 4-byte load per record per cell instead of re-matching the ~40-byte
+    /// `TraceRecord`.
     pub(crate) meta: Vec<u32>,
+    /// Per dynamic record: the static pc (for `-CD` reconvergence scans).
+    pub(crate) pcs: Vec<u32>,
+    /// Per dynamic record: the call depth (for `-CD` reconvergence scans).
+    pub(crate) depths: Vec<u32>,
     /// Effective word addresses of loads, in record order (records with
     /// the `META_HAS_READ` bit consume one entry each).
     pub(crate) read_addrs: Vec<u32>,
@@ -53,6 +60,9 @@ pub struct PreparedTrace<'a> {
     /// Optional per-record memory-access latencies (e.g. from a cache
     /// model); overrides the configured `mem` latency per access.
     pub(crate) mem_latency: Option<Vec<u32>>,
+    /// The program's output stream (carried through from the trace so
+    /// byte-identity checks need no separate trace handle).
+    output: Vec<i32>,
     /// Cached count of dynamic conditional branches.
     num_branches: u64,
     /// Cached count of mispredicted dynamic branches.
@@ -61,12 +71,12 @@ pub struct PreparedTrace<'a> {
     accuracy: f64,
 }
 
-impl<'a> PreparedTrace<'a> {
+impl PreparedTrace {
     /// Prepares `trace` with the paper's default predictor: the 2-bit
     /// saturating counter, one per static instruction, initialized weakly
     /// taken.
     #[must_use]
-    pub fn new(program: &Program, trace: &'a Trace) -> Self {
+    pub fn new(program: &Program, trace: &Trace) -> Self {
         Self::with_predictor(program, trace, &mut TwoBitCounter::new())
     }
 
@@ -74,119 +84,46 @@ impl<'a> PreparedTrace<'a> {
     #[must_use]
     pub fn with_predictor(
         program: &Program,
-        trace: &'a Trace,
+        trace: &Trace,
         predictor: &mut dyn BranchPredictor,
     ) -> Self {
-        // The per-static-pc latency classes, resolved up front so the
-        // fused pass below can pack them per dynamic record.
-        let class_of: Vec<InstrClass> = program
-            .instrs()
-            .iter()
-            .map(|instr| match instr {
-                Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
-                    AluOp::Mul | AluOp::Div | AluOp::Rem => InstrClass::MulDiv,
-                    _ => InstrClass::Alu,
-                },
-                Instr::Lw { .. } | Instr::Sw { .. } => InstrClass::Mem,
-                Instr::Branch { .. } | Instr::Jr { .. } => InstrClass::Branch,
-                _ => InstrClass::Alu,
-            })
-            .collect();
+        let mut builder = PreparedTraceBuilder::new(program, predictor);
+        builder.reserve(trace.len());
+        builder.push_chunk(trace.records());
+        builder.finish(trace.output().to_vec())
+    }
 
-        // One linear pass fuses the record array into the packed `meta`
-        // column plus the load/store address streams, and extracts the
-        // conditional-branch stream (record index, static pc, outcome)
-        // the predictor replays. Compared to replaying over the full
-        // record array, the predictor update loop touches memory
-        // linearly, and the accuracy count falls out of the same stream
-        // instead of a second full pass.
-        let records = trace.records();
-        let n = records.len();
-        let mut meta = Vec::with_capacity(n);
-        let mut read_addrs: Vec<u32> = Vec::new();
-        let mut write_addrs: Vec<u32> = Vec::new();
-        let mut mem_words = 0usize;
-        let mut class_counts = [0u64; 4];
-        let mut branch_idx: Vec<u32> = Vec::new();
-        let mut branch_pc: Vec<u32> = Vec::new();
-        let mut branch_taken: Vec<bool> = Vec::new();
-        for record in records {
-            let class = class_of[record.pc as usize];
-            class_counts[class as usize] += 1;
-            let mut m = record.srcs[0].map_or(META_READ_SINK, |r| r.index() as u32)
-                | record.srcs[1].map_or(META_READ_SINK, |r| r.index() as u32) << META_SRC2_SHIFT
-                | record.dst.map_or(META_WRITE_SINK, |r| r.index() as u32) << META_DST_SHIFT
-                | (class as u32) << META_CLASS_SHIFT;
-            if let Some(addr) = record.mem_read {
-                m |= META_HAS_READ;
-                read_addrs.push(addr);
-                mem_words = mem_words.max(addr as usize + 1);
-            }
-            if let Some(addr) = record.mem_write {
-                m |= META_HAS_WRITE;
-                write_addrs.push(addr);
-                mem_words = mem_words.max(addr as usize + 1);
-            }
-            if let Some(outcome) = record.branch {
-                m |= META_IS_COND;
-                branch_idx.push(meta.len() as u32);
-                branch_pc.push(record.pc);
-                branch_taken.push(outcome.taken);
-            }
-            meta.push(m);
+    /// Prepares a trace incrementally from a chunked producer, pulling at
+    /// most `chunk_records` records at a time: the steady-state footprint
+    /// is the columnar output plus one chunk buffer, never the full record
+    /// vector. Byte-identical to [`with_predictor`] over the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's transport/execution error.
+    pub fn from_source(
+        program: &Program,
+        source: &mut dyn TraceChunkSource,
+        chunk_records: usize,
+        predictor: &mut dyn BranchPredictor,
+    ) -> Result<Self, String> {
+        let chunk = chunk_records.max(1);
+        let mut builder = PreparedTraceBuilder::new(program, predictor);
+        if let Some(hint) = source.len_hint() {
+            // Trust the hint only up to a sane bound; hostile headers can
+            // claim anything, and the columns grow fine without it.
+            builder.reserve(usize::try_from(hint).unwrap_or(usize::MAX).min(1 << 20));
         }
-        let mut wrong = 0u64;
-        for ((&i, &pc), &taken) in branch_idx.iter().zip(&branch_pc).zip(&branch_taken) {
-            if predictor.predict(pc) != taken {
-                meta[i as usize] |= META_MISPREDICT;
-                wrong += 1;
+        let mut buf: Vec<TraceRecord> = Vec::with_capacity(chunk);
+        loop {
+            buf.clear();
+            if source.next_chunk(&mut buf, chunk)? == 0 {
+                break;
             }
-            predictor.resolve(pc, taken);
+            builder.push_chunk(&buf);
         }
-        let num_branches = branch_idx.len() as u64;
-        let accuracy = if num_branches == 0 {
-            1.0
-        } else {
-            1.0 - wrong as f64 / num_branches as f64
-        };
-        let num_paths = match records.last() {
-            None => 0,
-            Some(last) if last.is_cond_branch() => num_branches as u32,
-            Some(_) => num_branches as u32 + 1,
-        };
-
-        let cfg = Cfg::new(program);
-        let postdoms = cfg.postdominators();
-        let mut reconv = vec![None; program.len()];
-        let mut loops_back_taken = vec![false; program.len()];
-        let mut loops_back_fall = vec![false; program.len()];
-        for pc in program.cond_branch_pcs() {
-            reconv[pc as usize] = postdoms.reconvergence(pc);
-            let (target, fall) = match program[pc] {
-                dee_isa::Instr::Branch { target, .. } => (target, pc + 1),
-                _ => unreachable!("cond_branch_pcs returns branches"),
-            };
-            let stop = reconv[pc as usize];
-            loops_back_taken[pc as usize] = reaches_without(&cfg, target, pc, stop);
-            loops_back_fall[pc as usize] = reaches_without(&cfg, fall, pc, stop);
-        }
-
-        PreparedTrace {
-            trace: Cow::Borrowed(trace),
-            reconv,
-            num_paths,
-            loops_back_taken,
-            loops_back_fall,
-            meta,
-            read_addrs,
-            write_addrs,
-            mem_words,
-            class_counts,
-            mem_latency: None,
-            num_branches,
-            num_mispredicts: wrong,
-            accuracy,
-        }
+        let output = source.take_output()?;
+        Ok(builder.finish(output))
     }
 
     /// Attaches per-record memory-access latencies (one entry per dynamic
@@ -214,15 +151,15 @@ impl<'a> PreparedTrace<'a> {
     /// Returns a message when the length does not match the trace or a
     /// memory record's latency is zero.
     pub fn try_with_mem_latencies(mut self, latencies: Vec<u32>) -> Result<Self, String> {
-        if latencies.len() != self.trace.len() {
+        if latencies.len() != self.len {
             return Err(format!(
                 "latency vector has {} entries for a {}-record trace",
                 latencies.len(),
-                self.trace.len()
+                self.len
             ));
         }
-        for (i, (lat, rec)) in latencies.iter().zip(self.trace.records()).enumerate() {
-            if (rec.mem_read.is_some() || rec.mem_write.is_some()) && *lat == 0 {
+        for (i, (lat, &m)) in latencies.iter().zip(&self.meta).enumerate() {
+            if m & (META_HAS_READ | META_HAS_WRITE) != 0 && *lat == 0 {
                 return Err(format!("memory record {i} has zero latency"));
             }
         }
@@ -230,33 +167,22 @@ impl<'a> PreparedTrace<'a> {
         Ok(self)
     }
 
-    /// The underlying trace.
+    /// Number of dynamic records.
     #[must_use]
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    pub fn len(&self) -> usize {
+        self.len
     }
 
-    /// Detaches the prepared trace from the borrowed input by cloning the
-    /// trace exactly once, yielding a `'static` value that can be stored
-    /// in caches or shared across threads.
+    /// Whether the trace has no records.
     #[must_use]
-    pub fn into_owned(self) -> PreparedTrace<'static> {
-        PreparedTrace {
-            trace: Cow::Owned(self.trace.into_owned()),
-            reconv: self.reconv,
-            num_paths: self.num_paths,
-            loops_back_taken: self.loops_back_taken,
-            loops_back_fall: self.loops_back_fall,
-            meta: self.meta,
-            read_addrs: self.read_addrs,
-            write_addrs: self.write_addrs,
-            mem_words: self.mem_words,
-            class_counts: self.class_counts,
-            mem_latency: self.mem_latency,
-            num_branches: self.num_branches,
-            num_mispredicts: self.num_mispredicts,
-            accuracy: self.accuracy,
-        }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The program's output stream.
+    #[must_use]
+    pub fn output(&self) -> &[i32] {
+        &self.output
     }
 
     /// Measured accuracy of the predictor that produced the flags — the
@@ -285,6 +211,183 @@ impl<'a> PreparedTrace<'a> {
     }
 }
 
+/// Incremental [`PreparedTrace`] construction: feed records in order
+/// (whole traces or bounded chunks), then [`finish`](Self::finish).
+///
+/// The CFG analysis (reconvergence points, loop-back classification) and
+/// the per-pc latency classes depend only on the *program*, so they are
+/// computed once up front; each pushed record is packed into the columnar
+/// form and replayed through the predictor in stream order. Feeding the
+/// same records in any chunking therefore yields bit-identical results.
+pub struct PreparedTraceBuilder<'p> {
+    class_of: Vec<InstrClass>,
+    reconv: Vec<Option<u32>>,
+    loops_back_taken: Vec<bool>,
+    loops_back_fall: Vec<bool>,
+    predictor: &'p mut dyn BranchPredictor,
+    meta: Vec<u32>,
+    pcs: Vec<u32>,
+    depths: Vec<u32>,
+    read_addrs: Vec<u32>,
+    write_addrs: Vec<u32>,
+    mem_words: usize,
+    class_counts: [u64; 4],
+    num_branches: u64,
+    wrong: u64,
+    last_was_branch: bool,
+}
+
+impl<'p> PreparedTraceBuilder<'p> {
+    /// Runs the program-level analysis and readies an empty accumulator.
+    #[must_use]
+    pub fn new(program: &Program, predictor: &'p mut dyn BranchPredictor) -> Self {
+        // The per-static-pc latency classes, resolved up front so the
+        // per-record pass below can pack them per dynamic record.
+        let class_of: Vec<InstrClass> = program
+            .instrs()
+            .iter()
+            .map(|instr| match instr {
+                Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
+                    AluOp::Mul | AluOp::Div | AluOp::Rem => InstrClass::MulDiv,
+                    _ => InstrClass::Alu,
+                },
+                Instr::Lw { .. } | Instr::Sw { .. } => InstrClass::Mem,
+                Instr::Branch { .. } | Instr::Jr { .. } => InstrClass::Branch,
+                _ => InstrClass::Alu,
+            })
+            .collect();
+
+        let cfg = Cfg::new(program);
+        let postdoms = cfg.postdominators();
+        let mut reconv = vec![None; program.len()];
+        let mut loops_back_taken = vec![false; program.len()];
+        let mut loops_back_fall = vec![false; program.len()];
+        for pc in program.cond_branch_pcs() {
+            reconv[pc as usize] = postdoms.reconvergence(pc);
+            let (target, fall) = match program[pc] {
+                dee_isa::Instr::Branch { target, .. } => (target, pc + 1),
+                _ => unreachable!("cond_branch_pcs returns branches"),
+            };
+            let stop = reconv[pc as usize];
+            loops_back_taken[pc as usize] = reaches_without(&cfg, target, pc, stop);
+            loops_back_fall[pc as usize] = reaches_without(&cfg, fall, pc, stop);
+        }
+
+        PreparedTraceBuilder {
+            class_of,
+            reconv,
+            loops_back_taken,
+            loops_back_fall,
+            predictor,
+            meta: Vec::new(),
+            pcs: Vec::new(),
+            depths: Vec::new(),
+            read_addrs: Vec::new(),
+            write_addrs: Vec::new(),
+            mem_words: 0,
+            class_counts: [0u64; 4],
+            num_branches: 0,
+            wrong: 0,
+            last_was_branch: false,
+        }
+    }
+
+    /// Pre-sizes the per-record columns for `records` entries.
+    pub fn reserve(&mut self, records: usize) {
+        self.meta.reserve(records);
+        self.pcs.reserve(records);
+        self.depths.reserve(records);
+    }
+
+    /// Packs one dynamic record into the columns and replays it through
+    /// the predictor.
+    pub fn push_record(&mut self, record: &TraceRecord) {
+        let class = self.class_of[record.pc as usize];
+        self.class_counts[class as usize] += 1;
+        let mut m = record.srcs[0].map_or(META_READ_SINK, |r| r.index() as u32)
+            | record.srcs[1].map_or(META_READ_SINK, |r| r.index() as u32) << META_SRC2_SHIFT
+            | record.dst.map_or(META_WRITE_SINK, |r| r.index() as u32) << META_DST_SHIFT
+            | (class as u32) << META_CLASS_SHIFT;
+        if let Some(addr) = record.mem_read {
+            m |= META_HAS_READ;
+            self.read_addrs.push(addr);
+            self.mem_words = self.mem_words.max(addr as usize + 1);
+        }
+        if let Some(addr) = record.mem_write {
+            m |= META_HAS_WRITE;
+            self.write_addrs.push(addr);
+            self.mem_words = self.mem_words.max(addr as usize + 1);
+        }
+        self.last_was_branch = false;
+        if let Some(outcome) = record.branch {
+            m |= META_IS_COND;
+            if outcome.taken {
+                m |= META_TAKEN;
+            }
+            if self.predictor.predict(record.pc) != outcome.taken {
+                m |= META_MISPREDICT;
+                self.wrong += 1;
+            }
+            self.predictor.resolve(record.pc, outcome.taken);
+            self.num_branches += 1;
+            self.last_was_branch = true;
+        }
+        self.meta.push(m);
+        self.pcs.push(record.pc);
+        self.depths.push(record.depth);
+    }
+
+    /// Pushes a batch of records in order.
+    pub fn push_chunk(&mut self, records: &[TraceRecord]) {
+        for record in records {
+            self.push_record(record);
+        }
+    }
+
+    /// Number of records pushed so far.
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Seals the accumulated columns into a [`PreparedTrace`].
+    #[must_use]
+    pub fn finish(self, output: Vec<i32>) -> PreparedTrace {
+        let num_branches = self.num_branches;
+        let accuracy = if num_branches == 0 {
+            1.0
+        } else {
+            1.0 - self.wrong as f64 / num_branches as f64
+        };
+        let num_paths = if self.meta.is_empty() {
+            0
+        } else if self.last_was_branch {
+            num_branches as u32
+        } else {
+            num_branches as u32 + 1
+        };
+        PreparedTrace {
+            len: self.meta.len(),
+            reconv: self.reconv,
+            num_paths,
+            loops_back_taken: self.loops_back_taken,
+            loops_back_fall: self.loops_back_fall,
+            meta: self.meta,
+            pcs: self.pcs,
+            depths: self.depths,
+            read_addrs: self.read_addrs,
+            write_addrs: self.write_addrs,
+            mem_words: self.mem_words,
+            class_counts: self.class_counts,
+            mem_latency: None,
+            output,
+            num_branches,
+            num_mispredicts: self.wrong,
+            accuracy,
+        }
+    }
+}
+
 /// Bit layout of the packed per-record `meta` word.
 ///
 /// Register fields hold 6-bit *slots* into a [`META_REG_SLOTS`]-entry
@@ -300,6 +403,9 @@ pub(crate) const META_HAS_WRITE: u32 = 1 << 19;
 pub(crate) const META_IS_COND: u32 = 1 << 20;
 pub(crate) const META_MISPREDICT: u32 = 1 << 21;
 pub(crate) const META_CLASS_SHIFT: u32 = 22;
+/// Actual direction of a conditional branch (set = taken); only
+/// meaningful when `META_IS_COND` is set.
+pub(crate) const META_TAKEN: u32 = 1 << 24;
 
 /// Size of the register availability tables in the simulate loops.
 pub(crate) const META_REG_SLOTS: usize = 64;
@@ -355,7 +461,7 @@ fn reaches_without(cfg: &Cfg, from: u32, goal: u32, avoid: Option<u32>) -> bool 
 mod tests {
     use super::*;
     use dee_isa::{Assembler, Reg};
-    use dee_vm::trace_program;
+    use dee_vm::{trace_program, TraceChunks};
 
     fn countdown(n: i32) -> (Program, Trace) {
         let mut asm = Assembler::new();
@@ -432,6 +538,20 @@ mod tests {
         assert_eq!(prepared.read_addrs, vec![3]);
         assert_eq!(prepared.write_addrs, vec![3]);
         assert_eq!(prepared.mem_words, 4);
+    }
+
+    #[test]
+    fn meta_records_branch_direction() {
+        let (p, t) = countdown(2);
+        let prepared = PreparedTrace::new(&p, &t);
+        // records: li, addi, bgt(taken), addi, bgt(not taken), halt
+        assert_ne!(prepared.meta[2] & META_TAKEN, 0);
+        assert_eq!(prepared.meta[4] & META_TAKEN, 0);
+        for (i, rec) in t.records().iter().enumerate() {
+            assert_eq!(prepared.pcs[i], rec.pc);
+            assert_eq!(prepared.depths[i], rec.depth);
+        }
+        assert_eq!(prepared.output(), t.output());
     }
 
     #[test]
@@ -547,5 +667,59 @@ mod tests {
         let prepared = PreparedTrace::new(&p, &t);
         assert_eq!(prepared.num_paths(), 1);
         assert_eq!(prepared.accuracy(), 1.0);
+    }
+
+    /// The streaming cornerstone: any chunking of the same record stream
+    /// produces a bit-identical prepared trace.
+    #[test]
+    fn from_source_identical_to_with_predictor_at_every_chunk_size() {
+        let mut asm = Assembler::new();
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        asm.li(r1, 25);
+        asm.li(r2, 0);
+        asm.label("top");
+        asm.sw(r1, Reg::ZERO, 40);
+        asm.lw(r2, Reg::ZERO, 40);
+        asm.call_label("bump");
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.out(r2);
+        asm.halt();
+        asm.label("bump");
+        asm.addi(r1, r1, -1);
+        asm.ret();
+        let p = asm.assemble().unwrap();
+        let t = trace_program(&p, &[], 100_000).unwrap();
+        let whole = PreparedTrace::with_predictor(&p, &t, &mut TwoBitCounter::new());
+        for chunk in [1usize, 7, 4093, 1 << 16] {
+            let mut source = TraceChunks::new(&t);
+            let streamed =
+                PreparedTrace::from_source(&p, &mut source, chunk, &mut TwoBitCounter::new())
+                    .unwrap();
+            assert_eq!(streamed.meta, whole.meta, "chunk={chunk}");
+            assert_eq!(streamed.pcs, whole.pcs);
+            assert_eq!(streamed.depths, whole.depths);
+            assert_eq!(streamed.read_addrs, whole.read_addrs);
+            assert_eq!(streamed.write_addrs, whole.write_addrs);
+            assert_eq!(streamed.class_counts, whole.class_counts);
+            assert_eq!(streamed.mem_words, whole.mem_words);
+            assert_eq!(streamed.num_paths(), whole.num_paths());
+            assert_eq!(streamed.num_branches(), whole.num_branches());
+            assert_eq!(streamed.num_mispredicts(), whole.num_mispredicts());
+            assert_eq!(streamed.output(), whole.output());
+            assert!((streamed.accuracy() - whole.accuracy()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn from_source_handles_empty_stream() {
+        let mut asm = Assembler::new();
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let empty = Trace::from_parts(vec![], vec![]);
+        let mut source = TraceChunks::new(&empty);
+        let prepared =
+            PreparedTrace::from_source(&p, &mut source, 64, &mut TwoBitCounter::new()).unwrap();
+        assert_eq!(prepared.num_paths(), 0);
+        assert!(prepared.is_empty());
     }
 }

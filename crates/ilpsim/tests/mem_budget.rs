@@ -1,0 +1,174 @@
+//! Peak-allocation regression guard for the streaming prepare pipeline.
+//!
+//! Run with `cargo test -p dee-ilpsim --features alloc-guard --test
+//! mem_budget`. Compiled out entirely without the feature so the counting
+//! allocator never taxes the normal test suite.
+//!
+//! The claim under test: preparing the fig5-small suite through
+//! [`PreparedTrace::from_source`] over a live [`CaptureChunks`] producer
+//! never materializes the full record vector, so its peak heap growth
+//! stays under a fixed byte budget — while the legacy capture-then-prepare
+//! path (whole [`Trace`] in memory, then [`PreparedTrace::new`]) blows
+//! through the same budget on the larger workloads. Both paths must agree
+//! on every simulation-visible quantity, or the budget win is meaningless.
+//!
+//! The library crate forbids `unsafe`; this integration test is its own
+//! crate, and the `GlobalAlloc` wrapper below is the one place in the
+//! workspace allowed to need it.
+#![cfg(feature = "alloc-guard")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dee_ilpsim::{simulate, Model, PreparedTrace, SimConfig};
+use dee_predict::TwoBitCounter;
+use dee_vm::CaptureChunks;
+use dee_workloads::{all_workloads, Scale, Workload};
+
+/// Forwarding allocator that tracks live bytes and the high-water mark.
+/// Counts layout sizes, not malloc overhead — a deterministic lower bound
+/// that is identical across allocators and platforms.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: usize) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                on_dealloc(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap growth above the phase's starting live set, at its peak.
+fn phase_peak(f: impl FnOnce()) -> usize {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
+
+/// Budget the streamed path must stay under and the legacy path must
+/// exceed, as peak heap growth while preparing one fig5-small workload.
+/// Empirically the streamed path peaks around 7.8 MiB (machine memory
+/// image plus columnar output plus one chunk buffer) and the legacy path
+/// around 14.7 MiB (the ~240 K-record eqntott trace vector alone is
+/// ~9.6 MiB before the columns even start), so 10 MiB sits between with
+/// ~25-40% margin each way.
+const BUDGET_BYTES: usize = 10 * 1024 * 1024;
+
+/// Chunk size for the streamed path: small enough that the in-flight
+/// buffer is noise next to the columnar output.
+const CHUNK_RECORDS: usize = 4096;
+
+/// Everything `simulate` can observe, for cross-path identity checks.
+fn fingerprint(prepared: &PreparedTrace) -> (usize, u32, u64, u64, Vec<i32>, f64, f64) {
+    let outcome = simulate(prepared, &SimConfig::new(Model::DeeCdMf, 8));
+    (
+        prepared.len(),
+        prepared.num_paths(),
+        prepared.num_branches(),
+        prepared.num_mispredicts(),
+        prepared.output().to_vec(),
+        prepared.accuracy(),
+        outcome.speedup(),
+    )
+}
+
+fn prepare_streamed(w: &Workload) -> PreparedTrace {
+    let mut source = CaptureChunks::new(&w.program, &w.initial_memory, w.step_limit)
+        .expect("workload image fits");
+    let mut predictor = TwoBitCounter::new();
+    PreparedTrace::from_source(&w.program, &mut source, CHUNK_RECORDS, &mut predictor)
+        .expect("in-process capture cannot fault")
+}
+
+fn prepare_legacy(w: &Workload) -> PreparedTrace {
+    let trace = w.capture_trace().expect("workload runs to halt");
+    PreparedTrace::new(&w.program, &trace)
+}
+
+#[test]
+fn streamed_prepare_stays_under_budget_while_legacy_exceeds_it() {
+    let suite = all_workloads(Scale::Small);
+    assert_eq!(suite.len(), 5, "fig5 suite is the paper's five workloads");
+
+    let mut streamed_worst = 0usize;
+    let mut legacy_worst = 0usize;
+    for w in &suite {
+        let mut streamed = None;
+        let streamed_peak = phase_peak(|| streamed = Some(prepare_streamed(w)));
+        let streamed = streamed.unwrap();
+        let streamed_print = fingerprint(&streamed);
+        drop(streamed);
+
+        let mut legacy = None;
+        let legacy_peak = phase_peak(|| legacy = Some(prepare_legacy(w)));
+        let legacy = legacy.unwrap();
+        let legacy_print = fingerprint(&legacy);
+        drop(legacy);
+
+        eprintln!(
+            "mem_budget: {:<10} streamed_peak={:>9} legacy_peak={:>9}",
+            w.name, streamed_peak, legacy_peak
+        );
+        assert_eq!(streamed_print, legacy_print, "{}: paths diverge", w.name);
+        assert!(
+            streamed_peak <= BUDGET_BYTES,
+            "{}: streamed prepare peaked at {streamed_peak} bytes, budget {BUDGET_BYTES}",
+            w.name
+        );
+        streamed_worst = streamed_worst.max(streamed_peak);
+        legacy_worst = legacy_worst.max(legacy_peak);
+    }
+
+    // The regression tripwire: if the legacy path ever fits the budget,
+    // the budget is too loose to catch a streamed-path regression back to
+    // whole-trace materialization — tighten it.
+    assert!(
+        legacy_worst > BUDGET_BYTES,
+        "legacy prepare peaked at {legacy_worst} bytes, within the {BUDGET_BYTES}-byte budget; \
+         tighten BUDGET_BYTES so the guard keeps discriminating"
+    );
+    eprintln!("mem_budget: worst streamed={streamed_worst} worst legacy={legacy_worst}");
+}

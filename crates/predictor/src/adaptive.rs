@@ -1,5 +1,6 @@
 use std::collections::VecDeque;
 
+use crate::wire::{put_u32, Cursor};
 use crate::BranchPredictor;
 
 /// PAp two-level adaptive predictor (Yeh & Patt): a per-branch history
@@ -153,6 +154,95 @@ impl BranchPredictor for PapAdaptive {
             "pap"
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Canonical form: trailing untracked branches are implicit.
+        let used = self
+            .branches
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| i + 1);
+        let mut out = Vec::new();
+        put_u32(&mut out, self.history_bits);
+        out.push(u8::from(self.speculative));
+        put_u32(&mut out, used as u32);
+        for slot in &self.branches[..used] {
+            match slot {
+                None => out.push(0),
+                Some(st) => {
+                    out.push(1);
+                    out.push(st.spec_hist);
+                    out.push(st.actual_hist);
+                    out.extend_from_slice(&st.pht);
+                    put_u32(&mut out, st.pending.len() as u32);
+                    for &(idx, predicted) in &st.pending {
+                        out.push(idx);
+                        out.push(u8::from(predicted));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = Cursor::new(bytes);
+        let history_bits = cur.u32()?;
+        if !(1..=8).contains(&history_bits) {
+            return Err(format!("pap: bad history_bits {history_bits}"));
+        }
+        let speculative = match cur.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("pap: bad speculative flag {other}")),
+        };
+        let mask = ((1u16 << history_bits) - 1) as u8;
+        let pht_len = 1usize << history_bits;
+        let used = cur.u32()? as usize;
+        let mut branches: Vec<Option<BranchState>> = Vec::with_capacity(used);
+        for slot in 0..used {
+            match cur.u8()? {
+                0 => branches.push(None),
+                1 => {
+                    let spec_hist = cur.u8()?;
+                    let actual_hist = cur.u8()?;
+                    if spec_hist & !mask != 0 || actual_hist & !mask != 0 {
+                        return Err(format!("pap: branch {slot} history exceeds mask"));
+                    }
+                    let pht = cur.bytes(pht_len)?.to_vec();
+                    if let Some(&bad) = pht.iter().find(|&&c| c > 3) {
+                        return Err(format!("pap: counter state {bad} out of range"));
+                    }
+                    let pending_len = cur.u32()? as usize;
+                    let mut pending = VecDeque::with_capacity(pending_len);
+                    for _ in 0..pending_len {
+                        let idx = cur.u8()?;
+                        if idx & !mask != 0 {
+                            return Err(format!("pap: pending index {idx} exceeds mask"));
+                        }
+                        let predicted = match cur.u8()? {
+                            0 => false,
+                            1 => true,
+                            other => return Err(format!("pap: bad direction byte {other}")),
+                        };
+                        pending.push_back((idx, predicted));
+                    }
+                    branches.push(Some(BranchState {
+                        spec_hist,
+                        actual_hist,
+                        pht,
+                        pending,
+                    }));
+                }
+                other => return Err(format!("pap: bad presence byte {other}")),
+            }
+        }
+        cur.finish()?;
+        self.history_bits = history_bits;
+        self.speculative = speculative;
+        self.branches = branches;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +353,68 @@ mod tests {
     fn names_distinguish_modes() {
         assert_eq!(PapAdaptive::with_config(2, true).name(), "pap-spec");
         assert_eq!(PapAdaptive::with_config(2, false).name(), "pap");
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_outstanding_speculation() {
+        // Leave predictions in flight when the snapshot is cut — the
+        // restored predictor must retire them in the same order.
+        let mut p = PapAdaptive::new();
+        for i in 0..50u32 {
+            p.predict(i % 5);
+            if i % 3 == 0 {
+                p.resolve(i % 5, i % 2 == 0);
+            }
+        }
+        let blob = p.save_state();
+        let mut q = PapAdaptive::new();
+        q.load_state(&blob).expect("loads");
+        for i in 0..100u32 {
+            let pc = i % 5;
+            assert_eq!(p.predict(pc), q.predict(pc), "step {i}");
+            let taken = i % 7 < 3;
+            p.resolve(pc, taken);
+            q.resolve(pc, taken);
+        }
+        assert_eq!(p.save_state(), q.save_state());
+    }
+
+    #[test]
+    fn state_blob_is_canonical_over_table_growth() {
+        // Touching a high pc then only ever training a low one leaves
+        // trailing empty slots; they must not appear in the blob.
+        let mut a = PapAdaptive::new();
+        a.resolve(2, true);
+        let mut b = PapAdaptive::new();
+        b.predict(900); // grows the table
+        b.resolve(900, true); // retires the lone prediction...
+        let blob_b = b.save_state();
+        b.load_state(&a.save_state()).expect("loads");
+        assert_eq!(b.save_state(), a.save_state());
+        // ...but slot 900 itself is live state and is preserved.
+        let mut c = PapAdaptive::new();
+        c.load_state(&blob_b).expect("loads");
+        assert_eq!(c.save_state(), blob_b);
+    }
+
+    #[test]
+    fn load_rejects_malformed_state() {
+        let mut p = PapAdaptive::new();
+        assert!(p.load_state(&[]).is_err(), "empty blob");
+        let mut blob = Vec::new();
+        crate::wire::put_u32(&mut blob, 9); // history_bits out of range
+        blob.push(1);
+        crate::wire::put_u32(&mut blob, 0);
+        assert!(p.load_state(&blob).is_err(), "bad history_bits");
+        let mut blob = Vec::new();
+        crate::wire::put_u32(&mut blob, 2);
+        blob.push(7); // bad speculative flag
+        crate::wire::put_u32(&mut blob, 0);
+        assert!(p.load_state(&blob).is_err(), "bad flag");
+        let good = PapAdaptive::new().save_state();
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(p.load_state(&trailing).is_err(), "trailing bytes");
+        assert!(p.load_state(&good).is_ok(), "pristine blob loads");
     }
 }

@@ -1,3 +1,4 @@
+use crate::wire::{put_u32, Cursor};
 use crate::BranchPredictor;
 
 /// The classic 2-bit saturating up/down counter predictor (J. E. Smith,
@@ -72,6 +73,33 @@ impl BranchPredictor for TwoBitCounter {
     fn name(&self) -> &'static str {
         "2bc"
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Canonical form: trailing never-trained counters are implicit, so
+        // behaviorally identical predictors serialize byte-identically even
+        // if their tables grew differently.
+        let used = self
+            .counters
+            .iter()
+            .rposition(|&c| c != INIT_STATE)
+            .map_or(0, |i| i + 1);
+        let mut out = Vec::with_capacity(4 + used);
+        put_u32(&mut out, used as u32);
+        out.extend_from_slice(&self.counters[..used]);
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = Cursor::new(bytes);
+        let n = cur.u32()? as usize;
+        let counters = cur.bytes(n)?.to_vec();
+        cur.finish()?;
+        if let Some(&bad) = counters.iter().find(|&&c| c > 3) {
+            return Err(format!("2bc: counter state {bad} out of range"));
+        }
+        self.counters = counters;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +144,42 @@ mod tests {
         p.resolve(5, false);
         assert!(!p.predict(5));
         assert!(p.predict(6));
+    }
+
+    #[test]
+    fn state_roundtrip_is_canonical() {
+        let mut p = TwoBitCounter::new();
+        p.resolve(3, false);
+        p.resolve(3, false);
+        p.resolve(100, true);
+        // Train pc 200 back to the init state: the canonical blob must not
+        // distinguish "never touched" from "returned to init".
+        p.resolve(200, true);
+        p.resolve(200, false);
+        let blob = p.save_state();
+        let mut q = TwoBitCounter::new();
+        q.load_state(&blob).expect("loads");
+        for pc in [0, 3, 100, 200, 5000] {
+            assert_eq!(p.state(pc), q.state(pc), "pc {pc}");
+        }
+        assert_eq!(q.save_state(), blob, "reserialization is stable");
+        // An untouched predictor has a minimal, canonical blob too.
+        assert_eq!(TwoBitCounter::new().save_state(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut p = TwoBitCounter::new();
+        assert!(p.load_state(&[1, 0, 0]).is_err(), "truncated length");
+        assert!(p.load_state(&[5, 0, 0, 0, 1]).is_err(), "short payload");
+        assert!(
+            p.load_state(&[1, 0, 0, 0, 9]).is_err(),
+            "counter out of range"
+        );
+        assert!(
+            p.load_state(&[0, 0, 0, 0, 7]).is_err(),
+            "trailing bytes rejected"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod adaptive;
 mod counters;
 pub mod harness;
 mod simple;
+pub(crate) mod wire;
 
 pub use adaptive::PapAdaptive;
 pub use counters::TwoBitCounter;
@@ -55,4 +56,35 @@ pub trait BranchPredictor {
 
     /// A short display name ("2bc", "pap", ...).
     fn name(&self) -> &'static str;
+
+    /// Serializes the predictor's mutable state as a deterministic
+    /// little-endian blob.
+    ///
+    /// Two predictors that have seen the same `predict`/`resolve` sequence
+    /// produce byte-identical blobs, so the blob can participate in
+    /// checksummed snapshot artifacts. Stateless predictors (the default)
+    /// return an empty blob.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by [`save_state`] on a predictor
+    /// of the same type and configuration.
+    ///
+    /// After a successful load the predictor behaves exactly as the one the
+    /// blob was saved from. Fails closed on malformed or mismatched blobs.
+    /// The default (stateless) implementation accepts only an empty blob.
+    ///
+    /// [`save_state`]: BranchPredictor::save_state
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: stateless predictor given a {}-byte state blob",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }

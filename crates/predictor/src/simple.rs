@@ -1,3 +1,4 @@
+use crate::wire::{put_u32, Cursor};
 use crate::BranchPredictor;
 
 /// Predicts every branch taken. A floor baseline: dynamic traces of loopy
@@ -130,6 +131,41 @@ impl BranchPredictor for Gshare {
     fn name(&self) -> &'static str {
         "gshare"
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.table.len());
+        put_u32(&mut out, self.history);
+        put_u32(&mut out, self.history_bits);
+        put_u32(&mut out, self.table.len() as u32);
+        out.extend_from_slice(&self.table);
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut cur = Cursor::new(bytes);
+        let history = cur.u32()?;
+        let history_bits = cur.u32()?;
+        let table_len = cur.u32()? as usize;
+        let table = cur.bytes(table_len)?.to_vec();
+        cur.finish()?;
+        if !table_len.is_power_of_two() || table_len > 1 << 24 {
+            return Err(format!("gshare: bad table size {table_len}"));
+        }
+        let table_bits = table_len.trailing_zeros();
+        if !(1..=table_bits).contains(&history_bits) {
+            return Err(format!("gshare: bad history_bits {history_bits}"));
+        }
+        if history >> history_bits != 0 {
+            return Err("gshare: history exceeds its mask".to_string());
+        }
+        if let Some(&bad) = table.iter().find(|&&c| c > 3) {
+            return Err(format!("gshare: counter state {bad} out of range"));
+        }
+        self.history = history;
+        self.history_bits = history_bits;
+        self.table = table;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +228,44 @@ mod tests {
     #[should_panic(expected = "need 1 <= history_bits <= table_bits")]
     fn gshare_rejects_bad_config() {
         let _ = Gshare::new(4, 8);
+    }
+
+    #[test]
+    fn gshare_state_roundtrip_continues_identically() {
+        let mut g = Gshare::new(10, 6);
+        for i in 0..300u32 {
+            g.resolve(i % 17, i % 5 != 0);
+        }
+        let blob = g.save_state();
+        let mut h = Gshare::new(10, 6);
+        h.load_state(&blob).expect("loads");
+        for i in 0..200u32 {
+            let pc = i % 13;
+            assert_eq!(g.predict(pc), h.predict(pc), "step {i}");
+            let taken = i % 7 < 4;
+            g.resolve(pc, taken);
+            h.resolve(pc, taken);
+        }
+        assert_eq!(g.save_state(), h.save_state());
+    }
+
+    #[test]
+    fn gshare_load_rejects_malformed_state() {
+        let mut g = Gshare::new(4, 2);
+        assert!(g.load_state(&[]).is_err(), "empty blob");
+        // Non-power-of-two table.
+        let mut blob = Vec::new();
+        crate::wire::put_u32(&mut blob, 0);
+        crate::wire::put_u32(&mut blob, 2);
+        crate::wire::put_u32(&mut blob, 3);
+        blob.extend_from_slice(&[2, 2, 2]);
+        assert!(g.load_state(&blob).is_err(), "table size not a power of 2");
+        // History wider than its mask.
+        let mut blob = Vec::new();
+        crate::wire::put_u32(&mut blob, 0xFF);
+        crate::wire::put_u32(&mut blob, 2);
+        crate::wire::put_u32(&mut blob, 4);
+        blob.extend_from_slice(&[2, 2, 2, 2]);
+        assert!(g.load_state(&blob).is_err(), "history exceeds mask");
     }
 }

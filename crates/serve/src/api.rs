@@ -1,28 +1,38 @@
 //! Request handlers: JSON in, JSON out.
 //!
-//! Three endpoints expose the stack: `simulate` (ILP limit models over a
-//! workload or an uploaded program), `tree` (static DEE tree queries), and
-//! `levo` (machine-model runs). Handlers are plain functions over
-//! [`Json`] values so they are directly testable without a socket, and so
-//! the integration tests can byte-compare server responses against
-//! locally computed payloads built with the same functions.
+//! Endpoints exposing the stack: `simulate` (ILP limit models over a
+//! workload or an uploaded program), `simulate_range` (the same models
+//! over a record subrange, warm-started from a published snapshot when
+//! one exists), `tree` (static DEE tree queries), `levo` (machine-model
+//! runs), and `debug/at` (time-travel to the machine state at one record
+//! index). Handlers are plain functions over [`Json`] values so they are
+//! directly testable without a socket, and so the integration tests can
+//! byte-compare server responses against locally computed payloads built
+//! with the same functions.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
 use dee_core::{StaticTree, TreeParams};
-use dee_ilpsim::{simulate, LatencyModel, Model, PreparedTrace, SimConfig, SimOutcome};
+use dee_ilpsim::{
+    simulate, LatencyModel, Model, PreparedTrace, PreparedTraceBuilder, SimConfig, SimOutcome,
+};
 use dee_isa::parse::parse_program;
 use dee_levo::{Levo, LevoConfig, LevoReport, PredictorKind};
 use dee_predict::{AlwaysTaken, BranchPredictor, Gshare, PapAdaptive, TwoBitCounter};
+use dee_snap::Snapshot;
 use dee_store::{ArtifactKey, Store};
-use dee_vm::{trace_program_with, Engine, Trace};
+use dee_vm::{
+    trace_program_with, Engine, Machine, Trace, TraceChunkSource, TraceChunks, TraceRecord,
+    DEFAULT_CHUNK_RECORDS,
+};
 use dee_workloads::{Scale, Workload};
 
 use crate::cache::{fnv1a, fnv1a_words, CacheKey, PreparedCache, PreparedEntry};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::json::Json;
+use crate::metrics::Metrics;
 
 /// Dynamic-instruction budget for uploaded programs and workload traces.
 const STEP_LIMIT: u64 = 1_000_000_000;
@@ -283,30 +293,68 @@ fn capture_trace(source: &Source, faults: &FaultPlan) -> Result<Trace, String> {
         .map_err(|e| format!("trace: {e}"))
 }
 
-/// Produces the raw trace for a prepared-cache miss, consulting the
-/// disk tier first when a store is configured. Store faults degrade
-/// rather than fail: a tripped read skips the disk tier (the trace is
-/// re-run on the VM), a tripped write skips the best-effort publish.
-/// Either way the caller gets a correct trace — only the `dee_store_*`
-/// counters reveal what happened.
-fn trace_for(source: &Source, faults: &FaultPlan, store: Option<&Store>) -> Result<Trace, String> {
+/// Prepares the trace for a prepared-cache miss, consulting the disk
+/// tier first when a store is configured.
+///
+/// With an intact artifact on disk, the raw records *stream* from the
+/// container through the chunk pipeline ([`PreparedTrace::from_source`])
+/// in [`DEFAULT_CHUNK_RECORDS`]-sized batches — the full `Trace` is
+/// never materialized, which bounds the miss path's peak memory by the
+/// chunk size instead of the trace length. Store faults degrade rather
+/// than fail: a tripped read skips the disk tier (the trace is re-run
+/// on the VM), a tripped write skips the best-effort publish, and
+/// mid-stream body corruption — which [`Store::open_reader`]'s
+/// header check cannot see — quarantines the artifact and degrades to
+/// a from-scratch capture. Either way the caller gets a correct
+/// prepared trace — only the `dee_store_*` counters reveal what
+/// happened.
+fn prepare_streamed(
+    source: &Source,
+    predictor_name: &str,
+    faults: &FaultPlan,
+    store: Option<&Store>,
+) -> Result<PreparedTrace, String> {
+    let mut predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
     let Some(store) = store else {
-        return capture_trace(source, faults);
+        let trace = capture_trace(source, faults)?;
+        return Ok(PreparedTrace::with_predictor(
+            &source.program,
+            &trace,
+            predictor.as_mut(),
+        ));
     };
     let key = artifact_key(source);
     let stats = store.stats();
     if faults.trip(FaultSite::StoreRead).is_none() {
         let replay_start = Instant::now();
-        match store.load(&key) {
-            Ok(Some(trace)) => {
-                stats.disk_hits.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .replay_nanos
-                    .fetch_add(replay_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                return Ok(trace);
+        match store.open_reader(&key) {
+            Ok(Some(mut reader)) => {
+                match PreparedTrace::from_source(
+                    &source.program,
+                    &mut reader,
+                    DEFAULT_CHUNK_RECORDS,
+                    predictor.as_mut(),
+                ) {
+                    Ok(prepared) => {
+                        stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .replay_nanos
+                            .fetch_add(replay_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        return Ok(prepared);
+                    }
+                    Err(_) => {
+                        // The header verified but the body did not:
+                        // quarantine here (open_reader cannot), then
+                        // re-trace. The predictor consumed part of the
+                        // corrupt stream, so start a fresh one.
+                        store.quarantine_key(&key);
+                        stats.misses.fetch_add(1, Ordering::Relaxed);
+                        predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
+                    }
+                }
             }
-            // A load error already quarantined the artifact (counted in
-            // `quarantined`); both outcomes degrade to re-tracing.
+            // Absent, or the header itself was corrupt (open_reader
+            // already quarantined): both degrade to re-tracing.
             Ok(None) | Err(_) => {
                 stats.misses.fetch_add(1, Ordering::Relaxed);
             }
@@ -322,7 +370,11 @@ fn trace_for(source: &Source, faults: &FaultPlan, store: Option<&Store>) -> Resu
     if faults.trip(FaultSite::StoreWrite).is_some() || store.put(&key, &trace).is_err() {
         stats.write_errors.fetch_add(1, Ordering::Relaxed);
     }
-    Ok(trace)
+    Ok(PreparedTrace::with_predictor(
+        &source.program,
+        &trace,
+        predictor.as_mut(),
+    ))
 }
 
 /// Fetches (or prepares and caches) the prepared trace for a request.
@@ -363,11 +415,7 @@ pub fn prepared_for(
             if faults.trip(FaultSite::TracePrepare).is_some() {
                 return Err("injected fault: trace_prepare".to_string());
             }
-            let trace = trace_for(&source, faults, store)?;
-            let mut predictor = predictor_by_name(predictor_name).map_err(|e| e.message)?;
-            let prepared =
-                PreparedTrace::with_predictor(&source.program, &trace, predictor.as_mut())
-                    .into_owned();
+            let prepared = prepare_streamed(&source, predictor_name, faults, store)?;
             if faults.trip(FaultSite::CacheInsert).is_some() {
                 return Err("injected fault: cache_insert".to_string());
             }
@@ -790,6 +838,432 @@ pub fn handle_levo(body: &Json, deadline: Instant, faults: &FaultPlan) -> Result
         members.insert(0, ("source".to_string(), Json::str(source.label)));
     }
     Ok(json)
+}
+
+/// Streams records through the chunk pipeline, building a prepared
+/// trace over `[start, end)` only.
+///
+/// Records `[0, skip)` are discarded unseen — a restored snapshot
+/// already accounts for them (its predictor blobs carry exactly that
+/// prefix's history). Records `[skip, start)` replay through the
+/// predictor without entering the build, warming it to the range
+/// start with the exact `predict` + `resolve` sequence
+/// [`PreparedTraceBuilder::push_record`] would have issued. Records
+/// from `start` up to `end` (or trace end) are packed. Chunk pulls are
+/// capped at each phase boundary, so a chunk never straddles phases.
+///
+/// Returns the prepared subtrace, the number of records packed, and
+/// the nanoseconds spent replaying ahead of `start`.
+fn prepare_range(
+    program: &dee_isa::Program,
+    records: &mut dyn TraceChunkSource,
+    skip: u64,
+    start: u64,
+    end: Option<u64>,
+    predictor: &mut dyn BranchPredictor,
+) -> Result<(PreparedTrace, u64, u64), String> {
+    let chunk = DEFAULT_CHUNK_RECORDS;
+    let mut buf: Vec<TraceRecord> = Vec::new();
+    let mut index = 0u64;
+    while index < skip {
+        buf.clear();
+        let want = chunk.min(usize::try_from(skip - index).unwrap_or(chunk));
+        let n = records.next_chunk(&mut buf, want)?;
+        if n == 0 {
+            break;
+        }
+        index += n as u64;
+    }
+    let warm_start = Instant::now();
+    while index < start {
+        buf.clear();
+        let want = chunk.min(usize::try_from(start - index).unwrap_or(chunk));
+        let n = records.next_chunk(&mut buf, want)?;
+        if n == 0 {
+            break;
+        }
+        for record in &buf {
+            if let Some(outcome) = record.branch {
+                let _ = predictor.predict(record.pc);
+                predictor.resolve(record.pc, outcome.taken);
+            }
+        }
+        index += n as u64;
+    }
+    let warm_nanos = warm_start.elapsed().as_nanos() as u64;
+    let mut builder = PreparedTraceBuilder::new(program, predictor);
+    while end.is_none_or(|e| index < e) {
+        buf.clear();
+        let want = match end {
+            Some(e) => chunk.min(usize::try_from(e - index).unwrap_or(chunk)),
+            None => chunk,
+        };
+        let n = records.next_chunk(&mut buf, want)?;
+        if n == 0 {
+            break;
+        }
+        builder.push_chunk(&buf);
+        index += n as u64;
+    }
+    let taken = builder.pushed() as u64;
+    // The sub-trace's output stream is not meaningful (output is a
+    // whole-run artifact); the models never read it.
+    Ok((builder.finish(Vec::new()), taken, warm_nanos))
+}
+
+/// `POST /simulate_range` — run the ILP limit models over records
+/// `[start, end)` of a source's trace.
+///
+/// When a store is configured, the handler seeks the published
+/// snapshot with the largest record index `≤ start` and warm-starts
+/// the predictor from its serialized state instead of replaying the
+/// whole prefix. The response is **byte-identical** with and without a
+/// snapshot (and under any [`FaultSite::SnapSeek`] /
+/// [`FaultSite::SnapRead`] injection): warm starts are visible only in
+/// the `dee_snap_*` counters. Range results are not entered into the
+/// prepared cache — each request streams its own subrange.
+///
+/// # Errors
+///
+/// `400` for bad sources, an empty/inverted range, or a `start` past
+/// the end of the trace; `422` from static analysis; `500` when the
+/// program faults; `504` past the deadline.
+pub fn handle_simulate_range(
+    body: &Json,
+    deadline: Instant,
+    faults: &FaultPlan,
+    store: Option<&Store>,
+    metrics: &Metrics,
+) -> Result<Json, ApiError> {
+    let source = resolve_source(body, faults)?;
+    let start = u64_field(body, "start", 0)?;
+    let end = match body.get("end") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| ApiError::bad_request("`end` must be a non-negative integer"))?,
+        ),
+    };
+    if let Some(e) = end {
+        if e <= start {
+            return Err(ApiError::bad_request("`end` must be greater than `start`"));
+        }
+    }
+    let predictor_name = str_field(body, "predictor").unwrap_or("twobit");
+    predictor_by_name(predictor_name)?;
+    let et = parse_et(body)?;
+    let models: Vec<Model> = match str_field(body, "model") {
+        None | Some("all") => Model::all_constrained()
+            .into_iter()
+            .chain([Model::Oracle])
+            .collect(),
+        Some(name) => vec![model_by_name(name)
+            .ok_or_else(|| ApiError::bad_request(format!("unknown model `{name}`")))?],
+    };
+    if et == 0 && models.iter().any(|m| *m != Model::Oracle) {
+        return Err(ApiError::bad_request(
+            "`et` must be at least 1 for constrained models",
+        ));
+    }
+    let latency = parse_latency(body)?;
+    let max_pe = u64_field(body, "max_pe", 0)?;
+    if faults.trip(FaultSite::TracePrepare).is_some() {
+        return Err(ApiError::internal("injected fault: trace_prepare"));
+    }
+
+    let key = artifact_key(&source);
+    // Warm-start attempt. A usable snapshot only ever changes *where*
+    // the predictor replay starts, never what the packed region looks
+    // like — the DEESNAP1 convention (state at `k` = predictor has
+    // consumed exactly records `[0, k)`) guarantees the mispredict
+    // flags come out identical to a from-zero replay.
+    let snap: Option<Snapshot> = store.and_then(|store| {
+        let found = if faults.trip(FaultSite::SnapSeek).is_some() {
+            None
+        } else {
+            dee_snap::nearest_snapshot(store, &key, start)
+        };
+        let (_, bytes) = match found {
+            Some(hit) => hit,
+            None => {
+                metrics.snap_seek_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let decoded = if faults.trip(FaultSite::SnapRead).is_some() {
+            Err("injected fault: snap_read".to_string())
+        } else {
+            Snapshot::decode(&bytes, &source.memory).and_then(|snap| {
+                if snap.parent_digest != key.digest {
+                    return Err("snapshot parent digest mismatch".to_string());
+                }
+                // Prove the predictor blob restores before committing to
+                // the warm start; a missing blob restores only stateless
+                // predictors (load_state(&[]) is their no-op default).
+                let mut probe = predictor_by_name(predictor_name).map_err(|e| e.message)?;
+                probe.load_state(snap.predictor_state(probe.name()).unwrap_or(&[]))?;
+                Ok(snap)
+            })
+        };
+        match decoded {
+            Ok(snap) => {
+                metrics.snap_seek_hits.fetch_add(1, Ordering::Relaxed);
+                Some(snap)
+            }
+            Err(_) => {
+                metrics.snap_decode_failures.fetch_add(1, Ordering::Relaxed);
+                metrics.snap_seek_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    });
+    let skip = snap.as_ref().map_or(0, |s| s.record_index);
+    let make_predictor = || -> Result<Box<dyn BranchPredictor>, String> {
+        let mut p = predictor_by_name(predictor_name).map_err(|e| e.message)?;
+        if let Some(s) = &snap {
+            p.load_state(s.predictor_state(p.name()).unwrap_or(&[]))?;
+        }
+        Ok(p)
+    };
+
+    // The record stream: replayed from the disk artifact when intact,
+    // captured on the VM otherwise (and best-effort published so the
+    // next range request can stream it). Mirrors `prepare_streamed`'s
+    // degradation ladder, including quarantine on body corruption.
+    let mut built: Option<(PreparedTrace, u64, u64)> = None;
+    if let Some(store) = store {
+        let stats = store.stats();
+        if faults.trip(FaultSite::StoreRead).is_none() {
+            let replay_start = Instant::now();
+            if let Ok(Some(mut reader)) = store.open_reader(&key) {
+                let mut predictor = make_predictor().map_err(ApiError::internal)?;
+                match prepare_range(
+                    &source.program,
+                    &mut reader,
+                    skip,
+                    start,
+                    end,
+                    predictor.as_mut(),
+                ) {
+                    Ok(done) => {
+                        stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .replay_nanos
+                            .fetch_add(replay_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        built = Some(done);
+                    }
+                    Err(_) => {
+                        store.quarantine_key(&key);
+                        stats.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            } else {
+                stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let (prepared, taken, warm_nanos) = match built {
+        Some(done) => done,
+        None => {
+            let trace = capture_trace(&source, faults).map_err(ApiError::internal)?;
+            if let Some(store) = store {
+                if faults.trip(FaultSite::StoreWrite).is_some() || store.put(&key, &trace).is_err()
+                {
+                    store.stats().write_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let mut predictor = make_predictor().map_err(ApiError::internal)?;
+            let mut chunks = TraceChunks::new(&trace);
+            prepare_range(
+                &source.program,
+                &mut chunks,
+                skip,
+                start,
+                end,
+                predictor.as_mut(),
+            )
+            .map_err(ApiError::internal)?
+        }
+    };
+    metrics
+        .snap_replay_nanos
+        .fetch_add(warm_nanos, Ordering::Relaxed);
+    if taken == 0 {
+        return Err(ApiError::bad_request(format!(
+            "`start` ({start}) is at or past the end of the trace"
+        )));
+    }
+
+    let p = match body.get("p") {
+        None => prepared.accuracy(),
+        Some(v) => v
+            .as_f64()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| ApiError::bad_request("`p` must be in [0, 1]"))?,
+    };
+    let mut results = Vec::with_capacity(models.len());
+    for model in models {
+        if Instant::now() > deadline {
+            return Err(ApiError::deadline());
+        }
+        let mut config = SimConfig::new(model, if model == Model::Oracle { 0 } else { et })
+            .with_p(p)
+            .with_latency(latency);
+        if max_pe > 0 {
+            config = config.with_max_pe(
+                u32::try_from(max_pe).map_err(|_| ApiError::bad_request("`max_pe` too large"))?,
+            );
+        }
+        results.push(outcome_json(&simulate(&prepared, &config)));
+    }
+    Ok(Json::obj(vec![
+        ("source", Json::str(source.label)),
+        ("start", Json::from(start)),
+        ("end", Json::from(start + taken)),
+        ("records", Json::from(taken)),
+        ("p", Json::from(p)),
+        ("results", Json::Arr(results)),
+    ]))
+}
+
+/// `GET /debug/at?workload=W&scale=S&record=K` — time travel: the
+/// machine's architectural state right before executing record `K`.
+///
+/// Restores the nearest published snapshot at or below `K` when a
+/// store is configured and steps the VM the remaining distance, so the
+/// answer is byte-identical with and without snapshots — only the
+/// `dee_snap_*` counters reveal which path ran. The response carries
+/// checksums of the output and memory images, never the images
+/// themselves.
+///
+/// # Errors
+///
+/// `400` for unknown workloads/scales, a missing or non-numeric
+/// `record`, or a `K` past the end of the trace; `500` when the VM
+/// faults; `504` past the deadline.
+pub fn handle_debug_at(
+    request: &crate::http::Request,
+    deadline: Instant,
+    faults: &FaultPlan,
+    store: Option<&Store>,
+    metrics: &Metrics,
+) -> Result<Json, ApiError> {
+    let workload = request
+        .query_param("workload")
+        .ok_or_else(|| ApiError::bad_request("missing `workload` query parameter"))?;
+    let scale = scale_by_name(request.query_param("scale").unwrap_or("tiny"))?;
+    let record: u64 = request
+        .query_param("record")
+        .ok_or_else(|| ApiError::bad_request("missing `record` query parameter"))?
+        .parse()
+        .map_err(|_| ApiError::bad_request("`record` must be a non-negative integer"))?;
+    if record > STEP_LIMIT {
+        return Err(ApiError::bad_request(format!(
+            "`record` too large (max {STEP_LIMIT})"
+        )));
+    }
+    let w = workload_by_name(workload, scale)?;
+    let source = Source {
+        label: format!("{workload}/{scale:?}").to_ascii_lowercase(),
+        memory: w.initial_memory.clone(),
+        program: w.program,
+    };
+    let key = artifact_key(&source);
+    let mut machine = Machine::new();
+    machine
+        .try_load_memory(&source.memory)
+        .map_err(|e| ApiError::internal(e.to_string()))?;
+    if let Some(store) = store {
+        let found = if faults.trip(FaultSite::SnapSeek).is_some() {
+            None
+        } else {
+            dee_snap::nearest_snapshot(store, &key, record)
+        };
+        match found {
+            Some((_, bytes)) => {
+                let decoded = if faults.trip(FaultSite::SnapRead).is_some() {
+                    Err("injected fault: snap_read".to_string())
+                } else {
+                    Snapshot::decode(&bytes, &source.memory).and_then(|snap| {
+                        if snap.parent_digest != key.digest {
+                            return Err("snapshot parent digest mismatch".to_string());
+                        }
+                        Ok(snap)
+                    })
+                };
+                match decoded {
+                    Ok(snap) => {
+                        machine.restore_state(&snap.machine);
+                        metrics.snap_seek_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        metrics.snap_decode_failures.fetch_add(1, Ordering::Relaxed);
+                        metrics.snap_seek_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            None => {
+                metrics.snap_seek_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let replay_start = Instant::now();
+    let mut since_deadline_check = 0u32;
+    while machine.executed() < record {
+        if machine.is_halted() {
+            return Err(ApiError::bad_request(format!(
+                "`record` {record} is past the end of the trace ({} records)",
+                machine.executed()
+            )));
+        }
+        // Polling the clock per instruction would dominate the replay;
+        // once per 64 Ki steps bounds the overshoot to well under a
+        // millisecond of VM work.
+        since_deadline_check += 1;
+        if since_deadline_check == 65_536 {
+            since_deadline_check = 0;
+            if Instant::now() > deadline {
+                return Err(ApiError::deadline());
+            }
+        }
+        machine
+            .step(&source.program)
+            .map_err(|e| ApiError::internal(e.to_string()))?;
+    }
+    metrics
+        .snap_replay_nanos
+        .fetch_add(replay_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let state = machine.snapshot_state();
+    Ok(Json::obj(vec![
+        ("source", Json::str(source.label)),
+        ("record", Json::from(record)),
+        ("pc", Json::from(state.pc)),
+        ("halted", Json::from(state.halted)),
+        ("depth", Json::from(state.depth)),
+        ("executed", Json::from(state.executed)),
+        (
+            "regs",
+            Json::Arr(
+                state
+                    .regs
+                    .iter()
+                    .map(|&r| Json::from(f64::from(r)))
+                    .collect(),
+            ),
+        ),
+        ("output_len", Json::from(state.output.len() as u64)),
+        (
+            "output_checksum",
+            Json::str(format!("{:016x}", dee_vm::output_checksum(&state.output))),
+        ),
+        ("mem_words", Json::from(state.mem.len() as u64)),
+        (
+            "mem_checksum",
+            Json::str(format!("{:016x}", fnv1a_words(&state.mem))),
+        ),
+    ]))
 }
 
 #[cfg(test)]
@@ -1330,5 +1804,362 @@ mod tests {
             handle_simulate(&fresh, &body, far_deadline(), &FaultPlan::inert(), None).unwrap();
         assert_eq!(hostile.to_string(), clean.to_string());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Steps a machine and all four request predictors through records
+    /// `[0, k)` and encodes the resulting `DEESNAP1` snapshot — the
+    /// same cut `dee trace record --checkpoint-stride` publishes.
+    fn snapshot_bytes_at(source: &Source, k: u64) -> Vec<u8> {
+        let mut machine = Machine::new();
+        machine.try_load_memory(&source.memory).unwrap();
+        let mut predictors: Vec<Box<dyn BranchPredictor>> = vec![
+            Box::new(TwoBitCounter::new()),
+            Box::new(Gshare::new(12, 8)),
+            Box::new(PapAdaptive::new()),
+            Box::new(AlwaysTaken::new()),
+        ];
+        for _ in 0..k {
+            let (_, record) = machine.step(&source.program).unwrap();
+            if let Some(outcome) = record.branch {
+                for p in &mut predictors {
+                    let _ = p.predict(record.pc);
+                    p.resolve(record.pc, outcome.taken);
+                }
+            }
+        }
+        let key = artifact_key(source);
+        Snapshot {
+            trace_format_version: dee_vm::TRACE_FORMAT_VERSION,
+            parent_digest: key.digest,
+            record_index: k,
+            machine: machine.snapshot_state(),
+            predictors: predictors
+                .iter()
+                .map(|p| (p.name().to_string(), p.save_state()))
+                .collect(),
+            prng_streams: Vec::new(),
+        }
+        .encode(&source.memory)
+    }
+
+    fn range_body(start: u64, end: u64) -> Json {
+        parse(&format!(
+            r#"{{"workload":"compress","scale":"tiny","model":"SP","et":8,"predictor":"gshare","start":{start},"end":{end}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn compress_source() -> Source {
+        let body = parse(r#"{"workload":"compress","scale":"tiny"}"#).unwrap();
+        resolve_source(&body, &FaultPlan::inert()).unwrap()
+    }
+
+    #[test]
+    fn simulate_range_over_the_full_trace_matches_simulate() {
+        let metrics = Metrics::new();
+        let body = parse(r#"{"workload":"compress","scale":"tiny","model":"SP","et":8,"start":0}"#)
+            .unwrap();
+        let response =
+            handle_simulate_range(&body, far_deadline(), &FaultPlan::inert(), None, &metrics)
+                .unwrap();
+        let cache = PreparedCache::new(8, 2);
+        let single =
+            parse(r#"{"workload":"compress","scale":"tiny","model":"SP","et":8}"#).unwrap();
+        let (expected, _) =
+            handle_simulate(&cache, &single, far_deadline(), &FaultPlan::inert(), None).unwrap();
+        assert_eq!(
+            response.get("results").unwrap().to_string(),
+            expected.get("results").unwrap().to_string(),
+            "a [0, end-of-trace) range is the whole trace"
+        );
+        assert_eq!(
+            response.get("p").unwrap().to_string(),
+            expected.get("p").unwrap().to_string()
+        );
+        let records = response.get("records").and_then(Json::as_u64).unwrap();
+        assert!(records > 0);
+        assert_eq!(
+            response.get("end").and_then(Json::as_u64),
+            Some(records),
+            "start 0 means end == records"
+        );
+        assert_eq!(metrics.snap_seek_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            metrics.snap_seek_misses.load(Ordering::Relaxed),
+            0,
+            "no store means the seek never ran"
+        );
+    }
+
+    #[test]
+    fn simulate_range_warm_start_is_byte_identical_and_counts_a_hit() {
+        let dir = std::env::temp_dir().join(format!("dee_api_snap_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let source = compress_source();
+        let key = artifact_key(&source);
+        store
+            .put_snapshot(
+                &dee_snap::snapshot_filename(&key, 200),
+                &snapshot_bytes_at(&source, 200),
+            )
+            .unwrap();
+
+        let body = range_body(500, 900);
+        let cold_metrics = Metrics::new();
+        let cold = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            None,
+            &cold_metrics,
+        )
+        .unwrap();
+        let warm_metrics = Metrics::new();
+        let warm = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+            &warm_metrics,
+        )
+        .unwrap();
+        assert_eq!(
+            warm.to_string(),
+            cold.to_string(),
+            "a warm start must never change the response bytes"
+        );
+        assert_eq!(warm_metrics.snap_seek_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(warm_metrics.snap_seek_misses.load(Ordering::Relaxed), 0);
+        assert_eq!(warm_metrics.snap_decode_failures.load(Ordering::Relaxed), 0);
+        // The miss path published the artifact, so the next range
+        // request streams records from disk — and stays identical.
+        assert!(store.contains(&key));
+        let streamed = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+            &Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(streamed.to_string(), cold.to_string());
+        assert!(store.stats().disk_hits.load(Ordering::Relaxed) >= 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_range_quarantines_a_corrupt_snapshot_and_falls_back() {
+        let dir = std::env::temp_dir().join(format!("dee_api_snapcorrupt_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let source = compress_source();
+        let key = artifact_key(&source);
+        let mut bytes = snapshot_bytes_at(&source, 200);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let name = dee_snap::snapshot_filename(&key, 200);
+        // put_snapshot verifies framing, so plant the corruption directly.
+        std::fs::write(store.root().join(&name), &bytes).unwrap();
+
+        let body = range_body(500, 900);
+        let metrics = Metrics::new();
+        let hostile = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+            &metrics,
+        )
+        .unwrap();
+        let clean = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            None,
+            &Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            hostile.to_string(),
+            clean.to_string(),
+            "one flipped byte degrades the warm start, never the answer"
+        );
+        assert_eq!(metrics.snap_seek_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.snap_seek_misses.load(Ordering::Relaxed), 1);
+        assert!(
+            store.stats().quarantined.load(Ordering::Relaxed) >= 1,
+            "the corrupt snapshot was quarantined"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_range_snap_faults_degrade_byte_identically() {
+        use crate::faults::FaultSpec;
+        let dir = std::env::temp_dir().join(format!("dee_api_snapfault_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let source = compress_source();
+        let key = artifact_key(&source);
+        store
+            .put_snapshot(
+                &dee_snap::snapshot_filename(&key, 200),
+                &snapshot_bytes_at(&source, 200),
+            )
+            .unwrap();
+        let body = range_body(500, 900);
+        let clean = handle_simulate_range(
+            &body,
+            far_deadline(),
+            &FaultPlan::inert(),
+            None,
+            &Metrics::new(),
+        )
+        .unwrap();
+        let always = FaultSpec {
+            error_ppm: 1_000_000,
+            ..FaultSpec::default()
+        };
+        for site in [FaultSite::SnapSeek, FaultSite::SnapRead] {
+            let plan = FaultPlan::new(11).arm(site, always);
+            let metrics = Metrics::new();
+            let hostile =
+                handle_simulate_range(&body, far_deadline(), &plan, Some(&store), &metrics)
+                    .unwrap();
+            assert_eq!(hostile.to_string(), clean.to_string(), "{}", site.name());
+            assert_eq!(
+                metrics.snap_seek_hits.load(Ordering::Relaxed),
+                0,
+                "{}: a tripped site must not warm-start",
+                site.name()
+            );
+            assert_eq!(metrics.snap_seek_misses.load(Ordering::Relaxed), 1);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_range_rejects_bad_ranges() {
+        let metrics = Metrics::new();
+        for (start, end, needle) in [(10u64, 10u64, "greater than"), (10, 5, "greater than")] {
+            let body = parse(&format!(
+                r#"{{"workload":"compress","scale":"tiny","model":"SP","et":8,"start":{start},"end":{end}}}"#
+            ))
+            .unwrap();
+            let err =
+                handle_simulate_range(&body, far_deadline(), &FaultPlan::inert(), None, &metrics)
+                    .unwrap_err();
+            assert_eq!(err.status, 400);
+            assert!(err.message.contains(needle), "{}", err.message);
+        }
+        // A start past the end of the trace cannot produce records.
+        let body = parse(
+            r#"{"workload":"compress","scale":"tiny","model":"SP","et":8,"start":999999999}"#,
+        )
+        .unwrap();
+        let err = handle_simulate_range(&body, far_deadline(), &FaultPlan::inert(), None, &metrics)
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("past the end"), "{}", err.message);
+    }
+
+    fn debug_request(target: &str) -> crate::http::Request {
+        crate::http::Request {
+            method: "GET".into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn debug_at_time_travel_matches_from_zero_replay() {
+        let dir = std::env::temp_dir().join(format!("dee_api_debugat_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        let source = compress_source();
+        let key = artifact_key(&source);
+        store
+            .put_snapshot(
+                &dee_snap::snapshot_filename(&key, 300),
+                &snapshot_bytes_at(&source, 300),
+            )
+            .unwrap();
+        let request = debug_request("/debug/at?workload=compress&scale=tiny&record=450");
+        let from_zero = handle_debug_at(
+            &request,
+            far_deadline(),
+            &FaultPlan::inert(),
+            None,
+            &Metrics::new(),
+        )
+        .unwrap();
+        let metrics = Metrics::new();
+        let warm = handle_debug_at(
+            &request,
+            far_deadline(),
+            &FaultPlan::inert(),
+            Some(&store),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(
+            warm.to_string(),
+            from_zero.to_string(),
+            "time travel via snapshot equals stepping from record zero"
+        );
+        assert_eq!(metrics.snap_seek_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(from_zero.get("executed").and_then(Json::as_u64), Some(450));
+        // And the state really is record 450's: stepping a machine 450
+        // times from scratch reproduces the reported pc and checksums.
+        let mut machine = Machine::new();
+        machine.try_load_memory(&source.memory).unwrap();
+        for _ in 0..450 {
+            machine.step(&source.program).unwrap();
+        }
+        assert_eq!(
+            from_zero.get("pc").and_then(Json::as_u64),
+            Some(u64::from(machine.pc()))
+        );
+        assert_eq!(
+            from_zero.get("output_checksum").and_then(Json::as_str),
+            Some(format!("{:016x}", dee_vm::output_checksum(machine.output())).as_str())
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn debug_at_rejects_bad_queries() {
+        let metrics = Metrics::new();
+        for (target, needle) in [
+            ("/debug/at?scale=tiny&record=5", "missing `workload`"),
+            ("/debug/at?workload=compress", "missing `record`"),
+            ("/debug/at?workload=compress&record=x", "non-negative"),
+            ("/debug/at?workload=nope&record=5", "unknown workload"),
+            (
+                "/debug/at?workload=compress&scale=tiny&record=99999999",
+                "past the end",
+            ),
+        ] {
+            let err = handle_debug_at(
+                &debug_request(target),
+                far_deadline(),
+                &FaultPlan::inert(),
+                None,
+                &metrics,
+            )
+            .unwrap_err();
+            assert_eq!(err.status, 400, "{target}");
+            assert!(err.message.contains(needle), "{target}: {}", err.message);
+        }
     }
 }

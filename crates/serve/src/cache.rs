@@ -59,14 +59,14 @@ pub struct CacheKey {
     pub predictor: u64,
 }
 
-/// A cached preparation: the program and its lifetime-detached prepared
-/// trace, shared by reference with every request that hits.
+/// A cached preparation: the program and its prepared trace, shared by
+/// reference with every request that hits.
 #[derive(Debug)]
 pub struct PreparedEntry {
     /// The program the trace was captured from.
     pub program: Program,
-    /// The prepared trace (owns its `Trace`).
-    pub prepared: PreparedTrace<'static>,
+    /// The prepared trace (fully owned columnar data).
+    pub prepared: PreparedTrace,
 }
 
 struct Shard {
@@ -254,7 +254,7 @@ mod tests {
         asm.halt();
         let program = asm.assemble().unwrap();
         let trace = trace_program(&program, &[], 100).unwrap();
-        let prepared = PreparedTrace::new(&program, &trace).into_owned();
+        let prepared = PreparedTrace::new(&program, &trace);
         PreparedEntry { program, prepared }
     }
 
@@ -275,7 +275,7 @@ mod tests {
             .get_or_insert_with(key(1), || panic!("must not prepare"))
             .unwrap();
         assert!(hit);
-        assert_eq!(e.prepared.trace().output(), &[1]);
+        assert_eq!(e.prepared.output(), &[1]);
         assert_eq!(cache.len(), 1);
     }
 
@@ -381,7 +381,7 @@ mod tests {
                         let (e, _) = cache
                             .get_or_insert_with(k, || Ok(entry((i % 8) as i32)))
                             .unwrap();
-                        assert_eq!(e.prepared.trace().output(), &[(i % 8) as i32], "thread {t}");
+                        assert_eq!(e.prepared.output(), &[(i % 8) as i32], "thread {t}");
                     }
                 })
             })

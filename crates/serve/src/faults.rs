@@ -61,11 +61,17 @@ pub enum FaultSite {
     /// Lowering a request program into the pre-decoded engine form on the
     /// miss path; a tripped site degrades the capture to the interpreter.
     DecodeCompile,
+    /// Seeking the nearest snapshot for a range simulation; a tripped
+    /// site behaves as if no snapshot is published (from-zero fallback).
+    SnapSeek,
+    /// Reading/decoding a found snapshot; a tripped site treats the
+    /// bytes as unusable and falls back to from-zero replay.
+    SnapRead,
 }
 
 impl FaultSite {
     /// Number of sites (array sizes).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 19;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -86,6 +92,8 @@ impl FaultSite {
         FaultSite::StalePeerStore,
         FaultSite::GatewayHedgeDelay,
         FaultSite::DecodeCompile,
+        FaultSite::SnapSeek,
+        FaultSite::SnapRead,
     ];
 
     /// Stable snake_case name, used in metrics labels and panic messages.
@@ -109,6 +117,8 @@ impl FaultSite {
             FaultSite::StalePeerStore => "stale_peer_store",
             FaultSite::GatewayHedgeDelay => "gateway_hedge_delay",
             FaultSite::DecodeCompile => "decode_compile",
+            FaultSite::SnapSeek => "snap_seek",
+            FaultSite::SnapRead => "snap_read",
         }
     }
 
@@ -131,6 +141,8 @@ impl FaultSite {
             FaultSite::StalePeerStore => 14,
             FaultSite::GatewayHedgeDelay => 15,
             FaultSite::DecodeCompile => 16,
+            FaultSite::SnapSeek => 17,
+            FaultSite::SnapRead => 18,
         }
     }
 }
@@ -337,6 +349,23 @@ impl FaultPlan {
             // interpreter; the response bytes must not change.
             .arm(
                 FaultSite::DecodeCompile,
+                FaultSpec {
+                    error_ppm: 100_000,
+                    ..FaultSpec::default()
+                },
+            )
+            // Snapshot faults degrade, never fail: a tripped seek runs
+            // the range from zero, a tripped read discards the snapshot
+            // bytes and does the same. Responses must not change.
+            .arm(
+                FaultSite::SnapSeek,
+                FaultSpec {
+                    error_ppm: 100_000,
+                    ..FaultSpec::default()
+                },
+            )
+            .arm(
+                FaultSite::SnapRead,
                 FaultSpec {
                     error_ppm: 100_000,
                     ..FaultSpec::default()

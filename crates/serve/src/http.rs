@@ -31,6 +31,18 @@ impl Request {
         self.target.split('?').next().unwrap_or(&self.target)
     }
 
+    /// The value of query parameter `name`, when the target carries a
+    /// `?key=value&...` query string. No percent-decoding — the debug
+    /// endpoints only take identifiers and integers.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
     /// Case-insensitive header lookup.
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {

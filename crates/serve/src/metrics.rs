@@ -87,6 +87,17 @@ pub struct Metrics {
     /// Requests answered `422` because static analysis rejected the
     /// submitted program.
     pub analyze_rejects: AtomicU64,
+    /// Range simulations warm-started from a published snapshot.
+    pub snap_seek_hits: AtomicU64,
+    /// Range simulations that replayed from record zero (no usable
+    /// snapshot, or an injected snap fault degraded the warm start).
+    pub snap_seek_misses: AtomicU64,
+    /// Snapshots found but discarded (decode failure, digest mismatch,
+    /// missing predictor state, or an injected `snap_read` fault).
+    pub snap_decode_failures: AtomicU64,
+    /// Nanoseconds spent replaying records between the snapshot cut and
+    /// the range start (the warm-start tail replay).
+    pub snap_replay_nanos: AtomicU64,
     /// Highest queue depth observed.
     pub queue_depth_highwater: AtomicU64,
     /// End-to-end request latency (read → response flushed).
@@ -116,6 +127,10 @@ impl Metrics {
             batch_cells: AtomicU64::new(0),
             batch_rejected_oversize: AtomicU64::new(0),
             analyze_rejects: AtomicU64::new(0),
+            snap_seek_hits: AtomicU64::new(0),
+            snap_seek_misses: AtomicU64::new(0),
+            snap_decode_failures: AtomicU64::new(0),
+            snap_replay_nanos: AtomicU64::new(0),
             queue_depth_highwater: AtomicU64::new(0),
             latency: Histogram::new(),
             started: Instant::now(),
@@ -236,6 +251,26 @@ impl Metrics {
             load(&self.analyze_rejects),
         );
         counter(
+            "dee_snap_seek_hits_total",
+            "Range simulations warm-started from a snapshot.",
+            load(&self.snap_seek_hits),
+        );
+        counter(
+            "dee_snap_seek_misses_total",
+            "Range simulations replayed from record zero.",
+            load(&self.snap_seek_misses),
+        );
+        counter(
+            "dee_snap_decode_failures_total",
+            "Snapshots found but discarded as unusable.",
+            load(&self.snap_decode_failures),
+        );
+        counter(
+            "dee_snap_replay_nanos_total",
+            "Nanoseconds replaying records from snapshot cut to range start.",
+            load(&self.snap_replay_nanos),
+        );
+        counter(
             "dee_queue_depth_highwater",
             "Highest job-queue depth observed.",
             load(&self.queue_depth_highwater),
@@ -350,6 +385,20 @@ mod tests {
         assert!(text.contains("dee_batch_requests_total 2"));
         assert!(text.contains("dee_batch_cells_total 48"));
         assert!(text.contains("dee_batch_rejected_oversize_total 1"));
+    }
+
+    #[test]
+    fn render_exposes_snap_counters() {
+        let m = Metrics::new();
+        m.snap_seek_hits.fetch_add(3, Ordering::Relaxed);
+        m.snap_seek_misses.fetch_add(2, Ordering::Relaxed);
+        m.snap_decode_failures.fetch_add(1, Ordering::Relaxed);
+        m.snap_replay_nanos.fetch_add(640, Ordering::Relaxed);
+        let text = m.render(&[]);
+        assert!(text.contains("dee_snap_seek_hits_total 3"));
+        assert!(text.contains("dee_snap_seek_misses_total 2"));
+        assert!(text.contains("dee_snap_decode_failures_total 1"));
+        assert!(text.contains("dee_snap_replay_nanos_total 640"));
     }
 
     #[test]

@@ -684,14 +684,31 @@ fn dispatch(shared: &Shared, request: &Request, accepted: Instant) -> (u16, &'st
             }
             (200, TEXT, text.into_bytes())
         }
-        ("POST", "/simulate") | ("POST", "/tree") | ("POST", "/levo") | ("POST", "/batch") => {
+        ("POST", "/simulate")
+        | ("POST", "/simulate_range")
+        | ("POST", "/tree")
+        | ("POST", "/levo")
+        | ("POST", "/batch") => {
             let (status, content_type, body) = handle_api(shared, request, accepted);
             (status, content_type, body.into_bytes())
         }
+        ("GET", "/debug/at") => {
+            let deadline = accepted + shared.default_deadline;
+            match api::handle_debug_at(
+                request,
+                deadline,
+                &shared.faults,
+                shared.store.as_deref(),
+                &shared.metrics,
+            ) {
+                Ok(json) => (200, JSON, json.to_string().into_bytes()),
+                Err(e) => err_json(e.status, e.message),
+            }
+        }
         (
             _,
-            "/healthz" | "/metrics" | "/node" | "/store/digest" | "/simulate" | "/tree" | "/levo"
-            | "/batch",
+            "/healthz" | "/metrics" | "/node" | "/store/digest" | "/simulate" | "/simulate_range"
+            | "/tree" | "/levo" | "/batch" | "/debug/at",
         ) => err_json(405, "method not allowed"),
         _ => err_json(404, "not found"),
     }
@@ -813,6 +830,13 @@ fn handle_api(
             counter.fetch_add(1, Ordering::Relaxed);
             json
         }),
+        "/simulate_range" => api::handle_simulate_range(
+            &body,
+            deadline,
+            &shared.faults,
+            shared.store.as_deref(),
+            &shared.metrics,
+        ),
         "/tree" => api::handle_tree(&body),
         "/batch" => handle_batch(shared, &body, deadline),
         _ => api::handle_levo(&body, deadline, &shared.faults),

@@ -40,8 +40,8 @@ pub use compress::{compress, decompress};
 pub use container::{ContainerInfo, ContainerReader, ContainerWriter, DEFAULT_CHUNK_SIZE};
 pub use store::{
     digest_file, fnv1a, fnv1a_words, fold_digests, info_file, valid_artifact_name, verify_file,
-    ArtifactKey, DigestEntry, GcReport, Store, StoreEntry, StoreError, StoreReader, StoreSource,
-    StoreStats, VerifyReport, ARTIFACT_EXT,
+    verify_snapshot_bytes, ArtifactKey, DigestEntry, GcReport, Store, StoreEntry, StoreError,
+    StoreReader, StoreSource, StoreStats, VerifyReport, ARTIFACT_EXT, SNAPSHOT_EXT, SNAPSHOT_MAGIC,
 };
 
 #[cfg(test)]
@@ -300,6 +300,97 @@ mod tests {
         assert!(valid_artifact_name(&name));
         std::fs::remove_dir_all(dir_src).ok();
         std::fs::remove_dir_all(dir_dst).ok();
+    }
+
+    fn sample_snapshot(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(payload);
+        let sum = checksum64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn snapshot_put_load_round_trip_and_quarantine() {
+        let dir = scratch("snapshot");
+        let store = Store::open(&dir).unwrap();
+        let name = "unit-tiny-v1-00000000000000aa-r4096.dsnp";
+        let bytes = sample_snapshot(b"snapshot-payload");
+        assert!(store.load_snapshot(name).unwrap().is_none());
+        store.put_snapshot(name, &bytes).unwrap();
+        assert_eq!(store.load_snapshot(name).unwrap().unwrap(), bytes);
+        assert_eq!(store.list_snapshots().unwrap().len(), 1);
+        assert!(store.list().unwrap().is_empty(), "dsnp not a trace");
+        // Bad framing is refused at publish time.
+        let mut bad = bytes.clone();
+        bad[10] ^= 0x40;
+        assert!(matches!(
+            store.put_snapshot(name, &bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // On-disk corruption quarantines at load time.
+        let path = dir.join(name);
+        std::fs::write(&path, &bad).unwrap();
+        match store.load_snapshot(name) {
+            Err(StoreError::Corrupt { quarantined, .. }) => {
+                assert!(quarantined.expect("moved").exists());
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(store.load_snapshot(name).unwrap().is_none());
+        // Hostile names never touch the filesystem.
+        for bad_name in ["../x.dsnp", "x.dtrc.dsnp.other", "UPPER.dsnp", "x"] {
+            assert!(store.put_snapshot(bad_name, &bytes).is_err(), "{bad_name}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn snapshots_join_digest_listing_and_sync_install() {
+        let dir_a = scratch("snap_digest_a");
+        let dir_b = scratch("snap_digest_b");
+        let store_a = Store::open(&dir_a).unwrap();
+        let store_b = Store::open(&dir_b).unwrap();
+        let (trace, key) = sample_trace(14);
+        store_a.put(&key, &trace).unwrap();
+        let snap_name = "unit-tiny-v1-00000000000000bb-r0.dsnp";
+        let snap_bytes = sample_snapshot(b"state-at-zero");
+        store_a.put_snapshot(snap_name, &snap_bytes).unwrap();
+        let listing = store_a.digest_listing().unwrap();
+        assert_eq!(listing.len(), 2, "trace and snapshot both advertised");
+        assert!(listing.windows(2).all(|w| w[0].name <= w[1].name));
+        // Replicate the snapshot through the generic artifact channel.
+        assert!(valid_artifact_name(snap_name));
+        let fetched = store_a.artifact_bytes(snap_name).unwrap().unwrap();
+        assert!(store_b.install_artifact(snap_name, &fetched).unwrap());
+        assert_eq!(
+            store_b.load_snapshot(snap_name).unwrap().unwrap(),
+            snap_bytes
+        );
+        // Corrupt snapshot bytes are refused by install, fail-closed.
+        let mut bad = fetched.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        let other = "unit-tiny-v1-00000000000000cc-r0.dsnp";
+        assert!(matches!(
+            store_b.install_artifact(other, &bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(store_b.load_snapshot(other).unwrap().is_none());
+        std::fs::remove_dir_all(dir_a).ok();
+        std::fs::remove_dir_all(dir_b).ok();
+    }
+
+    #[test]
+    fn verify_snapshot_bytes_rejects_bad_framing() {
+        assert!(verify_snapshot_bytes(&sample_snapshot(b"ok")).is_ok());
+        assert!(verify_snapshot_bytes(b"short").is_err());
+        assert!(verify_snapshot_bytes(b"NOTSNAP_0123456789abcdef").is_err());
+        let mut flipped = sample_snapshot(b"payload");
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(verify_snapshot_bytes(&flipped).is_err());
     }
 
     #[test]

@@ -25,13 +25,48 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use dee_vm::{Trace, TraceReader, TraceRecord, TRACE_FORMAT_VERSION};
+use dee_vm::{Trace, TraceChunkSource, TraceReader, TraceRecord, TRACE_FORMAT_VERSION};
 
 use crate::checksum::checksum64;
 use crate::container::{read_info, ContainerInfo, ContainerReader, ContainerWriter};
 
-/// File extension of published artifacts.
+/// File extension of published trace artifacts.
 pub const ARTIFACT_EXT: &str = "dtrc";
+
+/// File extension of published snapshot artifacts (`DEESNAP1`).
+pub const SNAPSHOT_EXT: &str = "dsnp";
+
+/// Leading magic of a snapshot artifact. The store verifies snapshots
+/// generically — magic prefix plus trailing [`checksum64`] over the rest
+/// of the file — so it never needs to understand the snapshot payload
+/// (that lives in `dee-snap`, which depends on this crate).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DEESNAP1";
+
+/// Verifies a snapshot artifact's framing: the `DEESNAP1` magic and the
+/// trailing little-endian [`checksum64`] over every preceding byte.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn verify_snapshot_bytes(bytes: &[u8]) -> Result<(), String> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(format!("snapshot too short ({} bytes)", bytes.len()));
+    }
+    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err("bad snapshot magic".to_string());
+    }
+    let body_end = bytes.len() - 8;
+    let mut declared = [0u8; 8];
+    declared.copy_from_slice(&bytes[body_end..]);
+    let declared = u64::from_le_bytes(declared);
+    let actual = checksum64(&bytes[..body_end]);
+    if declared != actual {
+        return Err(format!(
+            "snapshot checksum mismatch: stored {declared:016x}, computed {actual:016x}"
+        ));
+    }
+    Ok(())
+}
 
 /// FNV-1a 64-bit hash — the same stable, dependency-free digest the serve
 /// cache uses, duplicated here so `dee-store` stays foundation-level (it
@@ -294,12 +329,14 @@ pub struct DigestEntry {
 
 /// Whether `name` is an acceptable artifact filename for sync ingest:
 /// the sanitized alphabet the store itself publishes (`[a-z0-9._-]`),
-/// the `.dtrc` extension, and no way to escape the store root.
+/// the `.dtrc` or `.dsnp` extension, and no way to escape the store
+/// root.
 #[must_use]
 pub fn valid_artifact_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 255
-        && name.ends_with(&format!(".{ARTIFACT_EXT}"))
+        && (name.ends_with(&format!(".{ARTIFACT_EXT}"))
+            || name.ends_with(&format!(".{SNAPSHOT_EXT}")))
         && !name.starts_with('.')
         && !name.contains("..")
         && name
@@ -574,12 +611,25 @@ impl Store {
         Ok((trace, StoreSource::Vm))
     }
 
-    /// Lists published artifacts, sorted by name.
+    /// Lists published trace artifacts, sorted by name.
     ///
     /// # Errors
     ///
     /// Propagates directory-read failures.
     pub fn list(&self) -> io::Result<Vec<StoreEntry>> {
+        self.list_with_ext(ARTIFACT_EXT)
+    }
+
+    /// Lists published snapshot artifacts, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list_snapshots(&self) -> io::Result<Vec<StoreEntry>> {
+        self.list_with_ext(SNAPSHOT_EXT)
+    }
+
+    fn list_with_ext(&self, ext: &str) -> io::Result<Vec<StoreEntry>> {
         let mut entries = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
@@ -590,7 +640,7 @@ impl Store {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
-            if !name.ends_with(&format!(".{ARTIFACT_EXT}")) {
+            if !name.ends_with(&format!(".{ext}")) {
                 continue;
             }
             entries.push(StoreEntry {
@@ -602,10 +652,12 @@ impl Store {
         Ok(entries)
     }
 
-    /// Digests every published artifact for anti-entropy exchange,
-    /// sorted by name. Artifacts whose footer cannot be read (torn or
-    /// corrupt) are skipped — the read path quarantines them on its own,
-    /// and advertising them to peers would replicate damage.
+    /// Digests every published artifact — traces *and* snapshots — for
+    /// anti-entropy exchange, sorted by name. Trace digests fold the
+    /// container's per-chunk checksums; snapshot digests are a
+    /// [`checksum64`] over the whole (verified) file. Artifacts that fail
+    /// their integrity check are skipped — the read path quarantines them
+    /// on its own, and advertising them to peers would replicate damage.
     ///
     /// # Errors
     ///
@@ -622,6 +674,20 @@ impl Store {
                 Err(_) => continue,
             }
         }
+        for entry in self.list_snapshots()? {
+            let Ok(bytes) = fs::read(self.root.join(&entry.name)) else {
+                continue;
+            };
+            if verify_snapshot_bytes(&bytes).is_err() {
+                continue;
+            }
+            out.push(DigestEntry {
+                name: entry.name,
+                bytes: entry.bytes,
+                digest: checksum64(&bytes),
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
         Ok(out)
     }
 
@@ -686,7 +752,12 @@ impl Store {
             fs::remove_file(&tmp_path).ok();
             return Err(StoreError::Io(e));
         }
-        if let Err(detail) = verify_file(&tmp_path) {
+        let verdict = if name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+            verify_snapshot_bytes(bytes)
+        } else {
+            verify_file(&tmp_path).map(|_| ())
+        };
+        if let Err(detail) = verdict {
             fs::remove_file(&tmp_path).ok();
             return Err(StoreError::Corrupt {
                 path: final_path,
@@ -700,6 +771,84 @@ impl Store {
             .bytes_written
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(true)
+    }
+
+    /// Publishes snapshot bytes under `name` (a `.dsnp` filename built by
+    /// `dee-snap`), atomically: write to `tmp/`, verify the generic
+    /// snapshot framing, fsync, rename. Snapshot content is deterministic
+    /// for a given (artifact, record index), so overwriting an existing
+    /// name installs identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// `Io(InvalidInput)` on a name outside the published alphabet,
+    /// [`StoreError::Corrupt`] when the bytes fail framing verification
+    /// (nothing is published), [`StoreError::Io`] on I/O failures.
+    pub fn put_snapshot(&self, name: &str, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+        if !valid_artifact_name(name) || !name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+            return Err(StoreError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid snapshot name `{name}`"),
+            )));
+        }
+        let final_path = self.root.join(name);
+        if let Err(detail) = verify_snapshot_bytes(bytes) {
+            return Err(StoreError::Corrupt {
+                path: final_path,
+                detail,
+                quarantined: None,
+            });
+        }
+        let unique = format!(
+            "{name}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp_path = self.root.join("tmp").join(unique);
+        let stage = |tmp_path: &Path| -> io::Result<()> {
+            fs::write(tmp_path, bytes)?;
+            File::open(tmp_path)?.sync_all()?;
+            Ok(())
+        };
+        if let Err(e) = stage(&tmp_path) {
+            fs::remove_file(&tmp_path).ok();
+            return Err(StoreError::Io(e));
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(final_path)
+    }
+
+    /// Loads and frame-verifies a published snapshot. `Ok(None)` when
+    /// absent. A snapshot that fails verification is quarantined and
+    /// reported as [`StoreError::Corrupt`] — exactly the `DEESTOR1`
+    /// fail-closed semantics, so a flipped byte can never warm-start a
+    /// simulation from bad state.
+    ///
+    /// # Errors
+    ///
+    /// `Io(InvalidInput)` on an invalid name, [`StoreError::Corrupt`] on
+    /// verification failure, [`StoreError::Io`] otherwise.
+    pub fn load_snapshot(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        if !valid_artifact_name(name) || !name.ends_with(&format!(".{SNAPSHOT_EXT}")) {
+            return Err(StoreError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid snapshot name `{name}`"),
+            )));
+        }
+        let path = self.root.join(name);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        match verify_snapshot_bytes(&bytes) {
+            Ok(()) => Ok(Some(bytes)),
+            Err(detail) => Err(self.corrupt(path, detail)),
+        }
     }
 
     /// Removes in-flight orphans (`tmp/`) and quarantined files.
@@ -817,6 +966,37 @@ impl StoreReader {
         // Safe split: TraceReader exposes its transport for framing
         // checks once the logical stream is consumed.
         self.inner.transport_mut()
+    }
+}
+
+/// Streaming replay: a [`StoreReader`] is a chunk source, so a published
+/// artifact flows straight into the incremental prepare pipeline without
+/// materializing the record vector. `take_output` also verifies the
+/// container footer and EOF, so a fully drained source constitutes a
+/// full-file verification.
+impl TraceChunkSource for StoreReader {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> Result<usize, String> {
+        let mut appended = 0usize;
+        while appended < max {
+            match self.next_record().map_err(|e| e.to_string())? {
+                Some(record) => {
+                    buf.push(record);
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(appended)
+    }
+
+    fn take_output(&mut self) -> Result<Vec<i32>, String> {
+        let output = self.read_output().map_err(|e| e.to_string())?;
+        self.finish().map_err(|e| e.to_string())?;
+        Ok(output)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.record_count())
     }
 }
 

@@ -1,0 +1,152 @@
+//! Chunk-boundary fuzz for the streaming replay path.
+//!
+//! `StoreReader` implements `TraceChunkSource`, and the streaming
+//! prepare pipeline's byte-identical guarantee rests on chunked
+//! iteration yielding *exactly* the record stream of a whole-trace
+//! read — regardless of how records land on `DEESTOR1` chunk frames or
+//! how large the pull batches are. This test sweeps seeded random trace
+//! lengths against pathological pull sizes (1, a prime, the default) so
+//! every alignment of a final partial chunk gets exercised, plus the
+//! degenerate empty trace.
+
+use std::path::PathBuf;
+
+use dee_isa::{Assembler, Reg};
+use dee_store::{ArtifactKey, Store};
+use dee_vm::{Trace, TraceChunkSource, TraceRecord};
+
+fn scratch_store(tag: &str) -> (Store, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dee_store_chunk_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    (Store::open(&dir).expect("open scratch store"), dir)
+}
+
+/// splitmix64 — the same mixer the store's checksum uses, here as a
+/// deterministic fuzz PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A loop whose trace length scales with `n`, with a store/load pair so
+/// records carry memory traffic across chunk boundaries too.
+fn looped_trace(n: i32) -> (Trace, ArtifactKey) {
+    let mut asm = Assembler::new();
+    let r1 = Reg::new(1);
+    let r2 = Reg::new(2);
+    asm.li(r1, n);
+    asm.label("top");
+    asm.sw(r1, Reg::ZERO, 64);
+    asm.lw(r2, Reg::ZERO, 64);
+    asm.addi(r1, r1, -1);
+    asm.bgt_label(r1, Reg::ZERO, "top");
+    asm.out(r2);
+    asm.halt();
+    let program = asm.assemble().expect("assembles");
+    let trace = dee_vm::trace_program(&program, &[], 10_000_000).expect("runs");
+    let key = ArtifactKey::new("chunkfuzz", &format!("n{n}"), &program.to_listing(), &[]);
+    (trace, key)
+}
+
+fn drain(source: &mut dyn TraceChunkSource, max: usize) -> (Vec<TraceRecord>, Vec<i32>) {
+    let mut all = Vec::new();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = source.next_chunk(&mut buf, max).expect("chunk reads");
+        assert!(n <= max, "overfilled chunk: {n} > {max}");
+        assert_eq!(n, buf.len(), "appended count must match buffer");
+        if n == 0 {
+            break;
+        }
+        all.extend_from_slice(&buf);
+    }
+    let output = source.take_output().expect("output after exhaustion");
+    (all, output)
+}
+
+#[test]
+fn chunked_replay_is_byte_identical_at_every_pull_size() {
+    let (store, dir) = scratch_store("fuzz");
+    let mut rng = Rng(0xdee5_eed5);
+    // Seeded lengths, biased to land near pull-size multiples so final
+    // partial chunks of size 0, 1, and max-1 all occur across the sweep.
+    let mut lengths: Vec<i32> = (0..6).map(|_| 1 + (rng.next() % 2_500) as i32).collect();
+    lengths.push(4093); // one loop body per pull at the prime size
+    for n in lengths {
+        let (trace, key) = looped_trace(n);
+        store.put(&key, &trace).expect("publish");
+        for max in [1usize, 4093, dee_vm::DEFAULT_CHUNK_RECORDS] {
+            let mut reader = store
+                .open_reader(&key)
+                .expect("open reader")
+                .expect("published");
+            assert_eq!(reader.len_hint(), Some(trace.len() as u64));
+            let (records, output) = drain(&mut reader, max);
+            assert_eq!(
+                records.as_slice(),
+                trace.records(),
+                "n={n} max={max}: records drifted"
+            );
+            assert_eq!(
+                output.as_slice(),
+                trace.output(),
+                "n={n} max={max}: output drifted"
+            );
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn empty_trace_chunks_cleanly() {
+    let (store, dir) = scratch_store("empty");
+    let trace = Trace::from_parts(vec![], vec![7, 8]);
+    let key = ArtifactKey::new("chunkfuzz", "empty", "listing", &[]);
+    store.put(&key, &trace).expect("publish empty trace");
+    let mut reader = store
+        .open_reader(&key)
+        .expect("open reader")
+        .expect("published");
+    assert_eq!(reader.len_hint(), Some(0));
+    let mut buf = Vec::new();
+    assert_eq!(reader.next_chunk(&mut buf, 16).expect("chunk"), 0);
+    assert!(buf.is_empty());
+    assert_eq!(reader.take_output().expect("output"), vec![7, 8]);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn take_output_verifies_the_footer() {
+    // A drained source's take_output includes the footer/EOF check, so
+    // trailing garbage after the output stream is a replay error, not a
+    // silent pass.
+    let (store, dir) = scratch_store("footer");
+    let (trace, key) = looped_trace(20);
+    let path = store.put(&key, &trace).expect("publish");
+    let mut bytes = std::fs::read(&path).expect("read");
+    bytes.extend_from_slice(b"JUNKJUNK");
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let mut reader = store
+        .open_reader(&key)
+        .expect("open reader")
+        .expect("published");
+    let mut buf = Vec::new();
+    let result = loop {
+        buf.clear();
+        match reader.next_chunk(&mut buf, 64) {
+            Ok(0) => break reader.take_output(),
+            Ok(_) => {}
+            Err(e) => break Err(e),
+        }
+    };
+    assert!(result.is_err(), "trailing bytes must fail the stream");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,270 @@
+//! Pull-based trace chunking: bounded batches of [`TraceRecord`]s that
+//! flow from a producer (a captured [`Trace`], a live machine, or a
+//! store replay) into incremental consumers without ever materializing a
+//! multi-million-record vector.
+//!
+//! The contract is deliberately tiny so every producer in the workspace
+//! can implement it: [`TraceChunkSource::next_chunk`] appends up to `max`
+//! records to the caller's buffer and returns how many it appended; zero
+//! means the stream is exhausted, after which
+//! [`TraceChunkSource::take_output`] yields the program's output stream.
+//! Consumers own the buffer, so one allocation of `max` records is the
+//! steady-state footprint regardless of trace length.
+
+use dee_isa::Program;
+
+use crate::machine::{Machine, StepOutcome, VmError};
+use crate::trace::{Trace, TraceRecord};
+
+/// Default number of records per pulled chunk (~64 K records ≈ 1.25 MiB
+/// of in-flight [`TraceRecord`]s at 20 serialized bytes each).
+pub const DEFAULT_CHUNK_RECORDS: usize = 64 * 1024;
+
+/// A producer of bounded trace-record chunks.
+///
+/// Implementors must yield exactly the record stream (and output) that a
+/// whole-trace capture of the same program would produce, in order — the
+/// streaming pipeline's byte-identical guarantee rests on it.
+pub trait TraceChunkSource {
+    /// Appends up to `max` records to `buf` and returns how many were
+    /// appended. Returning `0` means the stream is exhausted; further
+    /// calls keep returning `0`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the transport or execution fault.
+    /// After an error the source is poisoned and must not be reused.
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> Result<usize, String>;
+
+    /// The program's output stream. Only valid once `next_chunk` has
+    /// returned `0`; implementations may error before that.
+    ///
+    /// # Errors
+    ///
+    /// When the stream is not yet exhausted or the transport faults.
+    fn take_output(&mut self) -> Result<Vec<i32>, String>;
+
+    /// The total record count when the producer knows it up front
+    /// (serialized traces do; a live machine does not).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Chunked iteration over an in-memory [`Trace`].
+pub struct TraceChunks<'a> {
+    trace: &'a Trace,
+    cursor: usize,
+}
+
+impl<'a> TraceChunks<'a> {
+    /// Starts a chunked pass over `trace` from record 0.
+    #[must_use]
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceChunks { trace, cursor: 0 }
+    }
+}
+
+impl TraceChunkSource for TraceChunks<'_> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> Result<usize, String> {
+        let records = self.trace.records();
+        let n = max.min(records.len() - self.cursor);
+        buf.extend_from_slice(&records[self.cursor..self.cursor + n]);
+        self.cursor += n;
+        Ok(n)
+    }
+
+    fn take_output(&mut self) -> Result<Vec<i32>, String> {
+        if self.cursor < self.trace.len() {
+            return Err("trace chunk stream not exhausted".to_string());
+        }
+        Ok(self.trace.output().to_vec())
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
+/// Chunked capture from a live [`Machine`]: records are produced by
+/// stepping the interpreter, so no full trace ever exists in memory.
+///
+/// Yields exactly the stream [`trace_program`](crate::trace_program)
+/// would capture, including the same [`VmError`] (reported as a string)
+/// on the same dynamic step.
+pub struct CaptureChunks<'a> {
+    machine: Machine,
+    program: &'a Program,
+    limit: u64,
+    done: bool,
+    poisoned: bool,
+}
+
+impl<'a> CaptureChunks<'a> {
+    /// Creates a capture source over a fresh default machine with
+    /// `initial_memory` loaded at word 0.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::ImageTooLarge`] when the image does not fit.
+    pub fn new(program: &'a Program, initial_memory: &[i32], limit: u64) -> Result<Self, VmError> {
+        let mut machine = Machine::new();
+        machine.try_load_memory(initial_memory)?;
+        Ok(CaptureChunks {
+            machine,
+            program,
+            limit,
+            done: false,
+            poisoned: false,
+        })
+    }
+
+    /// The machine being stepped (for checkpointing between chunks).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+impl TraceChunkSource for CaptureChunks<'_> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>, max: usize) -> Result<usize, String> {
+        if self.poisoned {
+            return Err("capture source poisoned by an earlier fault".to_string());
+        }
+        if self.done {
+            return Ok(0);
+        }
+        let mut appended = 0usize;
+        while appended < max {
+            if self.machine.executed() >= self.limit {
+                self.poisoned = true;
+                return Err(VmError::StepLimit { limit: self.limit }.to_string());
+            }
+            match self.machine.step(self.program) {
+                Ok((outcome, record)) => {
+                    buf.push(record);
+                    appended += 1;
+                    if outcome == StepOutcome::Halted {
+                        self.done = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e.to_string());
+                }
+            }
+        }
+        Ok(appended)
+    }
+
+    fn take_output(&mut self) -> Result<Vec<i32>, String> {
+        if self.poisoned {
+            return Err("capture source poisoned by an earlier fault".to_string());
+        }
+        if !self.done {
+            return Err("capture chunk stream not exhausted".to_string());
+        }
+        Ok(self.machine.output().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_program;
+    use dee_isa::{Assembler, Reg};
+
+    fn looped(n: i32) -> Program {
+        let mut asm = Assembler::new();
+        let r1 = Reg::new(1);
+        asm.li(r1, n);
+        asm.label("top");
+        asm.out(r1);
+        asm.addi(r1, r1, -1);
+        asm.bgt_label(r1, Reg::ZERO, "top");
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    fn drain(source: &mut dyn TraceChunkSource, max: usize) -> (Vec<TraceRecord>, Vec<i32>) {
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            let n = source.next_chunk(&mut buf, max).unwrap();
+            assert!(n <= max);
+            assert_eq!(n, buf.len());
+            if n == 0 {
+                break;
+            }
+            all.extend_from_slice(&buf);
+        }
+        let output = source.take_output().unwrap();
+        (all, output)
+    }
+
+    #[test]
+    fn trace_chunks_match_whole_trace_at_every_chunk_size() {
+        let p = looped(9);
+        let trace = trace_program(&p, &[], 10_000).unwrap();
+        for max in [1usize, 3, 7, 64, 100_000] {
+            let mut source = TraceChunks::new(&trace);
+            assert_eq!(source.len_hint(), Some(trace.len() as u64));
+            let (records, output) = drain(&mut source, max);
+            assert_eq!(records.as_slice(), trace.records());
+            assert_eq!(output.as_slice(), trace.output());
+        }
+    }
+
+    #[test]
+    fn capture_chunks_match_trace_program() {
+        let p = looped(9);
+        let trace = trace_program(&p, &[], 10_000).unwrap();
+        for max in [1usize, 5, 1024] {
+            let mut source = CaptureChunks::new(&p, &[], 10_000).unwrap();
+            assert_eq!(source.len_hint(), None);
+            let (records, output) = drain(&mut source, max);
+            assert_eq!(records.as_slice(), trace.records());
+            assert_eq!(output.as_slice(), trace.output());
+        }
+    }
+
+    #[test]
+    fn empty_trace_chunks() {
+        let trace = Trace::from_parts(vec![], vec![4]);
+        let mut source = TraceChunks::new(&trace);
+        let (records, output) = drain(&mut source, 8);
+        assert!(records.is_empty());
+        assert_eq!(output, vec![4]);
+    }
+
+    #[test]
+    fn output_before_exhaustion_is_an_error() {
+        let p = looped(9);
+        let trace = trace_program(&p, &[], 10_000).unwrap();
+        let mut source = TraceChunks::new(&trace);
+        assert!(source.take_output().is_err());
+        let mut capture = CaptureChunks::new(&p, &[], 10_000).unwrap();
+        assert!(capture.take_output().is_err());
+    }
+
+    #[test]
+    fn capture_chunks_report_step_limit() {
+        let p = looped(1_000);
+        let mut source = CaptureChunks::new(&p, &[], 10).unwrap();
+        let mut buf = Vec::new();
+        let err = loop {
+            buf.clear();
+            match source.next_chunk(&mut buf, 4) {
+                Ok(0) => panic!("limit never hit"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(err.contains("limit"), "{err}");
+        // Poisoned: both entry points now fail.
+        assert!(source.next_chunk(&mut buf, 4).is_err());
+        assert!(source.take_output().is_err());
+    }
+}

@@ -112,6 +112,37 @@ pub struct RunResult {
     pub output: Vec<i32>,
 }
 
+/// A complete, explicit copy of the machine's architectural state.
+///
+/// Everything [`Machine::step`] reads or writes lives here, so restoring
+/// a captured state and stepping forward is bit-identical to never having
+/// stopped. `dee-snap` serializes this into `DEESNAP1` checkpoints; the
+/// fields are public so snapshot encoders can delta-compress the memory
+/// image without an extra copy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineState {
+    /// The 32 architectural registers (`r0` included, always zero).
+    pub regs: [i32; Reg::COUNT],
+    /// The full data-memory image.
+    pub mem: Vec<i32>,
+    /// The program counter.
+    pub pc: u32,
+    /// Whether `halt` has executed.
+    pub halted: bool,
+    /// Current call depth.
+    pub depth: u32,
+    /// Dynamic instructions executed so far.
+    pub executed: u64,
+    /// The output stream produced so far.
+    pub output: Vec<i32>,
+}
+
+impl MachineState {
+    /// Number of architectural registers in [`MachineState::regs`],
+    /// re-exported so serializers need not depend on `dee-isa`.
+    pub const REG_COUNT: usize = Reg::COUNT;
+}
+
 impl Default for Machine {
     fn default() -> Self {
         Self::new()
@@ -228,6 +259,36 @@ impl Machine {
     /// The full data memory, for state digesting.
     pub(crate) fn mem_slice(&self) -> &[i32] {
         &self.mem
+    }
+
+    /// Captures the complete architectural state for checkpointing.
+    #[must_use]
+    pub fn snapshot_state(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            mem: self.mem.clone(),
+            pc: self.pc,
+            halted: self.halted,
+            depth: self.depth,
+            executed: self.executed,
+            output: self.output.clone(),
+        }
+    }
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state).
+    ///
+    /// Stepping after a restore is bit-identical to the uninterrupted run
+    /// the state was captured from (same records, output, and faults).
+    pub fn restore_state(&mut self, state: &MachineState) {
+        self.regs = state.regs;
+        self.mem.clear();
+        self.mem.extend_from_slice(&state.mem);
+        self.pc = state.pc;
+        self.halted = state.halted;
+        self.depth = state.depth;
+        self.executed = state.executed;
+        self.output.clear();
+        self.output.extend_from_slice(&state.output);
     }
 
     fn effective_addr(&self, pc: u32, base: Reg, offset: i32) -> Result<u32, VmError> {
@@ -545,5 +606,53 @@ mod tests {
     fn oversized_image_panics() {
         let mut m = Machine::with_memory_size(2);
         m.load_memory(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut asm = Assembler::new();
+        asm.li(r(1), 6);
+        asm.li(r(2), 0);
+        asm.label("top");
+        asm.sw(r(1), Reg::ZERO, 32);
+        asm.lw(r(2), Reg::ZERO, 32);
+        asm.out(r(2));
+        asm.addi(r(1), r(1), -1);
+        asm.bgt_label(r(1), Reg::ZERO, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+
+        // Reference: run straight through, collecting records.
+        let mut oracle = Machine::with_memory_size(256);
+        let mut oracle_records = Vec::new();
+        loop {
+            let (outcome, rec) = oracle.step(&p).unwrap();
+            oracle_records.push(rec);
+            if outcome == StepOutcome::Halted {
+                break;
+            }
+        }
+
+        // Checkpoint mid-run, clobber the machine, restore, resume.
+        let mut m = Machine::with_memory_size(256);
+        let mut records = Vec::new();
+        for _ in 0..7 {
+            let (_, rec) = m.step(&p).unwrap();
+            records.push(rec);
+        }
+        let state = m.snapshot_state();
+        m.run(&p, 10_000).unwrap(); // run the original to completion
+        m.restore_state(&state);
+        assert_eq!(m.snapshot_state(), state);
+        loop {
+            let (outcome, rec) = m.step(&p).unwrap();
+            records.push(rec);
+            if outcome == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(records, oracle_records);
+        assert_eq!(m.output(), oracle.output());
+        assert_eq!(m.state_digest(), oracle.state_digest());
     }
 }

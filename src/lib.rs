@@ -28,6 +28,10 @@
 //!   record-once/replay-many containers with streaming replay, behind
 //!   the bench binaries' `--store`, `dee serve --store`, and the
 //!   `dee trace record|info|verify|ls|gc` subcommands;
+//! * [`snap`] — serializable `DEESNAP1` VM snapshots: complete machine +
+//!   predictor state at a record index of a published trace, enabling
+//!   warm-start range simulation and time travel (`dee snap ls|info|verify`,
+//!   `dee trace record --checkpoint-stride`, `POST /simulate_range`);
 //! * [`analyze`] — static analysis over toy-ISA programs: CFG dataflow
 //!   (liveness, reaching definitions, constant bounds), typed `DEE-*`
 //!   lints, and the static branch census that cross-checks dynamic traces
@@ -62,6 +66,7 @@ pub use dee_levo as levo;
 pub use dee_mem as mem;
 pub use dee_predict as predict;
 pub use dee_serve as serve;
+pub use dee_snap as snap;
 pub use dee_store as store;
 pub use dee_vm as vm;
 pub use dee_workloads as workloads;

@@ -9,11 +9,15 @@
 //! dee gen <spec|default> [--seed N] [-o F] generate a seeded program
 //! dee gen sweep [--et N] [--seed N]       preview speedup vs the pred knob
 //! dee trace <prog.s> -o <file> [--mem ..] capture a binary trace
-//! dee trace record <workload> --store DIR [--scale S] [--engine E]  publish an artifact
+//! dee trace record <workload> --store DIR [--scale S] [--engine E]
+//!                  [--checkpoint-stride N]  publish an artifact (+ snapshots)
 //! dee trace info <file.dtrc>              container header/footer summary
 //! dee trace verify <file.dtrc>            full checksum + layout check
 //! dee trace ls --store DIR                list published artifacts
 //! dee trace gc --store DIR                sweep tmp/ + quarantine/
+//! dee snap ls --store DIR                 list published snapshots
+//! dee snap info <file.dsnp>               snapshot header summary
+//! dee snap verify <file.dsnp>             framing + layout check
 //! dee replay <prog.s> <file> [--model M] [--et N]  simulate a captured trace
 //! dee serve [--addr H:P] [--workers N] [--store DIR]  run the simulation server
 //! dee gateway --peers H:P,H:P,... [--replication R]   front a cluster of nodes
@@ -61,11 +65,14 @@ const USAGE: &str = "usage:
   dee gen sweep [--et N] [--seed N]         preview speedup vs the pred knob
   dee trace <prog.s> -o <file> [--mem ..]   capture a binary trace
   dee trace record <workload> --store DIR [--scale tiny|small|medium|large]
-            [--engine decoded|interp]
+            [--engine decoded|interp] [--checkpoint-stride N]
   dee trace info <file.dtrc>                container header/footer summary
   dee trace verify <file.dtrc>              full checksum + layout check
   dee trace ls --store DIR                  list published artifacts
   dee trace gc --store DIR                  sweep tmp/ + quarantine/
+  dee snap ls --store DIR                   list published snapshots
+  dee snap info <file.dsnp>                 snapshot header summary
+  dee snap verify <file.dsnp>               framing + layout check
   dee replay <prog.s> <file> [--model M] [--et N]
   dee serve [--addr HOST:PORT] [--workers N] [--cache-entries K] [--queue-capacity Q]
             [--read-budget-ms MS] [--breaker-threshold N] [--breaker-cooldown-ms MS]
@@ -95,6 +102,7 @@ struct Options {
     chaos_seed: Option<u64>,
     store: Option<String>,
     scale: Option<String>,
+    checkpoint_stride: Option<u64>,
     engine: dee::vm::Engine,
     seed: u64,
     json: bool,
@@ -124,6 +132,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chaos_seed: None,
         store: None,
         scale: None,
+        checkpoint_stride: None,
         engine: dee::vm::Engine::default(),
         seed: 1,
         json: false,
@@ -240,6 +249,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--hedge-ms" => options.hedge_ms = Some(value()?),
             "--store" => options.store = Some(value()?),
             "--scale" => options.scale = Some(value()?),
+            "--checkpoint-stride" => {
+                let stride: u64 = value()?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-stride".to_string())?;
+                if stride == 0 {
+                    return Err("--checkpoint-stride must be at least 1".to_string());
+                }
+                options.checkpoint_stride = Some(stride);
+            }
             "--engine" => options.engine = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => options.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
             "--json" => options.json = true,
@@ -316,12 +334,15 @@ fn open_store(options: &Options) -> Result<dee::store::Store, String> {
     dee::store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))
 }
 
-/// `dee trace record <workload> --store DIR [--scale S] [--engine E]` —
-/// trace a workload on the VM (validated against its reference output)
-/// and publish the artifact. Idempotent: an already-published key is left
-/// alone. `--engine decoded` (the default) uses the pre-decoded fast
-/// path; `--engine interp` the reference interpreter — the artifact bytes
-/// are identical either way.
+/// `dee trace record <workload> --store DIR [--scale S] [--engine E]
+/// [--checkpoint-stride N]` — trace a workload on the VM (validated
+/// against its reference output) and publish the artifact. Idempotent:
+/// an already-published key is left alone. `--engine decoded` (the
+/// default) uses the pre-decoded fast path; `--engine interp` the
+/// reference interpreter — the artifact bytes are identical either way.
+/// With `--checkpoint-stride N`, a `DEESNAP1` snapshot is cut and
+/// published every `N` records, enabling warm-start range simulation
+/// and time travel on the serve tier.
 fn trace_record(args: &[String]) -> Result<(), String> {
     let name = args.get(2).ok_or("missing workload name")?;
     let options = parse_options(&args[3..])?;
@@ -340,15 +361,83 @@ fn trace_record(args: &[String]) -> Result<(), String> {
     );
     if store.contains(&key) {
         println!("already published: {}", key.filename());
+    } else {
+        let trace = workload.validate_with(options.engine)?;
+        let path = store.put(&key, &trace).map_err(|e| e.to_string())?;
+        let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
+        println!(
+            "published {} ({} records, {bytes} bytes)",
+            key.filename(),
+            trace.len()
+        );
+    }
+    if let Some(stride) = options.checkpoint_stride {
+        let cut = dee::snap::publish_checkpoints(
+            &store,
+            &key,
+            &workload.program,
+            &workload.initial_memory,
+            stride,
+        )?;
+        println!("published {cut} snapshot(s) at stride {stride}");
+    }
+    Ok(())
+}
+
+/// `dee snap ls --store DIR` — list published snapshots.
+fn snap_ls(args: &[String]) -> Result<(), String> {
+    let options = parse_options(&args[2..])?;
+    let store = open_store(&options)?;
+    let entries = store.list_snapshots().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        println!("(no snapshots)");
         return Ok(());
     }
-    let trace = workload.validate_with(options.engine)?;
-    let path = store.put(&key, &trace).map_err(|e| e.to_string())?;
-    let bytes = std::fs::metadata(&path).map_err(|e| e.to_string())?.len();
+    for entry in &entries {
+        println!("{:>12}  {}", entry.bytes, entry.name);
+    }
+    println!("{} snapshot(s)", entries.len());
+    Ok(())
+}
+
+/// `dee snap info <file.dsnp>` — header-level summary (no parent
+/// memory image needed).
+fn snap_info(args: &[String]) -> Result<(), String> {
+    let path = args.get(2).ok_or("missing snapshot path")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let info = dee::snap::Snapshot::info(&bytes)?;
+    println!("{path}:");
     println!(
-        "published {} ({} records, {bytes} bytes)",
-        key.filename(),
-        trace.len()
+        "  snapshot at record {} of parent {:016x} (trace format v{})",
+        info.record_index, info.parent_digest, info.trace_format_version
+    );
+    println!(
+        "  executed {}, {} output word(s), {} memory word(s), halted: {}",
+        info.executed, info.output_words, info.mem_words, info.halted
+    );
+    println!(
+        "  predictors: {}",
+        if info.predictors.is_empty() {
+            "(none)".to_string()
+        } else {
+            info.predictors.join(", ")
+        }
+    );
+    Ok(())
+}
+
+/// `dee snap verify <file.dsnp>` — magic, trailing checksum, and full
+/// section-layout check.
+fn snap_verify(args: &[String]) -> Result<(), String> {
+    let path = args.get(2).ok_or("missing snapshot path")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    dee::store::verify_snapshot_bytes(&bytes)?;
+    let info = dee::snap::Snapshot::info(&bytes)?;
+    println!(
+        "{path}: ok — record {}, parent {:016x}, {} byte(s)",
+        info.record_index,
+        info.parent_digest,
+        bytes.len()
     );
     Ok(())
 }
@@ -659,6 +748,12 @@ fn run(args: &[String]) -> Result<(), String> {
             Some(_) => gen_program(args),
             None => Err("missing gen spec (try `dee gen default`)".into()),
         },
+        "snap" => match args.get(1).map(String::as_str) {
+            Some("ls") => snap_ls(args),
+            Some("info") => snap_info(args),
+            Some("verify") => snap_verify(args),
+            _ => Err("snap subcommands: ls | info | verify".into()),
+        },
         "trace" => match args.get(1).map(String::as_str) {
             Some("record") => trace_record(args),
             Some("info") => trace_info(args),
@@ -754,7 +849,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let server = dee::serve::Server::spawn(config).map_err(|e| e.to_string())?;
             println!(
                 "dee-serve listening on http://{} ({workers} workers); endpoints: \
-                 POST /simulate /tree /levo /batch, GET /healthz /metrics; Ctrl-C to stop",
+                 POST /simulate /simulate_range /tree /levo /batch, \
+                 GET /debug/at /healthz /metrics; Ctrl-C to stop",
                 server.addr()
             );
             dee::serve::signal::install();
@@ -1093,6 +1189,70 @@ mod tests {
         std::fs::write(&artifact, bytes).unwrap();
         assert!(run(&strings(&["trace", "verify", &artifact_s])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snap_subcommands_round_trip() {
+        let dir = std::env::temp_dir().join(format!("dee-cli-snap-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = dir.to_string_lossy().to_string();
+        // Recording with a checkpoint stride publishes the artifact and
+        // its snapshots; re-running is idempotent (snapshots are
+        // deterministic, so the republished bytes are identical).
+        run(&strings(&[
+            "trace",
+            "record",
+            "compress",
+            "--store",
+            &store,
+            "--scale",
+            "tiny",
+            "--checkpoint-stride",
+            "2000",
+        ]))
+        .unwrap();
+        run(&strings(&[
+            "trace",
+            "record",
+            "compress",
+            "--store",
+            &store,
+            "--scale",
+            "tiny",
+            "--checkpoint-stride",
+            "2000",
+        ]))
+        .unwrap();
+        run(&strings(&["snap", "ls", "--store", &store])).unwrap();
+        let snapshots: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "dsnp"))
+            .collect();
+        // compress/tiny runs 8417 records, so stride 2000 cuts
+        // snapshots at 2000, 4000, 6000, and 8000.
+        assert_eq!(snapshots.len(), 4);
+        let snapshot_s = snapshots[0].to_string_lossy().to_string();
+        run(&strings(&["snap", "info", &snapshot_s])).unwrap();
+        run(&strings(&["snap", "verify", &snapshot_s])).unwrap();
+        // A corrupted snapshot fails verification with a typed error.
+        let mut bytes = std::fs::read(&snapshots[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snapshots[0], bytes).unwrap();
+        assert!(run(&strings(&["snap", "verify", &snapshot_s])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snap_subcommands_reject_bad_arguments() {
+        assert!(run(&strings(&["snap"])).is_err());
+        assert!(run(&strings(&["snap", "bogus"])).is_err());
+        assert!(run(&strings(&["snap", "info"])).is_err());
+        assert!(run(&strings(&["snap", "verify", "/tmp/dee-cli-missing.dsnp"])).is_err());
+        assert!(parse_options(&strings(&["--checkpoint-stride", "0"])).is_err());
+        assert!(parse_options(&strings(&["--checkpoint-stride", "abc"])).is_err());
     }
 
     #[test]
